@@ -1,0 +1,97 @@
+//! Mining-layer benchmarks: FP-Growth vs Apriori, closed-itemset mining,
+//! and support counting — the §5.2 step-2 hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maras_faers::{clean_quarter, CleanConfig, QuarterId, SynthConfig, Synthesizer};
+use maras_mining::{
+    apriori, closed_itemsets, frequent_itemsets, frequent_itemsets_parallel, ItemSet,
+    TransactionDb,
+};
+use std::hint::black_box;
+
+/// Builds a realistic encoded transaction DB from the synthetic generator.
+fn bench_db(n_reports: usize) -> TransactionDb {
+    let mut cfg = SynthConfig::test_scale(99);
+    cfg.n_reports = n_reports;
+    let mut synth = Synthesizer::new(cfg);
+    let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
+    let (cleaned, _) =
+        clean_quarter(&quarter, synth.drug_vocab(), synth.adr_vocab(), &CleanConfig::default());
+    let adr_start = synth.drug_vocab().len() as u32;
+    TransactionDb::new(
+        cleaned
+            .iter()
+            .map(|c| {
+                c.drug_ids
+                    .iter()
+                    .copied()
+                    .chain(c.adr_ids.iter().map(|&a| a + adr_start))
+                    .map(maras_mining::Item)
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+fn bench_miners(c: &mut Criterion) {
+    let db = bench_db(600);
+    let mut group = c.benchmark_group("frequent_mining");
+    for min_support in [4u64, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("fpgrowth", min_support),
+            &min_support,
+            |b, &ms| b.iter(|| black_box(frequent_itemsets(&db, ms).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("apriori", min_support),
+            &min_support,
+            |b, &ms| b.iter(|| black_box(apriori(&db, ms).len())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_closed(c: &mut Criterion) {
+    let db = bench_db(600);
+    let mut group = c.benchmark_group("closed_mining");
+    for min_support in [4u64, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(min_support), &min_support, |b, &ms| {
+            b.iter(|| black_box(closed_itemsets(&db, ms).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_support_counting(c: &mut Criterion) {
+    let db = bench_db(600);
+    // A mix of frequent singletons and arbitrary combinations.
+    let probes: Vec<ItemSet> = (0..40u32)
+        .map(|i| ItemSet::from_ids([i, i + 1, 200 + i % 30]))
+        .collect();
+    c.bench_function("support_counting_40_itemsets", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &probes {
+                acc += u64::from(db.support(black_box(p)));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let db = bench_db(1500);
+    let mut group = c.benchmark_group("parallel_mining");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &t| b.iter(|| black_box(frequent_itemsets_parallel(&db, 6, t).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners, bench_closed, bench_support_counting, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! End-to-end and stage-level pipeline benchmarks: generation, cleaning
+//! (BK-tree spell correction is the hot spot), and the full §5.2 flow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maras_core::{Pipeline, PipelineConfig};
+use maras_faers::{clean_quarter, CleanConfig, QuarterId, SynthConfig, Synthesizer, Vocabulary};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("synth_generate_800_reports", |b| {
+        b.iter(|| {
+            let mut synth = Synthesizer::new(SynthConfig::test_scale(1));
+            black_box(synth.generate_quarter(QuarterId::new(2014, 1)).reports.len())
+        })
+    });
+}
+
+fn bench_cleaning(c: &mut Criterion) {
+    let mut synth = Synthesizer::new(SynthConfig::test_scale(2));
+    let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
+    let dv = synth.drug_vocab().clone();
+    let av = synth.adr_vocab().clone();
+    c.bench_function("clean_800_reports", |b| {
+        b.iter(|| {
+            let (cleaned, _) =
+                clean_quarter(black_box(&quarter), &dv, &av, &CleanConfig::default());
+            black_box(cleaned.len())
+        })
+    });
+}
+
+fn bench_spell_lookup(c: &mut Criterion) {
+    let vocab = Vocabulary::drugs(2000);
+    let queries = ["IBUPROFFEN", "METHOTREXATE", "WARFERIN", "XYZNOTADRUG", "PREDNISON"];
+    c.bench_function("bktree_nearest_x5", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for q in queries {
+                if vocab.nearest(black_box(q), 2).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut synth = Synthesizer::new(SynthConfig::test_scale(3));
+    let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
+    let dv = synth.drug_vocab().clone();
+    let av = synth.adr_vocab().clone();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.bench_function("end_to_end_800_reports", |b| {
+        b.iter(|| {
+            let result =
+                Pipeline::new(PipelineConfig::default()).run(quarter.clone(), &dv, &av);
+            black_box(result.ranked.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_cleaning, bench_spell_lookup, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! MCAC construction and exclusiveness-scoring benchmarks (§3.5–3.6), plus
+//! the disproportionality baselines for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maras_mcac::{rank_clusters, ExclusivenessConfig, Mcac, RankingMethod};
+use maras_mining::{Item, ItemSet, TransactionDb};
+use maras_rules::{multi_drug_rules, DrugAdrRule, ItemPartition};
+use maras_signals::{harpaz_rank, interaction_contrast};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+
+const P: ItemPartition = ItemPartition { adr_start: 100 };
+
+/// A dense random DB with drugs 0..100, ADRs 100..140.
+fn random_db(n: usize, seed: u64) -> TransactionDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    TransactionDb::new(
+        (0..n)
+            .map(|_| {
+                let n_drugs = rng.gen_range(1..6);
+                let n_adrs = rng.gen_range(1..4);
+                let mut items: Vec<Item> =
+                    (0..n_drugs).map(|_| Item(rng.gen_range(0..100))).collect();
+                items.extend((0..n_adrs).map(|_| Item(100 + rng.gen_range(0..40))));
+                items
+            })
+            .collect(),
+    )
+}
+
+fn bench_mcac_build(c: &mut Criterion) {
+    let db = random_db(2000, 1);
+    let mut group = c.benchmark_group("mcac_build");
+    for n_drugs in [2usize, 3, 4, 5] {
+        let drugs: ItemSet = (0..n_drugs as u32).map(Item).collect();
+        let target = DrugAdrRule::from_parts(drugs, ItemSet::from_ids([100u32]), &db);
+        group.bench_with_input(BenchmarkId::from_parameter(n_drugs), &target, |b, t| {
+            b.iter(|| black_box(Mcac::build(t.clone(), &db).context_size()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exclusiveness(c: &mut Criterion) {
+    let db = random_db(2000, 2);
+    let drugs: ItemSet = (0..4u32).map(Item).collect();
+    let target = DrugAdrRule::from_parts(drugs, ItemSet::from_ids([100u32]), &db);
+    let cluster = Mcac::build(target, &db);
+    let cfg = ExclusivenessConfig::default();
+    c.bench_function("exclusiveness_score_4drug", |b| {
+        b.iter(|| black_box(cfg.score(black_box(&cluster))))
+    });
+}
+
+fn bench_full_ranking(c: &mut Criterion) {
+    let db = random_db(1500, 3);
+    let rules = multi_drug_rules(&db, &P, 3);
+    let mut group = c.benchmark_group("ranking");
+    group.sample_size(20);
+    group.bench_function(format!("rank_{}_clusters", rules.len()), |b| {
+        b.iter(|| {
+            black_box(
+                rank_clusters(
+                    rules.clone(),
+                    &db,
+                    RankingMethod::exclusiveness_confidence(),
+                )
+                .len(),
+            )
+        })
+    });
+    group.bench_function("harpaz_baseline", |b| {
+        b.iter(|| black_box(harpaz_rank(&db, &P, 3).len()))
+    });
+    group.finish();
+}
+
+fn bench_interaction_contrast(c: &mut Criterion) {
+    let db = random_db(2000, 4);
+    let drugs = ItemSet::from_ids([0u32, 1]);
+    let adrs = ItemSet::from_ids([100u32]);
+    c.bench_function("interaction_contrast_pair", |b| {
+        b.iter(|| black_box(interaction_contrast(&db, black_box(&drugs), black_box(&adrs))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mcac_build,
+    bench_exclusiveness,
+    bench_full_ranking,
+    bench_interaction_contrast
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E4 — Fig. 5.2: user-study accuracy, Contextual Glyph vs bar chart.
+//!
+//! 50 simulated participants (DESIGN.md substitution 3) answer the
+//! Appendix-A battery; we report the % who pinpointed the interesting
+//! interaction(s) per drug count and encoding. Paper values: glyph 71% /
+//! 57% / 86% for two / three / four drugs, bar chart below it everywhere.
+//! The shape to check is glyph > bar chart in all three groups, with the
+//! bar chart degrading as context size grows. Writes
+//! `target/figures/fig5_2.svg`.
+
+use maras_bench::{figures_dir, print_table};
+use maras_study::{appendix_a_battery, run_study, Encoding, StudyConfig};
+use maras_viz::{grouped_bars, BarGroup, GroupedBarConfig};
+
+fn main() {
+    let battery = appendix_a_battery(2016);
+    let config = StudyConfig::default();
+    let results = run_study(&battery, &config);
+
+    println!("\n=== Fig 5.2 (simulated study): % correct by drug count ===\n");
+    let labels = [(2usize, "Two"), (3, "Three"), (4, "Four")];
+    let mut rows = Vec::new();
+    let mut groups = Vec::new();
+    for (n, label) in labels {
+        let glyph = results.percent_correct(n, Encoding::ContextualGlyph);
+        let bar = results.percent_correct(n, Encoding::BarChart);
+        rows.push(vec![label.to_string(), format!("{glyph:.0}%"), format!("{bar:.0}%")]);
+        groups.push(BarGroup { label: label.to_string(), values: vec![glyph, bar] });
+    }
+    print_table(&["Number of Drugs", "Contextual Glyph", "Barchart"], &rows);
+    println!("\npaper: glyph 71% / 57% / 86% (two/three/four drugs), barchart lower in each");
+
+    // The §5.4.1 speed claim ("users could ... more faster"): simulated
+    // mean time to answer, per encoding.
+    println!("\nmean response time (simulated):");
+    let mut rt_rows = Vec::new();
+    for (n, label) in labels {
+        rt_rows.push(vec![
+            label.to_string(),
+            format!("{:.1}s", results.mean_response_time(n, Encoding::ContextualGlyph)),
+            format!("{:.1}s", results.mean_response_time(n, Encoding::BarChart)),
+        ]);
+    }
+    print_table(&["Number of Drugs", "Contextual Glyph", "Barchart"], &rt_rows);
+
+    println!("\nper-question breakdown:");
+    let mut qrows = Vec::new();
+    for ((label, enc), acc) in &results.accuracy_by_question {
+        qrows.push(vec![label.clone(), enc.to_string(), format!("{acc:.0}%")]);
+    }
+    print_table(&["question", "encoding", "% correct"], &qrows);
+
+    let chart_cfg = GroupedBarConfig {
+        title: "Fig 5.2 - User study results (simulated participants)".into(),
+        series: vec!["Contextual Glyph".into(), "Barchart".into()],
+        percent: true,
+        ..Default::default()
+    };
+    let path = figures_dir().join("fig5_2.svg");
+    grouped_bars(&groups, &chart_cfg).save(&path).expect("write fig5_2.svg");
+    println!("\nfigure written to {}", path.display());
+}

@@ -1,0 +1,99 @@
+//! E6 — the §4 visualization figures, rendered from mined data:
+//!
+//! * `fig4_1_contextual_glyph.svg` — one contextual glyph (Fig. 4.1);
+//! * `fig4_2_panoramagram.svg` — the top-ranked clusters as a glyph grid
+//!   (Fig. 4.2);
+//! * `fig4_3_zoom.svg` — the zoom-in glyph view with labels (Fig. 4.3);
+//! * `fig5_3_mcac_barchart.svg` — the same cluster as the baseline bar
+//!   chart (Fig. 5.3);
+//! * `appendix_a{2,3,4}_drugs.svg` — Appendix-A style sample rows of
+//!   interesting vs non-interesting clusters for 2/3/4 drugs.
+
+use maras_bench::{figures_dir, generate_quarter, run_pipeline};
+use maras_core::PipelineConfig;
+use maras_rules::DrugAdrRule;
+use maras_viz::{glyph_svg, mcac_barchart, panorama_svg, GlyphConfig, PanoramaConfig, SvgDoc, DARK};
+
+fn main() {
+    let corpus = generate_quarter(1);
+    let result = run_pipeline(&corpus, 0, PipelineConfig::default());
+    assert!(!result.ranked.is_empty(), "no clusters mined; increase scale");
+    let dir = figures_dir();
+
+    let namer = |rule: &DrugAdrRule| -> String {
+        let drugs = result.encoded.names(&rule.drugs, &corpus.drug_vocab, &corpus.adr_vocab);
+        let adrs = result.encoded.names(&rule.adrs, &corpus.drug_vocab, &corpus.adr_vocab);
+        format!("{} => {}", drugs.join("+"), adrs.join(","))
+    };
+
+    // Prefer a 3-drug cluster for the headline glyph (like Table 3.1's
+    // Xolair/Singulair/Prednisone example); fall back to the top cluster.
+    let headline = result
+        .ranked
+        .iter()
+        .find(|r| r.cluster.n_drugs() == 3)
+        .unwrap_or(&result.ranked[0]);
+
+    let g = glyph_svg(
+        &headline.cluster,
+        &GlyphConfig { caption: Some(namer(&headline.cluster.target)), size: 260.0, ..Default::default() },
+        Some(&namer),
+    );
+    save(&g, &dir.join("fig4_1_contextual_glyph.svg"));
+
+    let pano = panorama_svg(
+        &result.ranked[..result.ranked.len().min(20)],
+        &PanoramaConfig::default(),
+        Some(&namer),
+    );
+    save(&pano, &dir.join("fig4_2_panoramagram.svg"));
+
+    let zoom = glyph_svg(&headline.cluster, &GlyphConfig::zoomed(), Some(&namer));
+    save(&zoom, &dir.join("fig4_3_zoom.svg"));
+
+    // Dark-mode variant (selected palette, not an inversion).
+    let dark = glyph_svg(
+        &headline.cluster,
+        &GlyphConfig { theme: DARK, ..GlyphConfig::zoomed() },
+        Some(&namer),
+    );
+    save(&dark, &dir.join("fig4_3_zoom_dark.svg"));
+
+    let bars = mcac_barchart(
+        &headline.cluster,
+        &format!("Fig 5.3 - MCAC as bar chart: {}", namer(&headline.cluster.target)),
+        Some(&namer),
+    );
+    save(&bars, &dir.join("fig5_3_mcac_barchart.svg"));
+
+    // Appendix A samples: best + worst cluster per drug count, side by side.
+    for n_drugs in [2usize, 3, 4] {
+        let same: Vec<_> =
+            result.ranked.iter().filter(|r| r.cluster.n_drugs() == n_drugs).collect();
+        if same.len() < 2 {
+            eprintln!("skipping appendix sample for {n_drugs} drugs (only {} clusters)", same.len());
+            continue;
+        }
+        let best = same.first().expect("non-empty");
+        let worst = same.last().expect("non-empty");
+        let mut doc = SvgDoc::new(460.0, 240.0, "#fcfcfb");
+        let cfg = |caption: String| GlyphConfig { size: 220.0, caption: Some(caption), ..Default::default() };
+        doc.embed(
+            &glyph_svg(&best.cluster, &cfg(format!("interesting · {:.3}", best.score)), Some(&namer)),
+            5.0,
+            10.0,
+        );
+        doc.embed(
+            &glyph_svg(&worst.cluster, &cfg(format!("non-interesting · {:.3}", worst.score)), Some(&namer)),
+            235.0,
+            10.0,
+        );
+        save(&doc, &dir.join(format!("appendix_a_{n_drugs}_drugs.svg")));
+    }
+    println!("figures written to {}", dir.display());
+}
+
+fn save(doc: &SvgDoc, path: &std::path::Path) {
+    doc.save(path).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("  {}", path.display());
+}

@@ -1,0 +1,86 @@
+//! Pipeline configuration.
+
+use maras_faers::CleanConfig;
+use maras_mcac::{DecayFn, ExclusivenessConfig};
+use maras_rules::Measure;
+use serde::{Deserialize, Serialize};
+
+/// End-to-end configuration of one MARAS run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Keep only expedited reports (the thesis's §5.1 selection).
+    pub expedited_only: bool,
+    /// Cleaning-stage settings.
+    pub clean: CleanConfig,
+    /// Absolute minimum support for the closed-itemset miner. The thesis
+    /// stresses a *low* threshold so rare combinations survive (§1.3).
+    pub min_support: u64,
+    /// Exclusiveness scoring settings (measure, θ, decay).
+    pub exclusiveness: ExclusivenessConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            expedited_only: true,
+            clean: CleanConfig::default(),
+            min_support: 4,
+            exclusiveness: ExclusivenessConfig::default(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Convenience: same pipeline but scoring with lift (Table 5.2's
+    /// "Exclusiveness with Lift" column).
+    pub fn with_lift(mut self) -> Self {
+        self.exclusiveness.measure = Measure::Lift;
+        self
+    }
+
+    /// Convenience: set the CV-penalty strength θ.
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&theta), "theta must be in [0,1]");
+        self.exclusiveness.theta = theta;
+        self
+    }
+
+    /// Convenience: set the level-decay function.
+    pub fn with_decay(mut self, decay: DecayFn) -> Self {
+        self.exclusiveness.decay = decay;
+        self
+    }
+
+    /// Convenience: set the minimum support.
+    pub fn with_min_support(mut self, min_support: u64) -> Self {
+        self.min_support = min_support;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_faithful() {
+        let c = PipelineConfig::default();
+        assert!(c.expedited_only);
+        assert_eq!(c.exclusiveness.measure, Measure::Confidence);
+        assert_eq!(c.exclusiveness.theta, 0.5);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = PipelineConfig::default().with_lift().with_theta(0.8).with_min_support(10);
+        assert_eq!(c.exclusiveness.measure, Measure::Lift);
+        assert_eq!(c.exclusiveness.theta, 0.8);
+        assert_eq!(c.min_support, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in")]
+    fn theta_out_of_range_panics() {
+        PipelineConfig::default().with_theta(1.5);
+    }
+}

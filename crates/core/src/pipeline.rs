@@ -1,0 +1,260 @@
+//! The MARAS pipeline: clean → encode → mine → cluster → rank.
+
+use crate::config::PipelineConfig;
+use crate::encode::{encode_reports, Encoded};
+use maras_faers::{clean_quarter, CleanedReport, CleaningStats, QuarterData, Vocabulary};
+use maras_mcac::{rank_clusters, RankedMcac, RankingMethod};
+use maras_rules::{count_all_rules, multi_drug_rules, RuleSpaceCounts};
+use serde::Serialize;
+
+/// Runs MARAS over quarters of FAERS data.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the full analysis over one quarter.
+    ///
+    /// The returned [`AnalysisResult`] owns the (possibly EXP-filtered)
+    /// quarter so rules can always be traced back to raw reports.
+    pub fn run(
+        &self,
+        quarter: QuarterData,
+        drug_vocab: &Vocabulary,
+        adr_vocab: &Vocabulary,
+    ) -> AnalysisResult {
+        // 1. §5.1 selection.
+        let quarter =
+            if self.config.expedited_only { quarter.expedited_only() } else { quarter };
+
+        // 2. §5.2 step 1: clean.
+        let (cleaned, cleaning) =
+            clean_quarter(&quarter, drug_vocab, adr_vocab, &self.config.clean);
+
+        // 3. Encode into the item space.
+        let encoded = encode_reports(&cleaned, drug_vocab, adr_vocab);
+
+        // 4. §5.2 steps 2–3: closed mining + drug→ADR filtering, plus the
+        //    Fig. 5.1 rule-space accounting.
+        let counts = count_all_rules(&encoded.db, &encoded.partition, self.config.min_support);
+        let rules = multi_drug_rules(&encoded.db, &encoded.partition, self.config.min_support);
+
+        // 5. §5.2 step 4: MCACs ranked by exclusiveness.
+        let ranked = rank_clusters(
+            rules,
+            &encoded.db,
+            RankingMethod::Exclusiveness(self.config.exclusiveness),
+        );
+
+        AnalysisResult { quarter, cleaned, cleaning, encoded, counts, ranked }
+    }
+}
+
+/// Everything one quarter's analysis produced, with full provenance.
+#[derive(Debug)]
+pub struct AnalysisResult {
+    /// The analyzed quarter (after the EXP filter, if enabled).
+    pub quarter: QuarterData,
+    /// Cleaned, abstracted reports (aligned with transaction tids).
+    pub cleaned: Vec<CleanedReport>,
+    /// What cleaning did.
+    pub cleaning: CleaningStats,
+    /// Transaction database + partition + tid provenance.
+    pub encoded: Encoded,
+    /// Fig. 5.1-style rule-space sizes.
+    pub counts: RuleSpaceCounts,
+    /// MCACs in descending exclusiveness order.
+    pub ranked: Vec<RankedMcac>,
+}
+
+impl AnalysisResult {
+    /// The top `k` clusters (fewer if the ranking is shorter).
+    pub fn top(&self, k: usize) -> &[RankedMcac] {
+        &self.ranked[..k.min(self.ranked.len())]
+    }
+
+    /// Human-readable view of the `rank`-th cluster (0-based).
+    pub fn view(
+        &self,
+        rank: usize,
+        drug_vocab: &Vocabulary,
+        adr_vocab: &Vocabulary,
+    ) -> RuleView {
+        let r = &self.ranked[rank];
+        let t = &r.cluster.target;
+        RuleView {
+            rank: rank + 1,
+            drugs: self.encoded.names(&t.drugs, drug_vocab, adr_vocab),
+            adrs: self.encoded.names(&t.adrs, drug_vocab, adr_vocab),
+            score: r.score,
+            support: t.support(),
+            confidence: t.confidence(),
+            lift: t.lift(),
+        }
+    }
+
+    /// Views of the top `k` clusters.
+    pub fn views(
+        &self,
+        k: usize,
+        drug_vocab: &Vocabulary,
+        adr_vocab: &Vocabulary,
+    ) -> Vec<RuleView> {
+        (0..k.min(self.ranked.len())).map(|i| self.view(i, drug_vocab, adr_vocab)).collect()
+    }
+
+    /// Position (0-based rank) of the cluster whose target matches the given
+    /// canonical drug names and ADR terms exactly, if mined.
+    pub fn rank_of(
+        &self,
+        drugs: &[&str],
+        adrs: &[&str],
+        drug_vocab: &Vocabulary,
+        adr_vocab: &Vocabulary,
+    ) -> Option<usize> {
+        let want_drugs: Option<Vec<u32>> = drugs.iter().map(|d| drug_vocab.id_of(d)).collect();
+        let want_adrs: Option<Vec<u32>> = adrs.iter().map(|a| adr_vocab.id_of(a)).collect();
+        let (mut want_drugs, mut want_adrs) = (want_drugs?, want_adrs?);
+        want_drugs.sort_unstable();
+        want_adrs.sort_unstable();
+        self.ranked.iter().position(|r| {
+            let t = &r.cluster.target;
+            t.drugs.iter().map(|i| i.0).eq(want_drugs.iter().copied())
+                && t.adrs
+                    .iter()
+                    .map(|i| self.encoded.partition.adr_index(i))
+                    .eq(want_adrs.iter().copied())
+        })
+    }
+}
+
+/// A display-ready row of the ranked output (what the §4.1 interface lists).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RuleView {
+    /// 1-based rank.
+    pub rank: usize,
+    /// Canonical drug names of the antecedent.
+    pub drugs: Vec<String>,
+    /// Canonical ADR terms of the consequent.
+    pub adrs: Vec<String>,
+    /// Exclusiveness score.
+    pub score: f64,
+    /// Absolute support.
+    pub support: u64,
+    /// Confidence.
+    pub confidence: f64,
+    /// Lift.
+    pub lift: f64,
+}
+
+impl std::fmt::Display for RuleView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "#{} [{}] => [{}] score={:.4} sup={} conf={:.3} lift={:.1}",
+            self.rank,
+            self.drugs.join(" + "),
+            self.adrs.join(", "),
+            self.score,
+            self.support,
+            self.confidence,
+            self.lift
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maras_faers::{PlantedInteraction, SynthConfig, Synthesizer};
+
+    fn run_small() -> (AnalysisResult, Vocabulary, Vocabulary) {
+        let mut cfg = SynthConfig::test_scale(11);
+        cfg.n_reports = 1200;
+        // Boost a single planted interaction to make the test sharp.
+        cfg.interactions = vec![PlantedInteraction {
+            co_report_rate: 0.01,
+            ..PlantedInteraction::new(&["IBUPROFEN", "METAMIZOLE"], &["Acute renal failure"])
+        }];
+        let mut synth = Synthesizer::new(cfg);
+        let quarter = synth.generate_quarter(maras_faers::QuarterId::new(2014, 1));
+        let dv = synth.drug_vocab().clone();
+        let av = synth.adr_vocab().clone();
+        let result = Pipeline::new(PipelineConfig::default()).run(quarter, &dv, &av);
+        (result, dv, av)
+    }
+
+    #[test]
+    fn pipeline_end_to_end_recovers_planted_interaction() {
+        let (result, dv, av) = run_small();
+        assert!(result.counts.mcacs > 0, "no MCACs mined: {:?}", result.counts);
+        assert!(!result.ranked.is_empty());
+        let rank = result
+            .rank_of(&["IBUPROFEN", "METAMIZOLE"], &["Acute renal failure"], &dv, &av)
+            .expect("planted interaction must be mined");
+        // It should be in the leading ranks of the list.
+        assert!(
+            rank < result.ranked.len().div_ceil(5),
+            "planted interaction ranked {rank} of {}",
+            result.ranked.len()
+        );
+    }
+
+    #[test]
+    fn views_are_displayable_and_ordered() {
+        let (result, dv, av) = run_small();
+        let views = result.views(5, &dv, &av);
+        assert!(!views.is_empty());
+        for (i, v) in views.iter().enumerate() {
+            assert_eq!(v.rank, i + 1);
+            assert!(!v.drugs.is_empty());
+            assert!(!v.adrs.is_empty());
+            let s = v.to_string();
+            assert!(s.contains("=>"), "{s}");
+        }
+        let scores: Vec<f64> = views.iter().map(|v| v.score).collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn exp_filter_reduces_reports() {
+        let mut synth = Synthesizer::new(SynthConfig::test_scale(3));
+        let quarter = synth.generate_quarter(maras_faers::QuarterId::new(2014, 1));
+        let n_raw = quarter.reports.len();
+        let dv = synth.drug_vocab().clone();
+        let av = synth.adr_vocab().clone();
+        let result = Pipeline::new(PipelineConfig::default()).run(quarter, &dv, &av);
+        assert!(result.quarter.reports.len() < n_raw);
+        assert!(result
+            .quarter
+            .reports
+            .iter()
+            .all(|r| r.report_type == maras_faers::ReportType::Expedited));
+    }
+
+    #[test]
+    fn counts_shrink_along_the_funnel() {
+        let (result, _, _) = run_small();
+        let c = result.counts;
+        assert!(c.mcacs <= c.filtered_rules);
+        assert!(c.filtered_rules <= c.total_rules);
+        assert!(c.closed_itemsets <= c.frequent_itemsets);
+    }
+
+    #[test]
+    fn rank_of_unknown_names_is_none() {
+        let (result, dv, av) = run_small();
+        assert_eq!(result.rank_of(&["NOT_A_DRUG"], &["Pain"], &dv, &av), None);
+    }
+}

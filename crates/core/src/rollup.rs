@@ -1,0 +1,230 @@
+//! Class-level rollups: re-encode cleaned reports with drugs collapsed to
+//! ATC groups and/or ADRs collapsed to System Organ Classes.
+//!
+//! This is the Tatonetti-style view (thesis refs \[26–28\] "find
+//! interactions among drug classes"): a PPI + PPI report becomes one
+//! `Alimentary×2`… actually one `Alimentary` exposure, and a report listing
+//! three renal PTs becomes one `Renal and urinary` event. Rolled-up
+//! databases plug into every signal method in the workspace — closed-rule
+//! mining, MCAC ranking, disproportionality — unchanged, because they are
+//! ordinary [`TransactionDb`]s with an [`ItemPartition`].
+
+use maras_faers::{AtcGroup, AtcIndex, CleanedReport, Soc, SocIndex};
+use maras_mining::{Item, ItemSet, TransactionDb};
+use maras_rules::ItemPartition;
+
+/// What to collapse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rollup {
+    /// Drugs → ATC groups; ADRs stay preferred terms.
+    DrugClasses,
+    /// ADRs → SOCs; drugs stay products.
+    AdrSocs,
+    /// Both sides collapsed: class × organ-class signals.
+    Both,
+}
+
+/// A rolled-up transaction database with decode tables.
+#[derive(Debug)]
+pub struct RolledUp {
+    /// The class-level transactions (tid-aligned with the input reports).
+    pub db: TransactionDb,
+    /// Drug/ADR boundary in the rolled-up item space.
+    pub partition: ItemPartition,
+    /// Which rollup was applied.
+    pub rollup: Rollup,
+    /// Number of distinct drug-side items (classes or products).
+    pub n_drug_items: u32,
+}
+
+impl RolledUp {
+    /// Human-readable name of a rolled-up item.
+    pub fn item_name(
+        &self,
+        item: Item,
+        drug_vocab: &maras_faers::Vocabulary,
+        adr_vocab: &maras_faers::Vocabulary,
+    ) -> String {
+        if self.partition.is_drug(item) {
+            match self.rollup {
+                Rollup::DrugClasses | Rollup::Both => {
+                    AtcGroup::ALL[item.0 as usize].to_string()
+                }
+                Rollup::AdrSocs => drug_vocab.term(item.0).to_string(),
+            }
+        } else {
+            let idx = self.partition.adr_index(item);
+            match self.rollup {
+                Rollup::AdrSocs | Rollup::Both => Soc::ALL[idx as usize].name().to_string(),
+                Rollup::DrugClasses => adr_vocab.term(idx).to_string(),
+            }
+        }
+    }
+}
+
+/// Re-encodes cleaned reports at class level.
+///
+/// Item layout: drug-side items occupy `0..n_drug_items` (ATC group index
+/// or original drug id), ADR-side items follow (SOC index or original ADR
+/// id). Duplicate class items within a report collapse — a report with two
+/// PPIs contributes *one* `Alimentary` item, so class-level support counts
+/// reports, not products (the convention class-level disproportionality
+/// uses).
+pub fn rollup_reports(
+    reports: &[CleanedReport],
+    atc: &AtcIndex,
+    soc: &SocIndex,
+    drug_vocab_len: u32,
+    adr_vocab_len: u32,
+    rollup: Rollup,
+) -> RolledUp {
+    let n_drug_items: u32 = match rollup {
+        Rollup::DrugClasses | Rollup::Both => AtcGroup::ALL.len() as u32,
+        Rollup::AdrSocs => drug_vocab_len,
+    };
+    let _ = adr_vocab_len;
+    let partition = ItemPartition::new(n_drug_items);
+    let transactions: Vec<ItemSet> = reports
+        .iter()
+        .map(|r| {
+            let drug_items = r.drug_ids.iter().map(|&d| match rollup {
+                Rollup::DrugClasses | Rollup::Both => Item(atc.group(d).index()),
+                Rollup::AdrSocs => Item(d),
+            });
+            let adr_items = r.adr_ids.iter().map(|&a| match rollup {
+                Rollup::AdrSocs | Rollup::Both => {
+                    Item(n_drug_items + soc_index_of(soc, a))
+                }
+                Rollup::DrugClasses => Item(n_drug_items + a),
+            });
+            ItemSet::from_items(drug_items.chain(adr_items).collect())
+        })
+        .collect();
+    RolledUp { db: TransactionDb::from_itemsets(transactions), partition, rollup, n_drug_items }
+}
+
+fn soc_index_of(soc: &SocIndex, adr_id: u32) -> u32 {
+    let s = soc.soc(adr_id);
+    Soc::ALL.iter().position(|&x| x == s).expect("in ALL") as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maras_faers::model::Outcome;
+    use maras_faers::Vocabulary;
+    use maras_rules::multi_drug_rules;
+
+    fn cleaned(case_id: u64, drugs: &[u32], adrs: &[u32]) -> CleanedReport {
+        CleanedReport {
+            case_id,
+            drug_ids: drugs.to_vec(),
+            adr_ids: adrs.to_vec(),
+            serious: true,
+            max_severity: Some(Outcome::Hospitalization),
+            source_index: 0,
+        }
+    }
+
+    fn setup() -> (Vocabulary, Vocabulary, AtcIndex, SocIndex) {
+        let dv = Vocabulary::drugs(200);
+        let av = Vocabulary::adrs(200);
+        let atc = AtcIndex::build(&dv);
+        let soc = SocIndex::build(&av);
+        (dv, av, atc, soc)
+    }
+
+    #[test]
+    fn drug_class_rollup_collapses_same_class_products() {
+        let (dv, av, atc, soc) = setup();
+        // Two PPIs (same Alimentary class) + one renal ADR.
+        let prevacid = dv.id_of("PREVACID").unwrap();
+        let nexium = dv.id_of("NEXIUM").unwrap();
+        let arf = av.id_of("Acute renal failure").unwrap();
+        let reports = vec![cleaned(1, &[prevacid, nexium], &[arf])];
+        let rolled = rollup_reports(&reports, &atc, &soc, 200, 200, Rollup::DrugClasses);
+        let t = rolled.db.transaction(0);
+        // One class item + one (un-rolled) ADR item.
+        assert_eq!(t.len(), 2);
+        assert_eq!(rolled.partition.drug_count(t), 1);
+        let class_item = t.items()[0];
+        assert_eq!(
+            AtcGroup::ALL[class_item.0 as usize],
+            maras_faers::AtcGroup::Alimentary
+        );
+        // ADR id preserved, offset by the 14-class space.
+        assert_eq!(t.items()[1].0, 14 + arf);
+    }
+
+    #[test]
+    fn soc_rollup_collapses_same_organ_terms() {
+        let (dv, av, atc, soc) = setup();
+        let warfarin = dv.id_of("WARFARIN").unwrap();
+        let h1 = av.id_of("Haemorrhage").unwrap();
+        let h2 = av.id_of("Gastrointestinal haemorrhage").unwrap();
+        let reports = vec![cleaned(1, &[warfarin], &[h1, h2])];
+        let rolled = rollup_reports(&reports, &atc, &soc, 200, 200, Rollup::AdrSocs);
+        let t = rolled.db.transaction(0);
+        // Both haemorrhage PTs map to the Vascular SOC → one event item.
+        assert_eq!(t.len(), 2);
+        assert_eq!(rolled.partition.drug_count(t), 1);
+        assert_eq!(t.items()[0].0, warfarin);
+    }
+
+    #[test]
+    fn both_rollup_is_class_by_organ() {
+        let (dv, av, atc, soc) = setup();
+        let aspirin = dv.id_of("ASPIRIN").unwrap();
+        let warfarin = dv.id_of("WARFARIN").unwrap();
+        let h = av.id_of("Haemorrhage").unwrap();
+        // Aspirin and warfarin are both Blood-class: one drug item.
+        let reports = vec![cleaned(1, &[aspirin, warfarin], &[h])];
+        let rolled = rollup_reports(&reports, &atc, &soc, 200, 200, Rollup::Both);
+        let t = rolled.db.transaction(0);
+        assert_eq!(t.len(), 2);
+        let names: Vec<String> =
+            t.iter().map(|i| rolled.item_name(i, &dv, &av)).collect();
+        assert!(names[0].contains("Blood"), "{names:?}");
+        assert!(names[1].contains("Vascular"), "{names:?}");
+    }
+
+    #[test]
+    fn rolled_db_feeds_the_standard_miners() {
+        let (dv, av, atc, soc) = setup();
+        let ibu = dv.id_of("IBUPROFEN").unwrap(); // Musculoskeletal
+        let prograf = dv.id_of("PROGRAF").unwrap(); // Antineoplastic
+        let arf = av.id_of("Acute renal failure").unwrap();
+        // Class pair co-occurs with renal failure in 3 reports.
+        let reports: Vec<CleanedReport> =
+            (0..3).map(|i| cleaned(i, &[ibu, prograf], &[arf])).collect();
+        let rolled = rollup_reports(&reports, &atc, &soc, 200, 200, Rollup::Both);
+        let rules = multi_drug_rules(&rolled.db, &rolled.partition, 2);
+        assert_eq!(rules.len(), 1);
+        let rule = &rules[0];
+        assert_eq!(rule.n_drugs(), 2);
+        let names: Vec<String> = rule
+            .drugs
+            .iter()
+            .chain(rule.adrs.iter())
+            .map(|i| rolled.item_name(i, &dv, &av))
+            .collect();
+        assert!(names.iter().any(|n| n.contains("Musculo")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("Antineoplastic")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("Renal")), "{names:?}");
+    }
+
+    #[test]
+    fn tid_alignment_is_preserved() {
+        let (dv, av, atc, soc) = setup();
+        let _ = (&dv, &av);
+        let reports = vec![
+            cleaned(10, &[0, 1], &[0]),
+            cleaned(11, &[2], &[1, 2]),
+            cleaned(12, &[3, 4, 5], &[3]),
+        ];
+        for rollup in [Rollup::DrugClasses, Rollup::AdrSocs, Rollup::Both] {
+            let rolled = rollup_reports(&reports, &atc, &soc, 200, 200, rollup);
+            assert_eq!(rolled.db.len(), reports.len(), "{rollup:?}");
+        }
+    }
+}

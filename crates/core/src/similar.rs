@@ -1,0 +1,149 @@
+//! Similar-interaction highlighting (thesis §4.1: "the system can
+//! highlight drug-drug interactions that are similar to each other based on
+//! the defined interestingness criteria").
+//!
+//! Two clusters are similar when they share drugs, share ADRs, and sit at
+//! comparable exclusiveness — an analyst inspecting one signal wants its
+//! neighbours (e.g. the same PPI pair with a different reaction subset, or
+//! the same reaction triggered by an overlapping combination).
+
+use crate::pipeline::AnalysisResult;
+use maras_mining::ItemSet;
+
+/// Weights of the similarity components (each in `[0, 1]`; they are
+/// normalized by their sum).
+#[derive(Debug, Clone, Copy)]
+pub struct SimilarityWeights {
+    /// Jaccard similarity of the drug sets.
+    pub drugs: f64,
+    /// Jaccard similarity of the ADR sets.
+    pub adrs: f64,
+    /// Closeness of the exclusiveness scores (`1 − |Δscore|`, clamped).
+    pub score: f64,
+}
+
+impl Default for SimilarityWeights {
+    fn default() -> Self {
+        SimilarityWeights { drugs: 0.5, adrs: 0.35, score: 0.15 }
+    }
+}
+
+/// Jaccard index of two itemsets; 1 for two empty sets.
+pub fn jaccard(a: &ItemSet, b: &ItemSet) -> f64 {
+    let inter = a.intersection(b).len();
+    let union = a.union(b).len();
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Similarity of two ranked clusters under the given weights, in `[0, 1]`.
+pub fn cluster_similarity(
+    result: &AnalysisResult,
+    rank_a: usize,
+    rank_b: usize,
+    w: &SimilarityWeights,
+) -> f64 {
+    let a = &result.ranked[rank_a];
+    let b = &result.ranked[rank_b];
+    let d = jaccard(&a.cluster.target.drugs, &b.cluster.target.drugs);
+    let r = jaccard(&a.cluster.target.adrs, &b.cluster.target.adrs);
+    let s = (1.0 - (a.score - b.score).abs()).clamp(0.0, 1.0);
+    let total = w.drugs + w.adrs + w.score;
+    if total == 0.0 {
+        return 0.0;
+    }
+    (w.drugs * d + w.adrs * r + w.score * s) / total
+}
+
+/// The `k` clusters most similar to the one at `rank`, as
+/// `(rank, similarity)` pairs in descending similarity (the queried cluster
+/// itself is excluded). Deterministic tie-break on rank.
+pub fn similar_clusters(
+    result: &AnalysisResult,
+    rank: usize,
+    k: usize,
+    w: &SimilarityWeights,
+) -> Vec<(usize, f64)> {
+    let mut scored: Vec<(usize, f64)> = (0..result.ranked.len())
+        .filter(|&r| r != rank)
+        .map(|r| (r, cluster_similarity(result, rank, r, w)))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::pipeline::Pipeline;
+    use maras_faers::{QuarterId, SynthConfig, Synthesizer};
+    use maras_mining::ItemSet;
+
+    #[test]
+    fn jaccard_basics() {
+        let a = ItemSet::from_ids([1u32, 2, 3]);
+        let b = ItemSet::from_ids([2u32, 3, 4]);
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        assert_eq!(jaccard(&a, &ItemSet::empty()), 0.0);
+        assert_eq!(jaccard(&ItemSet::empty(), &ItemSet::empty()), 1.0);
+    }
+
+    #[test]
+    fn neighbours_share_structure() {
+        let mut synth = Synthesizer::new(SynthConfig::test_scale(55));
+        let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
+        let result = Pipeline::new(PipelineConfig::default()).run(
+            quarter,
+            synth.drug_vocab(),
+            synth.adr_vocab(),
+        );
+        assert!(result.ranked.len() >= 5);
+        let w = SimilarityWeights::default();
+        let neighbours = similar_clusters(&result, 0, 3, &w);
+        assert_eq!(neighbours.len(), 3);
+        // Descending similarity, self excluded, all in range.
+        assert!(neighbours.windows(2).all(|x| x[0].1 >= x[1].1));
+        for &(r, s) in &neighbours {
+            assert_ne!(r, 0);
+            assert!((0.0..=1.0).contains(&s));
+        }
+        // The top neighbour must beat a random distant cluster on average.
+        let far = cluster_similarity(&result, 0, result.ranked.len() - 1, &w);
+        assert!(neighbours[0].1 >= far);
+    }
+
+    #[test]
+    fn identical_targets_have_similarity_one() {
+        let mut synth = Synthesizer::new(SynthConfig::test_scale(56));
+        let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
+        let result = Pipeline::new(PipelineConfig::default()).run(
+            quarter,
+            synth.drug_vocab(),
+            synth.adr_vocab(),
+        );
+        let w = SimilarityWeights::default();
+        let s = cluster_similarity(&result, 0, 0, &w);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weights_yield_zero() {
+        let mut synth = Synthesizer::new(SynthConfig::test_scale(57));
+        let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
+        let result = Pipeline::new(PipelineConfig::default()).run(
+            quarter,
+            synth.drug_vocab(),
+            synth.adr_vocab(),
+        );
+        let w = SimilarityWeights { drugs: 0.0, adrs: 0.0, score: 0.0 };
+        assert_eq!(cluster_similarity(&result, 0, 1, &w), 0.0);
+    }
+}

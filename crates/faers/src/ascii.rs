@@ -1,0 +1,497 @@
+//! Reader/writer for the FAERS quarterly `$`-delimited ASCII exchange format.
+//!
+//! A quarter is published as four joined tables keyed by `primaryid`
+//! (the case id concatenated with the case version):
+//!
+//! * `DEMOyyQq.txt` — one row per case version: demographics + report type;
+//! * `DRUGyyQq.txt` — one row per reported medication;
+//! * `REACyyQq.txt` — one row per reaction preferred term;
+//! * `OUTCyyQq.txt` — one row per outcome code.
+//!
+//! Each file starts with a `$`-delimited header line. This module implements
+//! a faithful subset of the real column inventory (the columns MARAS's
+//! pipeline consumes) with exact round-tripping, strict error reporting
+//! (file + line), and delimiter sanitization on write.
+
+use crate::model::{CaseReport, DrugEntry, DrugRole, Outcome, ReportType, Sex};
+use crate::quarter::{QuarterData, QuarterId};
+use rustc_hash::FxHashMap;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors raised while reading a FAERS ASCII quarter.
+#[derive(Debug)]
+pub enum AsciiError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed row: file label, 1-based line number, description.
+    Malformed {
+        /// Which table the row came from (`DEMO`, `DRUG`, `REAC`, `OUTC`).
+        file: &'static str,
+        /// 1-based line number within that file.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A DRUG/REAC/OUTC row references a primaryid absent from DEMO.
+    OrphanRow {
+        /// Which table the orphan row came from.
+        file: &'static str,
+        /// The unresolved primaryid.
+        primaryid: u64,
+    },
+}
+
+impl fmt::Display for AsciiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsciiError::Io(e) => write!(f, "I/O error: {e}"),
+            AsciiError::Malformed { file, line, message } => {
+                write!(f, "{file} line {line}: {message}")
+            }
+            AsciiError::OrphanRow { file, primaryid } => {
+                write!(f, "{file}: row references unknown primaryid {primaryid}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsciiError {}
+
+impl From<io::Error> for AsciiError {
+    fn from(e: io::Error) -> Self {
+        AsciiError::Io(e)
+    }
+}
+
+const DEMO_HEADER: &str = "primaryid$caseid$caseversion$rept_cod$age$sex$wt$reporter_country$event_dt";
+const DRUG_HEADER: &str = "primaryid$drug_seq$role_cod$drugname";
+const REAC_HEADER: &str = "primaryid$pt";
+const OUTC_HEADER: &str = "primaryid$outc_cod";
+
+/// Computes the `primaryid` of a case version (caseid ⧺ two-digit version,
+/// matching FAERS's concatenation convention).
+pub fn primary_id(case_id: u64, version: u32) -> u64 {
+    case_id * 100 + u64::from(version % 100)
+}
+
+fn sanitize(field: &str) -> String {
+    field.replace(['$', '\n', '\r'], " ")
+}
+
+/// Writes one table to a writer. Exposed for targeted tests; use
+/// [`write_quarter_dir`] for the on-disk layout.
+pub struct QuarterWriter;
+
+impl QuarterWriter {
+    /// Writes the DEMO table.
+    pub fn write_demo<W: Write>(w: &mut W, reports: &[CaseReport]) -> io::Result<()> {
+        writeln!(w, "{DEMO_HEADER}")?;
+        for r in reports {
+            writeln!(
+                w,
+                "{}${}${}${}${}${}${}${}${}",
+                primary_id(r.case_id, r.version),
+                r.case_id,
+                r.version,
+                r.report_type.code(),
+                r.age.map_or(String::new(), |a| format!("{a}")),
+                r.sex.code(),
+                r.weight_kg.map_or(String::new(), |wt| format!("{wt}")),
+                sanitize(&r.country),
+                r.event_date.map_or(String::new(), |d| d.to_string()),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Writes the DRUG table.
+    pub fn write_drug<W: Write>(w: &mut W, reports: &[CaseReport]) -> io::Result<()> {
+        writeln!(w, "{DRUG_HEADER}")?;
+        for r in reports {
+            for (seq, d) in r.drugs.iter().enumerate() {
+                writeln!(
+                    w,
+                    "{}${}${}${}",
+                    primary_id(r.case_id, r.version),
+                    seq + 1,
+                    d.role.code(),
+                    sanitize(&d.name),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the REAC table.
+    pub fn write_reac<W: Write>(w: &mut W, reports: &[CaseReport]) -> io::Result<()> {
+        writeln!(w, "{REAC_HEADER}")?;
+        for r in reports {
+            for pt in &r.reactions {
+                writeln!(w, "{}${}", primary_id(r.case_id, r.version), sanitize(pt))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the OUTC table.
+    pub fn write_outc<W: Write>(w: &mut W, reports: &[CaseReport]) -> io::Result<()> {
+        writeln!(w, "{OUTC_HEADER}")?;
+        for r in reports {
+            for o in &r.outcomes {
+                writeln!(w, "{}${}", primary_id(r.case_id, r.version), o.code())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Writes a quarter as the four ASCII files into `dir`, named
+/// `DEMO14Q1.txt` etc. after the quarter id.
+pub fn write_quarter_dir(dir: &Path, quarter: &QuarterData) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let label = quarter.id.file_label();
+    let mut demo = std::fs::File::create(dir.join(format!("DEMO{label}.txt")))?;
+    QuarterWriter::write_demo(&mut demo, &quarter.reports)?;
+    let mut drug = std::fs::File::create(dir.join(format!("DRUG{label}.txt")))?;
+    QuarterWriter::write_drug(&mut drug, &quarter.reports)?;
+    let mut reac = std::fs::File::create(dir.join(format!("REAC{label}.txt")))?;
+    QuarterWriter::write_reac(&mut reac, &quarter.reports)?;
+    let mut outc = std::fs::File::create(dir.join(format!("OUTC{label}.txt")))?;
+    QuarterWriter::write_outc(&mut outc, &quarter.reports)?;
+    Ok(())
+}
+
+/// Reads a quarter back from the four ASCII files in `dir`.
+pub fn read_quarter_dir(dir: &Path, id: QuarterId) -> Result<QuarterData, AsciiError> {
+    let label = id.file_label();
+    let open = |name: String| -> Result<std::fs::File, AsciiError> {
+        std::fs::File::open(dir.join(&name)).map_err(AsciiError::Io)
+    };
+    read_quarter(
+        id,
+        open(format!("DEMO{label}.txt"))?,
+        open(format!("DRUG{label}.txt"))?,
+        open(format!("REAC{label}.txt"))?,
+        open(format!("OUTC{label}.txt"))?,
+    )
+}
+
+/// Reads a quarter from the four table streams.
+pub fn read_quarter<R1: Read, R2: Read, R3: Read, R4: Read>(
+    id: QuarterId,
+    demo: R1,
+    drug: R2,
+    reac: R3,
+    outc: R4,
+) -> Result<QuarterData, AsciiError> {
+    let mut reports: Vec<CaseReport> = Vec::new();
+    let mut by_pid: FxHashMap<u64, usize> = FxHashMap::default();
+
+    // DEMO establishes the cases.
+    for (lineno, line) in lines(demo, "DEMO")?.into_iter().enumerate().skip(1) {
+        let fields: Vec<&str> = line.split('$').collect();
+        let ctx = |msg: String| AsciiError::Malformed { file: "DEMO", line: lineno + 1, message: msg };
+        if fields.len() != 9 {
+            return Err(ctx(format!("expected 9 fields, got {}", fields.len())));
+        }
+        let pid: u64 = fields[0].parse().map_err(|_| ctx(format!("bad primaryid {:?}", fields[0])))?;
+        let case_id: u64 =
+            fields[1].parse().map_err(|_| ctx(format!("bad caseid {:?}", fields[1])))?;
+        let version: u32 =
+            fields[2].parse().map_err(|_| ctx(format!("bad caseversion {:?}", fields[2])))?;
+        let report_type = ReportType::from_code(fields[3])
+            .ok_or_else(|| ctx(format!("bad rept_cod {:?}", fields[3])))?;
+        let age = parse_opt_f32(fields[4]).map_err(|_| ctx(format!("bad age {:?}", fields[4])))?;
+        let sex = Sex::from_code(fields[5]);
+        let weight_kg =
+            parse_opt_f32(fields[6]).map_err(|_| ctx(format!("bad wt {:?}", fields[6])))?;
+        let event_date = if fields[8].is_empty() {
+            None
+        } else {
+            Some(fields[8].parse().map_err(|_| ctx(format!("bad event_dt {:?}", fields[8])))?)
+        };
+        if primary_id(case_id, version) != pid {
+            return Err(ctx(format!(
+                "primaryid {pid} inconsistent with caseid {case_id} v{version}"
+            )));
+        }
+        by_pid.insert(pid, reports.len());
+        reports.push(CaseReport {
+            case_id,
+            version,
+            report_type,
+            age,
+            sex,
+            weight_kg,
+            country: fields[7].to_string(),
+            event_date,
+            drugs: Vec::new(),
+            reactions: Vec::new(),
+            outcomes: Vec::new(),
+        });
+    }
+
+    // DRUG rows attach medications (kept in drug_seq order).
+    let mut drug_rows: Vec<(u64, u32, DrugEntry)> = Vec::new();
+    for (lineno, line) in lines(drug, "DRUG")?.into_iter().enumerate().skip(1) {
+        let fields: Vec<&str> = line.split('$').collect();
+        let ctx = |msg: String| AsciiError::Malformed { file: "DRUG", line: lineno + 1, message: msg };
+        if fields.len() != 4 {
+            return Err(ctx(format!("expected 4 fields, got {}", fields.len())));
+        }
+        let pid: u64 = fields[0].parse().map_err(|_| ctx(format!("bad primaryid {:?}", fields[0])))?;
+        let seq: u32 = fields[1].parse().map_err(|_| ctx(format!("bad drug_seq {:?}", fields[1])))?;
+        let role = DrugRole::from_code(fields[2])
+            .ok_or_else(|| ctx(format!("bad role_cod {:?}", fields[2])))?;
+        if !by_pid.contains_key(&pid) {
+            return Err(AsciiError::OrphanRow { file: "DRUG", primaryid: pid });
+        }
+        drug_rows.push((pid, seq, DrugEntry::new(fields[3], role)));
+    }
+    drug_rows.sort_by_key(|&(pid, seq, _)| (pid, seq));
+    for (pid, _, entry) in drug_rows {
+        reports[by_pid[&pid]].drugs.push(entry);
+    }
+
+    // REAC rows attach reactions.
+    for (lineno, line) in lines(reac, "REAC")?.into_iter().enumerate().skip(1) {
+        let fields: Vec<&str> = line.split('$').collect();
+        let ctx = |msg: String| AsciiError::Malformed { file: "REAC", line: lineno + 1, message: msg };
+        if fields.len() != 2 {
+            return Err(ctx(format!("expected 2 fields, got {}", fields.len())));
+        }
+        let pid: u64 = fields[0].parse().map_err(|_| ctx(format!("bad primaryid {:?}", fields[0])))?;
+        let idx = *by_pid
+            .get(&pid)
+            .ok_or(AsciiError::OrphanRow { file: "REAC", primaryid: pid })?;
+        reports[idx].reactions.push(fields[1].to_string());
+    }
+
+    // OUTC rows attach outcomes.
+    for (lineno, line) in lines(outc, "OUTC")?.into_iter().enumerate().skip(1) {
+        let fields: Vec<&str> = line.split('$').collect();
+        let ctx = |msg: String| AsciiError::Malformed { file: "OUTC", line: lineno + 1, message: msg };
+        if fields.len() != 2 {
+            return Err(ctx(format!("expected 2 fields, got {}", fields.len())));
+        }
+        let pid: u64 = fields[0].parse().map_err(|_| ctx(format!("bad primaryid {:?}", fields[0])))?;
+        let idx = *by_pid
+            .get(&pid)
+            .ok_or(AsciiError::OrphanRow { file: "OUTC", primaryid: pid })?;
+        let outcome = Outcome::from_code(fields[1])
+            .ok_or_else(|| ctx(format!("bad outc_cod {:?}", fields[1])))?;
+        reports[idx].outcomes.push(outcome);
+    }
+
+    Ok(QuarterData { id, reports })
+}
+
+fn parse_opt_f32(field: &str) -> Result<Option<f32>, std::num::ParseFloatError> {
+    if field.is_empty() {
+        Ok(None)
+    } else {
+        field.parse().map(Some)
+    }
+}
+
+fn lines<R: Read>(reader: R, file: &'static str) -> Result<Vec<String>, AsciiError> {
+    let mut out = Vec::new();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        if i == 0 {
+            let expected = match file {
+                "DEMO" => DEMO_HEADER,
+                "DRUG" => DRUG_HEADER,
+                "REAC" => REAC_HEADER,
+                "OUTC" => OUTC_HEADER,
+                _ => unreachable!(),
+            };
+            if line != expected {
+                return Err(AsciiError::Malformed {
+                    file,
+                    line: 1,
+                    message: format!("bad header {line:?}"),
+                });
+            }
+        }
+        out.push(line);
+    }
+    if out.is_empty() {
+        return Err(AsciiError::Malformed { file, line: 1, message: "missing header".into() });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_reports() -> Vec<CaseReport> {
+        vec![
+            CaseReport {
+                case_id: 9000001,
+                version: 1,
+                report_type: ReportType::Expedited,
+                age: Some(63.0),
+                sex: Sex::Female,
+                weight_kg: Some(71.5),
+                country: "US".into(),
+                event_date: Some(20140117),
+                drugs: vec![
+                    DrugEntry::new("IBUPROFEN", DrugRole::PrimarySuspect),
+                    DrugEntry::new("METAMIZOLE", DrugRole::SecondarySuspect),
+                ],
+                reactions: vec!["Acute renal failure".into()],
+                outcomes: vec![Outcome::Hospitalization],
+            },
+            CaseReport {
+                case_id: 9000002,
+                version: 2,
+                report_type: ReportType::Periodic,
+                age: None,
+                sex: Sex::Unknown,
+                weight_kg: None,
+                country: "MX".into(),
+                event_date: None,
+                drugs: vec![DrugEntry::new("ASPIRIN", DrugRole::Concomitant)],
+                reactions: vec!["Headache".into(), "Nausea".into()],
+                outcomes: vec![],
+            },
+        ]
+    }
+
+    fn roundtrip(reports: Vec<CaseReport>) -> QuarterData {
+        let id = QuarterId::new(2014, 1);
+        let q = QuarterData { id, reports };
+        let mut demo = Vec::new();
+        let mut drug = Vec::new();
+        let mut reac = Vec::new();
+        let mut outc = Vec::new();
+        QuarterWriter::write_demo(&mut demo, &q.reports).unwrap();
+        QuarterWriter::write_drug(&mut drug, &q.reports).unwrap();
+        QuarterWriter::write_reac(&mut reac, &q.reports).unwrap();
+        QuarterWriter::write_outc(&mut outc, &q.reports).unwrap();
+        read_quarter(id, &demo[..], &drug[..], &reac[..], &outc[..]).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_reports() {
+        let reports = sample_reports();
+        let back = roundtrip(reports.clone());
+        assert_eq!(back.reports, reports);
+    }
+
+    #[test]
+    fn primary_id_concatenates_version() {
+        assert_eq!(primary_id(9000001, 1), 900000101);
+        assert_eq!(primary_id(9000001, 12), 900000112);
+    }
+
+    #[test]
+    fn dollar_in_drugname_is_sanitized() {
+        let mut reports = sample_reports();
+        reports[0].drugs[0].name = "IBU$PROFEN".into();
+        let back = roundtrip(reports);
+        assert_eq!(back.reports[0].drugs[0].name, "IBU PROFEN");
+    }
+
+    #[test]
+    fn orphan_drug_row_is_error() {
+        let demo = format!("{DEMO_HEADER}\n");
+        let drug = format!("{DRUG_HEADER}\n999$1$PS$ASPIRIN\n");
+        let reac = format!("{REAC_HEADER}\n");
+        let outc = format!("{OUTC_HEADER}\n");
+        let err = read_quarter(
+            QuarterId::new(2014, 1),
+            demo.as_bytes(),
+            drug.as_bytes(),
+            reac.as_bytes(),
+            outc.as_bytes(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AsciiError::OrphanRow { file: "DRUG", primaryid: 999 }));
+    }
+
+    #[test]
+    fn malformed_demo_row_reports_line() {
+        let demo = format!("{DEMO_HEADER}\nnot-a-number$1$1$EXP$$UNK$$US$\n");
+        let err = read_quarter(
+            QuarterId::new(2014, 1),
+            demo.as_bytes(),
+            format!("{DRUG_HEADER}\n").as_bytes(),
+            format!("{REAC_HEADER}\n").as_bytes(),
+            format!("{OUTC_HEADER}\n").as_bytes(),
+        )
+        .unwrap_err();
+        match err {
+            AsciiError::Malformed { file: "DEMO", line: 2, .. } => {}
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = read_quarter(
+            QuarterId::new(2014, 1),
+            "wrong$header\n".as_bytes(),
+            format!("{DRUG_HEADER}\n").as_bytes(),
+            format!("{REAC_HEADER}\n").as_bytes(),
+            format!("{OUTC_HEADER}\n").as_bytes(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AsciiError::Malformed { file: "DEMO", line: 1, .. }));
+    }
+
+    #[test]
+    fn inconsistent_primaryid_rejected() {
+        let demo = format!("{DEMO_HEADER}\n777$9000001$1$EXP$$UNK$$US$\n");
+        let err = read_quarter(
+            QuarterId::new(2014, 1),
+            demo.as_bytes(),
+            format!("{DRUG_HEADER}\n").as_bytes(),
+            format!("{REAC_HEADER}\n").as_bytes(),
+            format!("{OUTC_HEADER}\n").as_bytes(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AsciiError::Malformed { file: "DEMO", line: 2, .. }));
+    }
+
+    #[test]
+    fn dir_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("maras_ascii_test_{}", std::process::id()));
+        let q = QuarterData { id: QuarterId::new(2014, 3), reports: sample_reports() };
+        write_quarter_dir(&dir, &q).unwrap();
+        assert!(dir.join("DEMO14Q3.txt").exists());
+        let back = read_quarter_dir(&dir, q.id).unwrap();
+        assert_eq!(back.reports, q.reports);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drug_rows_rejoin_in_seq_order() {
+        // Shuffle DRUG rows across cases; reader must restore per-case order.
+        let demo = format!(
+            "{DEMO_HEADER}\n{}$1$1$EXP$$UNK$$US$\n{}$2$1$EXP$$UNK$$US$\n",
+            primary_id(1, 1),
+            primary_id(2, 1)
+        );
+        let drug = format!(
+            "{DRUG_HEADER}\n{}$2$SS$B2\n{}$1$PS$A1\n{}$1$PS$B1\n",
+            primary_id(2, 1),
+            primary_id(1, 1),
+            primary_id(2, 1)
+        );
+        let q = read_quarter(
+            QuarterId::new(2014, 1),
+            demo.as_bytes(),
+            drug.as_bytes(),
+            format!("{REAC_HEADER}\n").as_bytes(),
+            format!("{OUTC_HEADER}\n").as_bytes(),
+        )
+        .unwrap();
+        let names: Vec<&str> = q.reports[1].drug_names().collect();
+        assert_eq!(names, vec!["B1", "B2"]);
+    }
+}

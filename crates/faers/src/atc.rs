@@ -1,0 +1,364 @@
+//! An ATC-like drug classification.
+//!
+//! Tatonetti et al. (thesis refs \[26–28\]) detect interactions *between
+//! drug classes* rather than individual products; doing the same here needs
+//! a drug → anatomical-class map. The real WHO ATC index is licensed, so
+//! (DESIGN.md substitution 2) this module ships the 14 real first-level ATC
+//! groups plus a deterministic classifier: an explicit table for the seed
+//! brand names the thesis mentions, and International-Nonproprietary-Name
+//! suffix heuristics (-statin, -pril, -mab, …) that also cover the
+//! procedurally generated vocabulary.
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// WHO ATC first-level anatomical main groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AtcGroup {
+    /// A — Alimentary tract and metabolism.
+    Alimentary,
+    /// B — Blood and blood forming organs.
+    Blood,
+    /// C — Cardiovascular system.
+    Cardiovascular,
+    /// D — Dermatologicals.
+    Dermatological,
+    /// G — Genito-urinary system and sex hormones.
+    GenitoUrinary,
+    /// H — Systemic hormonal preparations.
+    Hormonal,
+    /// J — Antiinfectives for systemic use.
+    Antiinfective,
+    /// L — Antineoplastic and immunomodulating agents.
+    Antineoplastic,
+    /// M — Musculo-skeletal system.
+    Musculoskeletal,
+    /// N — Nervous system.
+    NervousSystem,
+    /// P — Antiparasitic products.
+    Antiparasitic,
+    /// R — Respiratory system.
+    Respiratory,
+    /// S — Sensory organs.
+    SensoryOrgans,
+    /// V — Various.
+    Various,
+}
+
+impl AtcGroup {
+    /// All groups in code order.
+    pub const ALL: [AtcGroup; 14] = [
+        AtcGroup::Alimentary,
+        AtcGroup::Blood,
+        AtcGroup::Cardiovascular,
+        AtcGroup::Dermatological,
+        AtcGroup::GenitoUrinary,
+        AtcGroup::Hormonal,
+        AtcGroup::Antiinfective,
+        AtcGroup::Antineoplastic,
+        AtcGroup::Musculoskeletal,
+        AtcGroup::NervousSystem,
+        AtcGroup::Antiparasitic,
+        AtcGroup::Respiratory,
+        AtcGroup::SensoryOrgans,
+        AtcGroup::Various,
+    ];
+
+    /// The one-letter ATC code.
+    pub fn code(self) -> char {
+        match self {
+            AtcGroup::Alimentary => 'A',
+            AtcGroup::Blood => 'B',
+            AtcGroup::Cardiovascular => 'C',
+            AtcGroup::Dermatological => 'D',
+            AtcGroup::GenitoUrinary => 'G',
+            AtcGroup::Hormonal => 'H',
+            AtcGroup::Antiinfective => 'J',
+            AtcGroup::Antineoplastic => 'L',
+            AtcGroup::Musculoskeletal => 'M',
+            AtcGroup::NervousSystem => 'N',
+            AtcGroup::Antiparasitic => 'P',
+            AtcGroup::Respiratory => 'R',
+            AtcGroup::SensoryOrgans => 'S',
+            AtcGroup::Various => 'V',
+        }
+    }
+
+    /// The group's name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AtcGroup::Alimentary => "Alimentary tract and metabolism",
+            AtcGroup::Blood => "Blood and blood forming organs",
+            AtcGroup::Cardiovascular => "Cardiovascular system",
+            AtcGroup::Dermatological => "Dermatologicals",
+            AtcGroup::GenitoUrinary => "Genito-urinary system and sex hormones",
+            AtcGroup::Hormonal => "Systemic hormonal preparations",
+            AtcGroup::Antiinfective => "Antiinfectives for systemic use",
+            AtcGroup::Antineoplastic => "Antineoplastic and immunomodulating agents",
+            AtcGroup::Musculoskeletal => "Musculo-skeletal system",
+            AtcGroup::NervousSystem => "Nervous system",
+            AtcGroup::Antiparasitic => "Antiparasitic products",
+            AtcGroup::Respiratory => "Respiratory system",
+            AtcGroup::SensoryOrgans => "Sensory organs",
+            AtcGroup::Various => "Various",
+        }
+    }
+
+    /// Dense index 0..14 (for item encoding in class-level rollups).
+    pub fn index(self) -> u32 {
+        Self::ALL.iter().position(|&g| g == self).expect("in ALL") as u32
+    }
+}
+
+impl std::fmt::Display for AtcGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.code(), self.name())
+    }
+}
+
+/// Brand / generic names the thesis mentions, mapped explicitly.
+const EXPLICIT: &[(&str, AtcGroup)] = &[
+    ("ZOMETA", AtcGroup::Musculoskeletal),
+    ("PRILOSEC", AtcGroup::Alimentary),
+    ("XOLAIR", AtcGroup::Respiratory),
+    ("SINGULAIR", AtcGroup::Respiratory),
+    ("PREDNISONE", AtcGroup::Hormonal),
+    ("ZANTAC", AtcGroup::Alimentary),
+    ("METHOTREXATE", AtcGroup::Antineoplastic),
+    ("PROGRAF", AtcGroup::Antineoplastic),
+    ("NEXIUM", AtcGroup::Alimentary),
+    ("TUMS", AtcGroup::Alimentary),
+    ("AMBIEN", AtcGroup::NervousSystem),
+    ("MELPHALAN", AtcGroup::Antineoplastic),
+    ("MYLANTA", AtcGroup::Alimentary),
+    ("ROLAIDS", AtcGroup::Alimentary),
+    ("FLUDARABINE", AtcGroup::Antineoplastic),
+    ("IBUPROFEN", AtcGroup::Musculoskeletal),
+    ("METAMIZOLE", AtcGroup::NervousSystem),
+    ("PREVACID", AtcGroup::Alimentary),
+    ("ASPIRIN", AtcGroup::Blood),
+    ("WARFARIN", AtcGroup::Blood),
+    ("PEPCID", AtcGroup::Alimentary),
+    ("POSICOR", AtcGroup::Cardiovascular),
+    ("TROGLITAZONE", AtcGroup::Alimentary),
+    ("CERIVASTATIN", AtcGroup::Cardiovascular),
+    ("PAROXETINE", AtcGroup::NervousSystem),
+    ("PRAVASTATIN", AtcGroup::Cardiovascular),
+    ("ACETAMINOPHEN", AtcGroup::NervousSystem),
+    ("METFORMIN", AtcGroup::Alimentary),
+    ("INSULIN", AtcGroup::Alimentary),
+    ("LEVOTHYROXINE", AtcGroup::Hormonal),
+    ("SYNTHROID", AtcGroup::Hormonal),
+    ("HUMIRA", AtcGroup::Antineoplastic),
+    ("ENBREL", AtcGroup::Antineoplastic),
+    ("REMICADE", AtcGroup::Antineoplastic),
+    ("RITUXAN", AtcGroup::Antineoplastic),
+    ("AVASTIN", AtcGroup::Antineoplastic),
+    ("HERCEPTIN", AtcGroup::Antineoplastic),
+    ("GLEEVEC", AtcGroup::Antineoplastic),
+    ("REVLIMID", AtcGroup::Antineoplastic),
+    ("VELCADE", AtcGroup::Antineoplastic),
+    ("TYSABRI", AtcGroup::Antineoplastic),
+    ("COPAXONE", AtcGroup::Antineoplastic),
+    ("GILENYA", AtcGroup::Antineoplastic),
+    ("TECFIDERA", AtcGroup::Antineoplastic),
+    ("LIPITOR", AtcGroup::Cardiovascular),
+    ("CRESTOR", AtcGroup::Cardiovascular),
+    ("PLAVIX", AtcGroup::Blood),
+    ("COUMADIN", AtcGroup::Blood),
+    ("XARELTO", AtcGroup::Blood),
+    ("ELIQUIS", AtcGroup::Blood),
+    ("LANTUS", AtcGroup::Alimentary),
+    ("VICTOZA", AtcGroup::Alimentary),
+    ("JANUVIA", AtcGroup::Alimentary),
+    ("ADVAIR", AtcGroup::Respiratory),
+    ("SPIRIVA", AtcGroup::Respiratory),
+    ("SYMBICORT", AtcGroup::Respiratory),
+    ("VENTOLIN", AtcGroup::Respiratory),
+    ("LYRICA", AtcGroup::NervousSystem),
+    ("CYMBALTA", AtcGroup::NervousSystem),
+    ("ABILIFY", AtcGroup::NervousSystem),
+    ("SEROQUEL", AtcGroup::NervousSystem),
+    ("ZOLOFT", AtcGroup::NervousSystem),
+    ("LEXAPRO", AtcGroup::NervousSystem),
+    ("PROZAC", AtcGroup::NervousSystem),
+    ("XANAX", AtcGroup::NervousSystem),
+    ("VALIUM", AtcGroup::NervousSystem),
+    ("ATIVAN", AtcGroup::NervousSystem),
+    ("KLONOPIN", AtcGroup::NervousSystem),
+    ("ADDERALL", AtcGroup::NervousSystem),
+    ("RITALIN", AtcGroup::NervousSystem),
+    ("CONCERTA", AtcGroup::NervousSystem),
+    ("TACROLIMUS", AtcGroup::Antineoplastic),
+    ("CYCLOSPORINE", AtcGroup::Antineoplastic),
+    ("MYCOPHENOLATE", AtcGroup::Antineoplastic),
+    ("AZATHIOPRINE", AtcGroup::Antineoplastic),
+    ("SIROLIMUS", AtcGroup::Antineoplastic),
+    ("DEXAMETHASONE", AtcGroup::Hormonal),
+    ("HYDROCORTISONE", AtcGroup::Hormonal),
+    ("BUDESONIDE", AtcGroup::Respiratory),
+    ("ALLOPURINOL", AtcGroup::Musculoskeletal),
+    ("COLCHICINE", AtcGroup::Musculoskeletal),
+];
+
+/// INN-suffix heuristics, checked in order.
+const SUFFIX_RULES: &[(&str, AtcGroup)] = &[
+    ("STATIN", AtcGroup::Cardiovascular),
+    ("SARTAN", AtcGroup::Cardiovascular),
+    ("PRIL", AtcGroup::Cardiovascular),
+    ("DIPINE", AtcGroup::Cardiovascular),
+    ("OLOL", AtcGroup::Cardiovascular),
+    ("SEMIDE", AtcGroup::Cardiovascular),
+    ("ZOLE", AtcGroup::Alimentary),   // -prazole PPIs dominate this suffix
+    ("TIDINE", AtcGroup::Alimentary), // H2 blockers
+    ("GLIPTIN", AtcGroup::Alimentary),
+    ("CILLIN", AtcGroup::Antiinfective),
+    ("MYCIN", AtcGroup::Antiinfective),
+    ("FLOXACIN", AtcGroup::Antiinfective),
+    ("VIR", AtcGroup::Antiinfective),
+    ("MAB", AtcGroup::Antineoplastic),
+    ("NIB", AtcGroup::Antineoplastic),
+    ("PLATIN", AtcGroup::Antineoplastic),
+    ("TAXEL", AtcGroup::Antineoplastic),
+    ("RUBICIN", AtcGroup::Antineoplastic),
+    ("POSIDE", AtcGroup::Antineoplastic),
+    ("CITABINE", AtcGroup::Antineoplastic),
+    ("TECAN", AtcGroup::Antineoplastic),
+    ("ZOMIB", AtcGroup::Antineoplastic),
+    ("DOMIDE", AtcGroup::Antineoplastic),
+    ("PHAMIDE", AtcGroup::Antineoplastic),
+    ("RISTINE", AtcGroup::Antineoplastic),
+    ("PROFEN", AtcGroup::Musculoskeletal),
+    ("DRONATE", AtcGroup::Musculoskeletal),
+    ("FENAC", AtcGroup::Musculoskeletal),
+    ("COXIB", AtcGroup::Musculoskeletal),
+    ("PAM", AtcGroup::NervousSystem),
+    ("BARBITAL", AtcGroup::NervousSystem),
+    ("CAINE", AtcGroup::NervousSystem),
+    ("TRIPTYLINE", AtcGroup::NervousSystem),
+    ("OXETINE", AtcGroup::NervousSystem),
+    ("AZEPINE", AtcGroup::NervousSystem),
+    ("APENTIN", AtcGroup::NervousSystem),
+    ("SETRON", AtcGroup::Alimentary),
+];
+
+/// Classifies a canonical drug name into an ATC group. Total: names with no
+/// explicit entry and no matching suffix land in [`AtcGroup::Various`].
+pub fn classify_drug(name: &str) -> AtcGroup {
+    let upper = name.to_ascii_uppercase();
+    for &(n, g) in EXPLICIT {
+        if upper == n {
+            return g;
+        }
+    }
+    for &(suffix, g) in SUFFIX_RULES {
+        if upper.ends_with(suffix) {
+            return g;
+        }
+    }
+    AtcGroup::Various
+}
+
+/// A precomputed drug-id → ATC-group table over a drug vocabulary.
+#[derive(Debug, Clone)]
+pub struct AtcIndex {
+    by_id: Vec<AtcGroup>,
+    counts: FxHashMap<AtcGroup, usize>,
+}
+
+impl AtcIndex {
+    /// Classifies every canonical name of the vocabulary.
+    pub fn build(drug_vocab: &crate::vocab::Vocabulary) -> Self {
+        let mut by_id = Vec::with_capacity(drug_vocab.len());
+        let mut counts: FxHashMap<AtcGroup, usize> = FxHashMap::default();
+        for (_, name) in drug_vocab.iter() {
+            let g = classify_drug(name);
+            by_id.push(g);
+            *counts.entry(g).or_insert(0) += 1;
+        }
+        AtcIndex { by_id, counts }
+    }
+
+    /// Group of a drug id.
+    pub fn group(&self, drug_id: u32) -> AtcGroup {
+        self.by_id[drug_id as usize]
+    }
+
+    /// Number of vocabulary drugs in a group.
+    pub fn drug_count(&self, group: AtcGroup) -> usize {
+        self.counts.get(&group).copied().unwrap_or(0)
+    }
+
+    /// The distinct groups of a set of drug ids, sorted.
+    pub fn groups_of(&self, drug_ids: impl IntoIterator<Item = u32>) -> Vec<AtcGroup> {
+        let mut gs: Vec<AtcGroup> = drug_ids.into_iter().map(|d| self.group(d)).collect();
+        gs.sort_unstable();
+        gs.dedup();
+        gs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocabulary;
+
+    #[test]
+    fn case_study_drugs_route_correctly() {
+        assert_eq!(classify_drug("IBUPROFEN"), AtcGroup::Musculoskeletal);
+        assert_eq!(classify_drug("PROGRAF"), AtcGroup::Antineoplastic);
+        assert_eq!(classify_drug("NEXIUM"), AtcGroup::Alimentary);
+        assert_eq!(classify_drug("PREVACID"), AtcGroup::Alimentary);
+        assert_eq!(classify_drug("WARFARIN"), AtcGroup::Blood);
+        assert_eq!(classify_drug("XOLAIR"), AtcGroup::Respiratory);
+    }
+
+    #[test]
+    fn ppi_pair_shares_a_class() {
+        // §5.4 Case III is a *therapeutic duplication* — same ATC class.
+        assert_eq!(classify_drug("PREVACID"), classify_drug("NEXIUM"));
+        assert_eq!(classify_drug("PREVACID"), classify_drug("PRILOSEC"));
+    }
+
+    #[test]
+    fn suffix_heuristics_cover_procedural_names() {
+        assert_eq!(classify_drug("ABAVOMAB"), AtcGroup::Antineoplastic);
+        assert_eq!(classify_drug("CARUSTATIN"), AtcGroup::Cardiovascular);
+        assert_eq!(classify_drug("XIMOPRIL"), AtcGroup::Cardiovascular);
+        assert_eq!(classify_drug("KETAZOLE"), AtcGroup::Alimentary);
+        assert_eq!(classify_drug("valacyclovir"), AtcGroup::Antiinfective);
+        assert_eq!(classify_drug("WEIRDNAME"), AtcGroup::Various);
+    }
+
+    #[test]
+    fn index_is_total_over_vocabulary() {
+        let vocab = Vocabulary::drugs(600);
+        let index = AtcIndex::build(&vocab);
+        let total: usize = AtcGroup::ALL.iter().map(|&g| index.drug_count(g)).sum();
+        assert_eq!(total, vocab.len());
+        // Procedural suffixes guarantee a spread across groups.
+        let populated = AtcGroup::ALL.iter().filter(|&&g| index.drug_count(g) > 0).count();
+        assert!(populated >= 6, "only {populated} groups populated");
+    }
+
+    #[test]
+    fn groups_of_dedups() {
+        let vocab = Vocabulary::drugs(200);
+        let index = AtcIndex::build(&vocab);
+        let prevacid = vocab.id_of("PREVACID").unwrap();
+        let nexium = vocab.id_of("NEXIUM").unwrap();
+        assert_eq!(index.groups_of([prevacid, nexium]), vec![AtcGroup::Alimentary]);
+    }
+
+    #[test]
+    fn codes_and_indices_are_unique() {
+        let mut codes: Vec<char> = AtcGroup::ALL.iter().map(|g| g.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 14);
+        for (i, g) in AtcGroup::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i as u32);
+        }
+        assert_eq!(AtcGroup::Blood.to_string(), "B (Blood and blood forming organs)");
+    }
+}

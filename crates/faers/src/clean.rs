@@ -1,0 +1,400 @@
+//! Data preparation and cleaning (thesis §5.2, step 1): "We extracted the
+//! drugs and ADRs from FAERS reports and merged them for each single case.
+//! We performed some preliminary cleaning on drug names and ADRs to remove
+//! duplication and correct misspellings."
+//!
+//! Concretely this stage:
+//!
+//! 1. de-duplicates case versions — follow-ups share a `case_id`; the
+//!    highest version wins;
+//! 2. normalizes verbatim drug strings: uppercasing, dosage/formulation
+//!    token stripping, then exact → fuzzy (BK-tree, bounded edit distance)
+//!    matching against the canonical drug vocabulary;
+//! 3. canonicalizes reaction terms: case-folded exact match, then fuzzy
+//!    matching against the ADR vocabulary;
+//! 4. abstracts each surviving case into its (drug-id set, ADR-id set) pair,
+//!    keeping a pointer back to the source report for drill-down (§4.1).
+
+use crate::model::{CaseReport, Outcome};
+use crate::quarter::QuarterData;
+use crate::vocab::Vocabulary;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the cleaning stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CleanConfig {
+    /// Maximum Levenshtein distance for spelling correction (0 disables
+    /// fuzzy matching).
+    pub max_edit_distance: usize,
+    /// Strip dosage / formulation tokens from drug strings before matching.
+    pub strip_dosage: bool,
+    /// Minimum drugs a cleaned report must retain to be kept.
+    pub min_drugs: usize,
+    /// Minimum reactions a cleaned report must retain to be kept.
+    pub min_reactions: usize,
+}
+
+impl Default for CleanConfig {
+    fn default() -> Self {
+        CleanConfig { max_edit_distance: 2, strip_dosage: true, min_drugs: 1, min_reactions: 1 }
+    }
+}
+
+/// A cleaned, abstracted case: canonical drug and ADR id sets plus a link
+/// back to the raw report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CleanedReport {
+    /// FAERS case id.
+    pub case_id: u64,
+    /// Canonical drug ids, sorted, de-duplicated.
+    pub drug_ids: Vec<u32>,
+    /// Canonical ADR ids, sorted, de-duplicated.
+    pub adr_ids: Vec<u32>,
+    /// Whether the case is serious (≥ 1 severe outcome).
+    pub serious: bool,
+    /// Most severe outcome, if any.
+    pub max_severity: Option<Outcome>,
+    /// Index of the kept version inside the source `QuarterData::reports`.
+    pub source_index: usize,
+}
+
+/// Counters describing what cleaning did (§5.3-style at-a-glance numbers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CleaningStats {
+    /// Raw reports in.
+    pub input_reports: usize,
+    /// Follow-up versions removed by case de-duplication.
+    pub deduplicated_versions: usize,
+    /// Cleaned reports out.
+    pub output_reports: usize,
+    /// Reports dropped for having too few drugs/reactions after matching.
+    pub dropped_sparse: usize,
+    /// Drug mentions processed.
+    pub drug_mentions: usize,
+    /// Drug mentions resolved only by fuzzy matching (a spelling fix).
+    pub corrected_drugs: usize,
+    /// Drug mentions that matched no canonical name and were dropped.
+    pub unmatched_drugs: usize,
+    /// Reaction mentions processed.
+    pub adr_mentions: usize,
+    /// Reaction mentions resolved only by fuzzy / case-folded matching.
+    pub corrected_adrs: usize,
+    /// Reaction mentions that matched no canonical term and were dropped.
+    pub unmatched_adrs: usize,
+}
+
+/// Formulation / dosage tokens stripped from verbatim drug strings.
+const FORMULATION_TOKENS: &[&str] = &[
+    "TABLET", "TABLETS", "TAB", "TABS", "CAPSULE", "CAPSULES", "CAP", "CAPS", "INJECTION",
+    "INJ", "ORAL", "SOLUTION", "SUSPENSION", "CREAM", "GEL", "PATCH", "SYRUP", "DROPS",
+    "SPRAY", "ER", "XR", "SR", "CR", "HCL", "HCT", "SODIUM", "CALCIUM", "POTASSIUM",
+    "UNKNOWN", "NOS", "MG", "MCG", "ML", "IU",
+];
+
+fn is_dosage_token(tok: &str) -> bool {
+    if tok.chars().all(|c| c.is_ascii_digit()) && !tok.is_empty() {
+        return true;
+    }
+    // e.g. 10MG, 2.5MG, 100MCG, 5ML, 40IU, 0.5%, 10MG/ML
+    let mut digits = 0usize;
+    for c in tok.chars() {
+        if c.is_ascii_digit() {
+            digits += 1;
+        }
+    }
+    if digits == 0 {
+        return false;
+    }
+    let unit_part: String = tok.chars().filter(|c| c.is_ascii_alphabetic()).collect();
+    matches!(unit_part.as_str(), "" | "MG" | "MCG" | "ML" | "G" | "IU" | "MGML" | "MCGML")
+        || tok.ends_with('%')
+}
+
+/// Normalizes a verbatim drug string: uppercase, collapse whitespace, and
+/// (optionally) strip dosage / formulation tokens.
+pub fn normalize_drug_string(raw: &str, strip_dosage: bool) -> String {
+    let upper = raw.to_ascii_uppercase();
+    let tokens: Vec<&str> = upper
+        .split_whitespace()
+        .filter(|t| {
+            if !strip_dosage {
+                return true;
+            }
+            !is_dosage_token(t) && !FORMULATION_TOKENS.contains(t)
+        })
+        .collect();
+    if tokens.is_empty() {
+        // A pure-dosage string: fall back to the collapsed original.
+        upper.split_whitespace().collect::<Vec<_>>().join(" ")
+    } else {
+        tokens.join(" ")
+    }
+}
+
+/// Runs the cleaning pipeline over a quarter.
+pub fn clean_quarter(
+    quarter: &QuarterData,
+    drug_vocab: &Vocabulary,
+    adr_vocab: &Vocabulary,
+    config: &CleanConfig,
+) -> (Vec<CleanedReport>, CleaningStats) {
+    let mut stats = CleaningStats { input_reports: quarter.reports.len(), ..Default::default() };
+
+    // 1. Case de-duplication: keep the highest version per case id (later
+    //    index wins ties, matching FAERS "latest row wins" guidance).
+    let mut latest: FxHashMap<u64, usize> = FxHashMap::default();
+    for (idx, r) in quarter.reports.iter().enumerate() {
+        match latest.entry(r.case_id) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(idx);
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                stats.deduplicated_versions += 1;
+                if quarter.reports[*e.get()].version <= r.version {
+                    e.insert(idx);
+                }
+            }
+        }
+    }
+    let mut kept: Vec<usize> = latest.into_values().collect();
+    kept.sort_unstable();
+
+    // Case-folded exact index for ADR terms.
+    let folded_adrs: FxHashMap<String, u32> =
+        adr_vocab.iter().map(|(id, t)| (t.to_ascii_lowercase(), id)).collect();
+
+    let mut out = Vec::with_capacity(kept.len());
+    for idx in kept {
+        let report = &quarter.reports[idx];
+        let (drug_ids, adr_ids) =
+            clean_one(report, drug_vocab, adr_vocab, &folded_adrs, config, &mut stats);
+        if drug_ids.len() < config.min_drugs || adr_ids.len() < config.min_reactions {
+            stats.dropped_sparse += 1;
+            continue;
+        }
+        out.push(CleanedReport {
+            case_id: report.case_id,
+            drug_ids,
+            adr_ids,
+            serious: report.is_serious(),
+            max_severity: report.max_severity(),
+            source_index: idx,
+        });
+    }
+    stats.output_reports = out.len();
+    (out, stats)
+}
+
+fn clean_one(
+    report: &CaseReport,
+    drug_vocab: &Vocabulary,
+    adr_vocab: &Vocabulary,
+    folded_adrs: &FxHashMap<String, u32>,
+    config: &CleanConfig,
+    stats: &mut CleaningStats,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut drug_ids: Vec<u32> = Vec::with_capacity(report.drugs.len());
+    for entry in &report.drugs {
+        stats.drug_mentions += 1;
+        let normalized = normalize_drug_string(&entry.name, config.strip_dosage);
+        match drug_vocab.nearest(&normalized, config.max_edit_distance) {
+            Some((id, 0)) => {
+                if normalized != entry.name {
+                    stats.corrected_drugs += 1;
+                }
+                drug_ids.push(id);
+            }
+            Some((id, _)) => {
+                stats.corrected_drugs += 1;
+                drug_ids.push(id);
+            }
+            None => stats.unmatched_drugs += 1,
+        }
+    }
+    drug_ids.sort_unstable();
+    drug_ids.dedup();
+
+    let mut adr_ids: Vec<u32> = Vec::with_capacity(report.reactions.len());
+    for raw in &report.reactions {
+        stats.adr_mentions += 1;
+        let trimmed: String = raw.split_whitespace().collect::<Vec<_>>().join(" ");
+        if let Some(id) = adr_vocab.id_of(&trimmed) {
+            adr_ids.push(id);
+            continue;
+        }
+        if let Some(&id) = folded_adrs.get(&trimmed.to_ascii_lowercase()) {
+            stats.corrected_adrs += 1;
+            adr_ids.push(id);
+            continue;
+        }
+        match adr_vocab.nearest(&trimmed, config.max_edit_distance) {
+            Some((id, _)) => {
+                stats.corrected_adrs += 1;
+                adr_ids.push(id);
+            }
+            None => stats.unmatched_adrs += 1,
+        }
+    }
+    adr_ids.sort_unstable();
+    adr_ids.dedup();
+
+    (drug_ids, adr_ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DrugEntry, DrugRole, ReportType, Sex};
+    use crate::quarter::QuarterId;
+
+    fn report(case_id: u64, version: u32, drugs: &[&str], adrs: &[&str]) -> CaseReport {
+        CaseReport {
+            case_id,
+            version,
+            report_type: ReportType::Expedited,
+            age: None,
+            sex: Sex::Unknown,
+            weight_kg: None,
+            country: "US".into(),
+            event_date: None,
+            drugs: drugs.iter().map(|d| DrugEntry::new(*d, DrugRole::PrimarySuspect)).collect(),
+            reactions: adrs.iter().map(|a| a.to_string()).collect(),
+            outcomes: vec![Outcome::Hospitalization],
+        }
+    }
+
+    fn quarter(reports: Vec<CaseReport>) -> QuarterData {
+        QuarterData { id: QuarterId::new(2014, 1), reports }
+    }
+
+    fn vocabs() -> (Vocabulary, Vocabulary) {
+        (Vocabulary::drugs(150), Vocabulary::adrs(120))
+    }
+
+    #[test]
+    fn normalize_strips_dosage_and_formulation() {
+        assert_eq!(normalize_drug_string("Ibuprofen 200mg Tablet", true), "IBUPROFEN");
+        assert_eq!(normalize_drug_string("warfarin  sodium 5 MG", true), "WARFARIN");
+        assert_eq!(normalize_drug_string("NEXIUM 40MG CAPSULES", true), "NEXIUM");
+        assert_eq!(normalize_drug_string("ASPIRIN", false), "ASPIRIN");
+        assert_eq!(normalize_drug_string("aspirin 81mg", false), "ASPIRIN 81MG");
+    }
+
+    #[test]
+    fn normalize_pure_dosage_string_falls_back() {
+        assert_eq!(normalize_drug_string("10MG TABLET", true), "10MG TABLET");
+    }
+
+    #[test]
+    fn exact_and_fuzzy_drug_matching() {
+        let (dv, av) = vocabs();
+        let q = quarter(vec![report(
+            1,
+            1,
+            &["IBUPROFEN", "METAMIZOLE 500MG", "IBUPROFFEN", "XQZWJK"],
+            &["Acute renal failure"],
+        )]);
+        let (cleaned, stats) = clean_quarter(&q, &dv, &av, &CleanConfig::default());
+        assert_eq!(cleaned.len(), 1);
+        let names: Vec<&str> =
+            cleaned[0].drug_ids.iter().map(|&id| dv.term(id)).collect();
+        // IBUPROFEN appears once despite exact + typo duplicates.
+        assert_eq!(
+            names.iter().filter(|n| **n == "IBUPROFEN").count(),
+            1,
+            "names: {names:?}"
+        );
+        assert!(names.contains(&"METAMIZOLE"));
+        assert_eq!(stats.unmatched_drugs, 1); // XQZWJK
+        assert!(stats.corrected_drugs >= 2); // dosage strip + typo fix
+    }
+
+    #[test]
+    fn adr_case_folding_and_typos() {
+        let (dv, av) = vocabs();
+        let q = quarter(vec![report(
+            1,
+            1,
+            &["ASPIRIN"],
+            &["acute renal failure", "OSTEOPOROSIS", "Naussea", "Zzzz-not-a-term"],
+        )]);
+        let (cleaned, stats) = clean_quarter(&q, &dv, &av, &CleanConfig::default());
+        let terms: Vec<&str> = cleaned[0].adr_ids.iter().map(|&id| av.term(id)).collect();
+        assert!(terms.contains(&"Acute renal failure"), "{terms:?}");
+        assert!(terms.contains(&"Osteoporosis"), "{terms:?}");
+        assert!(terms.contains(&"Nausea"), "{terms:?}");
+        assert_eq!(stats.unmatched_adrs, 1);
+    }
+
+    #[test]
+    fn followup_versions_deduplicated_keeping_latest() {
+        let (dv, av) = vocabs();
+        let q = quarter(vec![
+            report(42, 1, &["ASPIRIN"], &["Nausea"]),
+            report(42, 3, &["ASPIRIN", "WARFARIN"], &["Haemorrhage"]),
+            report(42, 2, &["ASPIRIN"], &["Headache"]),
+            report(43, 1, &["NEXIUM"], &["Osteoporosis"]),
+        ]);
+        let (cleaned, stats) = clean_quarter(&q, &dv, &av, &CleanConfig::default());
+        assert_eq!(stats.deduplicated_versions, 2);
+        assert_eq!(cleaned.len(), 2);
+        let c42 = cleaned.iter().find(|c| c.case_id == 42).unwrap();
+        assert_eq!(c42.source_index, 1); // version 3
+        assert_eq!(c42.drug_ids.len(), 2);
+        let terms: Vec<&str> = c42.adr_ids.iter().map(|&id| av.term(id)).collect();
+        assert_eq!(terms, vec!["Haemorrhage"]);
+    }
+
+    #[test]
+    fn sparse_reports_dropped() {
+        let (dv, av) = vocabs();
+        let q = quarter(vec![
+            report(1, 1, &["NOTADRUGATALLXYZQ"], &["Nausea"]), // no drug survives
+            report(2, 1, &["ASPIRIN"], &[]),                   // no reactions
+            report(3, 1, &["ASPIRIN"], &["Nausea"]),
+        ]);
+        let (cleaned, stats) = clean_quarter(&q, &dv, &av, &CleanConfig::default());
+        assert_eq!(cleaned.len(), 1);
+        assert_eq!(cleaned[0].case_id, 3);
+        assert_eq!(stats.dropped_sparse, 2);
+        assert_eq!(stats.output_reports, 1);
+    }
+
+    #[test]
+    fn fuzzy_disabled_with_zero_distance() {
+        let (dv, av) = vocabs();
+        let q = quarter(vec![report(1, 1, &["IBUPROFFEN", "ASPIRIN"], &["Nausea"])]);
+        let cfg = CleanConfig { max_edit_distance: 0, ..Default::default() };
+        let (cleaned, stats) = clean_quarter(&q, &dv, &av, &cfg);
+        assert_eq!(stats.unmatched_drugs, 1);
+        assert_eq!(cleaned[0].drug_ids.len(), 1);
+    }
+
+    #[test]
+    fn drug_ids_sorted_and_unique() {
+        let (dv, av) = vocabs();
+        let q = quarter(vec![report(
+            1,
+            1,
+            &["WARFARIN", "ASPIRIN", "WARFARIN 5MG", "aspirin"],
+            &["Haemorrhage", "haemorrhage"],
+        )]);
+        let (cleaned, _) = clean_quarter(&q, &dv, &av, &CleanConfig::default());
+        let ids = &cleaned[0].drug_ids;
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "{ids:?}");
+        assert_eq!(ids.len(), 2);
+        assert_eq!(cleaned[0].adr_ids.len(), 1);
+    }
+
+    #[test]
+    fn serious_flag_carries_through() {
+        let (dv, av) = vocabs();
+        let mut r = report(1, 1, &["ASPIRIN"], &["Nausea"]);
+        r.outcomes = vec![Outcome::Death];
+        let q = quarter(vec![r]);
+        let (cleaned, _) = clean_quarter(&q, &dv, &av, &CleanConfig::default());
+        assert!(cleaned[0].serious);
+        assert_eq!(cleaned[0].max_severity, Some(Outcome::Death));
+    }
+}

@@ -1,0 +1,41 @@
+//! FAERS substrate: the adverse-event-report layer MARAS mines (thesis §5.1–5.2).
+//!
+//! The FDA Adverse Event Reporting System publishes quarterly extracts as
+//! `$`-delimited ASCII files (`DEMOyyQq`, `DRUGyyQq`, `REACyyQq`,
+//! `OUTCyyQq`). This crate implements that substrate end to end:
+//!
+//! * [`model`] — the case-report data model (demographics, drug entries
+//!   with suspect roles, reaction preferred terms, outcome codes).
+//! * [`ascii`] — reader/writer for the quarterly ASCII exchange format.
+//! * [`quarter`] — a quarter's worth of reports plus the corpus statistics
+//!   Table 5.1 reports (report / distinct-drug / distinct-ADR counts).
+//! * [`vocab`] — drug & ADR vocabularies with a BK-tree spelling index;
+//!   seeded with every drug and ADR the thesis names so the case studies
+//!   reproduce verbatim.
+//! * [`clean`] — the §5.2 "data preparation and cleaning" step: case-version
+//!   de-duplication, drug-name normalization and misspelling correction,
+//!   ADR-term canonicalization.
+//! * [`synth`] — the synthetic FAERS generator substituting for the real
+//!   2014 extract (see DESIGN.md, substitution 1): Zipf prescription
+//!   marginals, comorbidity-driven co-prescription, per-drug ADR profiles,
+//!   planted drug-drug interactions, spelling noise and follow-up
+//!   duplicates.
+
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod atc;
+pub mod clean;
+pub mod meddra;
+pub mod model;
+pub mod quarter;
+pub mod synth;
+pub mod vocab;
+
+pub use atc::{classify_drug, AtcGroup, AtcIndex};
+pub use meddra::{classify_term, Soc, SocIndex};
+pub use clean::{clean_quarter, CleanConfig, CleanedReport, CleaningStats};
+pub use model::{CaseReport, DrugEntry, DrugRole, Outcome, ReportType, Sex};
+pub use quarter::{QuarterData, QuarterId, QuarterStats};
+pub use synth::{PlantedInteraction, SynthConfig, Synthesizer};
+pub use vocab::{levenshtein, BkTree, Vocabulary};

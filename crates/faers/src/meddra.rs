@@ -1,0 +1,396 @@
+//! A MedDRA-like reaction-term hierarchy.
+//!
+//! FAERS reaction strings are MedDRA *preferred terms* (PTs); real
+//! pharmacovigilance triage groups them by *System Organ Class* (SOC) —
+//! renal events, cardiac events, blood dyscrasias — because a combination
+//! that fires three renal PTs is one signal, not three. MedDRA itself is
+//! licensed and cannot ship here (DESIGN.md substitution 2 applies), so
+//! this module provides the structural equivalent: the 27 real SOC names,
+//! and a deterministic keyword-based PT → SOC classifier that routes every
+//! seed and procedural ADR term of [`crate::vocab`] to a sensible class.
+//! The mapping is stable, total (unmatched terms land in *General
+//! disorders*), and exercised by the SOC-rollup query layer.
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// MedDRA's System Organ Classes (v26 names, abbreviated where customary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Soc {
+    BloodLymphatic,
+    Cardiac,
+    CongenitalFamilial,
+    EarLabyrinth,
+    Endocrine,
+    Eye,
+    Gastrointestinal,
+    GeneralAdministration,
+    Hepatobiliary,
+    ImmuneSystem,
+    InfectionsInfestations,
+    InjuryPoisoningProcedural,
+    Investigations,
+    MetabolismNutrition,
+    Musculoskeletal,
+    Neoplasms,
+    NervousSystem,
+    PregnancyPuerperium,
+    ProductIssues,
+    Psychiatric,
+    RenalUrinary,
+    ReproductiveBreast,
+    RespiratoryThoracic,
+    SkinSubcutaneous,
+    SocialCircumstances,
+    SurgicalMedical,
+    Vascular,
+}
+
+impl Soc {
+    /// Every SOC, in MedDRA's alphabetical order.
+    pub const ALL: [Soc; 27] = [
+        Soc::BloodLymphatic,
+        Soc::Cardiac,
+        Soc::CongenitalFamilial,
+        Soc::EarLabyrinth,
+        Soc::Endocrine,
+        Soc::Eye,
+        Soc::Gastrointestinal,
+        Soc::GeneralAdministration,
+        Soc::Hepatobiliary,
+        Soc::ImmuneSystem,
+        Soc::InfectionsInfestations,
+        Soc::InjuryPoisoningProcedural,
+        Soc::Investigations,
+        Soc::MetabolismNutrition,
+        Soc::Musculoskeletal,
+        Soc::Neoplasms,
+        Soc::NervousSystem,
+        Soc::PregnancyPuerperium,
+        Soc::ProductIssues,
+        Soc::Psychiatric,
+        Soc::RenalUrinary,
+        Soc::ReproductiveBreast,
+        Soc::RespiratoryThoracic,
+        Soc::SkinSubcutaneous,
+        Soc::SocialCircumstances,
+        Soc::SurgicalMedical,
+        Soc::Vascular,
+    ];
+
+    /// The official SOC name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Soc::BloodLymphatic => "Blood and lymphatic system disorders",
+            Soc::Cardiac => "Cardiac disorders",
+            Soc::CongenitalFamilial => "Congenital, familial and genetic disorders",
+            Soc::EarLabyrinth => "Ear and labyrinth disorders",
+            Soc::Endocrine => "Endocrine disorders",
+            Soc::Eye => "Eye disorders",
+            Soc::Gastrointestinal => "Gastrointestinal disorders",
+            Soc::GeneralAdministration => {
+                "General disorders and administration site conditions"
+            }
+            Soc::Hepatobiliary => "Hepatobiliary disorders",
+            Soc::ImmuneSystem => "Immune system disorders",
+            Soc::InfectionsInfestations => "Infections and infestations",
+            Soc::InjuryPoisoningProcedural => {
+                "Injury, poisoning and procedural complications"
+            }
+            Soc::Investigations => "Investigations",
+            Soc::MetabolismNutrition => "Metabolism and nutrition disorders",
+            Soc::Musculoskeletal => "Musculoskeletal and connective tissue disorders",
+            Soc::Neoplasms => "Neoplasms benign, malignant and unspecified",
+            Soc::NervousSystem => "Nervous system disorders",
+            Soc::PregnancyPuerperium => "Pregnancy, puerperium and perinatal conditions",
+            Soc::ProductIssues => "Product issues",
+            Soc::Psychiatric => "Psychiatric disorders",
+            Soc::RenalUrinary => "Renal and urinary disorders",
+            Soc::ReproductiveBreast => "Reproductive system and breast disorders",
+            Soc::RespiratoryThoracic => "Respiratory, thoracic and mediastinal disorders",
+            Soc::SkinSubcutaneous => "Skin and subcutaneous tissue disorders",
+            Soc::SocialCircumstances => "Social circumstances",
+            Soc::SurgicalMedical => "Surgical and medical procedures",
+            Soc::Vascular => "Vascular disorders",
+        }
+    }
+}
+
+impl std::fmt::Display for Soc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Keyword → SOC routing rules, checked in order (first match wins). More
+/// specific stems come before generic ones.
+const KEYWORD_RULES: &[(&str, Soc)] = &[
+    // Blood / marrow
+    ("neutropenia", Soc::BloodLymphatic),
+    ("thrombocytopenia", Soc::BloodLymphatic),
+    ("leukopenia", Soc::BloodLymphatic),
+    ("pancytopenia", Soc::BloodLymphatic),
+    ("anaemia", Soc::BloodLymphatic),
+    ("lymphatic", Soc::BloodLymphatic),
+    ("splenic", Soc::BloodLymphatic),
+    ("granulocyte", Soc::BloodLymphatic),
+    // Cardiac
+    ("cardiac", Soc::Cardiac),
+    ("myocardial", Soc::Cardiac),
+    ("atrial fibrillation", Soc::Cardiac),
+    ("tachycardia", Soc::Cardiac),
+    ("bradycardia", Soc::Cardiac),
+    ("palpitations", Soc::Cardiac),
+    ("torsade", Soc::Cardiac),
+    // Investigations (measured values) — before organ stems so "blood
+    // glucose increased" is an Investigation, not a blood disorder.
+    ("increased", Soc::Investigations),
+    ("decreased", Soc::Investigations),
+    ("qt prolonged", Soc::Investigations),
+    ("weight", Soc::Investigations),
+    // Vascular
+    ("haemorrhage", Soc::Vascular),
+    ("hypertension", Soc::Vascular),
+    ("hypotension", Soc::Vascular),
+    ("thrombosis", Soc::Vascular),
+    ("embolism", Soc::Vascular),
+    ("vascular", Soc::Vascular),
+    ("bleeding", Soc::Vascular),
+    // Nervous system
+    ("headache", Soc::NervousSystem),
+    ("dizziness", Soc::NervousSystem),
+    ("neuropathy", Soc::NervousSystem),
+    ("convulsion", Soc::NervousSystem),
+    ("tremor", Soc::NervousSystem),
+    ("somnolence", Soc::NervousSystem),
+    ("paraesthesia", Soc::NervousSystem),
+    ("hypoaesthesia", Soc::NervousSystem),
+    ("memory", Soc::NervousSystem),
+    ("cerebrovascular", Soc::NervousSystem),
+    ("syncope", Soc::NervousSystem),
+    ("neural", Soc::NervousSystem),
+    ("dysgeusia", Soc::NervousSystem),
+    ("cochlear", Soc::EarLabyrinth),
+    ("tinnitus", Soc::EarLabyrinth),
+    ("vertigo", Soc::EarLabyrinth),
+    // Psychiatric
+    ("anxiety", Soc::Psychiatric),
+    ("depression", Soc::Psychiatric),
+    ("insomnia", Soc::Psychiatric),
+    ("hallucination", Soc::Psychiatric),
+    ("confusional", Soc::Psychiatric),
+    ("suicid", Soc::Psychiatric),
+    // Eye / ear
+    ("visual", Soc::Eye),
+    ("ocular", Soc::Eye),
+    ("retinal", Soc::Eye),
+    // Respiratory
+    ("dyspnoea", Soc::RespiratoryThoracic),
+    ("cough", Soc::RespiratoryThoracic),
+    ("pneumonia", Soc::InfectionsInfestations),
+    ("pulmonary", Soc::RespiratoryThoracic),
+    ("asthma", Soc::RespiratoryThoracic),
+    ("interstitial lung", Soc::RespiratoryThoracic),
+    ("respiratory", Soc::RespiratoryThoracic),
+    // GI
+    ("nausea", Soc::Gastrointestinal),
+    ("vomiting", Soc::Gastrointestinal),
+    ("diarrhoea", Soc::Gastrointestinal),
+    ("constipation", Soc::Gastrointestinal),
+    ("dyspepsia", Soc::Gastrointestinal),
+    ("abdominal", Soc::Gastrointestinal),
+    ("gastrointestinal", Soc::Gastrointestinal),
+    ("gastric", Soc::Gastrointestinal),
+    ("pancreatitis", Soc::Gastrointestinal),
+    ("stomatitis", Soc::Gastrointestinal),
+    ("dysphagia", Soc::Gastrointestinal),
+    ("dry mouth", Soc::Gastrointestinal),
+    ("mucosal", Soc::Gastrointestinal),
+    // Hepatic
+    ("hepat", Soc::Hepatobiliary),
+    ("jaundice", Soc::Hepatobiliary),
+    ("biliary", Soc::Hepatobiliary),
+    // Renal / urinary
+    ("renal", Soc::RenalUrinary),
+    ("urinary", Soc::RenalUrinary),
+    ("urethral", Soc::RenalUrinary),
+    // Skin
+    ("rash", Soc::SkinSubcutaneous),
+    ("pruritus", Soc::SkinSubcutaneous),
+    ("urticaria", Soc::SkinSubcutaneous),
+    ("alopecia", Soc::SkinSubcutaneous),
+    ("stevens-johnson", Soc::SkinSubcutaneous),
+    ("epidermal", Soc::SkinSubcutaneous),
+    ("dermal", Soc::SkinSubcutaneous),
+    // Musculoskeletal
+    ("arthralgia", Soc::Musculoskeletal),
+    ("myalgia", Soc::Musculoskeletal),
+    ("osteo", Soc::Musculoskeletal),
+    ("back pain", Soc::Musculoskeletal),
+    ("muscular", Soc::Musculoskeletal),
+    ("rhabdomyolysis", Soc::Musculoskeletal),
+    ("bone", Soc::Musculoskeletal),
+    ("fracture", Soc::InjuryPoisoningProcedural),
+    ("fall", Soc::InjuryPoisoningProcedural),
+    ("overdose", Soc::InjuryPoisoningProcedural),
+    // Metabolic
+    ("kalaemia", Soc::MetabolismNutrition),
+    ("natraemia", Soc::MetabolismNutrition),
+    ("glycaemia", Soc::MetabolismNutrition),
+    ("appetite", Soc::MetabolismNutrition),
+    // Immune / infection
+    ("hypersensitivity", Soc::ImmuneSystem),
+    ("anaphylactic", Soc::ImmuneSystem),
+    ("graft versus host", Soc::ImmuneSystem),
+    ("immune", Soc::ImmuneSystem),
+    ("sepsis", Soc::InfectionsInfestations),
+    ("infection", Soc::InfectionsInfestations),
+    // Endocrine / repro
+    ("thyroid", Soc::Endocrine),
+    ("adrenal", Soc::Endocrine),
+    ("endocrine", Soc::Endocrine),
+    ("breast", Soc::ReproductiveBreast),
+    // Neoplasms
+    ("neoplasm", Soc::Neoplasms),
+    // Congenital
+    ("congenital", Soc::CongenitalFamilial),
+    // Death and generic terms → General.
+    ("death", Soc::GeneralAdministration),
+    ("fatigue", Soc::GeneralAdministration),
+    ("asthenia", Soc::GeneralAdministration),
+    ("malaise", Soc::GeneralAdministration),
+    ("pyrexia", Soc::GeneralAdministration),
+    ("oedema", Soc::GeneralAdministration),
+    ("chest pain", Soc::GeneralAdministration),
+    ("pain", Soc::GeneralAdministration),
+    ("drug ineffective", Soc::GeneralAdministration),
+    ("drug interaction", Soc::GeneralAdministration),
+    ("condition aggravated", Soc::GeneralAdministration),
+    ("disease progression", Soc::GeneralAdministration),
+    ("injection site", Soc::GeneralAdministration),
+    ("infusion", Soc::GeneralAdministration),
+    ("off label", Soc::GeneralAdministration),
+];
+
+/// Classifies one preferred term into a SOC. Total: unmatched terms fall
+/// into [`Soc::GeneralAdministration`].
+pub fn classify_term(term: &str) -> Soc {
+    let lower = term.to_ascii_lowercase();
+    for &(kw, soc) in KEYWORD_RULES {
+        if lower.contains(kw) {
+            return soc;
+        }
+    }
+    Soc::GeneralAdministration
+}
+
+/// A precomputed PT-id → SOC table over an ADR vocabulary.
+#[derive(Debug, Clone)]
+pub struct SocIndex {
+    by_id: Vec<Soc>,
+    counts: FxHashMap<Soc, usize>,
+}
+
+impl SocIndex {
+    /// Classifies every term of the vocabulary.
+    pub fn build(adr_vocab: &crate::vocab::Vocabulary) -> Self {
+        let mut by_id = Vec::with_capacity(adr_vocab.len());
+        let mut counts: FxHashMap<Soc, usize> = FxHashMap::default();
+        for (_, term) in adr_vocab.iter() {
+            let soc = classify_term(term);
+            by_id.push(soc);
+            *counts.entry(soc).or_insert(0) += 1;
+        }
+        SocIndex { by_id, counts }
+    }
+
+    /// SOC of an ADR id.
+    pub fn soc(&self, adr_id: u32) -> Soc {
+        self.by_id[adr_id as usize]
+    }
+
+    /// Number of vocabulary terms in a SOC.
+    pub fn term_count(&self, soc: Soc) -> usize {
+        self.counts.get(&soc).copied().unwrap_or(0)
+    }
+
+    /// The distinct SOCs of a set of ADR ids, sorted.
+    pub fn socs_of(&self, adr_ids: impl IntoIterator<Item = u32>) -> Vec<Soc> {
+        let mut socs: Vec<Soc> = adr_ids.into_iter().map(|a| self.soc(a)).collect();
+        socs.sort_unstable();
+        socs.dedup();
+        socs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocabulary;
+
+    #[test]
+    fn case_study_terms_route_correctly() {
+        assert_eq!(classify_term("Acute renal failure"), Soc::RenalUrinary);
+        assert_eq!(classify_term("Osteoporosis"), Soc::Musculoskeletal);
+        assert_eq!(classify_term("Osteonecrosis of jaw"), Soc::Musculoskeletal);
+        assert_eq!(classify_term("Drug ineffective"), Soc::GeneralAdministration);
+        assert_eq!(classify_term("Asthma"), Soc::RespiratoryThoracic);
+        assert_eq!(classify_term("Haemorrhage"), Soc::Vascular);
+        assert_eq!(classify_term("Neuropathy peripheral"), Soc::NervousSystem);
+        assert_eq!(
+            classify_term("Chronic graft versus host disease"),
+            Soc::ImmuneSystem
+        );
+    }
+
+    #[test]
+    fn measured_values_are_investigations() {
+        assert_eq!(classify_term("Blood glucose increased"), Soc::Investigations);
+        assert_eq!(classify_term("Weight decreased"), Soc::Investigations);
+        assert_eq!(classify_term("Blood creatinine increased"), Soc::Investigations);
+    }
+
+    #[test]
+    fn classification_is_total_and_case_insensitive() {
+        assert_eq!(classify_term("zzz nonsense zzz"), Soc::GeneralAdministration);
+        assert_eq!(classify_term("ACUTE RENAL FAILURE"), Soc::RenalUrinary);
+        assert_eq!(classify_term(""), Soc::GeneralAdministration);
+    }
+
+    #[test]
+    fn soc_index_covers_whole_vocabulary() {
+        let vocab = Vocabulary::adrs(400);
+        let index = SocIndex::build(&vocab);
+        let total: usize = Soc::ALL.iter().map(|&s| index.term_count(s)).sum();
+        assert_eq!(total, vocab.len());
+        // Procedural terms like "Renal failure type 3" land in their organ SOC.
+        let renal = vocab.id_of("Renal failure").or_else(|| {
+            vocab.iter().find(|(_, t)| t.starts_with("Renal")).map(|(id, _)| id)
+        });
+        if let Some(id) = renal {
+            assert_eq!(index.soc(id), Soc::RenalUrinary);
+        }
+        // A healthy spread: at least 10 SOCs populated.
+        let populated = Soc::ALL.iter().filter(|&&s| index.term_count(s) > 0).count();
+        assert!(populated >= 10, "only {populated} SOCs populated");
+    }
+
+    #[test]
+    fn socs_of_dedups_and_sorts() {
+        let vocab = Vocabulary::adrs(200);
+        let index = SocIndex::build(&vocab);
+        let renal = vocab.id_of("Acute renal failure").unwrap();
+        let renal2 = vocab.id_of("Renal failure").unwrap();
+        let socs = index.socs_of([renal, renal2, renal]);
+        assert_eq!(socs, vec![Soc::RenalUrinary]);
+    }
+
+    #[test]
+    fn all_socs_have_distinct_names() {
+        let mut names: Vec<&str> = Soc::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 27);
+    }
+}

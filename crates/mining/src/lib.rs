@@ -1,0 +1,43 @@
+//! Frequent- and closed-itemset mining substrate for MARAS.
+//!
+//! This crate implements the pattern-mining layer the paper's methodology is
+//! built on (thesis §2, §3.4, §5.2 step 2):
+//!
+//! * [`Item`] / [`ItemSet`] — the item vocabulary. Drugs and ADRs share one
+//!   dense `u32` id space; the partition between them is owned by the caller
+//!   (see `maras-rules`).
+//! * [`TransactionDb`] — an abstracted ADR-report database: one transaction
+//!   per report, holding the union of its drug and ADR items, plus vertical
+//!   tid-lists so the support of *any* itemset (frequent or not) can be
+//!   counted exactly. Contextual rules in the MCAC model routinely fall below
+//!   the mining support threshold, so exact ad-hoc counting is a hard
+//!   requirement.
+//! * [`FpTree`] / [`fpgrowth()`] — FP-Growth over an index-based tree arena
+//!   (no `Rc`/`RefCell`; the Rust-performance guide's arena idiom).
+//! * [`closed`] — CLOSET-style closed-itemset mining (item merging +
+//!   subsumption table), the paper's §3.4 device for eliminating spurious
+//!   drug-ADR associations, with a naive reference implementation used for
+//!   differential testing.
+//! * [`apriori()`] — a classic Apriori miner used as the "traditional
+//!   association rule mining" baseline of Fig. 5.1 and for differential
+//!   testing against FP-Growth.
+
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod closed;
+pub mod fpgrowth;
+pub mod fptree;
+pub mod items;
+pub mod maximal;
+pub mod parallel;
+pub mod transactions;
+
+pub use apriori::apriori;
+pub use closed::{closed_itemsets, closed_itemsets_naive, ClosedMiner};
+pub use fpgrowth::{fpgrowth, frequent_itemsets, FrequentItemset};
+pub use fptree::FpTree;
+pub use items::{Item, ItemSet};
+pub use maximal::{maximal_itemsets, top_k_closed};
+pub use parallel::{count_frequent_parallel, frequent_itemsets_parallel};
+pub use transactions::{TidSet, TransactionDb};

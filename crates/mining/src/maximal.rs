@@ -1,0 +1,230 @@
+//! Maximal frequent itemsets and top-k closed mining.
+//!
+//! Maximal itemsets (no frequent proper superset) are the most compressed
+//! lossy summary of a pattern space — useful for eyeballing what drug
+//! cocktails exist at all before rule generation. Top-k closed mining
+//! answers "the k strongest patterns" without committing to a support
+//! threshold up front, which is how an analyst actually probes an unknown
+//! quarter.
+
+use crate::closed::closed_itemsets;
+use crate::fpgrowth::{fpgrowth, FrequentItemset};
+use crate::items::ItemSet;
+use crate::transactions::TransactionDb;
+use rustc_hash::FxHashMap;
+
+/// Mines all *maximal* frequent itemsets: frequent sets with no frequent
+/// proper superset.
+///
+/// Derived from the frequent-set stream with a one-pass parent-marking
+/// trick (mirroring the closed miner): a frequent set is non-maximal iff
+/// some one-item extension is frequent, and every such extension is itself
+/// in the stream.
+pub fn maximal_itemsets(db: &TransactionDb, min_support: u64) -> Vec<FrequentItemset> {
+    let mut supports: FxHashMap<ItemSet, u64> = FxHashMap::default();
+    fpgrowth(db, min_support, |s, sup| {
+        supports.insert(s.clone(), sup);
+    });
+    let mut maximal: FxHashMap<&ItemSet, bool> = supports.keys().map(|s| (s, true)).collect();
+    for t in supports.keys() {
+        if t.len() < 2 {
+            continue;
+        }
+        for item in t.iter() {
+            let parent = t.without(item);
+            if let Some(flag) = maximal.get_mut(&parent) {
+                *flag = false;
+            }
+        }
+    }
+    let mut out: Vec<FrequentItemset> = maximal
+        .into_iter()
+        .filter(|&(_, is_max)| is_max)
+        .map(|(s, _)| FrequentItemset { items: s.clone(), support: supports[s] })
+        .collect();
+    out.sort_unstable_by(|a, b| b.support.cmp(&a.support).then(a.items.cmp(&b.items)));
+    out
+}
+
+/// Mines the `k` closed itemsets of highest support with at least
+/// `min_len` items, by a doubling search on the support threshold.
+///
+/// Starts at a high threshold and halves it until ≥ k qualifying patterns
+/// exist (or the threshold reaches 1), then truncates the support-ordered
+/// result. Deterministic: ties at the cut are broken by itemset order.
+pub fn top_k_closed(db: &TransactionDb, k: usize, min_len: usize) -> Vec<FrequentItemset> {
+    if k == 0 || db.is_empty() {
+        return Vec::new();
+    }
+    let mut threshold = db.len() as u64;
+    loop {
+        let mut found: Vec<FrequentItemset> = closed_itemsets(db, threshold)
+            .into_iter()
+            .filter(|f| f.items.len() >= min_len)
+            .collect();
+        if found.len() >= k || threshold <= 1 {
+            found.sort_unstable_by(|a, b| {
+                b.support.cmp(&a.support).then(a.items.cmp(&b.items))
+            });
+            found.truncate(k);
+            return found;
+        }
+        threshold /= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpgrowth::frequent_itemsets;
+    use crate::items::Item;
+
+    fn db(rows: &[&[u32]]) -> TransactionDb {
+        TransactionDb::new(
+            rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect(),
+        )
+    }
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn maximal_of_single_transaction_is_the_transaction() {
+        let d = db(&[&[1, 2, 3]]);
+        let m = maximal_itemsets(&d, 1);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].items, set(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn maximal_respects_threshold_boundaries() {
+        let d = db(&[&[1, 2, 3], &[1, 2, 3], &[1, 2], &[4]]);
+        // At ms=2: {1,2,3} is frequent and maximal; {1,2} frequent but
+        // subsumed; {4} infrequent.
+        let m = maximal_itemsets(&d, 2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].items, set(&[1, 2, 3]));
+        assert_eq!(m[0].support, 2);
+        // At ms=3: only {1,2} survives.
+        let m3 = maximal_itemsets(&d, 3);
+        assert_eq!(m3.len(), 1);
+        assert_eq!(m3[0].items, set(&[1, 2]));
+    }
+
+    #[test]
+    fn maximal_are_frequent_with_no_frequent_superset() {
+        let d = db(&[
+            &[1, 2, 5],
+            &[2, 4],
+            &[2, 3],
+            &[1, 2, 4],
+            &[1, 3],
+            &[2, 3],
+            &[1, 3],
+            &[1, 2, 3, 5],
+            &[1, 2, 3],
+        ]);
+        for ms in 1..=3u64 {
+            let frequent = frequent_itemsets(&d, ms);
+            let maximal = maximal_itemsets(&d, ms);
+            for m in &maximal {
+                assert!(m.support >= ms);
+                // No frequent proper superset.
+                assert!(
+                    !frequent.iter().any(|f| m.items.is_proper_subset_of(&f.items)),
+                    "ms={ms}: {} has a frequent superset",
+                    m.items
+                );
+            }
+            // Every frequent set is covered by some maximal superset.
+            for f in &frequent {
+                assert!(
+                    maximal
+                        .iter()
+                        .any(|m| f.items.is_subset_of(&m.items)),
+                    "ms={ms}: {} uncovered",
+                    f.items
+                );
+            }
+            // Maximal ⊆ closed.
+            let closed = closed_itemsets(&d, ms);
+            for m in &maximal {
+                assert!(closed.iter().any(|c| c.items == m.items), "ms={ms}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_closed_returns_highest_support() {
+        let d = db(&[
+            &[1, 2],
+            &[1, 2],
+            &[1, 2],
+            &[1, 2],
+            &[3, 4],
+            &[3, 4],
+            &[5, 6],
+        ]);
+        let top = top_k_closed(&d, 2, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].items, set(&[1, 2]));
+        assert_eq!(top[0].support, 4);
+        assert_eq!(top[1].items, set(&[3, 4]));
+        assert!(top[0].support >= top[1].support);
+    }
+
+    #[test]
+    fn top_k_min_len_filters_singletons() {
+        let d = db(&[&[1], &[1], &[1], &[2, 3]]);
+        let top = top_k_closed(&d, 5, 2);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].items, set(&[2, 3]));
+        // With min_len 1 the frequent singleton leads.
+        let top1 = top_k_closed(&d, 1, 1);
+        assert_eq!(top1[0].items, set(&[1]));
+    }
+
+    #[test]
+    fn top_k_edge_cases() {
+        assert!(top_k_closed(&db(&[]), 3, 1).is_empty());
+        assert!(top_k_closed(&db(&[&[1]]), 0, 1).is_empty());
+        // Asking for more than exist returns all.
+        let d = db(&[&[1, 2], &[3, 4]]);
+        let all = top_k_closed(&d, 100, 2);
+        assert_eq!(all.len(), 2);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(40))]
+            #[test]
+            fn maximal_cover_and_antichain(
+                rows in proptest::collection::vec(
+                    proptest::collection::vec(0u32..10, 0..6), 0..20),
+                ms in 1u64..3,
+            ) {
+                let d = TransactionDb::new(
+                    rows.into_iter().map(|t| t.into_iter().map(Item).collect()).collect(),
+                );
+                let maximal = maximal_itemsets(&d, ms);
+                // Antichain: no maximal set contains another.
+                for a in &maximal {
+                    for b in &maximal {
+                        if a.items != b.items {
+                            prop_assert!(!a.items.is_subset_of(&b.items));
+                        }
+                    }
+                }
+                // Coverage of all frequent sets.
+                let frequent = frequent_itemsets(&d, ms);
+                for f in &frequent {
+                    prop_assert!(maximal.iter().any(|m| f.items.is_subset_of(&m.items)));
+                }
+            }
+        }
+    }
+}

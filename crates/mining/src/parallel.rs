@@ -1,0 +1,224 @@
+//! Parallel FP-Growth.
+//!
+//! FP-Growth's outer loop is embarrassingly parallel in *principle*: every
+//! pattern is generated under exactly one top-level suffix item (its
+//! globally least-frequent member), so assigning top-level items to workers
+//! partitions the mining work exactly. This module implements that sharding
+//! over a shared read-only FP-tree with crossbeam scoped threads, and is
+//! differential-tested to produce byte-identical output to the sequential
+//! miner.
+//!
+//! **Measured result (recorded honestly): it does not get faster.** On this
+//! workload the mining loop is *allocation-bound* — each of the 10⁶–10⁷
+//! emitted patterns materializes an `ItemSet` — so the default allocator
+//! becomes the contended resource and 8 threads run no faster (sometimes
+//! slower, once shard merging and output sorting are paid) than 1. See
+//! `benches/mining.rs::bench_parallel` and EXPERIMENTS.md. The module is
+//! kept as a correctness-tested scaffold: with an arena/zero-copy pattern
+//! sink (or a thread-caching allocator) the same sharding would apply
+//! unchanged.
+
+use crate::fpgrowth::{conditional_tree, fpgrowth, mine, FrequentItemset};
+use crate::fptree::FpTree;
+use crate::items::{Item, ItemSet};
+use crate::transactions::TransactionDb;
+use rustc_hash::FxHashMap;
+
+/// Mines all frequent itemsets using `n_threads` workers (clamped to ≥ 1).
+///
+/// The transaction database is sharded by *suffix item*: worker `w` mines
+/// exactly the patterns whose least-frequent item has rank `≡ w (mod
+/// n_threads)` in the global frequency order. Every pattern is produced by
+/// exactly one worker, so the merged output equals the sequential output
+/// (up to order, which is normalized here by sorting).
+pub fn frequent_itemsets_parallel(
+    db: &TransactionDb,
+    min_support: u64,
+    n_threads: usize,
+) -> Vec<FrequentItemset> {
+    let n_threads = n_threads.max(1);
+    if n_threads == 1 {
+        let mut out = crate::fpgrowth::frequent_itemsets(db, min_support);
+        sort_patterns(&mut out);
+        return out;
+    }
+
+    // Global frequency ranks (descending support) — the same order the
+    // sequential miner uses, so "suffix item" is well-defined.
+    let min_support = min_support.max(1);
+    let mut supports: Vec<(Item, u64)> = db
+        .item_supports()
+        .filter(|&(_, s)| s as u64 >= min_support)
+        .map(|(i, s)| (i, s as u64))
+        .collect();
+    supports.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let rank: FxHashMap<Item, u32> =
+        supports.iter().enumerate().map(|(r, &(i, _))| (i, r as u32)).collect();
+    if rank.is_empty() {
+        return Vec::new();
+    }
+
+    // Build the global FP-tree ONCE; it is read-only after `finish()` and
+    // shared by reference across the workers.
+    let mut tree = FpTree::new();
+    let mut buf: Vec<Item> = Vec::new();
+    for t in db.transactions() {
+        buf.clear();
+        buf.extend(t.iter().filter(|i| rank.contains_key(i)));
+        buf.sort_unstable_by_key(|i| rank[i]);
+        if !buf.is_empty() {
+            tree.insert_path(&buf, 1);
+        }
+    }
+    tree.finish();
+    let tree = &tree;
+
+    // Every pattern is generated under exactly one *top-level suffix item*
+    // (its globally least-frequent member), so assigning top-level items to
+    // workers partitions both the output and the mining work.
+    let mut shards: Vec<Vec<FrequentItemset>> = Vec::with_capacity(n_threads);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|w| {
+                scope.spawn(move |_| {
+                    let mut local: Vec<FrequentItemset> = Vec::new();
+                    let mut prefix: Vec<Item> = Vec::new();
+                    for (idx, &item) in tree.mining_order().iter().enumerate() {
+                        if idx % n_threads != w {
+                            continue;
+                        }
+                        let header = match tree.header(item) {
+                            Some(h) => h,
+                            None => continue,
+                        };
+                        if header.total < min_support {
+                            continue;
+                        }
+                        prefix.push(item);
+                        local.push(FrequentItemset {
+                            items: ItemSet::from_items(prefix.clone()),
+                            support: header.total,
+                        });
+                        let cond = conditional_tree(tree, item, min_support);
+                        if !cond.mining_order().is_empty() {
+                            mine(&cond, min_support, &mut prefix, &mut |s: &ItemSet, sup| {
+                                local.push(FrequentItemset { items: s.clone(), support: sup });
+                            });
+                        }
+                        prefix.pop();
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            shards.push(h.join().expect("miner thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    let mut out: Vec<FrequentItemset> = shards.into_iter().flatten().collect();
+    sort_patterns(&mut out);
+    out
+}
+
+fn sort_patterns(patterns: &mut [FrequentItemset]) {
+    patterns.sort_unstable_by(|a, b| a.items.cmp(&b.items));
+}
+
+/// Counts frequent itemsets in parallel without materializing them — the
+/// cheap path for Fig. 5.1-style rule-space accounting.
+pub fn count_frequent_parallel(db: &TransactionDb, min_support: u64, n_threads: usize) -> u64 {
+    // Counting is not worth sharding below a few thousand transactions.
+    if n_threads <= 1 || db.len() < 1024 {
+        let mut n = 0u64;
+        fpgrowth(db, min_support, |_, _| n += 1);
+        return n;
+    }
+    frequent_itemsets_parallel(db, min_support, n_threads).len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpgrowth::frequent_itemsets;
+
+    fn db(rows: &[&[u32]]) -> TransactionDb {
+        TransactionDb::new(
+            rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect(),
+        )
+    }
+
+    fn normalized(mut v: Vec<FrequentItemset>) -> Vec<FrequentItemset> {
+        v.sort_unstable_by(|a, b| a.items.cmp(&b.items));
+        v
+    }
+
+    #[test]
+    fn matches_sequential_on_fixed_example() {
+        let d = db(&[
+            &[1, 2, 5],
+            &[2, 4],
+            &[2, 3],
+            &[1, 2, 4],
+            &[1, 3],
+            &[2, 3],
+            &[1, 3],
+            &[1, 2, 3, 5],
+            &[1, 2, 3],
+        ]);
+        for threads in [1, 2, 3, 8] {
+            for ms in [1u64, 2, 3] {
+                assert_eq!(
+                    frequent_itemsets_parallel(&d, ms, threads),
+                    normalized(frequent_itemsets(&d, ms)),
+                    "threads={threads} ms={ms}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_falls_back_to_sequential() {
+        let d = db(&[&[1, 2], &[2, 3]]);
+        let par = frequent_itemsets_parallel(&d, 1, 1);
+        assert_eq!(par, normalized(frequent_itemsets(&d, 1)));
+    }
+
+    #[test]
+    fn empty_db_yields_nothing() {
+        let d = db(&[]);
+        assert!(frequent_itemsets_parallel(&d, 1, 4).is_empty());
+    }
+
+    #[test]
+    fn count_matches_materialized_len() {
+        let d = db(&[&[1, 2, 3], &[1, 2], &[2, 3], &[1, 3]]);
+        let n = count_frequent_parallel(&d, 1, 4);
+        assert_eq!(n, frequent_itemsets(&d, 1).len() as u64);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn parallel_equals_sequential(
+                rows in proptest::collection::vec(
+                    proptest::collection::vec(0u32..10, 0..6), 0..25),
+                ms in 1u64..3,
+                threads in 2usize..5,
+            ) {
+                let d = TransactionDb::new(
+                    rows.into_iter().map(|t| t.into_iter().map(Item).collect()).collect(),
+                );
+                prop_assert_eq!(
+                    frequent_itemsets_parallel(&d, ms, threads),
+                    normalized(frequent_itemsets(&d, ms))
+                );
+            }
+        }
+    }
+}

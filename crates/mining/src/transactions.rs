@@ -1,0 +1,374 @@
+//! The transaction database: abstracted ADR reports.
+//!
+//! Each transaction is the union of one report's drug items and ADR items
+//! (thesis §2.1: `D = {d1..dm}`, each `di ⊆ I`). Besides the horizontal
+//! representation the DB keeps *vertical* tid-lists so the exact support of
+//! any itemset — including infrequent contextual sub-rules — can be counted
+//! (§3.5 needs `conf(X ⇒ B)` for every `X ⊂ A` even when `X ∪ B` never met
+//! the mining threshold).
+
+use crate::items::{Item, ItemSet};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// A sorted list of transaction ids (the *cover* of an itemset).
+pub type TidSet = Vec<u32>;
+
+/// An immutable transaction database with vertical tid-list indexes.
+///
+/// ```
+/// use maras_mining::{Item, ItemSet, TransactionDb};
+/// let db = TransactionDb::new(vec![
+///     vec![Item(0), Item(1), Item(10)],
+///     vec![Item(0), Item(2), Item(10)],
+/// ]);
+/// let s = ItemSet::from_ids([0u32, 10]);
+/// assert_eq!(db.support(&s), 2);
+/// // {0} always co-occurs with {10}: its closure grows.
+/// assert_eq!(db.closure(&ItemSet::from_ids([0u32])), s);
+/// assert!(db.is_closed(&s));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransactionDb {
+    /// Horizontal form: each transaction is a strictly-ascending item list.
+    transactions: Vec<ItemSet>,
+    /// Vertical form: item → ascending tids of transactions containing it.
+    tidlists: FxHashMap<Item, TidSet>,
+    /// Largest item id present plus one (size hint for dense tables).
+    item_bound: u32,
+}
+
+impl TransactionDb {
+    /// Builds a database from raw transactions.
+    ///
+    /// Items within a transaction are sorted and de-duplicated; empty
+    /// transactions are kept (they contribute to `len()` but to no support).
+    pub fn new(raw: Vec<Vec<Item>>) -> Self {
+        let transactions: Vec<ItemSet> = raw.into_iter().map(ItemSet::from_items).collect();
+        Self::from_itemsets(transactions)
+    }
+
+    /// Builds a database from already-normalized itemsets.
+    pub fn from_itemsets(transactions: Vec<ItemSet>) -> Self {
+        let mut tidlists: FxHashMap<Item, TidSet> = FxHashMap::default();
+        let mut item_bound = 0u32;
+        for (tid, t) in transactions.iter().enumerate() {
+            for item in t.iter() {
+                tidlists.entry(item).or_default().push(tid as u32);
+                item_bound = item_bound.max(item.0 + 1);
+            }
+        }
+        TransactionDb { transactions, tidlists, item_bound }
+    }
+
+    /// Number of transactions `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether the database holds no transactions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// One plus the largest item id that occurs in any transaction.
+    #[inline]
+    pub fn item_bound(&self) -> u32 {
+        self.item_bound
+    }
+
+    /// The transactions in tid order.
+    #[inline]
+    pub fn transactions(&self) -> &[ItemSet] {
+        &self.transactions
+    }
+
+    /// The transaction with the given tid.
+    pub fn transaction(&self, tid: u32) -> &ItemSet {
+        &self.transactions[tid as usize]
+    }
+
+    /// Number of distinct items that occur at least once.
+    pub fn distinct_items(&self) -> usize {
+        self.tidlists.len()
+    }
+
+    /// Iterates over `(item, support)` pairs for every occurring item.
+    pub fn item_supports(&self) -> impl Iterator<Item = (Item, u32)> + '_ {
+        self.tidlists.iter().map(|(&i, t)| (i, t.len() as u32))
+    }
+
+    /// Support of a single item (`|{t : i ∈ t}|`).
+    pub fn item_support(&self, item: Item) -> u32 {
+        self.tidlists.get(&item).map_or(0, |t| t.len() as u32)
+    }
+
+    /// The cover (ascending tid-list) of a single item.
+    pub fn item_cover(&self, item: Item) -> Option<&TidSet> {
+        self.tidlists.get(&item)
+    }
+
+    /// Exact absolute support of an arbitrary itemset (thesis Formula 2.1).
+    ///
+    /// The empty itemset is contained in every transaction, so its support is
+    /// `N`. Computed by intersecting tid-lists smallest-first with galloping
+    /// search, so cost is near-linear in the smallest cover.
+    pub fn support(&self, itemset: &ItemSet) -> u32 {
+        match self.cover(itemset) {
+            CoverCount::All => self.len() as u32,
+            CoverCount::Tids(t) => t.len() as u32,
+        }
+    }
+
+    /// The cover of an arbitrary itemset as an explicit tid-list.
+    ///
+    /// For the empty itemset this materializes `0..N`.
+    pub fn cover_tids(&self, itemset: &ItemSet) -> TidSet {
+        match self.cover(itemset) {
+            CoverCount::All => (0..self.len() as u32).collect(),
+            CoverCount::Tids(t) => t,
+        }
+    }
+
+    fn cover(&self, itemset: &ItemSet) -> CoverCount {
+        if itemset.is_empty() {
+            return CoverCount::All;
+        }
+        // Gather tid-lists; a missing item means empty cover.
+        let mut lists: Vec<&TidSet> = Vec::with_capacity(itemset.len());
+        for item in itemset.iter() {
+            match self.tidlists.get(&item) {
+                Some(l) => lists.push(l),
+                None => return CoverCount::Tids(Vec::new()),
+            }
+        }
+        lists.sort_unstable_by_key(|l| l.len());
+        let mut acc: TidSet = lists[0].clone();
+        for l in &lists[1..] {
+            acc = intersect_sorted(&acc, l);
+            if acc.is_empty() {
+                break;
+            }
+        }
+        CoverCount::Tids(acc)
+    }
+
+    /// The closure of an itemset: the intersection of all transactions that
+    /// contain it (Galois closure operator).
+    ///
+    /// `closure(S) ⊇ S`, `support(closure(S)) == support(S)`, and `S` is a
+    /// *closed itemset* (thesis Def. 3.4.1) iff `closure(S) == S`. For an
+    /// itemset with empty cover the closure is defined here as `S` itself.
+    pub fn closure(&self, itemset: &ItemSet) -> ItemSet {
+        let tids = self.cover_tids(itemset);
+        let mut it = tids.iter();
+        let first = match it.next() {
+            Some(&tid) => self.transactions[tid as usize].clone(),
+            None => return itemset.clone(),
+        };
+        let mut acc = first;
+        for &tid in it {
+            acc = acc.intersection(&self.transactions[tid as usize]);
+            if acc.len() == itemset.len() {
+                break; // cannot shrink below S, which it contains
+            }
+        }
+        acc
+    }
+
+    /// Whether `itemset` is closed in this database (Def. 3.4.1).
+    pub fn is_closed(&self, itemset: &ItemSet) -> bool {
+        if self.support(itemset) == 0 {
+            return false;
+        }
+        self.closure(itemset) == *itemset
+    }
+
+    /// Restricts the database to transactions whose tids satisfy `keep`,
+    /// renumbering tids densely. Used by per-quarter slicing.
+    pub fn filter_tids(&self, mut keep: impl FnMut(u32) -> bool) -> TransactionDb {
+        let kept: Vec<ItemSet> = self
+            .transactions
+            .iter()
+            .enumerate()
+            .filter(|(tid, _)| keep(*tid as u32))
+            .map(|(_, t)| t.clone())
+            .collect();
+        TransactionDb::from_itemsets(kept)
+    }
+}
+
+enum CoverCount {
+    All,
+    Tids(TidSet),
+}
+
+/// Intersects two ascending tid-lists. Galloping (exponential) search on the
+/// longer list keeps this near `O(min · log(max/min))`.
+pub fn intersect_sorted(a: &[u32], b: &[u32]) -> TidSet {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(small.len());
+    let mut lo = 0usize;
+    for &x in small {
+        if lo >= large.len() {
+            break;
+        }
+        // Gallop from `lo` to find an exclusive upper bound for x.
+        let mut bound = 1usize;
+        while lo + bound < large.len() && large[lo + bound] < x {
+            bound <<= 1;
+        }
+        let end = (lo + bound + 1).min(large.len());
+        match large[lo..end].binary_search(&x) {
+            Ok(pos) => {
+                out.push(x);
+                lo += pos + 1;
+            }
+            Err(pos) => {
+                lo += pos;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from_ids(ids.iter().copied())
+    }
+
+    fn sample_db() -> TransactionDb {
+        // Mirrors the structure of thesis §3.3's worked example.
+        TransactionDb::new(vec![
+            vec![Item(0), Item(1), Item(10), Item(11)], // d0 d1 -> a10 a11
+            vec![Item(0), Item(2), Item(10)],
+            vec![Item(1), Item(11)],
+            vec![Item(0), Item(1), Item(10), Item(11)],
+            vec![],
+        ])
+    }
+
+    #[test]
+    fn len_and_distinct_items() {
+        let db = sample_db();
+        assert_eq!(db.len(), 5);
+        assert_eq!(db.distinct_items(), 5);
+        assert_eq!(db.item_bound(), 12);
+    }
+
+    #[test]
+    fn support_counts() {
+        let db = sample_db();
+        assert_eq!(db.support(&ItemSet::empty()), 5);
+        assert_eq!(db.support(&set(&[0])), 3);
+        assert_eq!(db.support(&set(&[0, 1])), 2);
+        assert_eq!(db.support(&set(&[0, 1, 10, 11])), 2);
+        assert_eq!(db.support(&set(&[2, 11])), 0);
+        assert_eq!(db.support(&set(&[99])), 0);
+    }
+
+    #[test]
+    fn cover_tids_match_supports() {
+        let db = sample_db();
+        assert_eq!(db.cover_tids(&set(&[0, 1])), vec![0, 3]);
+        assert_eq!(db.cover_tids(&set(&[11])), vec![0, 2, 3]);
+        assert_eq!(db.cover_tids(&ItemSet::empty()), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn closure_grows_to_closed_set() {
+        let db = sample_db();
+        // {0,1} appears only with {10,11}.
+        assert_eq!(db.closure(&set(&[0, 1])), set(&[0, 1, 10, 11]));
+        assert!(!db.is_closed(&set(&[0, 1])));
+        assert!(db.is_closed(&set(&[0, 1, 10, 11])));
+        // {0} also occurs with {2,10}: closure is {0,10}.
+        assert_eq!(db.closure(&set(&[0])), set(&[0, 10]));
+        // Unsupported itemsets are never closed.
+        assert!(!db.is_closed(&set(&[2, 11])));
+    }
+
+    #[test]
+    fn closure_has_same_support() {
+        let db = sample_db();
+        for s in [set(&[0]), set(&[1]), set(&[0, 1]), set(&[10, 11])] {
+            assert_eq!(db.support(&db.closure(&s)), db.support(&s));
+        }
+    }
+
+    #[test]
+    fn filter_tids_renumbers() {
+        let db = sample_db();
+        let q = db.filter_tids(|tid| tid < 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.support(&set(&[0])), 2);
+        assert_eq!(q.support(&set(&[1])), 1);
+    }
+
+    #[test]
+    fn intersect_sorted_basic() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[3, 4, 5, 9]), vec![3, 5]);
+        assert_eq!(intersect_sorted(&[], &[1, 2]), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[2], &[2]), vec![2]);
+        assert_eq!(intersect_sorted(&[1, 2, 3], &[4, 5]), Vec::<u32>::new());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_db() -> impl Strategy<Value = TransactionDb> {
+            proptest::collection::vec(proptest::collection::vec(0u32..20, 0..8), 0..30)
+                .prop_map(|raw| {
+                    TransactionDb::new(
+                        raw.into_iter().map(|t| t.into_iter().map(Item).collect()).collect(),
+                    )
+                })
+        }
+
+        fn arb_set() -> impl Strategy<Value = ItemSet> {
+            proptest::collection::vec(0u32..20, 0..5).prop_map(ItemSet::from_ids)
+        }
+
+        proptest! {
+            #[test]
+            fn support_matches_naive_scan(db in arb_db(), s in arb_set()) {
+                let naive = db.transactions().iter().filter(|t| s.is_subset_of(t)).count() as u32;
+                prop_assert_eq!(db.support(&s), naive);
+            }
+
+            #[test]
+            fn support_is_antimonotone(db in arb_db(), s in arb_set(), extra in 0u32..20) {
+                let bigger = s.with(Item(extra));
+                prop_assert!(db.support(&bigger) <= db.support(&s));
+            }
+
+            #[test]
+            fn closure_is_extensive_and_idempotent(db in arb_db(), s in arb_set()) {
+                let c = db.closure(&s);
+                prop_assert!(s.is_subset_of(&c));
+                prop_assert_eq!(db.closure(&c), c.clone());
+                if db.support(&s) > 0 {
+                    prop_assert_eq!(db.support(&c), db.support(&s));
+                    prop_assert!(db.is_closed(&c));
+                }
+            }
+
+            #[test]
+            fn intersect_sorted_matches_std(
+                a in proptest::collection::btree_set(0u32..64, 0..20),
+                b in proptest::collection::btree_set(0u32..64, 0..20),
+            ) {
+                let av: Vec<u32> = a.iter().copied().collect();
+                let bv: Vec<u32> = b.iter().copied().collect();
+                let expect: Vec<u32> = a.intersection(&b).copied().collect();
+                prop_assert_eq!(intersect_sorted(&av, &bv), expect);
+            }
+        }
+    }
+}

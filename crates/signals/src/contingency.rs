@@ -1,0 +1,121 @@
+//! The 2×2 contingency table all disproportionality measures derive from.
+
+use maras_mining::{ItemSet, TransactionDb};
+use serde::{Deserialize, Serialize};
+
+/// Report counts cross-classified by exposure (the drug set) and event (the
+/// ADR set):
+///
+/// |            | event    | no event |
+/// |------------|----------|----------|
+/// | exposed    | `a`      | `b`      |
+/// | unexposed  | `c`      | `d`      |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContingencyTable {
+    /// Exposed with the event.
+    pub a: u64,
+    /// Exposed without the event.
+    pub b: u64,
+    /// Unexposed with the event.
+    pub c: u64,
+    /// Unexposed without the event.
+    pub d: u64,
+}
+
+impl ContingencyTable {
+    /// Builds a table from marginal counts: joint support, exposure support,
+    /// event support, and the total report count.
+    ///
+    /// # Panics
+    /// Panics (debug) if the counts are inconsistent (`joint` exceeding a
+    /// marginal, or marginals exceeding `n`).
+    pub fn from_supports(joint: u64, exposed: u64, event: u64, n: u64) -> Self {
+        debug_assert!(joint <= exposed && joint <= event);
+        debug_assert!(exposed <= n && event <= n);
+        ContingencyTable {
+            a: joint,
+            b: exposed - joint,
+            c: event - joint,
+            // Ordered to avoid intermediate underflow: n + joint ≥ exposed + event
+            // by inclusion–exclusion.
+            d: n + joint - exposed - event,
+        }
+    }
+
+    /// Counts the table for a drug set and ADR set directly from the
+    /// transaction database.
+    pub fn from_db(db: &TransactionDb, drugs: &ItemSet, adrs: &ItemSet) -> Self {
+        let joint = db.support(&drugs.union(adrs)) as u64;
+        let exposed = db.support(drugs) as u64;
+        let event = db.support(adrs) as u64;
+        Self::from_supports(joint, exposed, event, db.len() as u64)
+    }
+
+    /// Total number of reports.
+    pub fn n(&self) -> u64 {
+        self.a + self.b + self.c + self.d
+    }
+
+    /// Exposed margin `a + b`.
+    pub fn exposed(&self) -> u64 {
+        self.a + self.b
+    }
+
+    /// Event margin `a + c`.
+    pub fn event(&self) -> u64 {
+        self.a + self.c
+    }
+
+    /// Expected count in cell `a` under independence.
+    pub fn expected_a(&self) -> f64 {
+        let n = self.n();
+        if n == 0 {
+            return 0.0;
+        }
+        self.exposed() as f64 * self.event() as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maras_mining::Item;
+
+    #[test]
+    fn from_supports_partitions_n() {
+        let t = ContingencyTable::from_supports(10, 40, 25, 1000);
+        assert_eq!(t.a, 10);
+        assert_eq!(t.b, 30);
+        assert_eq!(t.c, 15);
+        assert_eq!(t.d, 945);
+        assert_eq!(t.n(), 1000);
+        assert_eq!(t.exposed(), 40);
+        assert_eq!(t.event(), 25);
+    }
+
+    #[test]
+    fn expected_under_independence() {
+        let t = ContingencyTable::from_supports(10, 100, 50, 1000);
+        assert!((t.expected_a() - 5.0).abs() < 1e-12);
+        let empty = ContingencyTable::from_supports(0, 0, 0, 0);
+        assert_eq!(empty.expected_a(), 0.0);
+    }
+
+    #[test]
+    fn from_db_counts_match_manual() {
+        let db = TransactionDb::new(vec![
+            vec![Item(0), Item(1), Item(10)],
+            vec![Item(0), Item(1), Item(10)],
+            vec![Item(0), Item(10)],
+            vec![Item(1), Item(2)],
+            vec![Item(3), Item(11)],
+        ]);
+        let drugs = ItemSet::from_ids([0u32, 1]);
+        let adrs = ItemSet::from_ids([10u32]);
+        let t = ContingencyTable::from_db(&db, &drugs, &adrs);
+        assert_eq!(t.a, 2); // both reports with {0,1,10}
+        assert_eq!(t.b, 0); // {0,1} never without 10
+        assert_eq!(t.c, 1); // {0,10} has the event without full exposure
+        assert_eq!(t.d, 2);
+    }
+}

@@ -1,0 +1,255 @@
+//! Classical disproportionality measures: RRR, PRR, ROR, χ².
+//!
+//! Conventions follow the pharmacovigilance literature (Evans et al. for
+//! PRR; van Puijenbroek for ROR). Degenerate tables (zero denominators)
+//! yield `f64::INFINITY` or `0.0` as appropriate rather than NaN, so ranking
+//! stays total.
+
+use crate::contingency::ContingencyTable;
+use serde::{Deserialize, Serialize};
+
+/// A 95% confidence interval on the log scale, exponentiated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub estimate: f64,
+    /// Lower 95% bound.
+    pub lower: f64,
+    /// Upper 95% bound.
+    pub upper: f64,
+}
+
+const Z95: f64 = 1.959_963_984_540_054;
+
+/// Relative reporting ratio: observed over expected count of the joint cell,
+/// `RR = a·N / ((a+b)(a+c))` — the measure Harpaz et al. \[17\] rank
+/// multi-item associations with.
+pub fn rrr(t: &ContingencyTable) -> f64 {
+    let expected = t.expected_a();
+    if expected == 0.0 {
+        return if t.a == 0 { 0.0 } else { f64::INFINITY };
+    }
+    t.a as f64 / expected
+}
+
+/// Proportional reporting ratio `PRR = [a/(a+b)] / [c/(c+d)]` with a 95% CI
+/// via the standard log-normal approximation.
+///
+/// ```
+/// use maras_signals::{prr, ContingencyTable};
+/// let t = ContingencyTable { a: 25, b: 75, c: 50, d: 850 };
+/// let ci = prr(&t);
+/// assert!((ci.estimate - 4.5).abs() < 1e-12);
+/// assert!(ci.lower > 1.0); // the CI excludes the null
+/// ```
+pub fn prr(t: &ContingencyTable) -> ConfidenceInterval {
+    let (a, b, c, d) = (t.a as f64, t.b as f64, t.c as f64, t.d as f64);
+    if a == 0.0 || a + b == 0.0 {
+        return ConfidenceInterval { estimate: 0.0, lower: 0.0, upper: 0.0 };
+    }
+    if c == 0.0 || c + d == 0.0 {
+        return ConfidenceInterval {
+            estimate: f64::INFINITY,
+            lower: f64::INFINITY,
+            upper: f64::INFINITY,
+        };
+    }
+    let estimate = (a / (a + b)) / (c / (c + d));
+    let se = (1.0 / a - 1.0 / (a + b) + 1.0 / c - 1.0 / (c + d)).max(0.0).sqrt();
+    let ln = estimate.ln();
+    ConfidenceInterval {
+        estimate,
+        lower: (ln - Z95 * se).exp(),
+        upper: (ln + Z95 * se).exp(),
+    }
+}
+
+/// Reporting odds ratio `ROR = (a·d)/(b·c)` with a 95% CI.
+pub fn ror(t: &ContingencyTable) -> ConfidenceInterval {
+    let (a, b, c, d) = (t.a as f64, t.b as f64, t.c as f64, t.d as f64);
+    if a == 0.0 || d == 0.0 {
+        return ConfidenceInterval { estimate: 0.0, lower: 0.0, upper: 0.0 };
+    }
+    if b == 0.0 || c == 0.0 {
+        return ConfidenceInterval {
+            estimate: f64::INFINITY,
+            lower: f64::INFINITY,
+            upper: f64::INFINITY,
+        };
+    }
+    let estimate = (a * d) / (b * c);
+    let se = (1.0 / a + 1.0 / b + 1.0 / c + 1.0 / d).sqrt();
+    let ln = estimate.ln();
+    ConfidenceInterval {
+        estimate,
+        lower: (ln - Z95 * se).exp(),
+        upper: (ln + Z95 * se).exp(),
+    }
+}
+
+/// Pearson χ² with Yates continuity correction.
+pub fn chi_square_yates(t: &ContingencyTable) -> f64 {
+    let (a, b, c, d) = (t.a as f64, t.b as f64, t.c as f64, t.d as f64);
+    let n = a + b + c + d;
+    let denom = (a + b) * (c + d) * (a + c) * (b + d);
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let diff = (a * d - b * c).abs() - n / 2.0;
+    let diff = diff.max(0.0);
+    n * diff * diff / denom
+}
+
+/// Evans et al.'s standard signal criterion: `PRR ≥ 2`, `χ² ≥ 4`, `a ≥ 3`.
+pub fn evans_signal(t: &ContingencyTable) -> bool {
+    t.a >= 3 && prr(t).estimate >= 2.0 && chi_square_yates(t) >= 4.0
+}
+
+/// All scores for one (drug set, ADR set) pair, bundled for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignalScores {
+    /// The underlying table.
+    pub table: ContingencyTable,
+    /// Relative reporting ratio.
+    pub rrr: f64,
+    /// Proportional reporting ratio with CI.
+    pub prr: ConfidenceInterval,
+    /// Reporting odds ratio with CI.
+    pub ror: ConfidenceInterval,
+    /// Yates-corrected χ².
+    pub chi2: f64,
+    /// Whether the Evans criterion fires.
+    pub evans: bool,
+}
+
+impl SignalScores {
+    /// Computes every measure from a table.
+    pub fn from_table(table: ContingencyTable) -> Self {
+        SignalScores {
+            table,
+            rrr: rrr(&table),
+            prr: prr(&table),
+            ror: ror(&table),
+            chi2: chi_square_yates(&table),
+            evans: evans_signal(&table),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Worked example used across pharmacovigilance tutorials:
+    /// a=25, b=75, c=50, d=850.
+    fn textbook() -> ContingencyTable {
+        ContingencyTable { a: 25, b: 75, c: 50, d: 850 }
+    }
+
+    #[test]
+    fn rrr_observed_over_expected() {
+        let t = textbook();
+        // expected = 100 * 75 / 1000 = 7.5 ; RR = 25/7.5
+        assert!((rrr(&t) - 25.0 / 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prr_point_estimate() {
+        let t = textbook();
+        // PRR = (25/100) / (50/900) = 0.25 / 0.0555… = 4.5
+        let ci = prr(&t);
+        assert!((ci.estimate - 4.5).abs() < 1e-12);
+        assert!(ci.lower < ci.estimate && ci.estimate < ci.upper);
+        assert!(ci.lower > 1.0, "strong signal: CI should exclude 1, lower={}", ci.lower);
+    }
+
+    #[test]
+    fn ror_point_estimate() {
+        let t = textbook();
+        // ROR = (25*850)/(75*50) = 21250/3750 = 5.666…
+        let ci = ror(&t);
+        assert!((ci.estimate - 21250.0 / 3750.0).abs() < 1e-12);
+        assert!(ci.lower < ci.estimate && ci.estimate < ci.upper);
+    }
+
+    #[test]
+    fn chi2_yates_hand_computed() {
+        let t = ContingencyTable { a: 20, b: 30, c: 10, d: 40 };
+        // n=100; |ad-bc| = |800-300| = 500; corrected = 450
+        // chi2 = 100*450^2 / (50*50*30*70) = 20250000/5250000 = 3.857142...
+        assert!((chi_square_yates(&t) - 20_250_000.0 / 5_250_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independence_scores_near_one() {
+        // Perfectly independent margins.
+        let t = ContingencyTable::from_supports(10, 100, 100, 1000);
+        assert!((rrr(&t) - 1.0).abs() < 1e-12);
+        assert!((prr(&t).estimate - 1.0).abs() < 0.12);
+        assert!(chi_square_yates(&t) < 1.0);
+        assert!(!evans_signal(&t));
+    }
+
+    #[test]
+    fn evans_criterion_thresholds() {
+        assert!(evans_signal(&textbook()));
+        // Too few exposed-event reports.
+        let few = ContingencyTable { a: 2, b: 1, c: 5, d: 992 };
+        assert!(!evans_signal(&few));
+    }
+
+    #[test]
+    fn degenerate_tables_are_total() {
+        let zero_a = ContingencyTable { a: 0, b: 10, c: 5, d: 985 };
+        assert_eq!(prr(&zero_a).estimate, 0.0);
+        assert_eq!(ror(&zero_a).estimate, 0.0);
+        assert_eq!(rrr(&zero_a), 0.0);
+        let zero_c = ContingencyTable { a: 5, b: 10, c: 0, d: 985 };
+        assert_eq!(prr(&zero_c).estimate, f64::INFINITY);
+        let zero_b = ContingencyTable { a: 5, b: 0, c: 3, d: 992 };
+        assert_eq!(ror(&zero_b).estimate, f64::INFINITY);
+        for t in [zero_a, zero_c, zero_b] {
+            assert!(!rrr(&t).is_nan());
+            assert!(!chi_square_yates(&t).is_nan());
+        }
+    }
+
+    #[test]
+    fn bundle_is_consistent() {
+        let s = SignalScores::from_table(textbook());
+        assert_eq!(s.rrr, rrr(&textbook()));
+        assert_eq!(s.prr, prr(&textbook()));
+        assert!(s.evans);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_table() -> impl Strategy<Value = ContingencyTable> {
+            (0u64..200, 0u64..200, 0u64..200, 0u64..2000)
+                .prop_map(|(a, b, c, d)| ContingencyTable { a, b, c, d })
+        }
+
+        proptest! {
+            #[test]
+            fn measures_never_nan(t in arb_table()) {
+                prop_assert!(!rrr(&t).is_nan());
+                prop_assert!(!prr(&t).estimate.is_nan());
+                prop_assert!(!ror(&t).estimate.is_nan());
+                prop_assert!(!chi_square_yates(&t).is_nan());
+                prop_assert!(chi_square_yates(&t) >= 0.0);
+            }
+
+            #[test]
+            fn ci_brackets_estimate(t in arb_table()) {
+                for ci in [prr(&t), ror(&t)] {
+                    if ci.estimate.is_finite() && ci.estimate > 0.0 {
+                        prop_assert!(ci.lower <= ci.estimate + 1e-9);
+                        prop_assert!(ci.estimate <= ci.upper + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+}

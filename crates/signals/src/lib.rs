@@ -1,0 +1,27 @@
+//! Disproportionality-analysis baselines (thesis §1.2, §6).
+//!
+//! The statistical pharmacovigilance methods MARAS positions itself
+//! against: relative reporting ratio, PRR, ROR, χ² (Tatonetti et al.,
+//! Harpaz et al. — refs \[17\], \[26–28\]), plus an interaction-contrast score
+//! for multi-drug signals. These serve as comparison baselines in the
+//! benchmark harness and let the library double as a conventional
+//! signal-detection toolkit.
+
+#![warn(missing_docs)]
+
+pub mod contingency;
+pub mod ebgm;
+pub mod gamma;
+pub mod ic;
+pub mod disproportionality;
+pub mod interaction;
+pub mod stratified;
+
+pub use contingency::ContingencyTable;
+pub use disproportionality::{
+    chi_square_yates, evans_signal, prr, ror, rrr, ConfidenceInterval, SignalScores,
+};
+pub use ebgm::{ebgm, ebgm_from_table, EbgmScores, GammaMixturePrior};
+pub use ic::{information_component, InformationComponent};
+pub use interaction::{harpaz_rank, interaction_contrast, HarpazSignal};
+pub use stratified::{crude_or, mantel_haenszel_or, mantel_haenszel_rr};

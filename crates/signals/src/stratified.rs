@@ -1,0 +1,174 @@
+//! Mantel–Haenszel stratified estimators.
+//!
+//! Crude disproportionality confounds with demographics: an ADR reported
+//! mostly by elderly patients co-occurs with every drug the elderly take
+//! (Simpson's paradox). Regulatory practice stratifies the 2×2 table by
+//! age band / sex and pools with the Mantel–Haenszel estimators:
+//!
+//! * `OR_MH = Σᵢ(aᵢdᵢ/nᵢ) / Σᵢ(bᵢcᵢ/nᵢ)`
+//! * `RR_MH = Σᵢ aᵢ(cᵢ+dᵢ)/nᵢ / Σᵢ cᵢ(aᵢ+bᵢ)/nᵢ`
+//!
+//! Strata arrive as plain [`ContingencyTable`]s, so any partitioning of the
+//! report set (age, sex, country, quarter) plugs in; `maras-core` supplies
+//! the demographic partitioner.
+
+use crate::contingency::ContingencyTable;
+
+/// Mantel–Haenszel pooled odds ratio over strata.
+///
+/// Degenerate strata (nᵢ = 0) contribute nothing; if the pooled denominator
+/// is 0 the estimate is `INFINITY` when any numerator mass exists, else 0.
+pub fn mantel_haenszel_or(strata: &[ContingencyTable]) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for t in strata {
+        let n = t.n() as f64;
+        if n == 0.0 {
+            continue;
+        }
+        num += (t.a as f64) * (t.d as f64) / n;
+        den += (t.b as f64) * (t.c as f64) / n;
+    }
+    ratio(num, den)
+}
+
+/// Mantel–Haenszel pooled risk (reporting) ratio over strata.
+pub fn mantel_haenszel_rr(strata: &[ContingencyTable]) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for t in strata {
+        let n = t.n() as f64;
+        if n == 0.0 {
+            continue;
+        }
+        num += (t.a as f64) * ((t.c + t.d) as f64) / n;
+        den += (t.c as f64) * ((t.a + t.b) as f64) / n;
+    }
+    ratio(num, den)
+}
+
+/// Crude (unstratified) odds ratio of the collapsed table, for contrast.
+pub fn crude_or(strata: &[ContingencyTable]) -> f64 {
+    let mut total = ContingencyTable { a: 0, b: 0, c: 0, d: 0 };
+    for t in strata {
+        total.a += t.a;
+        total.b += t.b;
+        total.c += t.c;
+        total.d += t.d;
+    }
+    ratio((total.a * total.d) as f64, (total.b * total.c) as f64)
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stratum_equals_crude() {
+        let t = ContingencyTable { a: 25, b: 75, c: 50, d: 850 };
+        let strata = [t];
+        assert!((mantel_haenszel_or(&strata) - crude_or(&strata)).abs() < 1e-12);
+        // OR = 25*850 / (75*50)
+        assert!((mantel_haenszel_or(&strata) - 21250.0 / 3750.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_strata_pool_to_common_or() {
+        // Two strata, both with true OR = 4.
+        let s1 = ContingencyTable { a: 40, b: 10, c: 50, d: 50 };
+        let s2 = ContingencyTable { a: 8, b: 2, c: 10, d: 10 };
+        let or = mantel_haenszel_or(&[s1, s2]);
+        assert!((or - 4.0).abs() < 1e-9, "{or}");
+    }
+
+    #[test]
+    fn simpsons_paradox_is_corrected() {
+        // Classic confounding construction: within each age stratum the
+        // drug has NO effect (ORᵢ = 1), but the old stratum has both more
+        // exposure and more events, so the crude OR looks elevated.
+        let young = ContingencyTable { a: 10, b: 990, c: 10, d: 990 }; // 1% event rate
+        let old = ContingencyTable { a: 200, b: 300, c: 40, d: 60 }; // 40% event, 5x exposure
+        let crude = crude_or(&[young, old]);
+        let adjusted = mantel_haenszel_or(&[young, old]);
+        assert!(crude > 2.0, "confounded crude OR should be inflated: {crude}");
+        assert!(
+            (adjusted - 1.0).abs() < 0.05,
+            "MH must recover the null effect: {adjusted}"
+        );
+    }
+
+    #[test]
+    fn rr_mh_on_homogeneous_strata() {
+        // RR = (a/(a+b)) / (c/(c+d)) = (40/50)/(50/100) = 1.6 in both.
+        let s1 = ContingencyTable { a: 40, b: 10, c: 50, d: 50 };
+        let s2 = ContingencyTable { a: 80, b: 20, c: 100, d: 100 };
+        let rr = mantel_haenszel_rr(&[s1, s2]);
+        assert!((rr - 1.6).abs() < 1e-9, "{rr}");
+    }
+
+    #[test]
+    fn degenerate_strata_are_skipped() {
+        let empty = ContingencyTable { a: 0, b: 0, c: 0, d: 0 };
+        let real = ContingencyTable { a: 40, b: 10, c: 50, d: 50 };
+        assert_eq!(
+            mantel_haenszel_or(&[empty, real]),
+            mantel_haenszel_or(&[real])
+        );
+        assert_eq!(mantel_haenszel_or(&[empty]), 0.0);
+        assert_eq!(mantel_haenszel_or(&[]), 0.0);
+    }
+
+    #[test]
+    fn zero_denominator_yields_infinity() {
+        // No unexposed events at all.
+        let t = ContingencyTable { a: 5, b: 0, c: 0, d: 95 };
+        assert_eq!(mantel_haenszel_or(&[t]), f64::INFINITY);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_stratum() -> impl Strategy<Value = ContingencyTable> {
+            (1u64..100, 1u64..100, 1u64..100, 1u64..100)
+                .prop_map(|(a, b, c, d)| ContingencyTable { a, b, c, d })
+        }
+
+        proptest! {
+            #[test]
+            fn mh_or_between_stratum_extremes(
+                strata in proptest::collection::vec(arb_stratum(), 1..6)
+            ) {
+                // The pooled OR is a weighted mean of stratum ORs: it must
+                // lie within [min, max] of the per-stratum ORs.
+                let ors: Vec<f64> = strata
+                    .iter()
+                    .map(|t| (t.a * t.d) as f64 / (t.b * t.c) as f64)
+                    .collect();
+                let lo = ors.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = ors.iter().cloned().fold(0.0f64, f64::max);
+                let mh = mantel_haenszel_or(&strata);
+                prop_assert!(mh >= lo - 1e-9 && mh <= hi + 1e-9, "mh={mh} lo={lo} hi={hi}");
+            }
+
+            #[test]
+            fn estimators_never_nan(strata in proptest::collection::vec(arb_stratum(), 0..6)) {
+                prop_assert!(!mantel_haenszel_or(&strata).is_nan());
+                prop_assert!(!mantel_haenszel_rr(&strata).is_nan());
+                prop_assert!(!crude_or(&strata).is_nan());
+            }
+        }
+    }
+}

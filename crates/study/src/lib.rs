@@ -1,0 +1,36 @@
+//! Simulated user study (thesis §5.4.1, Appendix A; DESIGN.md
+//! substitution 3).
+//!
+//! The thesis ran 50 WPI students through a five-question battery: pick the
+//! top-ranked (most *interesting*, i.e. most exclusive) drug interaction
+//! among candidates shown either as Contextual Glyphs or as bar charts, for
+//! two-, three- and four-drug combinations (Fig. 5.2 reports % correct per
+//! encoding). Human subjects are unavailable here, so this crate implements
+//! a documented perceptual model and runs *simulated* participants through
+//! the identical battery and scoring code:
+//!
+//! * every magnitude a participant reads off a chart is corrupted by
+//!   zero-mean Gaussian noise whose scale follows graphical-perception
+//!   results (Cleveland & McGill): length/position judgments (bar charts)
+//!   are individually more precise than area/radial judgments (glyphs);
+//! * the **bar chart** requires a *serial* mental computation — estimate
+//!   the target bar, estimate every context bar, average, subtract — so its
+//!   per-bar noise accumulates, and context sets beyond working-memory
+//!   capacity add integration noise per extra bar;
+//! * the **glyph** affords a single figure/ground gestalt (big core,
+//!   shallow ring), so the whole contrast is read with one (coarser)
+//!   judgment that does not degrade with context size.
+//!
+//! The crossover the thesis observed — glyphs beat bar charts, and the
+//! advantage persists across 2/3/4 drugs — falls out of exactly this
+//! serial-vs-holistic asymmetry.
+
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod perception;
+pub mod simulate;
+
+pub use battery::{appendix_a_battery, Battery, ClusterStimulus, Question};
+pub use perception::{Encoding, Participant, PerceptionParams};
+pub use simulate::{run_study, StudyConfig, StudyResults};

@@ -1,0 +1,94 @@
+//! The validated reference palette (light mode), applied by role.
+//!
+//! Sources: the data-viz reference palette instance. Context levels use the
+//! blue **ordinal** ramp (one hue, light→dark; ordinal marks start no
+//! lighter than step 250 so every step clears the 2:1 surface floor). The
+//! target rule uses the orange categorical accent — blue/orange is the
+//! classic CVD-safe pair. Text wears ink tokens, never series colors.
+
+/// Chart surface (light).
+pub const SURFACE: &str = "#fcfcfb";
+/// Primary ink for titles and values.
+pub const TEXT_PRIMARY: &str = "#0b0b0b";
+/// Secondary ink for axis and captions.
+pub const TEXT_SECONDARY: &str = "#52514e";
+/// Recessive grid/axis stroke.
+pub const GRID: &str = "#e5e4e0";
+/// Accent for the evaluated (target) rule — categorical slot 8, orange.
+pub const TARGET: &str = "#eb6834";
+/// Categorical slot 1 (blue), for second-series needs.
+pub const SERIES_BLUE: &str = "#2a78d6";
+/// Categorical slot 2 (aqua), for third-series needs.
+pub const SERIES_AQUA: &str = "#1baf7a";
+
+/// Blue ordinal ramp, steps 250–700 (light mode): light→dark, all ≥ 2:1 on
+/// the light surface.
+pub const BLUE_ORDINAL: [&str; 10] = [
+    "#86b6ef", // 250
+    "#6da7ec", // 300
+    "#5598e7", // 350
+    "#3987e5", // 400
+    "#2a78d6", // 450
+    "#256abf", // 500
+    "#1c5cab", // 550
+    "#184f95", // 600
+    "#104281", // 650
+    "#0d366b", // 700
+];
+
+/// Color for context level `level_index` out of `n_levels`, darker for
+/// larger antecedent cardinality (the thesis's "the darker the larger").
+///
+/// `level_index` counts from the **largest** cardinality (0 = cardinality
+/// `n−1`, matching `Mcac::levels` order), so index 0 gets the darkest step.
+pub fn level_color(level_index: usize, n_levels: usize) -> &'static str {
+    assert!(n_levels >= 1 && level_index < n_levels);
+    let n = BLUE_ORDINAL.len();
+    if n_levels == 1 {
+        return BLUE_ORDINAL[n / 2];
+    }
+    // Spread levels across the ramp; level_index 0 (largest cardinality)
+    // takes the darkest end.
+    let pos = (n_levels - 1 - level_index) as f64 / (n_levels - 1) as f64;
+    let idx = (pos * (n - 1) as f64).round() as usize;
+    BLUE_ORDINAL[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_level_uses_mid_ramp() {
+        assert_eq!(level_color(0, 1), BLUE_ORDINAL[5]);
+    }
+
+    #[test]
+    fn largest_cardinality_is_darkest() {
+        // 3 levels (4-drug cluster): level 0 = k=3 darkest, level 2 = k=1 lightest.
+        assert_eq!(level_color(0, 3), *BLUE_ORDINAL.last().unwrap());
+        assert_eq!(level_color(2, 3), BLUE_ORDINAL[0]);
+    }
+
+    #[test]
+    fn two_levels_use_ramp_extremes() {
+        assert_eq!(level_color(0, 2), *BLUE_ORDINAL.last().unwrap());
+        assert_eq!(level_color(1, 2), BLUE_ORDINAL[0]);
+    }
+
+    #[test]
+    fn monotone_darkness_ordering() {
+        // Ramp indices must strictly decrease as level_index grows.
+        let idx = |c: &str| BLUE_ORDINAL.iter().position(|&x| x == c).unwrap();
+        for n in 2..=6 {
+            let picked: Vec<usize> = (0..n).map(|i| idx(level_color(i, n))).collect();
+            assert!(picked.windows(2).all(|w| w[0] > w[1]), "n={n}: {picked:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_level_panics() {
+        level_color(3, 3);
+    }
+}

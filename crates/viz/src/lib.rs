@@ -1,0 +1,39 @@
+//! Visualization of drug-ADR associations (thesis §4): the Contextual Glyph,
+//! the MCAC bar-chart it was evaluated against (Fig. 5.3), and the
+//! panoramagram-of-glyphs overview (Fig. 4.2) — all rendered to static SVG.
+//!
+//! Layout follows the thesis exactly:
+//!
+//! * the **inner circle**'s diameter encodes the target rule's confidence;
+//! * **circular sectors** around it represent contextual rules; the distance
+//!   from each sector's arc to the inner circle encodes that rule's
+//!   confidence;
+//! * starting from 12 o'clock, sectors are laid out by antecedent
+//!   cardinality, same-cardinality rules sharing a color (the darker the
+//!   larger) and ordered by confidence.
+//!
+//! "The larger the inner circle and the smaller the outer circles are, the
+//! higher the rank of the group" — a big orange core inside a shallow blue
+//! ring *is* the visual signature of an interesting interaction.
+//!
+//! Colors come from a validated, colorblind-safe reference palette: a blue
+//! ordinal ramp for context levels (one hue, light→dark, never below the
+//! 2:1 ordinal floor) and a single orange accent for the target, with text
+//! in ink tokens rather than series colors.
+
+#![warn(missing_docs)]
+
+pub mod barchart;
+pub mod color;
+pub mod glyph;
+pub mod panorama;
+pub mod sparkline;
+pub mod svg;
+pub mod theme;
+
+pub use barchart::{grouped_bars, mcac_barchart, BarGroup, GroupedBarConfig};
+pub use glyph::{glyph_svg, GlyphConfig, GlyphGeometry, SectorGeometry};
+pub use panorama::{panorama_svg, PanoramaConfig};
+pub use sparkline::{sparkline_svg, SparklineConfig};
+pub use svg::SvgDoc;
+pub use theme::{Theme, DARK, LIGHT};

@@ -1,0 +1,127 @@
+//! Sparklines: word-sized trend lines for the report's cross-quarter
+//! support series.
+//!
+//! Mark rules: a 2px line in a single series hue, an endpoint marker with a
+//! 2px surface ring, a recessive zero baseline, no axes or grid (a
+//! sparkline lives inline with text; its neighbors provide context), and a
+//! hover `<title>` carrying the exact values.
+
+use crate::svg::SvgDoc;
+use crate::theme::Theme;
+
+/// Sparkline parameters.
+#[derive(Debug, Clone)]
+pub struct SparklineConfig {
+    /// Canvas width, px.
+    pub width: f64,
+    /// Canvas height, px.
+    pub height: f64,
+    /// Line color (defaults to the theme's blue).
+    pub color: Option<&'static str>,
+    /// Color theme.
+    pub theme: Theme,
+}
+
+impl Default for SparklineConfig {
+    fn default() -> Self {
+        SparklineConfig { width: 120.0, height: 28.0, color: None, theme: Theme::default() }
+    }
+}
+
+/// Renders a value series as a sparkline. Scales from 0 to the series max
+/// (a support series is a count — zero-anchored scaling is the honest one).
+/// Empty input yields just the baseline.
+pub fn sparkline_svg(values: &[f64], config: &SparklineConfig) -> SvgDoc {
+    let theme = config.theme;
+    let color = config.color.unwrap_or(theme.series_blue);
+    let mut doc = SvgDoc::new(config.width, config.height, theme.surface);
+    let pad = 3.0;
+    let w = config.width - 2.0 * pad;
+    let h = config.height - 2.0 * pad;
+    let baseline_y = pad + h;
+
+    doc.line(pad, baseline_y, pad + w, baseline_y, theme.grid, 1.0);
+    if values.is_empty() {
+        return doc;
+    }
+    let max = values.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+    let x_of = |i: usize| {
+        if values.len() == 1 {
+            pad + w / 2.0
+        } else {
+            pad + w * i as f64 / (values.len() - 1) as f64
+        }
+    };
+    let y_of = |v: f64| baseline_y - (v / max).clamp(0.0, 1.0) * h;
+
+    // Polyline as successive segments (2px stroke).
+    for i in 1..values.len() {
+        doc.line(x_of(i - 1), y_of(values[i - 1]), x_of(i), y_of(values[i]), color, 2.0);
+    }
+    // Endpoint marker with a surface ring, titled with the whole series.
+    let last = values.len() - 1;
+    let title = format!(
+        "series: {}",
+        values.iter().map(|v| format!("{v:.0}")).collect::<Vec<_>>().join(" -> ")
+    );
+    doc.circle(
+        x_of(last),
+        y_of(values[last]),
+        3.0,
+        color,
+        Some((theme.surface, 2.0)),
+        Some(&title),
+    );
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_segments_and_endpoint() {
+        let svg = sparkline_svg(&[1.0, 3.0, 2.0, 5.0], &SparklineConfig::default()).render();
+        // Baseline + 3 segments = 4 lines; 1 endpoint circle with title.
+        assert_eq!(svg.matches("<line").count(), 4);
+        assert_eq!(svg.matches("<circle").count(), 1);
+        assert!(svg.contains("1 -&gt; 3 -&gt; 2 -&gt; 5"));
+    }
+
+    #[test]
+    fn empty_series_is_just_baseline() {
+        let svg = sparkline_svg(&[], &SparklineConfig::default()).render();
+        assert_eq!(svg.matches("<line").count(), 1);
+        assert_eq!(svg.matches("<circle").count(), 0);
+    }
+
+    #[test]
+    fn single_point_gets_a_marker() {
+        let svg = sparkline_svg(&[7.0], &SparklineConfig::default()).render();
+        assert_eq!(svg.matches("<circle").count(), 1);
+        assert_eq!(svg.matches("<line").count(), 1);
+    }
+
+    #[test]
+    fn values_scale_within_canvas() {
+        let cfg = SparklineConfig::default();
+        let doc = sparkline_svg(&[0.0, 100.0, 50.0], &cfg);
+        let svg = doc.render();
+        // The peak (100) must sit at the top pad (y = 3), the zero at the
+        // baseline (y = height - 3 = 25).
+        assert!(svg.contains("y2=\"3\"") || svg.contains("y1=\"3\""), "{svg}");
+        assert!(svg.contains("25"), "{svg}");
+    }
+
+    #[test]
+    fn custom_color_and_dark_theme() {
+        let cfg = SparklineConfig {
+            color: Some("#d95926"),
+            theme: crate::theme::DARK,
+            ..Default::default()
+        };
+        let svg = sparkline_svg(&[1.0, 2.0], &cfg).render();
+        assert!(svg.contains("#d95926"));
+        assert!(svg.contains("#1a1a19"));
+    }
+}

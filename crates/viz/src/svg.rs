@@ -1,0 +1,355 @@
+//! A minimal, dependency-free SVG document builder.
+//!
+//! Only the primitives the MARAS figures need: circles, annular-sector
+//! paths, rounded-top bars, lines, text, and `<title>` hover hints. All
+//! text content and attribute values are XML-escaped at the call boundary.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+/// Escapes a string for use in XML text or attribute context.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_num(v: f64) -> String {
+    // Two decimals is plenty for screen coordinates and keeps files small.
+    let r = (v * 100.0).round() / 100.0;
+    if r == r.trunc() {
+        format!("{}", r as i64)
+    } else {
+        format!("{r}")
+    }
+}
+
+impl SvgDoc {
+    /// Creates a document with a background rect in the given fill.
+    pub fn new(width: f64, height: f64, background: &str) -> Self {
+        let mut doc = SvgDoc { width, height, body: String::new() };
+        let _ = write!(
+            doc.body,
+            r#"<rect x="0" y="0" width="{}" height="{}" fill="{}"/>"#,
+            fmt_num(width),
+            fmt_num(height),
+            escape(background)
+        );
+        doc
+    }
+
+    /// Document width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// A filled circle with an optional stroke and hover title.
+    #[allow(clippy::too_many_arguments)]
+    pub fn circle(
+        &mut self,
+        cx: f64,
+        cy: f64,
+        r: f64,
+        fill: &str,
+        stroke: Option<(&str, f64)>,
+        title: Option<&str>,
+    ) {
+        let _ = write!(
+            self.body,
+            r#"<circle cx="{}" cy="{}" r="{}" fill="{}""#,
+            fmt_num(cx),
+            fmt_num(cy),
+            fmt_num(r),
+            escape(fill)
+        );
+        if let Some((color, w)) = stroke {
+            let _ = write!(
+                self.body,
+                r#" stroke="{}" stroke-width="{}""#,
+                escape(color),
+                fmt_num(w)
+            );
+        }
+        self.close_element("circle", title);
+    }
+
+    /// An annular sector (ring segment) between `r_inner` and `r_outer`,
+    /// from `start_angle` to `end_angle` (radians, 0 at 3 o'clock, clockwise
+    /// in screen space).
+    #[allow(clippy::too_many_arguments)]
+    pub fn annular_sector(
+        &mut self,
+        cx: f64,
+        cy: f64,
+        r_inner: f64,
+        r_outer: f64,
+        start_angle: f64,
+        end_angle: f64,
+        fill: &str,
+        stroke: Option<(&str, f64)>,
+        title: Option<&str>,
+    ) {
+        let (x0o, y0o) = polar(cx, cy, r_outer, start_angle);
+        let (x1o, y1o) = polar(cx, cy, r_outer, end_angle);
+        let (x0i, y0i) = polar(cx, cy, r_inner, start_angle);
+        let (x1i, y1i) = polar(cx, cy, r_inner, end_angle);
+        let large = if (end_angle - start_angle).abs() > std::f64::consts::PI { 1 } else { 0 };
+        let d = format!(
+            "M {} {} A {} {} 0 {large} 1 {} {} L {} {} A {} {} 0 {large} 0 {} {} Z",
+            fmt_num(x0o),
+            fmt_num(y0o),
+            fmt_num(r_outer),
+            fmt_num(r_outer),
+            fmt_num(x1o),
+            fmt_num(y1o),
+            fmt_num(x1i),
+            fmt_num(y1i),
+            fmt_num(r_inner),
+            fmt_num(r_inner),
+            fmt_num(x0i),
+            fmt_num(y0i),
+        );
+        let _ = write!(self.body, r#"<path d="{}" fill="{}""#, d, escape(fill));
+        if let Some((color, w)) = stroke {
+            let _ = write!(
+                self.body,
+                r#" stroke="{}" stroke-width="{}" stroke-linejoin="round""#,
+                escape(color),
+                fmt_num(w)
+            );
+        }
+        self.close_element("path", title);
+    }
+
+    /// A bar with a rounded data-end (top for vertical bars), anchored flat
+    /// at the baseline.
+    #[allow(clippy::too_many_arguments)]
+    pub fn bar_rounded_top(
+        &mut self,
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+        radius: f64,
+        fill: &str,
+        title: Option<&str>,
+    ) {
+        let r = radius.min(w / 2.0).min(h);
+        let d = format!(
+            "M {} {} L {} {} Q {} {} {} {} L {} {} Q {} {} {} {} L {} {} Z",
+            fmt_num(x),
+            fmt_num(y + h),
+            fmt_num(x),
+            fmt_num(y + r),
+            fmt_num(x),
+            fmt_num(y),
+            fmt_num(x + r),
+            fmt_num(y),
+            fmt_num(x + w - r),
+            fmt_num(y),
+            fmt_num(x + w),
+            fmt_num(y),
+            fmt_num(x + w),
+            fmt_num(y + r),
+            fmt_num(x + w),
+            fmt_num(y + h),
+        );
+        let _ = write!(self.body, r#"<path d="{}" fill="{}""#, d, escape(fill));
+        self.close_element("path", title);
+    }
+
+    /// A straight line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = write!(
+            self.body,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{}" stroke-width="{}"/>"#,
+            fmt_num(x1),
+            fmt_num(y1),
+            fmt_num(x2),
+            fmt_num(y2),
+            escape(stroke),
+            fmt_num(width)
+        );
+    }
+
+    /// Text with the given anchor (`start`/`middle`/`end`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn text(
+        &mut self,
+        x: f64,
+        y: f64,
+        content: &str,
+        size: f64,
+        fill: &str,
+        anchor: &str,
+        bold: bool,
+    ) {
+        let weight = if bold { " font-weight=\"600\"" } else { "" };
+        let _ = write!(
+            self.body,
+            r#"<text x="{}" y="{}" font-family="system-ui, sans-serif" font-size="{}" fill="{}" text-anchor="{}"{}>{}</text>"#,
+            fmt_num(x),
+            fmt_num(y),
+            fmt_num(size),
+            escape(fill),
+            escape(anchor),
+            weight,
+            escape(content)
+        );
+    }
+
+    /// A plain (unrounded) rect, for legend swatches.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        let _ = write!(
+            self.body,
+            r#"<rect x="{}" y="{}" width="{}" height="{}" fill="{}"/>"#,
+            fmt_num(x),
+            fmt_num(y),
+            fmt_num(w),
+            fmt_num(h),
+            escape(fill)
+        );
+    }
+
+    /// Embeds another document's body translated to `(x, y)` — how the
+    /// panoramagram composes per-cluster glyphs.
+    pub fn embed(&mut self, other: &SvgDoc, x: f64, y: f64) {
+        let _ = write!(
+            self.body,
+            r#"<g transform="translate({},{})">{}</g>"#,
+            fmt_num(x),
+            fmt_num(y),
+            other.body
+        );
+    }
+
+    fn close_element(&mut self, element: &str, title: Option<&str>) {
+        match title {
+            Some(t) => {
+                let _ = write!(self.body, "><title>{}</title></{element}>", escape(t));
+            }
+            None => self.body.push_str("/>"),
+        }
+    }
+
+    /// Serializes the document.
+    pub fn render(&self) -> String {
+        format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">{}</svg>"#,
+            fmt_num(self.width),
+            fmt_num(self.height),
+            fmt_num(self.width),
+            fmt_num(self.height),
+            self.body
+        )
+    }
+
+    /// Writes the document to a file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+fn polar(cx: f64, cy: f64, r: f64, angle: f64) -> (f64, f64) {
+    (cx + r * angle.cos(), cy + r * angle.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_produces_valid_envelope() {
+        let doc = SvgDoc::new(100.0, 50.0, "#ffffff");
+        let s = doc.render();
+        assert!(s.starts_with("<svg "));
+        assert!(s.ends_with("</svg>"));
+        assert!(s.contains(r#"viewBox="0 0 100 50""#));
+    }
+
+    #[test]
+    fn escape_handles_xml_specials() {
+        assert_eq!(escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn circle_without_title_self_closes() {
+        let mut doc = SvgDoc::new(10.0, 10.0, "#fff");
+        doc.circle(5.0, 5.0, 2.0, "#123456", None, None);
+        assert!(doc.render().contains(r##"<circle cx="5" cy="5" r="2" fill="#123456"/>"##));
+    }
+
+    #[test]
+    fn bar_and_line_and_text_render() {
+        let mut doc = SvgDoc::new(100.0, 100.0, "#fff");
+        doc.bar_rounded_top(10.0, 20.0, 8.0, 30.0, 4.0, "#2a78d6", None);
+        doc.line(0.0, 50.0, 100.0, 50.0, "#e5e4e0", 1.0);
+        doc.text(50.0, 95.0, "label & more", 10.0, "#0b0b0b", "middle", false);
+        let s = doc.render();
+        assert!(s.contains("<path d=\"M 10 50"));
+        assert!(s.contains("<line "));
+        assert!(s.contains("label &amp; more"));
+    }
+
+    #[test]
+    fn annular_sector_path_is_closed() {
+        let mut doc = SvgDoc::new(100.0, 100.0, "#fff");
+        doc.annular_sector(
+            50.0,
+            50.0,
+            10.0,
+            20.0,
+            -std::f64::consts::FRAC_PI_2,
+            0.0,
+            "#2a78d6",
+            Some(("#fcfcfb", 2.0)),
+            None,
+        );
+        let s = doc.render();
+        assert!(s.contains(" Z\""), "{s}");
+        assert!(s.contains("stroke-width=\"2\""));
+    }
+
+    #[test]
+    fn embed_translates_child() {
+        let mut parent = SvgDoc::new(200.0, 200.0, "#fff");
+        let mut child = SvgDoc::new(50.0, 50.0, "#eee");
+        child.circle(25.0, 25.0, 5.0, "#000", None, None);
+        parent.embed(&child, 100.0, 20.0);
+        assert!(parent.render().contains(r#"transform="translate(100,20)""#));
+    }
+
+    #[test]
+    fn numbers_are_compact() {
+        assert_eq!(fmt_num(10.0), "10");
+        assert_eq!(fmt_num(10.456), "10.46");
+        assert_eq!(fmt_num(-0.5), "-0.5");
+    }
+}

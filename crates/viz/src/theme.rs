@@ -1,0 +1,141 @@
+//! Light/dark chart themes.
+//!
+//! Dark mode is *selected*, not auto-inverted: its steps come from the same
+//! validated ramps, chosen for the dark surface (OKLCH L ≈ 0.48–0.67 band,
+//! ≥ 2:1 against `#1a1a19` for ordinal marks). The ordinal window therefore
+//! *shifts* between modes — light mode may use the darkest steps, dark mode
+//! may use the lightest — rather than flipping.
+
+/// A chart theme: every color role the MARAS figures use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Theme {
+    /// Chart surface.
+    pub surface: &'static str,
+    /// Primary ink (titles, values).
+    pub text_primary: &'static str,
+    /// Secondary ink (axis labels, captions).
+    pub text_secondary: &'static str,
+    /// Recessive grid stroke.
+    pub grid: &'static str,
+    /// Accent for the evaluated (target) rule — orange slot.
+    pub target: &'static str,
+    /// Categorical slot 1 (blue).
+    pub series_blue: &'static str,
+    /// Categorical slot 2 (aqua).
+    pub series_aqua: &'static str,
+    /// Blue ordinal ramp (light→dark), windowed for this surface.
+    pub blue_ordinal: &'static [&'static str],
+}
+
+/// Light-mode window: steps 250–700 (all ≥ 2:1 on `#fcfcfb`).
+const BLUE_ORDINAL_LIGHT: [&str; 10] = [
+    "#86b6ef", "#6da7ec", "#5598e7", "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95",
+    "#104281", "#0d366b",
+];
+
+/// Dark-mode window: steps 100–600 (no darker than 600, which still clears
+/// 2:1 on `#1a1a19`; the lightest steps carry the small-cardinality levels).
+const BLUE_ORDINAL_DARK: [&str; 10] = [
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7", "#3987e5", "#256abf",
+    "#1c5cab", "#184f95",
+];
+
+/// The light theme (reference palette, light column).
+pub const LIGHT: Theme = Theme {
+    surface: "#fcfcfb",
+    text_primary: "#0b0b0b",
+    text_secondary: "#52514e",
+    grid: "#e5e4e0",
+    target: "#eb6834",
+    series_blue: "#2a78d6",
+    series_aqua: "#1baf7a",
+    blue_ordinal: &BLUE_ORDINAL_LIGHT,
+};
+
+/// The dark theme (reference palette, dark column).
+pub const DARK: Theme = Theme {
+    surface: "#1a1a19",
+    text_primary: "#ffffff",
+    text_secondary: "#c3c2b7",
+    grid: "#343432",
+    target: "#d95926",
+    series_blue: "#3987e5",
+    series_aqua: "#199e70",
+    blue_ordinal: &BLUE_ORDINAL_DARK,
+};
+
+impl Default for Theme {
+    fn default() -> Self {
+        LIGHT
+    }
+}
+
+impl Theme {
+    /// Color for context level `level_index` of `n_levels`, darker for
+    /// larger antecedent cardinality (thesis: "the darker the larger").
+    /// `level_index` 0 is the largest cardinality, matching `Mcac::levels`.
+    pub fn level_color(&self, level_index: usize, n_levels: usize) -> &'static str {
+        assert!(n_levels >= 1 && level_index < n_levels);
+        let n = self.blue_ordinal.len();
+        if n_levels == 1 {
+            return self.blue_ordinal[n / 2];
+        }
+        let pos = (n_levels - 1 - level_index) as f64 / (n_levels - 1) as f64;
+        let idx = (pos * (n - 1) as f64).round() as usize;
+        self.blue_ordinal[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_light() {
+        assert_eq!(Theme::default(), LIGHT);
+    }
+
+    #[test]
+    fn dark_is_not_an_inversion() {
+        // Dark target/ordinal steps are *selected* values, distinct from
+        // both the light values and any trivial transform of them.
+        assert_ne!(DARK.target, LIGHT.target);
+        assert_ne!(DARK.blue_ordinal[0], LIGHT.blue_ordinal[0]);
+        // Shared steps exist because the window shifted, not flipped.
+        assert!(DARK.blue_ordinal.contains(&LIGHT.blue_ordinal[0]));
+    }
+
+    #[test]
+    fn level_color_monotone_in_both_themes() {
+        for theme in [LIGHT, DARK] {
+            let idx =
+                |c: &str| theme.blue_ordinal.iter().position(|&x| x == c).expect("from ramp");
+            for n in 2..=6 {
+                let picked: Vec<usize> =
+                    (0..n).map(|i| idx(theme.level_color(i, n))).collect();
+                assert!(picked.windows(2).all(|w| w[0] > w[1]), "{picked:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_role_is_a_hex_color() {
+        for theme in [LIGHT, DARK] {
+            for c in [
+                theme.surface,
+                theme.text_primary,
+                theme.text_secondary,
+                theme.grid,
+                theme.target,
+                theme.series_blue,
+                theme.series_aqua,
+            ]
+            .into_iter()
+            .chain(theme.blue_ordinal.iter().copied())
+            {
+                assert!(c.starts_with('#') && c.len() == 7, "bad color {c}");
+                assert!(c[1..].chars().all(|ch| ch.is_ascii_hexdigit()));
+            }
+        }
+    }
+}

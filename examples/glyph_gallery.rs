@@ -1,0 +1,52 @@
+//! Glyph gallery: renders the thesis §4 visualizations for the mined
+//! signals — a panoramagram overview, a zoomed contextual glyph, and the
+//! bar-chart baseline — into `target/gallery/`.
+//!
+//! ```sh
+//! cargo run --release --example glyph_gallery
+//! open target/gallery/panoramagram.svg
+//! ```
+
+use maras::core::{Pipeline, PipelineConfig};
+use maras::faers::{QuarterId, SynthConfig, Synthesizer};
+use maras::rules::DrugAdrRule;
+use maras::viz::{glyph_svg, mcac_barchart, panorama_svg, GlyphConfig, PanoramaConfig};
+use std::path::Path;
+
+fn main() -> std::io::Result<()> {
+    let mut synth = Synthesizer::new(SynthConfig::default());
+    let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
+    let (dv, av) = (synth.drug_vocab().clone(), synth.adr_vocab().clone());
+    let result =
+        Pipeline::new(PipelineConfig::default().with_min_support(8)).run(quarter, &dv, &av);
+    assert!(!result.ranked.is_empty(), "no signals mined");
+
+    let namer = |rule: &DrugAdrRule| -> String {
+        let drugs = result.encoded.names(&rule.drugs, &dv, &av);
+        let adrs = result.encoded.names(&rule.adrs, &dv, &av);
+        format!("{} => {}", drugs.join("+"), adrs.join(","))
+    };
+    let dir = Path::new("target/gallery");
+    std::fs::create_dir_all(dir)?;
+
+    // Overview: the ranked list as a small-multiple grid.
+    let top = &result.ranked[..result.ranked.len().min(15)];
+    panorama_svg(top, &PanoramaConfig::default(), Some(&namer))
+        .save(&dir.join("panoramagram.svg"))?;
+
+    // Drill-down: the #1 signal, zoomed with labels, plus its bar-chart
+    // rendition for comparison (the thesis's user study compared exactly
+    // these two).
+    let best = &result.ranked[0];
+    glyph_svg(&best.cluster, &GlyphConfig::zoomed(), Some(&namer))
+        .save(&dir.join("top_signal_zoom.svg"))?;
+    mcac_barchart(&best.cluster, &namer(&best.cluster.target), Some(&namer))
+        .save(&dir.join("top_signal_barchart.svg"))?;
+
+    println!("wrote 3 SVGs to {}:", dir.display());
+    for f in ["panoramagram.svg", "top_signal_zoom.svg", "top_signal_barchart.svg"] {
+        println!("  {f}");
+    }
+    println!("\n#1 signal: {}", namer(&best.cluster.target));
+    Ok(())
+}

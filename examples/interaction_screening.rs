@@ -1,0 +1,93 @@
+//! Interaction screening: the drug-safety-evaluator workflow of thesis
+//! §4.1, headless. Search the mined signals for a specific drug, restrict
+//! to severe and *undocumented* interactions, cross-check against the
+//! disproportionality baselines, and drill down to the raw case reports.
+//!
+//! ```sh
+//! cargo run --release --example interaction_screening [DRUG]
+//! ```
+
+use maras::core::{
+    supporting_reports, KnowledgeBase, Pipeline, PipelineConfig, RuleQuery,
+};
+use maras::faers::{QuarterId, SynthConfig, Synthesizer};
+use maras::signals::{
+    ebgm_from_table, interaction_contrast, ContingencyTable, GammaMixturePrior, SignalScores,
+};
+
+fn main() {
+    let drug = std::env::args().nth(1).unwrap_or_else(|| "PROGRAF".to_string());
+
+    let mut synth = Synthesizer::new(SynthConfig::default());
+    let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
+    let (dv, av) = (synth.drug_vocab().clone(), synth.adr_vocab().clone());
+    let result = Pipeline::new(PipelineConfig::default().with_min_support(8))
+        .run(quarter, &dv, &av);
+    let kb = KnowledgeBase::literature_validated();
+
+    // --- search: all interactions involving the drug --------------------
+    let hits = RuleQuery::new().with_drug(&drug).apply(&result, &dv, &av, None);
+    println!("{} mined interactions involve {drug}", hits.len());
+
+    // --- triage: severe + undocumented only ------------------------------
+    let triage = RuleQuery::new()
+        .with_drug(&drug)
+        .with_min_severity(4) // hospitalization or worse
+        .unknown_only()
+        .apply(&result, &dv, &av, Some(&kb));
+    println!("{} of them are severe and not in the knowledge base\n", triage.len());
+
+    for &rank in hits.iter().take(3) {
+        let ranked = &result.ranked[rank];
+        let rule = &ranked.cluster.target;
+        let view = result.view(rank, &dv, &av);
+        println!("{view}");
+
+        // Known or unknown?
+        let names = result.encoded.names(&rule.drugs, &dv, &av);
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        match kb.lookup(&refs) {
+            Some(known) => println!("  documented: {}", known.source),
+            None => println!("  NOT documented -> candidate for investigation"),
+        }
+
+        // Cross-check with classical pharmacovigilance statistics.
+        let table = ContingencyTable::from_db(&result.encoded.db, &rule.drugs, &rule.adrs);
+        let scores = SignalScores::from_table(table);
+        println!(
+            "  baselines: RRR={:.1} PRR={:.1} [{:.1},{:.1}] ROR={:.1} chi2={:.0} Evans={}",
+            scores.rrr,
+            scores.prr.estimate,
+            scores.prr.lower,
+            scores.prr.upper,
+            scores.ror.estimate,
+            scores.chi2,
+            scores.evans
+        );
+        let contrast = interaction_contrast(&result.encoded.db, &rule.drugs, &rule.adrs);
+        println!("  interaction contrast vs best single drug: {contrast:+.2} bits");
+        let shrunk = ebgm_from_table(&table, &GammaMixturePrior::default());
+        println!(
+            "  MGPS shrinkage: EBGM={:.1} EB05={:.1} -> {}",
+            shrunk.ebgm,
+            shrunk.eb05,
+            if shrunk.is_signal() { "signal (EB05 >= 2)" } else { "below EB05 threshold" }
+        );
+
+        // Drill down to the raw FAERS reports (thesis: "analyze the
+        // original data reports submitted by patients").
+        let reports = supporting_reports(&result, rule);
+        println!("  {} supporting case reports; first two:", reports.len());
+        for report in reports.iter().take(2) {
+            println!(
+                "    case {} age={} sex={} country={} outcomes={:?}",
+                report.case_id,
+                report.age.map_or("?".into(), |a| format!("{a:.0}")),
+                report.sex.code(),
+                report.country,
+                report.outcomes.iter().map(|o| o.code()).collect::<Vec<_>>()
+            );
+        }
+        println!();
+    }
+}

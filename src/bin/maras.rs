@@ -1,0 +1,302 @@
+//! `maras` — command-line front end for the MARAS pipeline.
+//!
+//! ```text
+//! maras generate --out DIR [--reports N] [--seed S]      synthesize a year of quarterly extracts
+//! maras analyze  --dir DIR --quarter 2014Q1 [opts]       run MARAS over one quarter
+//! maras render   --dir DIR --quarter 2014Q1 --out DIR    render panorama + top-glyph SVGs
+//! maras study    [--participants N] [--seed S]           run the simulated user study
+//! maras demo                                             end-to-end demo on in-memory data
+//! ```
+//!
+//! `generate` writes the four FAERS-format ASCII quarters plus
+//! `drug_vocab.txt` / `adr_vocab.txt` (one canonical term per line), which
+//! `analyze` and `render` read back — the same contract a real deployment
+//! would satisfy with RxNorm/MedDRA dictionaries.
+
+use maras::core::{supporting_reports, KnowledgeBase, Pipeline, PipelineConfig};
+use maras::faers::ascii::{read_quarter_dir, write_quarter_dir};
+use maras::faers::{QuarterId, SynthConfig, Synthesizer, Vocabulary};
+use maras::rules::{DrugAdrRule, Measure};
+use maras::study::{appendix_a_battery, run_study, Encoding, StudyConfig};
+use maras::viz::{glyph_svg, panorama_svg, GlyphConfig, PanoramaConfig, Theme, DARK, LIGHT};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, flags) = match parse(&args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "analyze" => cmd_analyze(&flags),
+        "render" => cmd_render(&flags),
+        "report" => cmd_report(&flags),
+        "study" => cmd_study(&flags),
+        "demo" => cmd_demo(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+maras - multi-drug adverse reaction analytics
+
+USAGE:
+  maras generate --out DIR [--reports N] [--seed S]
+  maras analyze  --dir DIR --quarter 2014Q1 [--min-support N] [--top K]
+                 [--measure confidence|lift] [--theta T] [--drug NAME]
+                 [--unknown-only] [--novel-adr-only] [--json FILE]
+  maras render   --dir DIR --quarter 2014Q1 [--out DIR] [--top K] [--dark]
+  maras report   --dir DIR --quarter 2014Q1 [--out FILE.html] [--top K]
+  maras study    [--participants N] [--seed S]
+  maras demo";
+
+type Flags = HashMap<String, String>;
+
+fn parse(args: &[String]) -> Result<(String, Flags), String> {
+    let command = args.first().cloned().ok_or("missing command")?;
+    let mut flags = HashMap::new();
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+        // Boolean flags take no value.
+        if flag == "unknown-only" || flag == "dark" || flag == "novel-adr-only" {
+            flags.insert(flag.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = args.get(i + 1).ok_or_else(|| format!("--{flag} needs a value"))?;
+        flags.insert(flag.to_string(), value.clone());
+        i += 2;
+    }
+    Ok((command, flags))
+}
+
+fn flag<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
+    flags.get(name).map(String::as_str).ok_or_else(|| format!("missing required --{name}"))
+}
+
+fn flag_num<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse {v:?}")),
+    }
+}
+
+fn parse_quarter(s: &str) -> Result<QuarterId, String> {
+    // "2014Q1" or "2014q1"
+    let s = s.to_ascii_uppercase();
+    let (year, q) = s.split_once('Q').ok_or_else(|| format!("bad quarter {s:?}, want 2014Q1"))?;
+    let year: u16 = year.parse().map_err(|_| format!("bad year in {s:?}"))?;
+    let q: u8 = q.parse().map_err(|_| format!("bad quarter number in {s:?}"))?;
+    if !(1..=4).contains(&q) {
+        return Err(format!("quarter must be 1-4, got {q}"));
+    }
+    Ok(QuarterId::new(year, q))
+}
+
+fn write_vocab(path: &Path, vocab: &Vocabulary) -> Result<(), String> {
+    let mut out = String::new();
+    for (_, term) in vocab.iter() {
+        out.push_str(term);
+        out.push('\n');
+    }
+    std::fs::write(path, out).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+fn read_vocab(path: &Path) -> Result<Vocabulary, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Ok(Vocabulary::from_terms(text.lines().map(str::to_string)))
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let out = PathBuf::from(flag(flags, "out")?);
+    let reports: usize = flag_num(flags, "reports", 5_000)?;
+    let seed: u64 = flag_num(flags, "seed", 2014)?;
+    let config = SynthConfig { n_reports: reports, seed, ..SynthConfig::default() };
+    let mut synth = Synthesizer::new(config);
+    std::fs::create_dir_all(&out).map_err(|e| format!("mkdir {}: {e}", out.display()))?;
+    for quarter in synth.generate_year(2014) {
+        write_quarter_dir(&out, &quarter).map_err(|e| format!("write quarter: {e}"))?;
+        println!("wrote {} ({} reports)", quarter.id, quarter.reports.len());
+    }
+    write_vocab(&out.join("drug_vocab.txt"), synth.drug_vocab())?;
+    write_vocab(&out.join("adr_vocab.txt"), synth.adr_vocab())?;
+    println!("wrote vocabularies to {}", out.display());
+    Ok(())
+}
+
+fn load(dir: &Path, id: QuarterId) -> Result<(maras::faers::QuarterData, Vocabulary, Vocabulary), String> {
+    let quarter = read_quarter_dir(dir, id).map_err(|e| format!("read quarter: {e}"))?;
+    let dv = read_vocab(&dir.join("drug_vocab.txt"))?;
+    let av = read_vocab(&dir.join("adr_vocab.txt"))?;
+    Ok((quarter, dv, av))
+}
+
+fn pipeline_config(flags: &Flags) -> Result<PipelineConfig, String> {
+    let mut config = PipelineConfig::default()
+        .with_min_support(flag_num(flags, "min-support", 6u64)?)
+        .with_theta(flag_num(flags, "theta", 0.5f64)?);
+    match flags.get("measure").map(String::as_str) {
+        None | Some("confidence") => {}
+        Some("lift") => config.exclusiveness.measure = Measure::Lift,
+        Some(other) => return Err(format!("--measure must be confidence or lift, got {other:?}")),
+    }
+    Ok(config)
+}
+
+fn cmd_analyze(flags: &Flags) -> Result<(), String> {
+    let dir = PathBuf::from(flag(flags, "dir")?);
+    let id = parse_quarter(flag(flags, "quarter")?)?;
+    let top: usize = flag_num(flags, "top", 15)?;
+    let (quarter, dv, av) = load(&dir, id)?;
+    let result = Pipeline::new(pipeline_config(flags)?).run(quarter, &dv, &av);
+
+    println!(
+        "{id}: {} reports -> {} cleaned -> {} MCACs ({} total splits, {} drug->ADR rules)",
+        result.cleaning.input_reports,
+        result.cleaning.output_reports,
+        result.counts.mcacs,
+        result.counts.total_rules,
+        result.counts.filtered_rules,
+    );
+
+    // Optional drug / novelty filters (§4.1 search panel).
+    let mut query = maras::core::RuleQuery::new();
+    if let Some(drug) = flags.get("drug") {
+        query = query.with_drug(drug);
+    }
+    let kb = KnowledgeBase::literature_validated();
+    if flags.contains_key("unknown-only") {
+        query = query.unknown_only();
+    }
+    if flags.contains_key("novel-adr-only") {
+        query = query.novel_adr_only();
+    }
+    let hits = query.apply(&result, &dv, &av, Some(&kb));
+
+    let mut views = Vec::new();
+    for &rank in hits.iter().take(top) {
+        let view = result.view(rank, &dv, &av);
+        println!("{view}");
+        views.push(view);
+    }
+    if let Some(json_path) = flags.get("json") {
+        let json = serde_json::to_string_pretty(&views).map_err(|e| e.to_string())?;
+        std::fs::write(json_path, json).map_err(|e| format!("write {json_path}: {e}"))?;
+        println!("wrote JSON to {json_path}");
+    }
+    Ok(())
+}
+
+fn cmd_render(flags: &Flags) -> Result<(), String> {
+    let dir = PathBuf::from(flag(flags, "dir")?);
+    let id = parse_quarter(flag(flags, "quarter")?)?;
+    let out = PathBuf::from(flags.get("out").cloned().unwrap_or_else(|| "figures".into()));
+    let top: usize = flag_num(flags, "top", 15)?;
+    let (quarter, dv, av) = load(&dir, id)?;
+    let result = Pipeline::new(pipeline_config(flags)?).run(quarter, &dv, &av);
+    if result.ranked.is_empty() {
+        return Err("no clusters mined".into());
+    }
+    let namer = |rule: &DrugAdrRule| -> String {
+        let drugs = result.encoded.names(&rule.drugs, &dv, &av);
+        let adrs = result.encoded.names(&rule.adrs, &dv, &av);
+        format!("{} => {}", drugs.join("+"), adrs.join(","))
+    };
+    std::fs::create_dir_all(&out).map_err(|e| format!("mkdir {}: {e}", out.display()))?;
+    let theme: Theme = if flags.contains_key("dark") { DARK } else { LIGHT };
+    let n = result.ranked.len().min(top);
+    panorama_svg(
+        &result.ranked[..n],
+        &PanoramaConfig { theme, ..Default::default() },
+        Some(&namer),
+    )
+    .save(&out.join("panoramagram.svg"))
+    .map_err(|e| e.to_string())?;
+    glyph_svg(
+        &result.ranked[0].cluster,
+        &GlyphConfig { theme, ..GlyphConfig::zoomed() },
+        Some(&namer),
+    )
+    .save(&out.join("top_glyph.svg"))
+    .map_err(|e| e.to_string())?;
+    println!("wrote panoramagram.svg and top_glyph.svg to {}", out.display());
+    Ok(())
+}
+
+fn cmd_report(flags: &Flags) -> Result<(), String> {
+    let dir = PathBuf::from(flag(flags, "dir")?);
+    let id = parse_quarter(flag(flags, "quarter")?)?;
+    let out = PathBuf::from(flags.get("out").cloned().unwrap_or_else(|| "report.html".into()));
+    let top: usize = flag_num(flags, "top", 25)?;
+    let (quarter, dv, av) = load(&dir, id)?;
+    let result = Pipeline::new(pipeline_config(flags)?).run(quarter, &dv, &av);
+    let kb = KnowledgeBase::literature_validated();
+    let cfg = maras::report::ReportConfig {
+        top_n: top,
+        title: format!("MARAS report - {id}"),
+        ..Default::default()
+    };
+    let html = maras::report::html_report(&result, &dv, &av, &kb, &cfg);
+    std::fs::write(&out, html).map_err(|e| format!("write {}: {e}", out.display()))?;
+    println!("wrote {} ({} signals)", out.display(), result.ranked.len().min(top));
+    Ok(())
+}
+
+fn cmd_study(flags: &Flags) -> Result<(), String> {
+    let n: usize = flag_num(flags, "participants", 50)?;
+    let seed: u64 = flag_num(flags, "seed", 2016)?;
+    let battery = appendix_a_battery(seed);
+    let results =
+        run_study(&battery, &StudyConfig { n_participants: n, seed, ..Default::default() });
+    println!("{:<16} {:>18} {:>10}", "drugs", "contextual glyph", "barchart");
+    for (count, label) in [(2usize, "two"), (3, "three"), (4, "four")] {
+        println!(
+            "{:<16} {:>17.0}% {:>9.0}%",
+            label,
+            results.percent_correct(count, Encoding::ContextualGlyph),
+            results.percent_correct(count, Encoding::BarChart)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    let mut synth = Synthesizer::new(SynthConfig::default());
+    let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
+    let result = Pipeline::new(PipelineConfig::default().with_min_support(8)).run(
+        quarter,
+        synth.drug_vocab(),
+        synth.adr_vocab(),
+    );
+    println!("top 5 drug-drug-interaction signals:");
+    for view in result.views(5, synth.drug_vocab(), synth.adr_vocab()) {
+        println!("  {view}");
+    }
+    if let Some(top) = result.ranked.first() {
+        let n = supporting_reports(&result, &top.cluster.target).len();
+        println!("\n#1 is supported by {n} raw case reports (drill down via `analyze --json`)");
+    }
+    Ok(())
+}

@@ -1,0 +1,386 @@
+//! Self-contained HTML surveillance report — the shippable equivalent of
+//! the thesis's §4.1 interactive interface.
+//!
+//! One `.html` file, no external assets: inline CSS (light *and* dark mode
+//! via `prefers-color-scheme`, both from the validated palette), the
+//! panoramagram and per-signal contextual glyphs embedded as inline SVG,
+//! a ranked signal table with a client-side text filter, and a drill-down
+//! `<details>` per signal listing its supporting raw case reports — every
+//! §4.1 capability (search, severity, known/unknown flags, report
+//! drill-down), minus only the mouse-driven server round-trips.
+
+use maras_core::link::rule_max_severity;
+use maras_core::{supporting_reports, AnalysisResult, KnowledgeBase, TrendTracker};
+use maras_faers::Vocabulary;
+use maras_rules::DrugAdrRule;
+use maras_viz::{
+    glyph_svg, panorama_svg, sparkline_svg, svg::escape, GlyphConfig, PanoramaConfig,
+    SparklineConfig,
+};
+
+/// Report options.
+#[derive(Debug, Clone)]
+pub struct ReportConfig {
+    /// How many ranked signals to include.
+    pub top_n: usize,
+    /// How many supporting case reports to list per signal.
+    pub max_reports_per_signal: usize,
+    /// Report title.
+    pub title: String,
+}
+
+impl Default for ReportConfig {
+    fn default() -> Self {
+        ReportConfig {
+            top_n: 25,
+            max_reports_per_signal: 8,
+            title: "MARAS drug-drug interaction report".to_string(),
+        }
+    }
+}
+
+/// Renders the analysis as a single self-contained HTML page.
+pub fn html_report(
+    result: &AnalysisResult,
+    drug_vocab: &Vocabulary,
+    adr_vocab: &Vocabulary,
+    kb: &KnowledgeBase,
+    config: &ReportConfig,
+) -> String {
+    html_report_with_trends(result, drug_vocab, adr_vocab, kb, config, None)
+}
+
+/// [`html_report`] plus a *trend* column: when a [`TrendTracker`] covering
+/// earlier quarters is supplied, each signal row gets a support sparkline.
+pub fn html_report_with_trends(
+    result: &AnalysisResult,
+    drug_vocab: &Vocabulary,
+    adr_vocab: &Vocabulary,
+    kb: &KnowledgeBase,
+    config: &ReportConfig,
+    trends: Option<&TrendTracker>,
+) -> String {
+    let namer = |rule: &DrugAdrRule| -> String {
+        let drugs = result.encoded.names(&rule.drugs, drug_vocab, adr_vocab);
+        let adrs = result.encoded.names(&rule.adrs, drug_vocab, adr_vocab);
+        format!("{} => {}", drugs.join("+"), adrs.join(","))
+    };
+
+    let n = result.ranked.len().min(config.top_n);
+    let mut html = String::with_capacity(256 * 1024);
+    html.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    html.push_str(&format!("<title>{}</title>\n", escape(&config.title)));
+    html.push_str(STYLE);
+    html.push_str("</head>\n<body>\n");
+
+    // ---- header & funnel stats ------------------------------------------
+    html.push_str(&format!("<h1>{}</h1>\n", escape(&config.title)));
+    let c = result.counts;
+    html.push_str(&format!(
+        "<p class=\"meta\">{quarter} · {input} raw reports → {cleaned} cleaned cases → \
+         {total} rule splits → {filtered} drug→ADR rules → <strong>{mcacs} multi-drug \
+         signals</strong></p>\n",
+        quarter = result.quarter.id,
+        input = result.cleaning.input_reports,
+        cleaned = result.cleaning.output_reports,
+        total = c.total_rules,
+        filtered = c.filtered_rules,
+        mcacs = c.mcacs,
+    ));
+
+    // ---- panorama overview ------------------------------------------------
+    if n > 0 {
+        html.push_str("<section>\n<h2>Overview</h2>\n<div class=\"panorama\">\n");
+        let pano = panorama_svg(
+            &result.ranked[..n.min(15)],
+            &PanoramaConfig { title: String::new(), ..Default::default() },
+            Some(&namer),
+        );
+        html.push_str(&pano.render());
+        html.push_str("\n</div>\n</section>\n");
+    }
+
+    // ---- signal table ------------------------------------------------------
+    html.push_str("<section>\n<h2>Ranked signals</h2>\n");
+    html.push_str(
+        "<input id=\"filter\" type=\"search\" placeholder=\"filter by drug or reaction…\" \
+         oninput=\"filterRows(this.value)\">\n",
+    );
+    let trend_header = if trends.is_some() { "<th>trend</th>" } else { "" };
+    html.push_str(&format!(
+        "<table id=\"signals\">\n<thead><tr><th>#</th><th>drugs</th><th>reactions</th>\
+         <th>score</th><th>support</th><th>conf</th><th>lift</th>{trend_header}<th>flags</th></tr></thead>\n<tbody>\n",
+    ));
+    for (i, r) in result.ranked.iter().take(n).enumerate() {
+        let t = &r.cluster.target;
+        let drugs = result.encoded.names(&t.drugs, drug_vocab, adr_vocab);
+        let adrs = result.encoded.names(&t.adrs, drug_vocab, adr_vocab);
+        let drug_refs: Vec<&str> = drugs.iter().map(String::as_str).collect();
+        let known = kb.lookup(&drug_refs);
+        let severity = rule_max_severity(result, t);
+        let mut flags = String::new();
+        match known {
+            Some(entry) => flags.push_str(&format!(
+                "<span class=\"badge known\" title=\"{}\">documented</span>",
+                escape(&entry.source)
+            )),
+            None => flags.push_str("<span class=\"badge novel\">not documented</span>"),
+        }
+        if let Some(outcome) = severity {
+            if outcome.severity() >= 5 {
+                flags.push_str(&format!(
+                    "<span class=\"badge severe\">{}</span>",
+                    escape(outcome.code())
+                ));
+            }
+        }
+
+        let trend_cell = match trends {
+            None => String::new(),
+            Some(tracker) => {
+                let spark = tracker
+                    .trend_of(&t.drugs, &t.adrs)
+                    .map(|trend| {
+                        let supports: Vec<f64> =
+                            trend.points.iter().map(|p| p.support as f64).collect();
+                        sparkline_svg(&supports, &SparklineConfig::default()).render()
+                    })
+                    .unwrap_or_default();
+                format!("<td class=\"spark\">{spark}</td>")
+            }
+        };
+        html.push_str(&format!(
+            "<tr class=\"sig\" data-text=\"{key}\"><td>{rank}</td><td>{d}</td><td>{a}</td>\
+             <td>{score:.3}</td><td>{sup}</td><td>{conf:.2}</td><td>{lift:.1}</td>{trend_cell}<td>{flags}</td></tr>\n",
+            key = escape(&format!("{} {}", drugs.join(" "), adrs.join(" ")).to_lowercase()),
+            rank = i + 1,
+            d = escape(&drugs.join(" + ")),
+            a = escape(&adrs.join(", ")),
+            score = r.score,
+            sup = t.support(),
+            conf = t.confidence(),
+            lift = t.lift(),
+        ));
+
+        // Drill-down row: glyph + supporting reports.
+        let colspan = if trends.is_some() { 9 } else { 8 };
+        html.push_str(&format!(
+            "<tr class=\"drill\"><td colspan=\"{colspan}\"><details><summary>context &amp; supporting reports</summary>\n"
+        ));
+        html.push_str("<div class=\"drill-grid\"><div>\n");
+        let glyph = glyph_svg(
+            &r.cluster,
+            &GlyphConfig { size: 240.0, ..Default::default() },
+            Some(&namer),
+        );
+        html.push_str(&glyph.render());
+        html.push_str("</div>\n<div><ul class=\"reports\">\n");
+        for report in supporting_reports(result, t)
+            .into_iter()
+            .take(config.max_reports_per_signal)
+        {
+            html.push_str(&format!(
+                "<li>case {case} · age {age} · {sex} · {country} · outcomes {outcomes} · drugs: {drugs}</li>\n",
+                case = report.case_id,
+                age = report.age.map_or("?".to_string(), |x| format!("{x:.0}")),
+                sex = report.sex.code(),
+                country = escape(&report.country),
+                outcomes = report
+                    .outcomes
+                    .iter()
+                    .map(|o| o.code())
+                    .collect::<Vec<_>>()
+                    .join("/"),
+                drugs = escape(
+                    &report.drugs.iter().map(|d| d.name.as_str()).collect::<Vec<_>>().join("; ")
+                ),
+            ));
+        }
+        let total_support = t.support() as usize;
+        if total_support > config.max_reports_per_signal {
+            html.push_str(&format!(
+                "<li class=\"more\">… and {} more reports</li>\n",
+                total_support - config.max_reports_per_signal
+            ));
+        }
+        html.push_str("</ul></div></div>\n</details></td></tr>\n");
+    }
+    html.push_str("</tbody>\n</table>\n</section>\n");
+    html.push_str(SCRIPT);
+    html.push_str("</body>\n</html>\n");
+    html
+}
+
+/// Inline stylesheet: palette tokens by role, dark mode selected via media
+/// query (same values as `maras_viz::theme`).
+const STYLE: &str = r#"<style>
+:root {
+  --surface: #fcfcfb; --surface-2: #f2f1ee;
+  --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --grid: #e5e4e0; --accent: #eb6834; --blue: #2a78d6; --aqua: #1baf7a;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --surface-2: #232322;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --grid: #343432; --accent: #d95926; --blue: #3987e5; --aqua: #199e70;
+  }
+}
+body { font-family: system-ui, sans-serif; background: var(--surface);
+       color: var(--text-primary); margin: 2rem auto; max-width: 1100px; padding: 0 1rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+.meta { color: var(--text-secondary); }
+.panorama svg { max-width: 100%; height: auto; border: 1px solid var(--grid); border-radius: 6px; }
+#filter { width: 100%; padding: .5rem .75rem; margin: .5rem 0 1rem; border: 1px solid var(--grid);
+          border-radius: 6px; background: var(--surface-2); color: var(--text-primary); }
+table { border-collapse: collapse; width: 100%; font-size: .9rem; }
+th { text-align: left; color: var(--text-secondary); font-weight: 600;
+     border-bottom: 2px solid var(--grid); padding: .4rem .5rem; }
+td { border-bottom: 1px solid var(--grid); padding: .4rem .5rem; vertical-align: top; }
+tr.drill td { border-bottom: 1px solid var(--grid); background: var(--surface-2); }
+details summary { cursor: pointer; color: var(--text-secondary); }
+.drill-grid { display: flex; gap: 1.5rem; flex-wrap: wrap; padding: .75rem 0; }
+.reports { margin: 0; padding-left: 1.2rem; color: var(--text-secondary); }
+.reports .more { font-style: italic; }
+.badge { display: inline-block; border-radius: 4px; padding: .05rem .45rem; font-size: .75rem;
+         margin-right: .3rem; border: 1px solid var(--grid); }
+.badge.known { color: var(--text-secondary); }
+.badge.novel { color: var(--surface); background: var(--blue); border-color: var(--blue); }
+.badge.severe { color: var(--surface); background: var(--accent); border-color: var(--accent); }
+</style>
+"#;
+
+/// Minimal client-side filter: hides table rows (and their drill-down row)
+/// that don't match the query.
+const SCRIPT: &str = r#"<script>
+function filterRows(q) {
+  q = q.toLowerCase();
+  const rows = document.querySelectorAll('#signals tbody tr.sig');
+  rows.forEach(row => {
+    const show = row.dataset.text.includes(q);
+    row.style.display = show ? '' : 'none';
+    const drill = row.nextElementSibling;
+    if (drill && drill.classList.contains('drill')) {
+      drill.style.display = show ? '' : 'none';
+    }
+  });
+}
+</script>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maras_core::{Pipeline, PipelineConfig};
+    use maras_faers::{QuarterId, SynthConfig, Synthesizer};
+
+    fn fixture() -> (AnalysisResult, Vocabulary, Vocabulary) {
+        let mut cfg = SynthConfig::test_scale(61);
+        cfg.n_reports = 1500;
+        let mut synth = Synthesizer::new(cfg);
+        let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
+        let dv = synth.drug_vocab().clone();
+        let av = synth.adr_vocab().clone();
+        let result =
+            Pipeline::new(PipelineConfig::default().with_min_support(5)).run(quarter, &dv, &av);
+        (result, dv, av)
+    }
+
+    #[test]
+    fn report_is_wellformed_and_complete() {
+        let (result, dv, av) = fixture();
+        let kb = KnowledgeBase::literature_validated();
+        let cfg = ReportConfig { top_n: 10, ..Default::default() };
+        let html = html_report(&result, &dv, &av, &kb, &cfg);
+
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>\n"));
+        // One table row + one drill-down row per included signal.
+        let n = result.ranked.len().min(10);
+        assert_eq!(html.matches("<tr class=\"sig\"").count(), n);
+        assert_eq!(html.matches("<tr class=\"drill\"").count(), n);
+        // Panorama plus one glyph per signal.
+        assert_eq!(html.matches("<svg").count(), 1 + n);
+        // Funnel stats present.
+        assert!(html.contains("multi-drug"));
+        assert!(html.contains(&format!("{} multi-drug", result.counts.mcacs)));
+        // Dark-mode block present.
+        assert!(html.contains("prefers-color-scheme: dark"));
+    }
+
+    #[test]
+    fn trend_column_appears_with_tracker() {
+        let (result, dv, av) = fixture();
+        let kb = KnowledgeBase::new();
+        let mut tracker = TrendTracker::new();
+        tracker.ingest(result.quarter.id, &result);
+        let cfg = ReportConfig { top_n: 5, ..Default::default() };
+        let html = super::html_report_with_trends(&result, &dv, &av, &kb, &cfg, Some(&tracker));
+        assert!(html.contains("<th>trend</th>"));
+        assert!(html.contains("class=\"spark\""));
+        // Sparkline SVGs on top of panorama + glyphs.
+        let n = result.ranked.len().min(5);
+        assert!(html.matches("<svg").count() > 2 * n);
+        // Without the tracker, no trend column.
+        let plain = html_report(&result, &dv, &av, &kb, &cfg);
+        assert!(!plain.contains("<th>trend</th>"));
+    }
+
+    #[test]
+    fn badges_reflect_knowledge_base() {
+        let (result, dv, av) = fixture();
+        let empty = KnowledgeBase::new();
+        let html = html_report(&result, &dv, &av, &empty, &ReportConfig::default());
+        // Without a KB, everything is novel.
+        assert!(html.contains("badge novel"));
+        assert!(!html.contains("badge known"));
+    }
+
+    #[test]
+    fn report_escapes_markup_in_names() {
+        // Drug names with XML/HTML specials must never break the document.
+        let (result, dv, av) = fixture();
+        let kb = KnowledgeBase::new();
+        let html = html_report(&result, &dv, &av, &kb, &ReportConfig::default());
+        // No raw unescaped ampersands outside entities (cheap check: every
+        // '&' in the document body is part of an entity we emit; the inline
+        // JS block legitimately contains `&&`, so stop before it).
+        let body_end = html.find("<script>").unwrap_or(html.len());
+        let html = &html[..body_end];
+        for (i, _) in html.match_indices('&') {
+            let tail = &html[i..(i + 6).min(html.len())];
+            assert!(
+                tail.starts_with("&amp;")
+                    || tail.starts_with("&lt;")
+                    || tail.starts_with("&gt;")
+                    || tail.starts_with("&quot;")
+                    || tail.starts_with("&apos;")
+                    || tail.starts_with("&#"),
+                "unescaped & at {i}: {tail:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn drilldown_lists_supporting_reports() {
+        let (result, dv, av) = fixture();
+        let kb = KnowledgeBase::new();
+        let cfg = ReportConfig { top_n: 3, max_reports_per_signal: 2, ..Default::default() };
+        let html = html_report(&result, &dv, &av, &kb, &cfg);
+        assert!(html.contains("case 9"), "case ids missing");
+        // Truncation note appears when support exceeds the per-signal cap.
+        if result.ranked[0].cluster.target.support() > 2 {
+            assert!(html.contains("more reports"));
+        }
+    }
+
+    #[test]
+    fn filter_script_and_input_present() {
+        let (result, dv, av) = fixture();
+        let kb = KnowledgeBase::new();
+        let html = html_report(&result, &dv, &av, &kb, &ReportConfig::default());
+        assert!(html.contains("id=\"filter\""));
+        assert!(html.contains("function filterRows"));
+        assert!(html.contains("data-text="));
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based fuzzing of the FAERS ASCII layer: arbitrary well-formed
+//! reports must round-trip bit-exactly (after delimiter sanitization), and
+//! arbitrary corrupt inputs must produce errors, never panics or silent
+//! misparses.
+
+use maras::faers::ascii::{primary_id, read_quarter, QuarterWriter};
+use maras::faers::{CaseReport, DrugEntry, DrugRole, Outcome, QuarterData, QuarterId, ReportType, Sex};
+use proptest::prelude::*;
+
+fn arb_outcome() -> impl Strategy<Value = Outcome> {
+    prop_oneof![
+        Just(Outcome::Death),
+        Just(Outcome::LifeThreatening),
+        Just(Outcome::Hospitalization),
+        Just(Outcome::Disability),
+        Just(Outcome::CongenitalAnomaly),
+        Just(Outcome::RequiredIntervention),
+        Just(Outcome::Other),
+    ]
+}
+
+fn arb_report(case_id: u64) -> impl Strategy<Value = CaseReport> {
+    (
+        1u32..4,
+        prop_oneof![Just(ReportType::Expedited), Just(ReportType::Periodic), Just(ReportType::Direct)],
+        proptest::option::of(0.0f32..120.0),
+        prop_oneof![Just(Sex::Female), Just(Sex::Male), Just(Sex::Unknown)],
+        proptest::option::of(30.0f32..180.0),
+        "[A-Z]{2}",
+        proptest::option::of(20140101u32..20141231),
+        proptest::collection::vec(("[ A-Za-z0-9$-]{1,18}", 0u8..4), 1..5),
+        proptest::collection::vec("[ A-Za-z0-9$-]{1,24}", 1..4),
+        proptest::collection::vec(arb_outcome(), 0..3),
+    )
+        .prop_map(
+            move |(version, report_type, age, sex, weight_kg, country, event_date, drugs, reactions, outcomes)| {
+                CaseReport {
+                    case_id,
+                    version,
+                    report_type,
+                    age: age.map(|a| (a * 2.0).round() / 2.0),
+                    sex,
+                    weight_kg: weight_kg.map(|w| (w * 2.0).round() / 2.0),
+                    country,
+                    event_date,
+                    drugs: drugs
+                        .into_iter()
+                        .map(|(name, role)| {
+                            let role = match role {
+                                0 => DrugRole::PrimarySuspect,
+                                1 => DrugRole::SecondarySuspect,
+                                2 => DrugRole::Concomitant,
+                                _ => DrugRole::Interacting,
+                            };
+                            DrugEntry::new(name, role)
+                        })
+                        .collect(),
+                    reactions,
+                    outcomes,
+                }
+            },
+        )
+}
+
+fn arb_quarter() -> impl Strategy<Value = QuarterData> {
+    proptest::collection::vec(proptest::num::u8::ANY, 1..12)
+        .prop_flat_map(|ids| {
+            // Distinct case ids so (case_id, version) keys stay unique.
+            let mut case_ids: Vec<u64> = ids.iter().map(|&b| 1_000 + b as u64).collect();
+            case_ids.sort_unstable();
+            case_ids.dedup();
+            case_ids
+                .into_iter()
+                .map(arb_report)
+                .collect::<Vec<_>>()
+                .prop_map(|reports| QuarterData { id: QuarterId::new(2014, 1), reports })
+        })
+}
+
+/// What the writer is allowed to change: `$`, CR and LF become spaces; all
+/// other text survives verbatim.
+fn sanitize(s: &str) -> String {
+    s.replace(['$', '\n', '\r'], " ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_quarters_roundtrip(q in arb_quarter()) {
+        let mut demo = Vec::new();
+        let mut drug = Vec::new();
+        let mut reac = Vec::new();
+        let mut outc = Vec::new();
+        QuarterWriter::write_demo(&mut demo, &q.reports).unwrap();
+        QuarterWriter::write_drug(&mut drug, &q.reports).unwrap();
+        QuarterWriter::write_reac(&mut reac, &q.reports).unwrap();
+        QuarterWriter::write_outc(&mut outc, &q.reports).unwrap();
+        let back = read_quarter(q.id, &demo[..], &drug[..], &reac[..], &outc[..])
+            .expect("well-formed output must parse");
+
+        prop_assert_eq!(back.reports.len(), q.reports.len());
+        for (a, b) in back.reports.iter().zip(&q.reports) {
+            prop_assert_eq!(a.case_id, b.case_id);
+            prop_assert_eq!(a.version, b.version);
+            prop_assert_eq!(a.report_type, b.report_type);
+            prop_assert_eq!(a.age, b.age);
+            prop_assert_eq!(a.weight_kg, b.weight_kg);
+            prop_assert_eq!(&a.country, &sanitize(&b.country));
+            prop_assert_eq!(a.event_date, b.event_date);
+            prop_assert_eq!(a.drugs.len(), b.drugs.len());
+            for (da, db) in a.drugs.iter().zip(&b.drugs) {
+                prop_assert_eq!(&da.name, &sanitize(&db.name));
+                prop_assert_eq!(da.role, db.role);
+            }
+            let want: Vec<String> = b.reactions.iter().map(|r| sanitize(r)).collect();
+            prop_assert_eq!(&a.reactions, &want);
+            prop_assert_eq!(&a.outcomes, &b.outcomes);
+        }
+    }
+
+    #[test]
+    fn corrupted_demo_lines_error_not_panic(
+        q in arb_quarter(),
+        garbage in "[^\n]{0,40}",
+        line_pick in 0usize..8,
+    ) {
+        let mut demo = Vec::new();
+        QuarterWriter::write_demo(&mut demo, &q.reports).unwrap();
+        let mut lines: Vec<String> =
+            String::from_utf8(demo).unwrap().lines().map(str::to_string).collect();
+        // Replace one data line (never the header) with garbage.
+        if lines.len() > 1 {
+            let idx = 1 + line_pick % (lines.len() - 1);
+            if lines[idx] != garbage {
+                lines[idx] = garbage;
+                let demo = lines.join("\n") + "\n";
+                let empty_drug = "primaryid$drug_seq$role_cod$drugname\n";
+                let empty_reac = "primaryid$pt\n";
+                let empty_outc = "primaryid$outc_cod\n";
+                // Must return an error (or, if the garbage happens to parse as a
+                // valid row, succeed) — never panic.
+                let _ = read_quarter(
+                    q.id,
+                    demo.as_bytes(),
+                    empty_drug.as_bytes(),
+                    empty_reac.as_bytes(),
+                    empty_outc.as_bytes(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn primary_id_is_injective_for_small_versions(
+        a in 1u64..10_000_000, b in 1u64..10_000_000, va in 1u32..100, vb in 1u32..100
+    ) {
+        if (a, va) != (b, vb) {
+            prop_assert_ne!(primary_id(a, va), primary_id(b, vb));
+        } else {
+            prop_assert_eq!(primary_id(a, va), primary_id(b, vb));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The on-disk FAERS exchange format must be analytically lossless: a
+//! quarter written to the quarterly ASCII files and read back must produce
+//! the *identical* analysis.
+
+use maras::core::{Pipeline, PipelineConfig};
+use maras::faers::ascii::{read_quarter_dir, write_quarter_dir};
+use maras::faers::{QuarterId, SynthConfig, Synthesizer};
+
+#[test]
+fn ascii_roundtrip_preserves_reports_exactly() {
+    let mut synth = Synthesizer::new(SynthConfig::test_scale(7));
+    let quarter = synth.generate_quarter(QuarterId::new(2014, 2));
+    let dir = std::env::temp_dir().join(format!("maras_it_ascii_{}", std::process::id()));
+    write_quarter_dir(&dir, &quarter).expect("write");
+    let back = read_quarter_dir(&dir, quarter.id).expect("read");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(back, quarter);
+}
+
+#[test]
+fn analysis_of_roundtripped_quarter_is_identical() {
+    let mut synth = Synthesizer::new(SynthConfig::test_scale(8));
+    let quarter = synth.generate_quarter(QuarterId::new(2014, 3));
+    let dir = std::env::temp_dir().join(format!("maras_it_ascii2_{}", std::process::id()));
+    write_quarter_dir(&dir, &quarter).expect("write");
+    let back = read_quarter_dir(&dir, quarter.id).expect("read");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let direct = pipeline.run(quarter, synth.drug_vocab(), synth.adr_vocab());
+    let via_disk = pipeline.run(back, synth.drug_vocab(), synth.adr_vocab());
+    assert_eq!(direct.counts, via_disk.counts);
+    assert_eq!(direct.ranked.len(), via_disk.ranked.len());
+    for (a, b) in direct.ranked.iter().zip(&via_disk.ranked) {
+        assert_eq!(a.cluster.target, b.cluster.target);
+        assert_eq!(a.score, b.score);
+    }
+}
+
+#[test]
+fn all_four_quarters_roundtrip_in_one_directory() {
+    let mut synth = Synthesizer::new(SynthConfig::test_scale(9));
+    let year = synth.generate_year(2014);
+    let dir = std::env::temp_dir().join(format!("maras_it_year_{}", std::process::id()));
+    for q in &year {
+        write_quarter_dir(&dir, q).expect("write");
+    }
+    // Quarter files are name-disambiguated, so all four coexist.
+    for q in &year {
+        let back = read_quarter_dir(&dir, q.id).expect("read");
+        assert_eq!(&back, q, "quarter {} corrupted", q.id);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

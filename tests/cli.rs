@@ -1,0 +1,140 @@
+//! End-to-end tests of the `maras` binary: generate → analyze → render →
+//! study, via real process invocations.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn maras(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_maras"))
+        .args(args)
+        .output()
+        .expect("spawn maras binary")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("maras_cli_test_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn demo_prints_planted_signals() {
+    let out = maras(&["demo"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("drug-drug-interaction signals"), "{stdout}");
+    assert!(stdout.contains("IBUPROFEN"), "{stdout}");
+}
+
+#[test]
+fn help_and_error_paths() {
+    let out = maras(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    let bad = maras(&["frobnicate"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown command"));
+
+    let missing = maras(&["analyze"]);
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("--dir"));
+
+    let badq = maras(&["analyze", "--dir", "/nonexistent", "--quarter", "2014Q9"]);
+    assert!(!badq.status.success());
+    assert!(String::from_utf8_lossy(&badq.stderr).contains("quarter must be 1-4"));
+}
+
+#[test]
+fn generate_analyze_render_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let dir_s = dir.to_str().unwrap();
+
+    let gen = maras(&["generate", "--out", dir_s, "--reports", "900", "--seed", "5"]);
+    assert!(gen.status.success(), "stderr: {}", String::from_utf8_lossy(&gen.stderr));
+    for f in ["DEMO14Q1.txt", "DRUG14Q3.txt", "REAC14Q4.txt", "OUTC14Q2.txt", "drug_vocab.txt"] {
+        assert!(dir.join(f).exists(), "{f} missing");
+    }
+
+    let json = dir.join("signals.json");
+    let analyze = maras(&[
+        "analyze",
+        "--dir",
+        dir_s,
+        "--quarter",
+        "2014Q1",
+        "--min-support",
+        "4",
+        "--top",
+        "5",
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(analyze.status.success(), "stderr: {}", String::from_utf8_lossy(&analyze.stderr));
+    let stdout = String::from_utf8_lossy(&analyze.stdout);
+    assert!(stdout.contains("MCACs"), "{stdout}");
+    assert!(stdout.contains("#1 ["), "{stdout}");
+    // The JSON export parses and carries ranked views.
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    let rows = parsed.as_array().unwrap();
+    assert!(!rows.is_empty() && rows.len() <= 5);
+    assert!(rows[0]["drugs"].as_array().unwrap().len() >= 2);
+    assert_eq!(rows[0]["rank"], 1);
+
+    let figs = dir.join("figs");
+    let render = maras(&[
+        "render",
+        "--dir",
+        dir_s,
+        "--quarter",
+        "2014Q1",
+        "--out",
+        figs.to_str().unwrap(),
+        "--min-support",
+        "4",
+        "--dark",
+    ]);
+    assert!(render.status.success(), "stderr: {}", String::from_utf8_lossy(&render.stderr));
+    let pano = std::fs::read_to_string(figs.join("panoramagram.svg")).unwrap();
+    assert!(pano.starts_with("<svg"));
+    assert!(pano.contains("#1a1a19"), "dark surface expected in --dark output");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_with_drug_filter() {
+    let dir = tmpdir("filter");
+    let dir_s = dir.to_str().unwrap();
+    let gen = maras(&["generate", "--out", dir_s, "--reports", "900", "--seed", "6"]);
+    assert!(gen.status.success());
+    let out = maras(&[
+        "analyze",
+        "--dir",
+        dir_s,
+        "--quarter",
+        "2014Q2",
+        "--min-support",
+        "4",
+        "--drug",
+        "PROGRAF",
+        "--top",
+        "3",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for line in stdout.lines().filter(|l| l.starts_with('#')) {
+        assert!(line.contains("PROGRAF"), "filtered line without drug: {line}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn study_reports_both_encodings() {
+    let out = maras(&["study", "--participants", "20", "--seed", "3"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("contextual glyph"), "{stdout}");
+    assert!(stdout.contains("two") && stdout.contains("three") && stdout.contains("four"));
+}

@@ -1,0 +1,108 @@
+//! Property tests on the contextual-glyph geometry: for *any* cluster the
+//! layout must keep every visual invariant the thesis's encoding relies on
+//! (§4: radii encode confidences, sectors tile the circle, colors follow
+//! cardinality).
+
+use maras::mcac::Mcac;
+use maras::mining::{Item, ItemSet, TransactionDb};
+use maras::rules::DrugAdrRule;
+use maras::viz::{GlyphConfig, GlyphGeometry};
+use proptest::prelude::*;
+use std::f64::consts::TAU;
+
+fn arb_cluster() -> impl Strategy<Value = Mcac> {
+    (
+        proptest::collection::vec(
+            proptest::collection::vec(prop_oneof![0u32..5, 10u32..13], 1..6),
+            1..25,
+        ),
+        2usize..5,
+    )
+        .prop_map(|(mut rows, n)| {
+            // Guarantee the target combination occurs at least once so the
+            // rule is non-degenerate.
+            rows.push((0..n as u32).chain([10]).collect());
+            let db = TransactionDb::new(
+                rows.into_iter().map(|t| t.into_iter().map(Item).collect()).collect(),
+            );
+            let target = DrugAdrRule::from_parts(
+                (0..n as u32).map(Item).collect(),
+                ItemSet::from_ids([10u32]),
+                &db,
+            );
+            Mcac::build(target, &db)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sectors_tile_the_circle_exactly(cluster in arb_cluster()) {
+        let geom = GlyphGeometry::from_cluster(&cluster, &GlyphConfig::default());
+        prop_assert_eq!(geom.sectors.len(), cluster.context_size());
+        // Contiguity: each sector starts where the previous one ended.
+        for w in geom.sectors.windows(2) {
+            prop_assert!((w[1].start_angle - w[0].end_angle).abs() < 1e-9);
+        }
+        // Total sweep is exactly one revolution.
+        let total: f64 = geom
+            .sectors
+            .iter()
+            .map(|s| s.end_angle - s.start_angle)
+            .sum();
+        prop_assert!((total - TAU).abs() < 1e-9, "total sweep {total}");
+    }
+
+    #[test]
+    fn radii_respect_band_and_encode_confidence(cluster in arb_cluster()) {
+        let cfg = GlyphConfig::default();
+        let geom = GlyphGeometry::from_cluster(&cluster, &cfg);
+        prop_assert!(geom.inner_radius > 0.0);
+        prop_assert!(geom.band_inner > geom.inner_radius * 0.9);
+        prop_assert!(geom.band_outer <= cfg.size / 2.0);
+        for s in &geom.sectors {
+            prop_assert!(s.outer_radius >= geom.band_inner);
+            prop_assert!(s.outer_radius <= geom.band_outer + 1e-9);
+            prop_assert!((0.0..=1.0).contains(&s.confidence));
+        }
+        // Monotone: higher confidence never has a smaller radius.
+        let mut sorted: Vec<_> = geom.sectors.clone();
+        sorted.sort_by(|a, b| a.confidence.partial_cmp(&b.confidence).unwrap());
+        for w in sorted.windows(2) {
+            prop_assert!(w[0].outer_radius <= w[1].outer_radius + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cardinality_runs_are_contiguous_and_descending(cluster in arb_cluster()) {
+        let geom = GlyphGeometry::from_cluster(&cluster, &GlyphConfig::default());
+        let cards: Vec<usize> = geom.sectors.iter().map(|s| s.cardinality).collect();
+        // Non-increasing cardinality around the circle (largest level first).
+        prop_assert!(cards.windows(2).all(|w| w[0] >= w[1]), "{cards:?}");
+        // Level index increases as cardinality decreases.
+        let idxs: Vec<usize> = geom.sectors.iter().map(|s| s.level_index).collect();
+        prop_assert!(idxs.windows(2).all(|w| w[0] <= w[1]), "{idxs:?}");
+        // Each cardinality k has exactly C(n, k) sectors.
+        let n = cluster.n_drugs();
+        for k in 1..n {
+            let count = cards.iter().filter(|&&c| c == k).count();
+            prop_assert_eq!(count, binomial(n, k), "k={}", k);
+        }
+    }
+
+    #[test]
+    fn rendered_svg_is_always_wellformed(cluster in arb_cluster()) {
+        let svg =
+            maras::viz::glyph_svg(&cluster, &GlyphConfig::default(), None).render();
+        prop_assert!(svg.starts_with("<svg"));
+        prop_assert!(svg.ends_with("</svg>"));
+        prop_assert!(!svg.contains("NaN"));
+        prop_assert_eq!(svg.matches("<path").count(), cluster.context_size());
+        prop_assert_eq!(svg.matches("<circle").count(), 1);
+    }
+}
+
+fn binomial(n: usize, k: usize) -> usize {
+    (1..=k).fold(1usize, |acc, i| acc * (n - k + i) / i)
+}

@@ -1,0 +1,82 @@
+//! Cross-crate validation of Lemma 3.4.2 on realistic data: every rule the
+//! MARAS pipeline emits is a *supported* association (explicit or
+//! implicit), while the unfiltered pool contains the misleading type-3
+//! rules the closedness filter exists to remove.
+
+use maras::core::{encode_reports, Pipeline, PipelineConfig};
+use maras::faers::{clean_quarter, CleanConfig, QuarterId, SynthConfig, Synthesizer};
+use maras::rules::{classify, drug_adr_rules, Supportedness};
+
+#[test]
+fn all_pipeline_rules_are_supported_associations() {
+    let mut synth = Synthesizer::new(SynthConfig::test_scale(11));
+    let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
+    let result = Pipeline::new(PipelineConfig::default()).run(
+        quarter,
+        synth.drug_vocab(),
+        synth.adr_vocab(),
+    );
+    assert!(!result.ranked.is_empty());
+    for r in &result.ranked {
+        let class = classify(&r.cluster.target.complete_itemset(), &result.encoded.db);
+        assert_ne!(
+            class,
+            Supportedness::Unsupported,
+            "pipeline emitted a misleading rule: {}",
+            r.cluster.target
+        );
+    }
+}
+
+#[test]
+fn unfiltered_pool_contains_misleading_rules_closed_pool_does_not() {
+    let mut synth = Synthesizer::new(SynthConfig::test_scale(12));
+    let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
+    let (cleaned, _) = clean_quarter(
+        &quarter.expedited_only(),
+        synth.drug_vocab(),
+        synth.adr_vocab(),
+        &CleanConfig::default(),
+    );
+    let encoded = encode_reports(&cleaned, synth.drug_vocab(), synth.adr_vocab());
+    let pool = drug_adr_rules(&encoded.db, &encoded.partition, 3);
+    let unsupported = pool
+        .iter()
+        .filter(|r| classify(&r.complete_itemset(), &encoded.db) == Supportedness::Unsupported)
+        .count();
+    assert!(
+        unsupported > 0,
+        "synthetic data must produce spurious partial rules in the unfiltered pool \
+         (pool size {})",
+        pool.len()
+    );
+    // And the proportion should be substantial — this is the reduction
+    // Fig. 5.1 visualizes.
+    assert!(
+        unsupported * 4 > pool.len(),
+        "expected >25% misleading rules, got {unsupported}/{}",
+        pool.len()
+    );
+}
+
+#[test]
+fn explicit_and_implicit_rules_both_occur() {
+    let mut synth = Synthesizer::new(SynthConfig::test_scale(13));
+    let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
+    let result = Pipeline::new(PipelineConfig::default()).run(
+        quarter,
+        synth.drug_vocab(),
+        synth.adr_vocab(),
+    );
+    let mut explicit = 0usize;
+    let mut implicit = 0usize;
+    for r in &result.ranked {
+        match classify(&r.cluster.target.complete_itemset(), &result.encoded.db) {
+            Supportedness::Explicit => explicit += 1,
+            Supportedness::Implicit => implicit += 1,
+            Supportedness::Unsupported => unreachable!("checked above"),
+        }
+    }
+    assert!(explicit > 0, "some rules should be whole reports");
+    assert!(implicit > 0, "some rules should be cross-report overlaps");
+}

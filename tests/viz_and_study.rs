@@ -1,0 +1,95 @@
+//! Integration of visualization and user-study layers with real pipeline
+//! output: the §4 figures must render from mined clusters, and the §5.4.1
+//! study must run on stimuli extracted from the actual ranking.
+
+use maras::core::{Pipeline, PipelineConfig};
+use maras::faers::{QuarterId, SynthConfig, Synthesizer};
+use maras::rules::DrugAdrRule;
+use maras::study::battery::question_from_ranked;
+use maras::study::{run_study, Battery, Encoding, StudyConfig};
+use maras::viz::{glyph_svg, mcac_barchart, panorama_svg, GlyphConfig, PanoramaConfig};
+
+fn fixture() -> (maras::core::AnalysisResult, Synthesizer) {
+    let mut cfg = SynthConfig::test_scale(31);
+    cfg.n_reports = 2500;
+    let mut synth = Synthesizer::new(cfg);
+    let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
+    let result = Pipeline::new(PipelineConfig::default().with_min_support(5)).run(
+        quarter,
+        synth.drug_vocab(),
+        synth.adr_vocab(),
+    );
+    (result, synth)
+}
+
+#[test]
+fn all_figure_types_render_from_mined_output() {
+    let (result, synth) = fixture();
+    assert!(result.ranked.len() >= 10);
+    let namer = |rule: &DrugAdrRule| -> String {
+        let drugs = result.encoded.names(&rule.drugs, synth.drug_vocab(), synth.adr_vocab());
+        drugs.join("+").to_string()
+    };
+
+    // Every glyph variant over the top clusters.
+    for r in result.ranked.iter().take(10) {
+        for cfg in [GlyphConfig::default(), GlyphConfig::zoomed()] {
+            let svg = glyph_svg(&r.cluster, &cfg, Some(&namer)).render();
+            assert!(svg.starts_with("<svg"), "malformed svg");
+            assert!(svg.ends_with("</svg>"));
+            assert_eq!(
+                svg.matches("<path").count(),
+                r.cluster.context_size(),
+                "one sector per contextual rule"
+            );
+            assert!(!svg.contains("NaN"));
+        }
+        let bars = mcac_barchart(&r.cluster, "test", Some(&namer)).render();
+        assert_eq!(bars.matches("<path").count(), 1 + r.cluster.context_size());
+    }
+
+    let pano = panorama_svg(&result.ranked[..10], &PanoramaConfig::default(), Some(&namer));
+    let svg = pano.render();
+    assert_eq!(svg.matches("transform=\"translate(").count(), 10);
+    // Drug names must appear in hover titles.
+    let top_drugs =
+        result.encoded.names(&result.ranked[0].cluster.target.drugs, synth.drug_vocab(), synth.adr_vocab());
+    assert!(svg.contains(&top_drugs[0]), "names missing from panorama titles");
+}
+
+#[test]
+fn user_study_runs_on_real_ranked_output() {
+    let (result, _) = fixture();
+    // Build questions from the actual mined ranking for every drug count
+    // that has enough clusters.
+    let mut questions = Vec::new();
+    for (i, n_drugs) in [2usize, 3].into_iter().enumerate() {
+        if let Some(q) = question_from_ranked(
+            &format!("R{i}"),
+            &result.ranked,
+            n_drugs,
+            6,
+            1,
+            99 + i as u64,
+        ) {
+            assert_eq!(q.candidates.len(), 6);
+            assert_eq!(q.correct_answer().len(), 1);
+            questions.push(q);
+        }
+    }
+    assert!(!questions.is_empty(), "ranking must supply at least one question");
+    let battery = Battery { questions };
+    let results = run_study(&battery, &StudyConfig { n_participants: 25, ..Default::default() });
+    for n_drugs in [2usize, 3] {
+        let glyph = results.percent_correct(n_drugs, Encoding::ContextualGlyph);
+        let bar = results.percent_correct(n_drugs, Encoding::BarChart);
+        if glyph > 0.0 || bar > 0.0 {
+            // Real mined stimuli are easier than the synthetic battery
+            // (decoys rank far below winners), so only sanity-check ranges
+            // and the qualitative ordering with slack.
+            assert!((0.0..=100.0).contains(&glyph));
+            assert!((0.0..=100.0).contains(&bar));
+            assert!(glyph + 25.0 >= bar, "glyph {glyph} vs bar {bar}");
+        }
+    }
+}
