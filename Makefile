@@ -1,0 +1,27 @@
+# Development targets for the MARAS workspace.
+#
+# `make verify` is the pre-merge gate: formatting, lints as errors, and the
+# tier-1 build + test pass. Clippy is scoped to the first-party crates; the
+# vendored dependency shims under vendor/ are formatted but not lint-clean
+# by contract.
+
+FIRST_PARTY = -p maras -p maras-bench -p maras-core -p maras-faers \
+              -p maras-mcac -p maras-mining -p maras-rules -p maras-signals \
+              -p maras-study -p maras-viz
+
+.PHONY: verify fmt fmt-check clippy test
+
+verify: fmt-check clippy test
+
+fmt:
+	cargo fmt
+
+fmt-check:
+	cargo fmt --check
+
+clippy:
+	cargo clippy $(FIRST_PARTY) --all-targets -- -D warnings
+
+test:
+	cargo build --release
+	cargo test -q

@@ -4,8 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use maras_faers::{clean_quarter, CleanConfig, QuarterId, SynthConfig, Synthesizer};
 use maras_mining::{
-    apriori, closed_itemsets, frequent_itemsets, frequent_itemsets_parallel, ItemSet,
-    TransactionDb,
+    apriori, closed_itemsets, frequent_itemsets, frequent_itemsets_parallel, ItemSet, TransactionDb,
 };
 use std::hint::black_box;
 
@@ -42,11 +41,9 @@ fn bench_miners(c: &mut Criterion) {
             &min_support,
             |b, &ms| b.iter(|| black_box(frequent_itemsets(&db, ms).len())),
         );
-        group.bench_with_input(
-            BenchmarkId::new("apriori", min_support),
-            &min_support,
-            |b, &ms| b.iter(|| black_box(apriori(&db, ms).len())),
-        );
+        group.bench_with_input(BenchmarkId::new("apriori", min_support), &min_support, |b, &ms| {
+            b.iter(|| black_box(apriori(&db, ms).len()))
+        });
     }
     group.finish();
 }
@@ -65,9 +62,8 @@ fn bench_closed(c: &mut Criterion) {
 fn bench_support_counting(c: &mut Criterion) {
     let db = bench_db(600);
     // A mix of frequent singletons and arbitrary combinations.
-    let probes: Vec<ItemSet> = (0..40u32)
-        .map(|i| ItemSet::from_ids([i, i + 1, 200 + i % 30]))
-        .collect();
+    let probes: Vec<ItemSet> =
+        (0..40u32).map(|i| ItemSet::from_ids([i, i + 1, 200 + i % 30])).collect();
     c.bench_function("support_counting_40_itemsets", |b| {
         b.iter(|| {
             let mut acc = 0u64;
@@ -84,11 +80,9 @@ fn bench_parallel(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel_mining");
     group.sample_size(20);
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &t| b.iter(|| black_box(frequent_itemsets_parallel(&db, 6, t).len())),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(frequent_itemsets_parallel(&db, 6, t).len()))
+        });
     }
     group.finish();
 }

@@ -54,8 +54,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("end_to_end_800_reports", |b| {
         b.iter(|| {
-            let result =
-                Pipeline::new(PipelineConfig::default()).run(quarter.clone(), &dv, &av);
+            let result = Pipeline::new(PipelineConfig::default()).run(quarter.clone(), &dv, &av);
             black_box(result.ranked.len())
         })
     });

@@ -61,18 +61,12 @@ fn bench_full_ranking(c: &mut Criterion) {
     group.bench_function(format!("rank_{}_clusters", rules.len()), |b| {
         b.iter(|| {
             black_box(
-                rank_clusters(
-                    rules.clone(),
-                    &db,
-                    RankingMethod::exclusiveness_confidence(),
-                )
-                .len(),
+                rank_clusters(rules.clone(), &db, RankingMethod::exclusiveness_confidence()).len(),
             )
         })
     });
-    group.bench_function("harpaz_baseline", |b| {
-        b.iter(|| black_box(harpaz_rank(&db, &P, 3).len()))
-    });
+    group
+        .bench_function("harpaz_baseline", |b| b.iter(|| black_box(harpaz_rank(&db, &P, 3).len())));
     group.finish();
 }
 

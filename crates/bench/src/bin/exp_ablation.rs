@@ -48,8 +48,7 @@ fn main() {
 
     // ---------------- A1: measure ablation --------------------------------
     println!("\n=== A1: interestingness-measure ablation (planted-signal recovery) ===\n");
-    let clusters: Vec<Mcac> =
-        result.ranked.iter().map(|r| r.cluster.clone()).collect();
+    let clusters: Vec<Mcac> = result.ranked.iter().map(|r| r.cluster.clone()).collect();
 
     type Scorer = Box<dyn Fn(&Mcac) -> f64>;
     let variants: Vec<(&str, Scorer)> = vec![
@@ -57,10 +56,7 @@ fn main() {
             "Exclusiveness 3.5 (decay+CV)",
             Box::new(|c: &Mcac| ExclusivenessConfig::default().score(c)),
         ),
-        (
-            "Formula 3.4 (mean+CV)",
-            Box::new(|c: &Mcac| ExclusivenessConfig::default().score_cv(c)),
-        ),
+        ("Formula 3.4 (mean+CV)", Box::new(|c: &Mcac| ExclusivenessConfig::default().score_cv(c))),
         (
             "Formula 3.3 (mean only)",
             Box::new(|c: &Mcac| ExclusivenessConfig::default().score_mean(c)),
@@ -81,8 +77,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, score) in &variants {
-        let mut scored: Vec<(f64, &Mcac)> =
-            clusters.iter().map(|c| (score(c), c)).collect();
+        let mut scored: Vec<(f64, &Mcac)> = clusters.iter().map(|c| (score(c), c)).collect();
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         let ranked: Vec<&DrugAdrRule> = scored.iter().map(|(_, c)| &c.target).collect();
         rows.push(metric_row(name, &ranked, &matches, truth.len()));
@@ -103,10 +98,7 @@ fn main() {
     by_ebgm.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
     let ebgm_rules: Vec<&DrugAdrRule> = by_ebgm.iter().map(|(_, c)| &c.target).collect();
     rows.push(metric_row("DuMouchel EBGM (closed pool)", &ebgm_rules, &matches, truth.len()));
-    print_table(
-        &["method", "recovered@10", "recovered@100", "mean reciprocal best rank"],
-        &rows,
-    );
+    print_table(&["method", "recovered@10", "recovered@100", "mean reciprocal best rank"], &rows);
 
     // ---------------- A2: closedness ablation -----------------------------
     println!("\n=== A2: closed-itemset filter ablation ===\n");
@@ -150,16 +142,12 @@ fn main() {
     let mut rows = Vec::new();
     for theta in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let cfg = ExclusivenessConfig { theta, ..Default::default() };
-        let mut scored: Vec<(f64, &Mcac)> =
-            clusters.iter().map(|c| (cfg.score(c), c)).collect();
+        let mut scored: Vec<(f64, &Mcac)> = clusters.iter().map(|c| (cfg.score(c), c)).collect();
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         let ranked: Vec<&DrugAdrRule> = scored.iter().map(|(_, c)| &c.target).collect();
         rows.push(metric_row(&format!("theta = {theta:.2}"), &ranked, &matches, truth.len()));
     }
-    print_table(
-        &["config", "recovered@10", "recovered@100", "mean reciprocal best rank"],
-        &rows,
-    );
+    print_table(&["config", "recovered@10", "recovered@100", "mean reciprocal best rank"], &rows);
 }
 
 /// Per-interaction recovery: for each planted interaction, the rank of the

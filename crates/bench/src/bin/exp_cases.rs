@@ -99,7 +99,8 @@ fn main() {
     // interactions — show the best-ranked *undocumented* combination too.
     let result = results_cache[0].as_ref().expect("Q1 analyzed");
     for r in result.ranked.iter().take(20) {
-        let names = result.encoded.names(&r.cluster.target.drugs, &corpus.drug_vocab, &corpus.adr_vocab);
+        let names =
+            result.encoded.names(&r.cluster.target.drugs, &corpus.drug_vocab, &corpus.adr_vocab);
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
         if !kb.is_known(&refs) {
             let adrs =

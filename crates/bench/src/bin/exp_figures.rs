@@ -12,7 +12,9 @@
 use maras_bench::{figures_dir, generate_quarter, run_pipeline};
 use maras_core::PipelineConfig;
 use maras_rules::DrugAdrRule;
-use maras_viz::{glyph_svg, mcac_barchart, panorama_svg, GlyphConfig, PanoramaConfig, SvgDoc, DARK};
+use maras_viz::{
+    glyph_svg, mcac_barchart, panorama_svg, GlyphConfig, PanoramaConfig, SvgDoc, DARK,
+};
 
 fn main() {
     let corpus = generate_quarter(1);
@@ -28,15 +30,16 @@ fn main() {
 
     // Prefer a 3-drug cluster for the headline glyph (like Table 3.1's
     // Xolair/Singulair/Prednisone example); fall back to the top cluster.
-    let headline = result
-        .ranked
-        .iter()
-        .find(|r| r.cluster.n_drugs() == 3)
-        .unwrap_or(&result.ranked[0]);
+    let headline =
+        result.ranked.iter().find(|r| r.cluster.n_drugs() == 3).unwrap_or(&result.ranked[0]);
 
     let g = glyph_svg(
         &headline.cluster,
-        &GlyphConfig { caption: Some(namer(&headline.cluster.target)), size: 260.0, ..Default::default() },
+        &GlyphConfig {
+            caption: Some(namer(&headline.cluster.target)),
+            size: 260.0,
+            ..Default::default()
+        },
         Some(&namer),
     );
     save(&g, &dir.join("fig4_1_contextual_glyph.svg"));
@@ -71,20 +74,35 @@ fn main() {
         let same: Vec<_> =
             result.ranked.iter().filter(|r| r.cluster.n_drugs() == n_drugs).collect();
         if same.len() < 2 {
-            eprintln!("skipping appendix sample for {n_drugs} drugs (only {} clusters)", same.len());
+            eprintln!(
+                "skipping appendix sample for {n_drugs} drugs (only {} clusters)",
+                same.len()
+            );
             continue;
         }
         let best = same.first().expect("non-empty");
         let worst = same.last().expect("non-empty");
         let mut doc = SvgDoc::new(460.0, 240.0, "#fcfcfb");
-        let cfg = |caption: String| GlyphConfig { size: 220.0, caption: Some(caption), ..Default::default() };
+        let cfg = |caption: String| GlyphConfig {
+            size: 220.0,
+            caption: Some(caption),
+            ..Default::default()
+        };
         doc.embed(
-            &glyph_svg(&best.cluster, &cfg(format!("interesting · {:.3}", best.score)), Some(&namer)),
+            &glyph_svg(
+                &best.cluster,
+                &cfg(format!("interesting · {:.3}", best.score)),
+                Some(&namer),
+            ),
             5.0,
             10.0,
         );
         doc.embed(
-            &glyph_svg(&worst.cluster, &cfg(format!("non-interesting · {:.3}", worst.score)), Some(&namer)),
+            &glyph_svg(
+                &worst.cluster,
+                &cfg(format!("non-interesting · {:.3}", worst.score)),
+                Some(&namer),
+            ),
             235.0,
             10.0,
         );

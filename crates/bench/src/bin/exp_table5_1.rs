@@ -36,8 +36,20 @@ fn main() {
     print_table(
         &["", "Q1", "Q2", "Q3", "Q4"],
         &[
-            vec!["Reports".into(), "126,755".into(), "138,278".into(), "121,725".into(), "121,490".into()],
-            vec!["Drugs".into(), "37,661".into(), "37,780".into(), "33,133".into(), "32,721".into()],
+            vec![
+                "Reports".into(),
+                "126,755".into(),
+                "138,278".into(),
+                "121,725".into(),
+                "121,490".into(),
+            ],
+            vec![
+                "Drugs".into(),
+                "37,661".into(),
+                "37,780".into(),
+                "33,133".into(),
+                "32,721".into(),
+            ],
             vec!["ADRs".into(), "9,079".into(), "9,324".into(), "9,418".into(), "9,234".into()],
         ],
     );

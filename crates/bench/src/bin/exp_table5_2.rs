@@ -25,10 +25,11 @@ fn main() {
 
     // Columns 1 & 2: plain confidence / lift over the unfiltered pool
     // (multi-drug only, to match the table's subject).
-    let pool: Vec<_> = drug_adr_rules(&result.encoded.db, &result.encoded.partition, config.min_support)
-        .into_iter()
-        .filter(|r| r.is_multi_drug())
-        .collect();
+    let pool: Vec<_> =
+        drug_adr_rules(&result.encoded.db, &result.encoded.partition, config.min_support)
+            .into_iter()
+            .filter(|r| r.is_multi_drug())
+            .collect();
     let by_conf = rank_rules_by(pool.clone(), Measure::Confidence);
     let by_lift = rank_rules_by(pool.clone(), Measure::Lift);
 
@@ -39,8 +40,7 @@ fn main() {
         &result.encoded.db,
         RankingMethod::exclusiveness_confidence(),
     );
-    let excl_lift =
-        rank_clusters(closed, &result.encoded.db, RankingMethod::exclusiveness_lift());
+    let excl_lift = rank_clusters(closed, &result.encoded.db, RankingMethod::exclusiveness_lift());
 
     let mut rows = Vec::new();
     for i in 0..TOP_K {

@@ -68,9 +68,16 @@ pub fn generate_quarter(q: u8) -> Corpus {
 }
 
 /// Runs the default MARAS pipeline over a quarter of the corpus.
-pub fn run_pipeline(corpus: &Corpus, quarter_index: usize, config: PipelineConfig) -> AnalysisResult {
-    Pipeline::new(config)
-        .run(corpus.quarters[quarter_index].clone(), &corpus.drug_vocab, &corpus.adr_vocab)
+pub fn run_pipeline(
+    corpus: &Corpus,
+    quarter_index: usize,
+    config: PipelineConfig,
+) -> AnalysisResult {
+    Pipeline::new(config).run(
+        corpus.quarters[quarter_index].clone(),
+        &corpus.drug_vocab,
+        &corpus.adr_vocab,
+    )
 }
 
 /// Renders a rule with canonical names, Table 5.2-style.

@@ -72,10 +72,7 @@ impl Encoded {
         drug_vocab: &Vocabulary,
         adr_vocab: &Vocabulary,
     ) -> Vec<String> {
-        items
-            .iter()
-            .map(|i| self.item_name(i, drug_vocab, adr_vocab).to_string())
-            .collect()
+        items.iter().map(|i| self.item_name(i, drug_vocab, adr_vocab).to_string()).collect()
     }
 
     /// Item id of a canonical drug name, if present.

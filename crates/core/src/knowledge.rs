@@ -63,17 +63,12 @@ impl KnowledgeBase {
 
     /// Documents an ADR on a single drug's label.
     pub fn add_label(&mut self, drug: &str, adr: &str) {
-        self.labels
-            .entry(drug.to_ascii_uppercase())
-            .or_default()
-            .insert(adr.to_string());
+        self.labels.entry(drug.to_ascii_uppercase()).or_default().insert(adr.to_string());
     }
 
     /// Whether the ADR is on the drug's label.
     pub fn is_labeled(&self, drug: &str, adr: &str) -> bool {
-        self.labels
-            .get(&drug.to_ascii_uppercase())
-            .is_some_and(|adrs| adrs.contains(adr))
+        self.labels.get(&drug.to_ascii_uppercase()).is_some_and(|adrs| adrs.contains(adr))
     }
 
     /// The labeled ADRs of a drug, if any are documented.

@@ -19,6 +19,7 @@
 
 pub mod config;
 pub mod encode;
+pub mod ingest;
 pub mod knowledge;
 pub mod link;
 pub mod pipeline;
@@ -30,6 +31,7 @@ pub mod trend;
 
 pub use config::PipelineConfig;
 pub use encode::{encode_reports, Encoded};
+pub use ingest::{run_quarter_dir, run_quarters_dir, MultiQuarterRun, QuarterOutcome, QuarterRun};
 pub use knowledge::KnowledgeBase;
 pub use link::supporting_reports;
 pub use pipeline::{AnalysisResult, Pipeline, RuleView};

@@ -35,8 +35,7 @@ impl Pipeline {
         adr_vocab: &Vocabulary,
     ) -> AnalysisResult {
         // 1. §5.1 selection.
-        let quarter =
-            if self.config.expedited_only { quarter.expedited_only() } else { quarter };
+        let quarter = if self.config.expedited_only { quarter.expedited_only() } else { quarter };
 
         // 2. §5.2 step 1: clean.
         let (cleaned, cleaning) =
@@ -85,12 +84,7 @@ impl AnalysisResult {
     }
 
     /// Human-readable view of the `rank`-th cluster (0-based).
-    pub fn view(
-        &self,
-        rank: usize,
-        drug_vocab: &Vocabulary,
-        adr_vocab: &Vocabulary,
-    ) -> RuleView {
+    pub fn view(&self, rank: usize, drug_vocab: &Vocabulary, adr_vocab: &Vocabulary) -> RuleView {
         let r = &self.ranked[rank];
         let t = &r.cluster.target;
         RuleView {

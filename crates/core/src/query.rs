@@ -130,8 +130,7 @@ impl RuleQuery {
                     }
                     if self.novel_adr_only {
                         let adr_names = result.encoded.names(&t.adrs, drug_vocab, adr_vocab);
-                        let adr_refs: Vec<&str> =
-                            adr_names.iter().map(String::as_str).collect();
+                        let adr_refs: Vec<&str> = adr_names.iter().map(String::as_str).collect();
                         if !kb.has_novel_adr(&refs, &adr_refs) {
                             continue;
                         }
@@ -179,8 +178,7 @@ mod tests {
         let hits = q.apply(&result, &dv, &av, None);
         assert!(!hits.is_empty());
         for rank in hits {
-            let names =
-                result.encoded.names(&result.ranked[rank].cluster.target.drugs, &dv, &av);
+            let names = result.encoded.names(&result.ranked[rank].cluster.target.drugs, &dv, &av);
             assert!(names.iter().any(|n| n.eq_ignore_ascii_case(&top_drugs[0])));
         }
     }
@@ -203,9 +201,8 @@ mod tests {
         let unknown = RuleQuery::new().unknown_only().apply(&result, &dv, &av, Some(&kb));
         assert!(unknown.len() <= all.len());
         for rank in unknown {
-            let names: Vec<String> = result
-                .encoded
-                .names(&result.ranked[rank].cluster.target.drugs, &dv, &av);
+            let names: Vec<String> =
+                result.encoded.names(&result.ranked[rank].cluster.target.drugs, &dv, &av);
             let refs: Vec<&str> = names.iter().map(String::as_str).collect();
             assert!(!kb.is_known(&refs));
         }
@@ -245,8 +242,7 @@ mod tests {
     fn adr_filter_matches_consequents() {
         let (result, dv, av) = fixture();
         let top_adrs = result.encoded.names(&result.ranked[0].cluster.target.adrs, &dv, &av);
-        let hits =
-            RuleQuery::new().with_any_adr(&top_adrs[0]).apply(&result, &dv, &av, None);
+        let hits = RuleQuery::new().with_any_adr(&top_adrs[0]).apply(&result, &dv, &av, None);
         assert!(hits.contains(&0));
     }
 }

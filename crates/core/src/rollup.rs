@@ -47,9 +47,7 @@ impl RolledUp {
     ) -> String {
         if self.partition.is_drug(item) {
             match self.rollup {
-                Rollup::DrugClasses | Rollup::Both => {
-                    AtcGroup::ALL[item.0 as usize].to_string()
-                }
+                Rollup::DrugClasses | Rollup::Both => AtcGroup::ALL[item.0 as usize].to_string(),
                 Rollup::AdrSocs => drug_vocab.term(item.0).to_string(),
             }
         } else {
@@ -92,9 +90,7 @@ pub fn rollup_reports(
                 Rollup::AdrSocs => Item(d),
             });
             let adr_items = r.adr_ids.iter().map(|&a| match rollup {
-                Rollup::AdrSocs | Rollup::Both => {
-                    Item(n_drug_items + soc_index_of(soc, a))
-                }
+                Rollup::AdrSocs | Rollup::Both => Item(n_drug_items + soc_index_of(soc, a)),
                 Rollup::DrugClasses => Item(n_drug_items + a),
             });
             ItemSet::from_items(drug_items.chain(adr_items).collect())
@@ -148,10 +144,7 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(rolled.partition.drug_count(t), 1);
         let class_item = t.items()[0];
-        assert_eq!(
-            AtcGroup::ALL[class_item.0 as usize],
-            maras_faers::AtcGroup::Alimentary
-        );
+        assert_eq!(AtcGroup::ALL[class_item.0 as usize], maras_faers::AtcGroup::Alimentary);
         // ADR id preserved, offset by the 14-class space.
         assert_eq!(t.items()[1].0, 14 + arf);
     }
@@ -182,8 +175,7 @@ mod tests {
         let rolled = rollup_reports(&reports, &atc, &soc, 200, 200, Rollup::Both);
         let t = rolled.db.transaction(0);
         assert_eq!(t.len(), 2);
-        let names: Vec<String> =
-            t.iter().map(|i| rolled.item_name(i, &dv, &av)).collect();
+        let names: Vec<String> = t.iter().map(|i| rolled.item_name(i, &dv, &av)).collect();
         assert!(names[0].contains("Blood"), "{names:?}");
         assert!(names[1].contains("Vascular"), "{names:?}");
     }

@@ -121,6 +121,24 @@ impl TrendTracker {
         }
     }
 
+    /// Records a quarter that produced no analysis (failed ingest): every
+    /// tracked signal gets an explicit absent point, so trajectories stay
+    /// aligned with the full run even when quarters drop out.
+    pub fn skip_quarter(&mut self, quarter: QuarterId) {
+        let idx = self.quarters.len();
+        self.quarters.push(quarter);
+        for points in self.signals.values_mut() {
+            while points.len() <= idx {
+                points.push(TrendPoint {
+                    quarter: self.quarters[points.len()],
+                    rank: None,
+                    score: None,
+                    support: 0,
+                });
+            }
+        }
+    }
+
     /// All tracked trajectories, best mean score first (deterministic
     /// tie-break on the signal key).
     pub fn trends(&self) -> Vec<SignalTrend> {
@@ -195,9 +213,7 @@ mod tests {
             assert_eq!(quarters, vec![1, 2, 3, 4]);
         }
         // Sorted by mean score.
-        assert!(trends
-            .windows(2)
-            .all(|w| w[0].mean_score() >= w[1].mean_score()));
+        assert!(trends.windows(2).all(|w| w[0].mean_score() >= w[1].mean_score()));
     }
 
     #[test]
@@ -230,9 +246,24 @@ mod tests {
             drugs: ItemSet::from_ids([0u32, 1]),
             adrs: ItemSet::from_ids([10u32]),
             points: vec![
-                TrendPoint { quarter: QuarterId::new(2014, 1), rank: Some(5), score: Some(0.4), support: 4 },
-                TrendPoint { quarter: QuarterId::new(2014, 2), rank: Some(3), score: Some(0.5), support: 9 },
-                TrendPoint { quarter: QuarterId::new(2014, 3), rank: Some(1), score: Some(0.6), support: 15 },
+                TrendPoint {
+                    quarter: QuarterId::new(2014, 1),
+                    rank: Some(5),
+                    score: Some(0.4),
+                    support: 4,
+                },
+                TrendPoint {
+                    quarter: QuarterId::new(2014, 2),
+                    rank: Some(3),
+                    score: Some(0.5),
+                    support: 9,
+                },
+                TrendPoint {
+                    quarter: QuarterId::new(2014, 3),
+                    rank: Some(1),
+                    score: Some(0.6),
+                    support: 15,
+                },
             ],
         };
         assert!(t.is_emerging());
@@ -241,8 +272,18 @@ mod tests {
 
         let flat = SignalTrend {
             points: vec![
-                TrendPoint { quarter: QuarterId::new(2014, 1), rank: Some(5), score: Some(0.4), support: 9 },
-                TrendPoint { quarter: QuarterId::new(2014, 2), rank: Some(3), score: Some(0.5), support: 9 },
+                TrendPoint {
+                    quarter: QuarterId::new(2014, 1),
+                    rank: Some(5),
+                    score: Some(0.4),
+                    support: 9,
+                },
+                TrendPoint {
+                    quarter: QuarterId::new(2014, 2),
+                    rank: Some(3),
+                    score: Some(0.5),
+                    support: 9,
+                },
             ],
             ..t.clone()
         };
@@ -250,9 +291,24 @@ mod tests {
 
         let gap = SignalTrend {
             points: vec![
-                TrendPoint { quarter: QuarterId::new(2014, 1), rank: Some(5), score: Some(0.4), support: 4 },
-                TrendPoint { quarter: QuarterId::new(2014, 2), rank: None, score: None, support: 0 },
-                TrendPoint { quarter: QuarterId::new(2014, 3), rank: Some(1), score: Some(0.6), support: 15 },
+                TrendPoint {
+                    quarter: QuarterId::new(2014, 1),
+                    rank: Some(5),
+                    score: Some(0.4),
+                    support: 4,
+                },
+                TrendPoint {
+                    quarter: QuarterId::new(2014, 2),
+                    rank: None,
+                    score: None,
+                    support: 0,
+                },
+                TrendPoint {
+                    quarter: QuarterId::new(2014, 3),
+                    rank: Some(1),
+                    score: Some(0.6),
+                    support: 15,
+                },
             ],
             ..t.clone()
         };

@@ -16,6 +16,7 @@
 use crate::model::{CaseReport, DrugEntry, DrugRole, Outcome, ReportType, Sex};
 use crate::quarter::{QuarterData, QuarterId};
 use rustc_hash::FxHashMap;
+use std::collections::hash_map::Entry;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::path::Path;
@@ -41,6 +42,19 @@ pub enum AsciiError {
         /// The unresolved primaryid.
         primaryid: u64,
     },
+    /// Lenient ingestion quarantined more rows than the
+    /// [`ErrorBudget`] allows; the read is abandoned as a hard failure.
+    BudgetExceeded {
+        /// Rows quarantined when the budget tripped.
+        bad_rows: usize,
+        /// Data rows read when the budget tripped (all four tables).
+        rows_read: usize,
+        /// The configured budget.
+        budget: ErrorBudget,
+        /// The first record quarantined in this read — names the file and
+        /// line where the trouble started.
+        first: Box<QuarantinedRecord>,
+    },
 }
 
 impl fmt::Display for AsciiError {
@@ -52,6 +66,14 @@ impl fmt::Display for AsciiError {
             }
             AsciiError::OrphanRow { file, primaryid } => {
                 write!(f, "{file}: row references unknown primaryid {primaryid}")
+            }
+            AsciiError::BudgetExceeded { bad_rows, rows_read, budget, first } => {
+                write!(
+                    f,
+                    "error budget exceeded: {bad_rows} of {rows_read} rows quarantined \
+                     (budget: {budget}); first offending row: {} line {} ({})",
+                    first.file, first.line, first.detail
+                )
             }
         }
     }
@@ -65,7 +87,8 @@ impl From<io::Error> for AsciiError {
     }
 }
 
-const DEMO_HEADER: &str = "primaryid$caseid$caseversion$rept_cod$age$sex$wt$reporter_country$event_dt";
+const DEMO_HEADER: &str =
+    "primaryid$caseid$caseversion$rept_cod$age$sex$wt$reporter_country$event_dt";
 const DRUG_HEADER: &str = "primaryid$drug_seq$role_cod$drugname";
 const REAC_HEADER: &str = "primaryid$pt";
 const OUTC_HEADER: &str = "primaryid$outc_cod";
@@ -78,6 +101,308 @@ pub fn primary_id(case_id: u64, version: u32) -> u64 {
 
 fn sanitize(field: &str) -> String {
     field.replace(['$', '\n', '\r'], " ")
+}
+
+/// How the reader treats rows it cannot parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestMode {
+    /// Fail the whole read on the first malformed or orphan row
+    /// (historical behaviour, and the default).
+    #[default]
+    Strict,
+    /// Capture malformed rows in a dead-letter quarantine and keep going,
+    /// subject to the [`ErrorBudget`].
+    Lenient,
+}
+
+impl fmt::Display for IngestMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IngestMode::Strict => "strict",
+            IngestMode::Lenient => "lenient",
+        })
+    }
+}
+
+impl IngestMode {
+    /// Parses `"strict"` / `"lenient"` (case-insensitive).
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "strict" => Some(IngestMode::Strict),
+            "lenient" => Some(IngestMode::Lenient),
+            _ => None,
+        }
+    }
+}
+
+/// How much quarantined data a lenient read tolerates before escalating
+/// to [`AsciiError::BudgetExceeded`].
+///
+/// Both limits are optional and conjunctive: the absolute limit is
+/// enforced as soon as it is crossed (fail fast mid-read); the fractional
+/// limit is checked once the denominator — total data rows across the
+/// four tables — is known at end of read.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorBudget {
+    /// Maximum number of quarantined rows (`None` = unlimited).
+    pub max_bad_rows: Option<usize>,
+    /// Maximum quarantined fraction of all data rows in `[0, 1]`
+    /// (`None` = unlimited).
+    pub max_bad_frac: Option<f64>,
+}
+
+impl ErrorBudget {
+    /// No limits: quarantine everything that fails to parse.
+    pub fn unlimited() -> Self {
+        ErrorBudget::default()
+    }
+
+    /// At most `n` quarantined rows.
+    pub fn max_rows(n: usize) -> Self {
+        ErrorBudget { max_bad_rows: Some(n), max_bad_frac: None }
+    }
+
+    /// At most `frac` (e.g. `0.01` for 1%) of data rows quarantined.
+    pub fn max_frac(frac: f64) -> Self {
+        ErrorBudget { max_bad_rows: None, max_bad_frac: Some(frac) }
+    }
+}
+
+impl fmt::Display for ErrorBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.max_bad_rows, self.max_bad_frac) {
+            (None, None) => f.write_str("unlimited"),
+            (Some(n), None) => write!(f, "<= {n} rows"),
+            (None, Some(p)) => write!(f, "<= {:.2}% of rows", p * 100.0),
+            (Some(n), Some(p)) => write!(f, "<= {n} rows and <= {:.2}% of rows", p * 100.0),
+        }
+    }
+}
+
+/// Full ingestion policy for one quarter read.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IngestOptions {
+    /// Strict or lenient row handling.
+    pub mode: IngestMode,
+    /// Error budget applied in lenient mode (ignored in strict mode).
+    pub budget: ErrorBudget,
+}
+
+impl IngestOptions {
+    /// Historical fail-fast behaviour.
+    pub fn strict() -> Self {
+        IngestOptions::default()
+    }
+
+    /// Lenient mode with an unlimited budget.
+    pub fn lenient() -> Self {
+        IngestOptions { mode: IngestMode::Lenient, budget: ErrorBudget::unlimited() }
+    }
+
+    /// Lenient mode with the given budget.
+    pub fn lenient_with(budget: ErrorBudget) -> Self {
+        IngestOptions { mode: IngestMode::Lenient, budget }
+    }
+}
+
+/// Why a row was quarantined instead of parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QuarantineReason {
+    /// Wrong number of `$`-separated fields.
+    FieldCount,
+    /// The `primaryid` column failed to parse as an integer.
+    BadPrimaryid,
+    /// A numeric column (caseid, caseversion, age, wt, event_dt,
+    /// drug_seq) failed to parse.
+    BadNumeric,
+    /// A coded column (rept_cod, role_cod, outc_cod) held an unknown code.
+    UnknownCode,
+    /// `primaryid` does not equal `caseid * 100 + caseversion % 100`.
+    InconsistentPrimaryid,
+    /// A DEMO row repeats a primaryid already established.
+    DuplicatePrimaryid,
+    /// A DRUG/REAC/OUTC row references a primaryid with no DEMO row.
+    Orphan,
+    /// The header line is damaged or missing; data rows are still
+    /// attempted positionally.
+    HeaderDamage,
+}
+
+impl QuarantineReason {
+    /// All reasons, in stable reporting order.
+    pub const ALL: [QuarantineReason; 8] = [
+        QuarantineReason::FieldCount,
+        QuarantineReason::BadPrimaryid,
+        QuarantineReason::BadNumeric,
+        QuarantineReason::UnknownCode,
+        QuarantineReason::InconsistentPrimaryid,
+        QuarantineReason::DuplicatePrimaryid,
+        QuarantineReason::Orphan,
+        QuarantineReason::HeaderDamage,
+    ];
+
+    /// A stable snake_case label (used in reports and JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QuarantineReason::FieldCount => "field_count",
+            QuarantineReason::BadPrimaryid => "bad_primaryid",
+            QuarantineReason::BadNumeric => "bad_numeric",
+            QuarantineReason::UnknownCode => "unknown_code",
+            QuarantineReason::InconsistentPrimaryid => "inconsistent_primaryid",
+            QuarantineReason::DuplicatePrimaryid => "duplicate_primaryid",
+            QuarantineReason::Orphan => "orphan",
+            QuarantineReason::HeaderDamage => "header_damage",
+        }
+    }
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One row the lenient reader refused to parse, preserved verbatim in the
+/// dead-letter sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedRecord {
+    /// Which table the row came from (`DEMO`, `DRUG`, `REAC`, `OUTC`).
+    pub file: &'static str,
+    /// 1-based line number within that file.
+    pub line: usize,
+    /// The row's primaryid, when it could at least be parsed.
+    pub primaryid: Option<u64>,
+    /// Why the row was quarantined.
+    pub reason: QuarantineReason,
+    /// Human-readable specifics (mirrors the strict-mode error message).
+    pub detail: String,
+    /// The offending line, verbatim.
+    pub raw: String,
+}
+
+/// Row accounting for one of the four tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FileCounts {
+    /// Non-header lines seen.
+    pub rows: usize,
+    /// Rows parsed into the quarter.
+    pub ok: usize,
+    /// Rows quarantined (excludes a damaged header, which is not a data
+    /// row; see [`IngestReport::damaged_headers`]).
+    pub quarantined: usize,
+}
+
+/// What one quarter ingest read, skipped, and why — emitted by every
+/// lenient read and threaded through the pipeline into CLI/JSON output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestReport {
+    /// The quarter that was read.
+    pub quarter: QuarterId,
+    /// The mode the read ran under.
+    pub mode: IngestMode,
+    /// The budget the read ran under.
+    pub budget: ErrorBudget,
+    /// DEMO table accounting.
+    pub demo: FileCounts,
+    /// DRUG table accounting.
+    pub drug: FileCounts,
+    /// REAC table accounting.
+    pub reac: FileCounts,
+    /// OUTC table accounting.
+    pub outc: FileCounts,
+    /// The dead-letter sink: every quarantined row, in read order.
+    pub quarantine: Vec<QuarantinedRecord>,
+}
+
+impl IngestReport {
+    fn new(quarter: QuarterId, opts: &IngestOptions) -> Self {
+        IngestReport {
+            quarter,
+            mode: opts.mode,
+            budget: opts.budget,
+            demo: FileCounts::default(),
+            drug: FileCounts::default(),
+            reac: FileCounts::default(),
+            outc: FileCounts::default(),
+            quarantine: Vec::new(),
+        }
+    }
+
+    /// Per-table accounting, in file order.
+    pub fn files(&self) -> [(&'static str, FileCounts); 4] {
+        [("DEMO", self.demo), ("DRUG", self.drug), ("REAC", self.reac), ("OUTC", self.outc)]
+    }
+
+    /// Total data rows read across the four tables.
+    pub fn rows_read(&self) -> usize {
+        self.demo.rows + self.drug.rows + self.reac.rows + self.outc.rows
+    }
+
+    /// Total rows parsed into the quarter.
+    pub fn rows_ok(&self) -> usize {
+        self.demo.ok + self.drug.ok + self.reac.ok + self.outc.ok
+    }
+
+    /// Total quarantined records (including damaged headers) — what the
+    /// [`ErrorBudget`] counts.
+    pub fn quarantined(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    /// Quarantined *data* rows (damaged headers excluded), so that
+    /// `rows_ok() + bad_rows() == rows_read()` always holds.
+    pub fn bad_rows(&self) -> usize {
+        self.demo.quarantined
+            + self.drug.quarantined
+            + self.reac.quarantined
+            + self.outc.quarantined
+    }
+
+    /// Quarantine counts per reason (only reasons that occurred), in
+    /// [`QuarantineReason::ALL`] order.
+    pub fn counts_by_reason(&self) -> Vec<(QuarantineReason, usize)> {
+        QuarantineReason::ALL
+            .iter()
+            .filter_map(|&r| {
+                let n = self.quarantine.iter().filter(|q| q.reason == r).count();
+                (n > 0).then_some((r, n))
+            })
+            .collect()
+    }
+
+    /// Tables whose header line was damaged or missing.
+    pub fn damaged_headers(&self) -> Vec<&'static str> {
+        self.quarantine
+            .iter()
+            .filter(|q| q.reason == QuarantineReason::HeaderDamage)
+            .map(|q| q.file)
+            .collect()
+    }
+
+    /// `true` when nothing was quarantined — the read was
+    /// indistinguishable from a strict read.
+    pub fn is_clean(&self) -> bool {
+        self.quarantine.is_empty()
+    }
+
+    /// Fraction of data rows quarantined (0.0 when no rows were read).
+    pub fn bad_fraction(&self) -> f64 {
+        if self.rows_read() == 0 {
+            0.0
+        } else {
+            self.quarantine.len() as f64 / self.rows_read() as f64
+        }
+    }
+}
+
+/// A successfully ingested quarter: the parsed data plus the accounting
+/// of everything that was skipped to get it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ingested {
+    /// The parsed quarter.
+    pub data: QuarterData,
+    /// What was read, skipped, and why.
+    pub report: IngestReport,
 }
 
 /// Writes one table to a writer. Exposed for targeted tests; use
@@ -163,22 +488,34 @@ pub fn write_quarter_dir(dir: &Path, quarter: &QuarterData) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads a quarter back from the four ASCII files in `dir`.
+/// Reads a quarter back from the four ASCII files in `dir`, strictly.
 pub fn read_quarter_dir(dir: &Path, id: QuarterId) -> Result<QuarterData, AsciiError> {
+    read_quarter_dir_with(dir, id, &IngestOptions::strict()).map(|i| i.data)
+}
+
+/// Reads a quarter from the four ASCII files in `dir` under the given
+/// ingestion policy.
+pub fn read_quarter_dir_with(
+    dir: &Path,
+    id: QuarterId,
+    opts: &IngestOptions,
+) -> Result<Ingested, AsciiError> {
     let label = id.file_label();
     let open = |name: String| -> Result<std::fs::File, AsciiError> {
         std::fs::File::open(dir.join(&name)).map_err(AsciiError::Io)
     };
-    read_quarter(
+    read_quarter_with(
         id,
         open(format!("DEMO{label}.txt"))?,
         open(format!("DRUG{label}.txt"))?,
         open(format!("REAC{label}.txt"))?,
         open(format!("OUTC{label}.txt"))?,
+        opts,
     )
 }
 
-/// Reads a quarter from the four table streams.
+/// Reads a quarter from the four table streams, strictly: the first
+/// malformed or orphan row fails the whole read.
 pub fn read_quarter<R1: Read, R2: Read, R3: Read, R4: Read>(
     id: QuarterId,
     demo: R1,
@@ -186,39 +523,263 @@ pub fn read_quarter<R1: Read, R2: Read, R3: Read, R4: Read>(
     reac: R3,
     outc: R4,
 ) -> Result<QuarterData, AsciiError> {
+    read_quarter_with(id, demo, drug, reac, outc, &IngestOptions::strict()).map(|i| i.data)
+}
+
+/// A row offense before mode policy is applied: primaryid if known,
+/// reason, and the strict-mode message.
+type Offense = (Option<u64>, QuarantineReason, String);
+
+/// Applies the ingestion policy to row offenses: strict mode converts the
+/// first offense into the historical [`AsciiError`]; lenient mode feeds
+/// the dead-letter sink and enforces the absolute error budget.
+struct Sink {
+    mode: IngestMode,
+    budget: ErrorBudget,
+    report: IngestReport,
+}
+
+impl Sink {
+    fn offend(
+        &mut self,
+        file: &'static str,
+        line: usize,
+        offense: Offense,
+        raw: &str,
+    ) -> Result<(), AsciiError> {
+        let (primaryid, reason, detail) = offense;
+        match self.mode {
+            IngestMode::Strict => Err(if reason == QuarantineReason::Orphan {
+                AsciiError::OrphanRow { file, primaryid: primaryid.unwrap_or(0) }
+            } else {
+                AsciiError::Malformed { file, line, message: detail }
+            }),
+            IngestMode::Lenient => {
+                self.report.quarantine.push(QuarantinedRecord {
+                    file,
+                    line,
+                    primaryid,
+                    reason,
+                    detail,
+                    raw: raw.to_string(),
+                });
+                match self.budget.max_bad_rows {
+                    Some(max) if self.report.quarantine.len() > max => Err(self.budget_exceeded()),
+                    _ => Ok(()),
+                }
+            }
+        }
+    }
+
+    fn budget_exceeded(&self) -> AsciiError {
+        AsciiError::BudgetExceeded {
+            bad_rows: self.report.quarantine.len(),
+            rows_read: self.report.rows_read(),
+            budget: self.budget,
+            first: Box::new(self.report.quarantine[0].clone()),
+        }
+    }
+
+    fn check_header(&mut self, file: &'static str, all: &[String]) -> Result<(), AsciiError> {
+        let expected = match file {
+            "DEMO" => DEMO_HEADER,
+            "DRUG" => DRUG_HEADER,
+            "REAC" => REAC_HEADER,
+            _ => OUTC_HEADER,
+        };
+        match all.first() {
+            None => {
+                let offense = (None, QuarantineReason::HeaderDamage, "missing header".to_string());
+                self.offend(file, 1, offense, "")
+            }
+            Some(line) if line != expected => {
+                let offense =
+                    (None, QuarantineReason::HeaderDamage, format!("bad header {line:?}"));
+                let raw = line.clone();
+                self.offend(file, 1, offense, &raw)
+            }
+            Some(_) => Ok(()),
+        }
+    }
+}
+
+/// Reads a quarter from the four table streams under the given ingestion
+/// policy.
+///
+/// Strict mode reproduces [`read_quarter`]'s fail-fast behaviour exactly.
+/// Lenient mode parses what it can: malformed rows, orphans, duplicate
+/// DEMO primaryids, and damaged headers land in the returned report's
+/// quarantine; the read only fails hard on I/O errors or when the
+/// [`ErrorBudget`] is exceeded (absolute limits fail fast mid-read,
+/// fractional limits are settled at end of read).
+pub fn read_quarter_with<R1: Read, R2: Read, R3: Read, R4: Read>(
+    id: QuarterId,
+    demo: R1,
+    drug: R2,
+    reac: R3,
+    outc: R4,
+    opts: &IngestOptions,
+) -> Result<Ingested, AsciiError> {
     let mut reports: Vec<CaseReport> = Vec::new();
     let mut by_pid: FxHashMap<u64, usize> = FxHashMap::default();
+    let mut sink =
+        Sink { mode: opts.mode, budget: opts.budget, report: IngestReport::new(id, opts) };
 
     // DEMO establishes the cases.
-    for (lineno, line) in lines(demo, "DEMO")?.into_iter().enumerate().skip(1) {
+    let demo_lines = read_lines(demo)?;
+    sink.check_header("DEMO", &demo_lines)?;
+    for (lineno, line) in demo_lines.iter().enumerate().skip(1) {
+        sink.report.demo.rows += 1;
         let fields: Vec<&str> = line.split('$').collect();
-        let ctx = |msg: String| AsciiError::Malformed { file: "DEMO", line: lineno + 1, message: msg };
-        if fields.len() != 9 {
-            return Err(ctx(format!("expected 9 fields, got {}", fields.len())));
+        match parse_demo_row(&fields) {
+            Err(offense) => {
+                sink.offend("DEMO", lineno + 1, offense, line)?;
+                sink.report.demo.quarantined += 1;
+            }
+            Ok((pid, report)) => match by_pid.entry(pid) {
+                Entry::Occupied(_) => {
+                    let offense = (
+                        Some(pid),
+                        QuarantineReason::DuplicatePrimaryid,
+                        format!("duplicate primaryid {pid}"),
+                    );
+                    sink.offend("DEMO", lineno + 1, offense, line)?;
+                    sink.report.demo.quarantined += 1;
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(reports.len());
+                    reports.push(report);
+                    sink.report.demo.ok += 1;
+                }
+            },
         }
-        let pid: u64 = fields[0].parse().map_err(|_| ctx(format!("bad primaryid {:?}", fields[0])))?;
-        let case_id: u64 =
-            fields[1].parse().map_err(|_| ctx(format!("bad caseid {:?}", fields[1])))?;
-        let version: u32 =
-            fields[2].parse().map_err(|_| ctx(format!("bad caseversion {:?}", fields[2])))?;
-        let report_type = ReportType::from_code(fields[3])
-            .ok_or_else(|| ctx(format!("bad rept_cod {:?}", fields[3])))?;
-        let age = parse_opt_f32(fields[4]).map_err(|_| ctx(format!("bad age {:?}", fields[4])))?;
-        let sex = Sex::from_code(fields[5]);
-        let weight_kg =
-            parse_opt_f32(fields[6]).map_err(|_| ctx(format!("bad wt {:?}", fields[6])))?;
-        let event_date = if fields[8].is_empty() {
-            None
-        } else {
-            Some(fields[8].parse().map_err(|_| ctx(format!("bad event_dt {:?}", fields[8])))?)
-        };
-        if primary_id(case_id, version) != pid {
-            return Err(ctx(format!(
-                "primaryid {pid} inconsistent with caseid {case_id} v{version}"
-            )));
+    }
+
+    // DRUG rows attach medications (kept in drug_seq order).
+    let drug_lines = read_lines(drug)?;
+    sink.check_header("DRUG", &drug_lines)?;
+    let mut drug_rows: Vec<(u64, u32, DrugEntry)> = Vec::new();
+    for (lineno, line) in drug_lines.iter().enumerate().skip(1) {
+        sink.report.drug.rows += 1;
+        let fields: Vec<&str> = line.split('$').collect();
+        match parse_drug_row(&fields).and_then(|row| orphan_check(&by_pid, row.0).map(|()| row)) {
+            Err(offense) => {
+                sink.offend("DRUG", lineno + 1, offense, line)?;
+                sink.report.drug.quarantined += 1;
+            }
+            Ok(row) => {
+                drug_rows.push(row);
+                sink.report.drug.ok += 1;
+            }
         }
-        by_pid.insert(pid, reports.len());
-        reports.push(CaseReport {
+    }
+    drug_rows.sort_by_key(|&(pid, seq, _)| (pid, seq));
+    for (pid, _, entry) in drug_rows {
+        reports[by_pid[&pid]].drugs.push(entry);
+    }
+
+    // REAC rows attach reactions.
+    let reac_lines = read_lines(reac)?;
+    sink.check_header("REAC", &reac_lines)?;
+    for (lineno, line) in reac_lines.iter().enumerate().skip(1) {
+        sink.report.reac.rows += 1;
+        let fields: Vec<&str> = line.split('$').collect();
+        match parse_reac_row(&fields).and_then(|row| orphan_check(&by_pid, row.0).map(|()| row)) {
+            Err(offense) => {
+                sink.offend("REAC", lineno + 1, offense, line)?;
+                sink.report.reac.quarantined += 1;
+            }
+            Ok((pid, pt)) => {
+                reports[by_pid[&pid]].reactions.push(pt);
+                sink.report.reac.ok += 1;
+            }
+        }
+    }
+
+    // OUTC rows attach outcomes. (The orphan check precedes code
+    // validation, preserving strict-mode error precedence.)
+    let outc_lines = read_lines(outc)?;
+    sink.check_header("OUTC", &outc_lines)?;
+    for (lineno, line) in outc_lines.iter().enumerate().skip(1) {
+        sink.report.outc.rows += 1;
+        let fields: Vec<&str> = line.split('$').collect();
+        let parsed = parse_outc_pid(&fields)
+            .and_then(|pid| orphan_check(&by_pid, pid).map(|()| pid))
+            .and_then(|pid| parse_outc_code(&fields).map(|o| (pid, o)));
+        match parsed {
+            Err(offense) => {
+                sink.offend("OUTC", lineno + 1, offense, line)?;
+                sink.report.outc.quarantined += 1;
+            }
+            Ok((pid, outcome)) => {
+                reports[by_pid[&pid]].outcomes.push(outcome);
+                sink.report.outc.ok += 1;
+            }
+        }
+    }
+
+    // Fractional budget: settled now that the denominator is known.
+    if let Some(max_frac) = opts.budget.max_bad_frac {
+        if opts.mode == IngestMode::Lenient
+            && !sink.report.quarantine.is_empty()
+            && sink.report.bad_fraction() > max_frac
+        {
+            return Err(sink.budget_exceeded());
+        }
+    }
+
+    Ok(Ingested { data: QuarterData { id, reports }, report: sink.report })
+}
+
+fn orphan_check(by_pid: &FxHashMap<u64, usize>, pid: u64) -> Result<(), Offense> {
+    if by_pid.contains_key(&pid) {
+        Ok(())
+    } else {
+        let msg = format!("row references unknown primaryid {pid}");
+        Err((Some(pid), QuarantineReason::Orphan, msg))
+    }
+}
+
+fn parse_demo_row(fields: &[&str]) -> Result<(u64, CaseReport), Offense> {
+    use QuarantineReason as Q;
+    if fields.len() != 9 {
+        return Err((None, Q::FieldCount, format!("expected 9 fields, got {}", fields.len())));
+    }
+    let pid: u64 = fields[0]
+        .parse()
+        .map_err(|_| (None, Q::BadPrimaryid, format!("bad primaryid {:?}", fields[0])))?;
+    let case_id: u64 = fields[1]
+        .parse()
+        .map_err(|_| (Some(pid), Q::BadNumeric, format!("bad caseid {:?}", fields[1])))?;
+    let version: u32 = fields[2]
+        .parse()
+        .map_err(|_| (Some(pid), Q::BadNumeric, format!("bad caseversion {:?}", fields[2])))?;
+    let report_type = ReportType::from_code(fields[3])
+        .ok_or_else(|| (Some(pid), Q::UnknownCode, format!("bad rept_cod {:?}", fields[3])))?;
+    let age = parse_opt_f32(fields[4])
+        .map_err(|_| (Some(pid), Q::BadNumeric, format!("bad age {:?}", fields[4])))?;
+    let sex = Sex::from_code(fields[5]);
+    let weight_kg = parse_opt_f32(fields[6])
+        .map_err(|_| (Some(pid), Q::BadNumeric, format!("bad wt {:?}", fields[6])))?;
+    let event_date = if fields[8].is_empty() {
+        None
+    } else {
+        Some(
+            fields[8]
+                .parse()
+                .map_err(|_| (Some(pid), Q::BadNumeric, format!("bad event_dt {:?}", fields[8])))?,
+        )
+    };
+    if primary_id(case_id, version) != pid {
+        return Err((
+            Some(pid),
+            Q::InconsistentPrimaryid,
+            format!("primaryid {pid} inconsistent with caseid {case_id} v{version}"),
+        ));
+    }
+    Ok((
+        pid,
+        CaseReport {
             case_id,
             version,
             report_type,
@@ -230,62 +791,49 @@ pub fn read_quarter<R1: Read, R2: Read, R3: Read, R4: Read>(
             drugs: Vec::new(),
             reactions: Vec::new(),
             outcomes: Vec::new(),
-        });
-    }
+        },
+    ))
+}
 
-    // DRUG rows attach medications (kept in drug_seq order).
-    let mut drug_rows: Vec<(u64, u32, DrugEntry)> = Vec::new();
-    for (lineno, line) in lines(drug, "DRUG")?.into_iter().enumerate().skip(1) {
-        let fields: Vec<&str> = line.split('$').collect();
-        let ctx = |msg: String| AsciiError::Malformed { file: "DRUG", line: lineno + 1, message: msg };
-        if fields.len() != 4 {
-            return Err(ctx(format!("expected 4 fields, got {}", fields.len())));
-        }
-        let pid: u64 = fields[0].parse().map_err(|_| ctx(format!("bad primaryid {:?}", fields[0])))?;
-        let seq: u32 = fields[1].parse().map_err(|_| ctx(format!("bad drug_seq {:?}", fields[1])))?;
-        let role = DrugRole::from_code(fields[2])
-            .ok_or_else(|| ctx(format!("bad role_cod {:?}", fields[2])))?;
-        if !by_pid.contains_key(&pid) {
-            return Err(AsciiError::OrphanRow { file: "DRUG", primaryid: pid });
-        }
-        drug_rows.push((pid, seq, DrugEntry::new(fields[3], role)));
+fn parse_drug_row(fields: &[&str]) -> Result<(u64, u32, DrugEntry), Offense> {
+    use QuarantineReason as Q;
+    if fields.len() != 4 {
+        return Err((None, Q::FieldCount, format!("expected 4 fields, got {}", fields.len())));
     }
-    drug_rows.sort_by_key(|&(pid, seq, _)| (pid, seq));
-    for (pid, _, entry) in drug_rows {
-        reports[by_pid[&pid]].drugs.push(entry);
-    }
+    let pid: u64 = fields[0]
+        .parse()
+        .map_err(|_| (None, Q::BadPrimaryid, format!("bad primaryid {:?}", fields[0])))?;
+    let seq: u32 = fields[1]
+        .parse()
+        .map_err(|_| (Some(pid), Q::BadNumeric, format!("bad drug_seq {:?}", fields[1])))?;
+    let role = DrugRole::from_code(fields[2])
+        .ok_or_else(|| (Some(pid), Q::UnknownCode, format!("bad role_cod {:?}", fields[2])))?;
+    Ok((pid, seq, DrugEntry::new(fields[3], role)))
+}
 
-    // REAC rows attach reactions.
-    for (lineno, line) in lines(reac, "REAC")?.into_iter().enumerate().skip(1) {
-        let fields: Vec<&str> = line.split('$').collect();
-        let ctx = |msg: String| AsciiError::Malformed { file: "REAC", line: lineno + 1, message: msg };
-        if fields.len() != 2 {
-            return Err(ctx(format!("expected 2 fields, got {}", fields.len())));
-        }
-        let pid: u64 = fields[0].parse().map_err(|_| ctx(format!("bad primaryid {:?}", fields[0])))?;
-        let idx = *by_pid
-            .get(&pid)
-            .ok_or(AsciiError::OrphanRow { file: "REAC", primaryid: pid })?;
-        reports[idx].reactions.push(fields[1].to_string());
+fn parse_reac_row(fields: &[&str]) -> Result<(u64, String), Offense> {
+    use QuarantineReason as Q;
+    if fields.len() != 2 {
+        return Err((None, Q::FieldCount, format!("expected 2 fields, got {}", fields.len())));
     }
+    let pid: u64 = fields[0]
+        .parse()
+        .map_err(|_| (None, Q::BadPrimaryid, format!("bad primaryid {:?}", fields[0])))?;
+    Ok((pid, fields[1].to_string()))
+}
 
-    // OUTC rows attach outcomes.
-    for (lineno, line) in lines(outc, "OUTC")?.into_iter().enumerate().skip(1) {
-        let fields: Vec<&str> = line.split('$').collect();
-        let ctx = |msg: String| AsciiError::Malformed { file: "OUTC", line: lineno + 1, message: msg };
-        if fields.len() != 2 {
-            return Err(ctx(format!("expected 2 fields, got {}", fields.len())));
-        }
-        let pid: u64 = fields[0].parse().map_err(|_| ctx(format!("bad primaryid {:?}", fields[0])))?;
-        let idx = *by_pid
-            .get(&pid)
-            .ok_or(AsciiError::OrphanRow { file: "OUTC", primaryid: pid })?;
-        let outcome = Outcome::from_code(fields[1])
-            .ok_or_else(|| ctx(format!("bad outc_cod {:?}", fields[1])))?;
-        reports[idx].outcomes.push(outcome);
+fn parse_outc_pid(fields: &[&str]) -> Result<u64, Offense> {
+    use QuarantineReason as Q;
+    if fields.len() != 2 {
+        return Err((None, Q::FieldCount, format!("expected 2 fields, got {}", fields.len())));
     }
+    fields[0].parse().map_err(|_| (None, Q::BadPrimaryid, format!("bad primaryid {:?}", fields[0])))
+}
 
-    Ok(QuarterData { id, reports })
+fn parse_outc_code(fields: &[&str]) -> Result<Outcome, Offense> {
+    Outcome::from_code(fields[1]).ok_or_else(|| {
+        (None, QuarantineReason::UnknownCode, format!("bad outc_cod {:?}", fields[1]))
+    })
 }
 
 fn parse_opt_f32(field: &str) -> Result<Option<f32>, std::num::ParseFloatError> {
@@ -296,32 +844,8 @@ fn parse_opt_f32(field: &str) -> Result<Option<f32>, std::num::ParseFloatError> 
     }
 }
 
-fn lines<R: Read>(reader: R, file: &'static str) -> Result<Vec<String>, AsciiError> {
-    let mut out = Vec::new();
-    for (i, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line?;
-        if i == 0 {
-            let expected = match file {
-                "DEMO" => DEMO_HEADER,
-                "DRUG" => DRUG_HEADER,
-                "REAC" => REAC_HEADER,
-                "OUTC" => OUTC_HEADER,
-                _ => unreachable!(),
-            };
-            if line != expected {
-                return Err(AsciiError::Malformed {
-                    file,
-                    line: 1,
-                    message: format!("bad header {line:?}"),
-                });
-            }
-        }
-        out.push(line);
-    }
-    if out.is_empty() {
-        return Err(AsciiError::Malformed { file, line: 1, message: "missing header".into() });
-    }
-    Ok(out)
+fn read_lines<R: Read>(reader: R) -> Result<Vec<String>, AsciiError> {
+    BufReader::new(reader).lines().map(|l| l.map_err(AsciiError::from)).collect()
 }
 
 #[cfg(test)]
@@ -493,5 +1017,172 @@ mod tests {
         .unwrap();
         let names: Vec<&str> = q.reports[1].drug_names().collect();
         assert_eq!(names, vec!["B1", "B2"]);
+    }
+
+    // --- lenient-mode ingestion ---
+
+    /// One good DEMO row, one bad-age DEMO row, one orphan DRUG row.
+    fn dirty_streams() -> (String, String, String, String) {
+        let good = primary_id(9000001, 1);
+        let demo = format!(
+            "{DEMO_HEADER}\n{good}$9000001$1$EXP$63$F$71.5$US$20140117\n\
+             {}$9000002$1$EXP$sixty$M$$US$\n",
+            primary_id(9000002, 1)
+        );
+        let drug = format!("{DRUG_HEADER}\n{good}$1$PS$IBUPROFEN\n999$1$PS$ASPIRIN\n");
+        let reac = format!("{REAC_HEADER}\n{good}$Acute renal failure\n");
+        let outc = format!("{OUTC_HEADER}\n{good}$HO\n");
+        (demo, drug, reac, outc)
+    }
+
+    fn read_with(
+        streams: &(String, String, String, String),
+        opts: &IngestOptions,
+    ) -> Result<Ingested, AsciiError> {
+        read_quarter_with(
+            QuarterId::new(2014, 1),
+            streams.0.as_bytes(),
+            streams.1.as_bytes(),
+            streams.2.as_bytes(),
+            streams.3.as_bytes(),
+            opts,
+        )
+    }
+
+    #[test]
+    fn lenient_quarantines_bad_rows_and_keeps_good_ones() {
+        let ingested = read_with(&dirty_streams(), &IngestOptions::lenient()).unwrap();
+        assert_eq!(ingested.data.reports.len(), 1);
+        assert_eq!(ingested.data.reports[0].case_id, 9000001);
+        assert_eq!(ingested.data.reports[0].drugs.len(), 1);
+
+        let report = &ingested.report;
+        assert_eq!(report.quarantined(), 2);
+        assert_eq!(report.demo, FileCounts { rows: 2, ok: 1, quarantined: 1 });
+        assert_eq!(report.drug, FileCounts { rows: 2, ok: 1, quarantined: 1 });
+        let reasons = report.counts_by_reason();
+        assert_eq!(reasons, vec![(QuarantineReason::BadNumeric, 1), (QuarantineReason::Orphan, 1)]);
+        let q = &report.quarantine[0];
+        assert_eq!((q.file, q.line), ("DEMO", 3));
+        assert!(q.detail.contains("bad age"), "detail: {}", q.detail);
+        assert!(q.raw.contains("sixty"));
+        assert_eq!(report.quarantine[1].primaryid, Some(999));
+    }
+
+    #[test]
+    fn strict_still_fails_on_dirty_input() {
+        let err = read_with(&dirty_streams(), &IngestOptions::strict()).unwrap_err();
+        assert!(matches!(err, AsciiError::Malformed { file: "DEMO", line: 3, .. }));
+    }
+
+    #[test]
+    fn lenient_on_clean_input_matches_strict_with_empty_report() {
+        let id = QuarterId::new(2014, 1);
+        let q = QuarterData { id, reports: sample_reports() };
+        let mut demo = Vec::new();
+        let mut drug = Vec::new();
+        let mut reac = Vec::new();
+        let mut outc = Vec::new();
+        QuarterWriter::write_demo(&mut demo, &q.reports).unwrap();
+        QuarterWriter::write_drug(&mut drug, &q.reports).unwrap();
+        QuarterWriter::write_reac(&mut reac, &q.reports).unwrap();
+        QuarterWriter::write_outc(&mut outc, &q.reports).unwrap();
+        let strict = read_quarter(id, &demo[..], &drug[..], &reac[..], &outc[..]).unwrap();
+        let lenient = read_quarter_with(
+            id,
+            &demo[..],
+            &drug[..],
+            &reac[..],
+            &outc[..],
+            &IngestOptions::lenient(),
+        )
+        .unwrap();
+        assert_eq!(lenient.data, strict);
+        assert!(lenient.report.is_clean());
+        assert_eq!(lenient.report.rows_ok(), lenient.report.rows_read());
+    }
+
+    #[test]
+    fn absolute_budget_fails_fast_with_first_offender() {
+        let opts = IngestOptions::lenient_with(ErrorBudget::max_rows(1));
+        let err = read_with(&dirty_streams(), &opts).unwrap_err();
+        match err {
+            AsciiError::BudgetExceeded { bad_rows, first, .. } => {
+                assert_eq!(bad_rows, 2);
+                assert_eq!((first.file, first.line), ("DEMO", 3));
+                assert_eq!(first.reason, QuarantineReason::BadNumeric);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn fractional_budget_is_settled_at_end_of_read() {
+        // 2 bad of 6 data rows = 33%; a 10% budget trips, a 50% one passes.
+        let tight = IngestOptions::lenient_with(ErrorBudget::max_frac(0.10));
+        assert!(matches!(
+            read_with(&dirty_streams(), &tight).unwrap_err(),
+            AsciiError::BudgetExceeded { .. }
+        ));
+        let loose = IngestOptions::lenient_with(ErrorBudget::max_frac(0.50));
+        let ingested = read_with(&dirty_streams(), &loose).unwrap();
+        assert_eq!(ingested.report.quarantined(), 2);
+    }
+
+    #[test]
+    fn lenient_header_damage_is_quarantined_and_rows_still_parse() {
+        let good = primary_id(9000001, 1);
+        let demo = format!("wrong$header\n{good}$9000001$1$EXP$$UNK$$US$\n");
+        let ingested = read_quarter_with(
+            QuarterId::new(2014, 1),
+            demo.as_bytes(),
+            format!("{DRUG_HEADER}\n").as_bytes(),
+            format!("{REAC_HEADER}\n").as_bytes(),
+            format!("{OUTC_HEADER}\n").as_bytes(),
+            &IngestOptions::lenient(),
+        )
+        .unwrap();
+        assert_eq!(ingested.data.reports.len(), 1);
+        assert_eq!(ingested.report.damaged_headers(), vec!["DEMO"]);
+        // Header damage is not a data-row quarantine.
+        assert_eq!(ingested.report.demo, FileCounts { rows: 1, ok: 1, quarantined: 0 });
+        assert_eq!(ingested.report.quarantine[0].reason, QuarantineReason::HeaderDamage);
+    }
+
+    #[test]
+    fn duplicate_primaryid_strict_errors_lenient_quarantines() {
+        let pid = primary_id(9000001, 1);
+        let demo = format!(
+            "{DEMO_HEADER}\n{pid}$9000001$1$EXP$$UNK$$US$\n{pid}$9000001$1$EXP$$UNK$$US$\n"
+        );
+        let make = |opts: &IngestOptions| {
+            read_quarter_with(
+                QuarterId::new(2014, 1),
+                demo.as_bytes(),
+                format!("{DRUG_HEADER}\n").as_bytes(),
+                format!("{REAC_HEADER}\n").as_bytes(),
+                format!("{OUTC_HEADER}\n").as_bytes(),
+                opts,
+            )
+        };
+        let err = make(&IngestOptions::strict()).unwrap_err();
+        assert!(matches!(err, AsciiError::Malformed { file: "DEMO", line: 3, .. }));
+        let ingested = make(&IngestOptions::lenient()).unwrap();
+        assert_eq!(ingested.data.reports.len(), 1);
+        assert_eq!(
+            ingested.report.counts_by_reason(),
+            vec![(QuarantineReason::DuplicatePrimaryid, 1)]
+        );
+    }
+
+    #[test]
+    fn lenient_dir_roundtrip_reports_clean() {
+        let dir = std::env::temp_dir().join(format!("maras_ascii_lenient_{}", std::process::id()));
+        let q = QuarterData { id: QuarterId::new(2015, 2), reports: sample_reports() };
+        write_quarter_dir(&dir, &q).unwrap();
+        let ingested = read_quarter_dir_with(&dir, q.id, &IngestOptions::lenient()).unwrap();
+        assert_eq!(ingested.data.reports, q.reports);
+        assert!(ingested.report.is_clean());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -209,7 +209,7 @@ const SUFFIX_RULES: &[(&str, AtcGroup)] = &[
     ("DIPINE", AtcGroup::Cardiovascular),
     ("OLOL", AtcGroup::Cardiovascular),
     ("SEMIDE", AtcGroup::Cardiovascular),
-    ("ZOLE", AtcGroup::Alimentary),   // -prazole PPIs dominate this suffix
+    ("ZOLE", AtcGroup::Alimentary), // -prazole PPIs dominate this suffix
     ("TIDINE", AtcGroup::Alimentary), // H2 blockers
     ("GLIPTIN", AtcGroup::Alimentary),
     ("CILLIN", AtcGroup::Antiinfective),

@@ -86,10 +86,40 @@ pub struct CleaningStats {
 
 /// Formulation / dosage tokens stripped from verbatim drug strings.
 const FORMULATION_TOKENS: &[&str] = &[
-    "TABLET", "TABLETS", "TAB", "TABS", "CAPSULE", "CAPSULES", "CAP", "CAPS", "INJECTION",
-    "INJ", "ORAL", "SOLUTION", "SUSPENSION", "CREAM", "GEL", "PATCH", "SYRUP", "DROPS",
-    "SPRAY", "ER", "XR", "SR", "CR", "HCL", "HCT", "SODIUM", "CALCIUM", "POTASSIUM",
-    "UNKNOWN", "NOS", "MG", "MCG", "ML", "IU",
+    "TABLET",
+    "TABLETS",
+    "TAB",
+    "TABS",
+    "CAPSULE",
+    "CAPSULES",
+    "CAP",
+    "CAPS",
+    "INJECTION",
+    "INJ",
+    "ORAL",
+    "SOLUTION",
+    "SUSPENSION",
+    "CREAM",
+    "GEL",
+    "PATCH",
+    "SYRUP",
+    "DROPS",
+    "SPRAY",
+    "ER",
+    "XR",
+    "SR",
+    "CR",
+    "HCL",
+    "HCT",
+    "SODIUM",
+    "CALCIUM",
+    "POTASSIUM",
+    "UNKNOWN",
+    "NOS",
+    "MG",
+    "MCG",
+    "ML",
+    "IU",
 ];
 
 fn is_dosage_token(tok: &str) -> bool {
@@ -297,14 +327,9 @@ mod tests {
         )]);
         let (cleaned, stats) = clean_quarter(&q, &dv, &av, &CleanConfig::default());
         assert_eq!(cleaned.len(), 1);
-        let names: Vec<&str> =
-            cleaned[0].drug_ids.iter().map(|&id| dv.term(id)).collect();
+        let names: Vec<&str> = cleaned[0].drug_ids.iter().map(|&id| dv.term(id)).collect();
         // IBUPROFEN appears once despite exact + typo duplicates.
-        assert_eq!(
-            names.iter().filter(|n| **n == "IBUPROFEN").count(),
-            1,
-            "names: {names:?}"
-        );
+        assert_eq!(names.iter().filter(|n| **n == "IBUPROFEN").count(), 1, "names: {names:?}");
         assert!(names.contains(&"METAMIZOLE"));
         assert_eq!(stats.unmatched_drugs, 1); // XQZWJK
         assert!(stats.corrected_drugs >= 2); // dosage strip + typo fix

@@ -15,6 +15,9 @@
 //! * [`clean`] — the §5.2 "data preparation and cleaning" step: case-version
 //!   de-duplication, drug-name normalization and misspelling correction,
 //!   ADR-term canonicalization.
+//! * [`faults`] — deterministic fault injection over the ASCII format
+//!   (truncation, stray delimiters, orphans, duplicates, header damage)
+//!   with a ledger of expected quarantines, for robustness testing.
 //! * [`synth`] — the synthetic FAERS generator substituting for the real
 //!   2014 extract (see DESIGN.md, substitution 1): Zipf prescription
 //!   marginals, comorbidity-driven co-prescription, per-drug ADR profiles,
@@ -26,6 +29,7 @@
 pub mod ascii;
 pub mod atc;
 pub mod clean;
+pub mod faults;
 pub mod meddra;
 pub mod model;
 pub mod quarter;
@@ -33,8 +37,9 @@ pub mod synth;
 pub mod vocab;
 
 pub use atc::{classify_drug, AtcGroup, AtcIndex};
-pub use meddra::{classify_term, Soc, SocIndex};
 pub use clean::{clean_quarter, CleanConfig, CleanedReport, CleaningStats};
+pub use faults::{corrupt_quarter, CorruptedQuarter, FaultConfig, FaultKind, InjectedFault};
+pub use meddra::{classify_term, Soc, SocIndex};
 pub use model::{CaseReport, DrugEntry, DrugRole, Outcome, ReportType, Sex};
 pub use quarter::{QuarterData, QuarterId, QuarterStats};
 pub use synth::{PlantedInteraction, SynthConfig, Synthesizer};

@@ -89,15 +89,11 @@ impl Soc {
             Soc::Endocrine => "Endocrine disorders",
             Soc::Eye => "Eye disorders",
             Soc::Gastrointestinal => "Gastrointestinal disorders",
-            Soc::GeneralAdministration => {
-                "General disorders and administration site conditions"
-            }
+            Soc::GeneralAdministration => "General disorders and administration site conditions",
             Soc::Hepatobiliary => "Hepatobiliary disorders",
             Soc::ImmuneSystem => "Immune system disorders",
             Soc::InfectionsInfestations => "Infections and infestations",
-            Soc::InjuryPoisoningProcedural => {
-                "Injury, poisoning and procedural complications"
-            }
+            Soc::InjuryPoisoningProcedural => "Injury, poisoning and procedural complications",
             Soc::Investigations => "Investigations",
             Soc::MetabolismNutrition => "Metabolism and nutrition disorders",
             Soc::Musculoskeletal => "Musculoskeletal and connective tissue disorders",
@@ -338,10 +334,7 @@ mod tests {
         assert_eq!(classify_term("Asthma"), Soc::RespiratoryThoracic);
         assert_eq!(classify_term("Haemorrhage"), Soc::Vascular);
         assert_eq!(classify_term("Neuropathy peripheral"), Soc::NervousSystem);
-        assert_eq!(
-            classify_term("Chronic graft versus host disease"),
-            Soc::ImmuneSystem
-        );
+        assert_eq!(classify_term("Chronic graft versus host disease"), Soc::ImmuneSystem);
     }
 
     #[test]
@@ -365,9 +358,9 @@ mod tests {
         let total: usize = Soc::ALL.iter().map(|&s| index.term_count(s)).sum();
         assert_eq!(total, vocab.len());
         // Procedural terms like "Renal failure type 3" land in their organ SOC.
-        let renal = vocab.id_of("Renal failure").or_else(|| {
-            vocab.iter().find(|(_, t)| t.starts_with("Renal")).map(|(id, _)| id)
-        });
+        let renal = vocab
+            .id_of("Renal failure")
+            .or_else(|| vocab.iter().find(|(_, t)| t.starts_with("Renal")).map(|(id, _)| id));
         if let Some(id) = renal {
             assert_eq!(index.soc(id), Soc::RenalUrinary);
         }

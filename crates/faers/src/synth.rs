@@ -138,24 +138,12 @@ impl SynthConfig {
     /// Paper-scale configuration (≈1:6 of the real quarter sizes; see
     /// DESIGN.md) used by the experiment binaries.
     pub fn paper_scale(seed: u64) -> Self {
-        SynthConfig {
-            n_reports: 20_000,
-            n_drugs: 2_000,
-            n_adrs: 1_200,
-            seed,
-            ..Default::default()
-        }
+        SynthConfig { n_reports: 20_000, n_drugs: 2_000, n_adrs: 1_200, seed, ..Default::default() }
     }
 
     /// Small, fast configuration for tests.
     pub fn test_scale(seed: u64) -> Self {
-        SynthConfig {
-            n_reports: 800,
-            n_drugs: 200,
-            n_adrs: 160,
-            seed,
-            ..Default::default()
-        }
+        SynthConfig { n_reports: 800, n_drugs: 200, n_adrs: 160, seed, ..Default::default() }
     }
 }
 
@@ -276,8 +264,9 @@ impl Synthesizer {
     /// Generates one quarter. Case ids continue across calls, so a year's
     /// quarters have disjoint cases.
     pub fn generate_quarter(&mut self, id: QuarterId) -> QuarterData {
-        let mut rng =
-            StdRng::seed_from_u64(self.config.seed ^ (u64::from(id.year) << 8) ^ u64::from(id.quarter));
+        let mut rng = StdRng::seed_from_u64(
+            self.config.seed ^ (u64::from(id.year) << 8) ^ u64::from(id.quarter),
+        );
         let zipf = Zipf::new(self.config.n_drugs as u64, 1.05).expect("valid zipf");
         let mut reports = Vec::with_capacity(self.config.n_reports + 64);
         for _ in 0..self.config.n_reports {
@@ -421,9 +410,7 @@ impl Synthesizer {
         let outcomes = self.sample_outcomes(report_type, rng);
         let age_dist = Normal::new(58.0f32, 18.0).expect("valid normal");
         let weight_dist = Normal::new(75.0f32, 15.0).expect("valid normal");
-        let age = rng
-            .gen_bool(0.9)
-            .then(|| age_dist.sample(rng).clamp(1.0, 100.0).round());
+        let age = rng.gen_bool(0.9).then(|| age_dist.sample(rng).clamp(1.0, 100.0).round());
         let weight_kg = rng
             .gen_bool(0.75)
             .then(|| (weight_dist.sample(rng).clamp(30.0, 200.0) * 10.0).round() / 10.0);
@@ -596,28 +583,20 @@ mod tests {
         let mut s = small();
         let truth = s.planted_truth();
         let q = s.generate_quarter(QuarterId::new(2014, 1));
-        let (cleaned, _) = clean_quarter(
-            &q,
-            s.drug_vocab(),
-            s.adr_vocab(),
-            &CleanConfig::default(),
-        );
+        let (cleaned, _) =
+            clean_quarter(&q, s.drug_vocab(), s.adr_vocab(), &CleanConfig::default());
         // Case I: ibuprofen + metamizole must co-occur in several cleaned
         // reports, mostly with acute renal failure.
         let (drugs, adrs) = &truth[0];
-        let combo_reports: Vec<_> = cleaned
-            .iter()
-            .filter(|c| drugs.iter().all(|d| c.drug_ids.contains(d)))
-            .collect();
+        let combo_reports: Vec<_> =
+            cleaned.iter().filter(|c| drugs.iter().all(|d| c.drug_ids.contains(d))).collect();
         assert!(
             combo_reports.len() >= 2,
             "expected several combo reports, got {}",
             combo_reports.len()
         );
-        let with_adr = combo_reports
-            .iter()
-            .filter(|c| adrs.iter().all(|a| c.adr_ids.contains(a)))
-            .count();
+        let with_adr =
+            combo_reports.iter().filter(|c| adrs.iter().all(|a| c.adr_ids.contains(a))).count();
         assert!(
             with_adr * 2 > combo_reports.len(),
             "combo should usually express its ADR: {with_adr}/{}",

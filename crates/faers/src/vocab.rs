@@ -141,67 +141,272 @@ impl BkTree {
 /// Every drug name the thesis mentions, plus common real-world drugs.
 pub const SEED_DRUGS: &[&str] = &[
     // Table 3.1 / Table 5.2 / case studies / intro examples:
-    "ZOMETA", "PRILOSEC", "XOLAIR", "SINGULAIR", "PREDNISONE", "ZANTAC", "METHOTREXATE",
-    "PROGRAF", "NEXIUM", "TUMS", "AMBIEN", "MELPHALAN", "MYLANTA", "ROLAIDS", "FLUDARABINE",
-    "IBUPROFEN", "METAMIZOLE", "PREVACID", "ASPIRIN", "WARFARIN", "PEPCID",
+    "ZOMETA",
+    "PRILOSEC",
+    "XOLAIR",
+    "SINGULAIR",
+    "PREDNISONE",
+    "ZANTAC",
+    "METHOTREXATE",
+    "PROGRAF",
+    "NEXIUM",
+    "TUMS",
+    "AMBIEN",
+    "MELPHALAN",
+    "MYLANTA",
+    "ROLAIDS",
+    "FLUDARABINE",
+    "IBUPROFEN",
+    "METAMIZOLE",
+    "PREVACID",
+    "ASPIRIN",
+    "WARFARIN",
+    "PEPCID",
     // Withdrawn drugs named in §1.1:
-    "POSICOR", "TROGLITAZONE", "CERIVASTATIN",
+    "POSICOR",
+    "TROGLITAZONE",
+    "CERIVASTATIN",
     // Related-work example (Tatonetti): paroxetine + pravastatin.
-    "PAROXETINE", "PRAVASTATIN",
+    "PAROXETINE",
+    "PRAVASTATIN",
     // Common co-reported drugs to fill the head of the Zipf curve:
-    "ACETAMINOPHEN", "METFORMIN", "LISINOPRIL", "ATORVASTATIN", "SIMVASTATIN", "OMEPRAZOLE",
-    "AMLODIPINE", "METOPROLOL", "LOSARTAN", "GABAPENTIN", "HYDROCHLOROTHIAZIDE", "SERTRALINE",
-    "FUROSEMIDE", "INSULIN", "LEVOTHYROXINE", "PANTOPRAZOLE", "PREGABALIN", "RAMIPRIL",
-    "CLOPIDOGREL", "RIVAROXABAN", "APIXABAN", "DIGOXIN", "AMIODARONE", "SPIRONOLACTONE",
-    "TRAMADOL", "OXYCODONE", "MORPHINE", "FENTANYL", "CELECOXIB", "NAPROXEN", "DICLOFENAC",
-    "DULOXETINE", "VENLAFAXINE", "FLUOXETINE", "CITALOPRAM", "ESCITALOPRAM", "MIRTAZAPINE",
-    "QUETIAPINE", "OLANZAPINE", "RISPERIDONE", "ARIPIPRAZOLE", "LAMOTRIGINE", "LEVETIRACETAM",
-    "CARBAMAZEPINE", "VALPROATE", "PHENYTOIN", "ALLOPURINOL", "COLCHICINE", "HUMIRA",
-    "ENBREL", "REMICADE", "RITUXAN", "AVASTIN", "HERCEPTIN", "GLEEVEC", "REVLIMID",
-    "VELCADE", "TYSABRI", "COPAXONE", "GILENYA", "TECFIDERA", "LIPITOR", "CRESTOR",
-    "PLAVIX", "COUMADIN", "XARELTO", "ELIQUIS", "LANTUS", "VICTOZA", "JANUVIA",
-    "SYNTHROID", "ADVAIR", "SPIRIVA", "SYMBICORT", "VENTOLIN", "LYRICA", "CYMBALTA",
-    "ABILIFY", "SEROQUEL", "ZOLOFT", "LEXAPRO", "PROZAC", "XANAX", "VALIUM", "ATIVAN",
-    "KLONOPIN", "ADDERALL", "RITALIN", "CONCERTA", "TACROLIMUS", "CYCLOSPORINE",
-    "MYCOPHENOLATE", "AZATHIOPRINE", "SIROLIMUS", "CISPLATIN", "CARBOPLATIN", "PACLITAXEL",
-    "DOCETAXEL", "DOXORUBICIN", "CYCLOPHOSPHAMIDE", "VINCRISTINE", "ETOPOSIDE",
-    "GEMCITABINE", "CAPECITABINE", "IRINOTECAN", "OXALIPLATIN", "BORTEZOMIB",
-    "LENALIDOMIDE", "THALIDOMIDE", "DEXAMETHASONE", "HYDROCORTISONE", "BUDESONIDE",
+    "ACETAMINOPHEN",
+    "METFORMIN",
+    "LISINOPRIL",
+    "ATORVASTATIN",
+    "SIMVASTATIN",
+    "OMEPRAZOLE",
+    "AMLODIPINE",
+    "METOPROLOL",
+    "LOSARTAN",
+    "GABAPENTIN",
+    "HYDROCHLOROTHIAZIDE",
+    "SERTRALINE",
+    "FUROSEMIDE",
+    "INSULIN",
+    "LEVOTHYROXINE",
+    "PANTOPRAZOLE",
+    "PREGABALIN",
+    "RAMIPRIL",
+    "CLOPIDOGREL",
+    "RIVAROXABAN",
+    "APIXABAN",
+    "DIGOXIN",
+    "AMIODARONE",
+    "SPIRONOLACTONE",
+    "TRAMADOL",
+    "OXYCODONE",
+    "MORPHINE",
+    "FENTANYL",
+    "CELECOXIB",
+    "NAPROXEN",
+    "DICLOFENAC",
+    "DULOXETINE",
+    "VENLAFAXINE",
+    "FLUOXETINE",
+    "CITALOPRAM",
+    "ESCITALOPRAM",
+    "MIRTAZAPINE",
+    "QUETIAPINE",
+    "OLANZAPINE",
+    "RISPERIDONE",
+    "ARIPIPRAZOLE",
+    "LAMOTRIGINE",
+    "LEVETIRACETAM",
+    "CARBAMAZEPINE",
+    "VALPROATE",
+    "PHENYTOIN",
+    "ALLOPURINOL",
+    "COLCHICINE",
+    "HUMIRA",
+    "ENBREL",
+    "REMICADE",
+    "RITUXAN",
+    "AVASTIN",
+    "HERCEPTIN",
+    "GLEEVEC",
+    "REVLIMID",
+    "VELCADE",
+    "TYSABRI",
+    "COPAXONE",
+    "GILENYA",
+    "TECFIDERA",
+    "LIPITOR",
+    "CRESTOR",
+    "PLAVIX",
+    "COUMADIN",
+    "XARELTO",
+    "ELIQUIS",
+    "LANTUS",
+    "VICTOZA",
+    "JANUVIA",
+    "SYNTHROID",
+    "ADVAIR",
+    "SPIRIVA",
+    "SYMBICORT",
+    "VENTOLIN",
+    "LYRICA",
+    "CYMBALTA",
+    "ABILIFY",
+    "SEROQUEL",
+    "ZOLOFT",
+    "LEXAPRO",
+    "PROZAC",
+    "XANAX",
+    "VALIUM",
+    "ATIVAN",
+    "KLONOPIN",
+    "ADDERALL",
+    "RITALIN",
+    "CONCERTA",
+    "TACROLIMUS",
+    "CYCLOSPORINE",
+    "MYCOPHENOLATE",
+    "AZATHIOPRINE",
+    "SIROLIMUS",
+    "CISPLATIN",
+    "CARBOPLATIN",
+    "PACLITAXEL",
+    "DOCETAXEL",
+    "DOXORUBICIN",
+    "CYCLOPHOSPHAMIDE",
+    "VINCRISTINE",
+    "ETOPOSIDE",
+    "GEMCITABINE",
+    "CAPECITABINE",
+    "IRINOTECAN",
+    "OXALIPLATIN",
+    "BORTEZOMIB",
+    "LENALIDOMIDE",
+    "THALIDOMIDE",
+    "DEXAMETHASONE",
+    "HYDROCORTISONE",
+    "BUDESONIDE",
 ];
 
 /// Every ADR preferred term the thesis mentions, plus common MedDRA-style
 /// terms.
 pub const SEED_ADRS: &[&str] = &[
     // Table 3.1 / Table 5.2 / case studies:
-    "Asthma", "Osteoporosis", "Chronic graft versus host disease",
-    "Acute graft versus host disease", "Osteonecrosis of jaw", "Drug ineffective",
-    "Granulocyte colony-stimulating factor nos", "Anxiety", "Osteoarthritis",
-    "Neuropathy peripheral", "Pain", "Anaemia", "Acute renal failure",
+    "Asthma",
+    "Osteoporosis",
+    "Chronic graft versus host disease",
+    "Acute graft versus host disease",
+    "Osteonecrosis of jaw",
+    "Drug ineffective",
+    "Granulocyte colony-stimulating factor nos",
+    "Anxiety",
+    "Osteoarthritis",
+    "Neuropathy peripheral",
+    "Pain",
+    "Anaemia",
+    "Acute renal failure",
     // Intro example (Aspirin+Warfarin) and related work:
-    "Haemorrhage", "Blood glucose increased",
+    "Haemorrhage",
+    "Blood glucose increased",
     // Common MedDRA preferred terms:
-    "Nausea", "Vomiting", "Diarrhoea", "Headache", "Dizziness", "Fatigue", "Pyrexia",
-    "Rash", "Pruritus", "Urticaria", "Dyspnoea", "Cough", "Oedema peripheral",
-    "Hypotension", "Hypertension", "Tachycardia", "Bradycardia", "Atrial fibrillation",
-    "Myocardial infarction", "Cardiac failure", "Cerebrovascular accident", "Syncope",
-    "Convulsion", "Tremor", "Somnolence", "Insomnia", "Depression", "Confusional state",
-    "Hallucination", "Renal failure", "Renal impairment", "Hepatotoxicity",
-    "Hepatic function abnormal", "Jaundice", "Pancreatitis", "Gastrointestinal haemorrhage",
-    "Abdominal pain", "Constipation", "Dyspepsia", "Decreased appetite", "Weight decreased",
-    "Weight increased", "Alopecia", "Arthralgia", "Myalgia", "Back pain", "Muscular weakness",
-    "Rhabdomyolysis", "Neutropenia", "Thrombocytopenia", "Leukopenia", "Pancytopenia",
-    "Febrile neutropenia", "Sepsis", "Pneumonia", "Urinary tract infection",
-    "Hypersensitivity", "Anaphylactic reaction", "Stevens-Johnson syndrome",
-    "Toxic epidermal necrolysis", "QT prolonged", "Torsade de pointes",
-    "Deep vein thrombosis", "Pulmonary embolism", "Interstitial lung disease",
-    "Hyperkalaemia", "Hypokalaemia", "Hyponatraemia", "Hypoglycaemia", "Hyperglycaemia",
-    "Blood pressure increased", "Hepatic enzyme increased", "Blood creatinine increased",
-    "Fall", "Fracture", "Bone pain", "Malaise", "Asthenia", "Chest pain", "Palpitations",
-    "Visual impairment", "Tinnitus", "Vertigo", "Dry mouth", "Dysgeusia", "Paraesthesia",
-    "Hypoaesthesia", "Memory impairment", "Drug interaction", "Condition aggravated",
-    "Disease progression", "Death", "Completed suicide", "Suicidal ideation",
-    "Off label use", "Overdose", "Drug hypersensitivity", "Injection site reaction",
-    "Infusion related reaction", "Mucosal inflammation", "Stomatitis", "Dysphagia",
+    "Nausea",
+    "Vomiting",
+    "Diarrhoea",
+    "Headache",
+    "Dizziness",
+    "Fatigue",
+    "Pyrexia",
+    "Rash",
+    "Pruritus",
+    "Urticaria",
+    "Dyspnoea",
+    "Cough",
+    "Oedema peripheral",
+    "Hypotension",
+    "Hypertension",
+    "Tachycardia",
+    "Bradycardia",
+    "Atrial fibrillation",
+    "Myocardial infarction",
+    "Cardiac failure",
+    "Cerebrovascular accident",
+    "Syncope",
+    "Convulsion",
+    "Tremor",
+    "Somnolence",
+    "Insomnia",
+    "Depression",
+    "Confusional state",
+    "Hallucination",
+    "Renal failure",
+    "Renal impairment",
+    "Hepatotoxicity",
+    "Hepatic function abnormal",
+    "Jaundice",
+    "Pancreatitis",
+    "Gastrointestinal haemorrhage",
+    "Abdominal pain",
+    "Constipation",
+    "Dyspepsia",
+    "Decreased appetite",
+    "Weight decreased",
+    "Weight increased",
+    "Alopecia",
+    "Arthralgia",
+    "Myalgia",
+    "Back pain",
+    "Muscular weakness",
+    "Rhabdomyolysis",
+    "Neutropenia",
+    "Thrombocytopenia",
+    "Leukopenia",
+    "Pancytopenia",
+    "Febrile neutropenia",
+    "Sepsis",
+    "Pneumonia",
+    "Urinary tract infection",
+    "Hypersensitivity",
+    "Anaphylactic reaction",
+    "Stevens-Johnson syndrome",
+    "Toxic epidermal necrolysis",
+    "QT prolonged",
+    "Torsade de pointes",
+    "Deep vein thrombosis",
+    "Pulmonary embolism",
+    "Interstitial lung disease",
+    "Hyperkalaemia",
+    "Hypokalaemia",
+    "Hyponatraemia",
+    "Hypoglycaemia",
+    "Hyperglycaemia",
+    "Blood pressure increased",
+    "Hepatic enzyme increased",
+    "Blood creatinine increased",
+    "Fall",
+    "Fracture",
+    "Bone pain",
+    "Malaise",
+    "Asthenia",
+    "Chest pain",
+    "Palpitations",
+    "Visual impairment",
+    "Tinnitus",
+    "Vertigo",
+    "Dry mouth",
+    "Dysgeusia",
+    "Paraesthesia",
+    "Hypoaesthesia",
+    "Memory impairment",
+    "Drug interaction",
+    "Condition aggravated",
+    "Disease progression",
+    "Death",
+    "Completed suicide",
+    "Suicidal ideation",
+    "Off label use",
+    "Overdose",
+    "Drug hypersensitivity",
+    "Injection site reaction",
+    "Infusion related reaction",
+    "Mucosal inflammation",
+    "Stomatitis",
+    "Dysphagia",
 ];
 
 /// A canonical vocabulary of terms (drugs or ADRs) with a dense id space and
@@ -309,17 +514,16 @@ impl Vocabulary {
 }
 
 const DRUG_PREFIX: &[&str] = &[
-    "AB", "CAR", "DEX", "FLU", "GLI", "KET", "LAM", "MEV", "NOR", "OXA", "PER", "QUI",
-    "RAL", "SUL", "TER", "VAL", "XIM", "ZAL", "BEN", "DOR",
+    "AB", "CAR", "DEX", "FLU", "GLI", "KET", "LAM", "MEV", "NOR", "OXA", "PER", "QUI", "RAL",
+    "SUL", "TER", "VAL", "XIM", "ZAL", "BEN", "DOR",
 ];
 const DRUG_MID: &[&str] = &[
     "A", "I", "O", "U", "AVO", "ITRA", "ETO", "OBA", "UVI", "AXI", "OMI", "ERA", "ILO", "UTA",
     "ANDO",
 ];
 const DRUG_SUFFIX: &[&str] = &[
-    "MAB", "NIB", "PRIL", "SARTAN", "STATIN", "ZOLE", "CILLIN", "MYCIN", "PAM", "LOL",
-    "DIPINE", "FLOXACIN", "TIDINE", "SETRON", "GLIPTIN", "PROFEN", "BARBITAL", "CAINE",
-    "DRONATE", "VIR",
+    "MAB", "NIB", "PRIL", "SARTAN", "STATIN", "ZOLE", "CILLIN", "MYCIN", "PAM", "LOL", "DIPINE",
+    "FLOXACIN", "TIDINE", "SETRON", "GLIPTIN", "PROFEN", "BARBITAL", "CAINE", "DRONATE", "VIR",
 ];
 
 /// Deterministic pseudo-pharmaceutical name for index `i`.
@@ -336,14 +540,43 @@ pub fn procedural_drug_name(i: usize) -> String {
 }
 
 const ADR_SITE: &[&str] = &[
-    "Hepatic", "Renal", "Cardiac", "Gastric", "Dermal", "Ocular", "Neural", "Pulmonary",
-    "Vascular", "Splenic", "Thyroid", "Adrenal", "Pancreatic", "Muscular", "Osseous",
-    "Lymphatic", "Biliary", "Urethral", "Retinal", "Cochlear",
+    "Hepatic",
+    "Renal",
+    "Cardiac",
+    "Gastric",
+    "Dermal",
+    "Ocular",
+    "Neural",
+    "Pulmonary",
+    "Vascular",
+    "Splenic",
+    "Thyroid",
+    "Adrenal",
+    "Pancreatic",
+    "Muscular",
+    "Osseous",
+    "Lymphatic",
+    "Biliary",
+    "Urethral",
+    "Retinal",
+    "Cochlear",
 ];
 const ADR_KIND: &[&str] = &[
-    "disorder", "failure", "necrosis", "oedema", "haemorrhage", "hypertrophy", "atrophy",
-    "inflammation", "neoplasm", "stenosis", "fibrosis", "calcification", "ulceration",
-    "perforation", "dysplasia",
+    "disorder",
+    "failure",
+    "necrosis",
+    "oedema",
+    "haemorrhage",
+    "hypertrophy",
+    "atrophy",
+    "inflammation",
+    "neoplasm",
+    "stenosis",
+    "fibrosis",
+    "calcification",
+    "ulceration",
+    "perforation",
+    "dysplasia",
 ];
 
 /// Deterministic MedDRA-style preferred term for index `i`.
@@ -384,9 +617,7 @@ mod tests {
     #[test]
     fn bktree_lookup_finds_neighbors() {
         let mut t = BkTree::new();
-        for (i, w) in ["ASPIRIN", "WARFARIN", "PROGRAF", "PREVACID", "PRILOSEC"]
-            .iter()
-            .enumerate()
+        for (i, w) in ["ASPIRIN", "WARFARIN", "PROGRAF", "PREVACID", "PRILOSEC"].iter().enumerate()
         {
             t.insert(w, i as u32);
         }
@@ -415,11 +646,8 @@ mod tests {
             t.insert(w, i as u32);
         }
         for query in ["ABAMAB", "CARINIB", "XIMOPRIL", "KETUSTATIN", "NOPE"] {
-            let mut expect: Vec<&str> = words
-                .iter()
-                .filter(|w| levenshtein(query, w) <= 2)
-                .map(|w| w.as_str())
-                .collect();
+            let mut expect: Vec<&str> =
+                words.iter().filter(|w| levenshtein(query, w) <= 2).map(|w| w.as_str()).collect();
             expect.sort_unstable();
             let mut got: Vec<&str> = t.lookup(query, 2).into_iter().map(|(w, _, _)| w).collect();
             got.sort_unstable();

@@ -62,10 +62,8 @@ impl Mcac {
     pub fn build(target: DrugAdrRule, db: &TransactionDb) -> Self {
         let n = target.drugs.len();
         assert!(n >= 2, "MCAC target must be a multi-drug rule");
-        let mut levels: Vec<ContextLevel> = (1..n)
-            .rev()
-            .map(|k| ContextLevel { cardinality: k, rules: Vec::new() })
-            .collect();
+        let mut levels: Vec<ContextLevel> =
+            (1..n).rev().map(|k| ContextLevel { cardinality: k, rules: Vec::new() }).collect();
         for subset in target.drugs.proper_nonempty_subsets() {
             let k = subset.len();
             let rule = DrugAdrRule::from_parts(subset, target.adrs.clone(), db);
@@ -137,9 +135,7 @@ mod tests {
     use maras_rules::ItemPartition;
 
     fn db(rows: &[&[u32]]) -> TransactionDb {
-        TransactionDb::new(
-            rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect(),
-        )
+        TransactionDb::new(rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect())
     }
 
     fn set(ids: &[u32]) -> ItemSet {

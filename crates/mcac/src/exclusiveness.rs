@@ -23,8 +23,7 @@ use serde::{Deserialize, Serialize};
 
 /// Decay function `fd(k)` weighting context levels by antecedent
 /// cardinality (§3.6: importance decreases as `k` grows).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum DecayFn {
     /// The thesis's experimental choice: `fd(k) = 1 − (k−1)/n` where `n` is
     /// the number of drugs in the target.
@@ -47,7 +46,6 @@ impl DecayFn {
         }
     }
 }
-
 
 /// Configuration of the exclusiveness score.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -108,10 +106,7 @@ impl ExclusivenessConfig {
 /// sub-rule, under the configured measure.
 pub fn improvement(cluster: &Mcac, measure: Measure) -> f64 {
     let p = cluster.target.stats.measure(measure);
-    cluster
-        .context_rules()
-        .map(|r| p - r.stats.measure(measure))
-        .fold(f64::INFINITY, f64::min)
+    cluster.context_rules().map(|r| p - r.stats.measure(measure)).fold(f64::INFINITY, f64::min)
 }
 
 fn mean(values: &[f64]) -> f64 {
@@ -141,9 +136,7 @@ mod tests {
     use maras_rules::DrugAdrRule;
 
     fn db(rows: &[&[u32]]) -> TransactionDb {
-        TransactionDb::new(
-            rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect(),
-        )
+        TransactionDb::new(rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect())
     }
 
     fn cluster(rows: &[&[u32]], drugs: &[u32], adrs: &[u32]) -> Mcac {
@@ -158,20 +151,12 @@ mod tests {
 
     /// A clean interaction: combo always causes the ADR, singles never do.
     fn exclusive_cluster() -> Mcac {
-        cluster(
-            &[&[0, 1, 10], &[0, 1, 10], &[0, 2], &[0, 3], &[1, 2], &[1, 3]],
-            &[0, 1],
-            &[10],
-        )
+        cluster(&[&[0, 1, 10], &[0, 1, 10], &[0, 2], &[0, 3], &[1, 2], &[1, 3]], &[0, 1], &[10])
     }
 
     /// A dominated association: drug 0 alone causes the ADR just as often.
     fn dominated_cluster() -> Mcac {
-        cluster(
-            &[&[0, 1, 10], &[0, 1, 10], &[0, 10], &[0, 10], &[1, 2], &[1, 3]],
-            &[0, 1],
-            &[10],
-        )
+        cluster(&[&[0, 1, 10], &[0, 1, 10], &[0, 10], &[0, 10], &[1, 2], &[1, 3]], &[0, 1], &[10])
     }
 
     #[test]
@@ -208,11 +193,7 @@ mod tests {
     #[test]
     fn improvement_negative_when_subrule_stronger() {
         // Sub-rule more predictive than the full combination.
-        let c = cluster(
-            &[&[0, 10], &[0, 10], &[0, 1, 10], &[0, 1, 2]],
-            &[0, 1],
-            &[10],
-        );
+        let c = cluster(&[&[0, 10], &[0, 10], &[0, 1, 10], &[0, 1, 2]], &[0, 1], &[10]);
         // target: sup({0,1})=2, joint=1 → 0.5 ; {0}: 3/4=0.75 → improvement < 0
         assert!(improvement(&c, Measure::Confidence) < 0.0);
     }

@@ -124,9 +124,7 @@ mod tests {
     use maras_rules::{multi_drug_rules, ItemPartition};
 
     fn db(rows: &[&[u32]]) -> TransactionDb {
-        TransactionDb::new(
-            rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect(),
-        )
+        TransactionDb::new(rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect())
     }
 
     const P: ItemPartition = ItemPartition { adr_start: 10 };
@@ -179,16 +177,10 @@ mod tests {
         let d = planted_db();
         let rules = multi_drug_rules(&d, &P, 2);
         let ranked = rank_rules_by(rules, Measure::Confidence);
-        let c_exclusive = ranked
-            .iter()
-            .find(|r| r.drugs == ItemSet::from_ids([0u32, 1]))
-            .unwrap()
-            .confidence();
-        let c_dominated = ranked
-            .iter()
-            .find(|r| r.drugs == ItemSet::from_ids([2u32, 3]))
-            .unwrap()
-            .confidence();
+        let c_exclusive =
+            ranked.iter().find(|r| r.drugs == ItemSet::from_ids([0u32, 1])).unwrap().confidence();
+        let c_dominated =
+            ranked.iter().find(|r| r.drugs == ItemSet::from_ids([2u32, 3])).unwrap().confidence();
         assert_eq!(c_exclusive, c_dominated);
     }
 
@@ -235,9 +227,6 @@ mod tests {
             RankingMethod::exclusiveness_confidence().to_string(),
             "Exclusiveness with confidence"
         );
-        assert_eq!(
-            RankingMethod::exclusiveness_lift().to_string(),
-            "Exclusiveness with lift"
-        );
+        assert_eq!(RankingMethod::exclusiveness_lift().to_string(), "Exclusiveness with lift");
     }
 }

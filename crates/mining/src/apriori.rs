@@ -48,10 +48,8 @@ pub fn apriori(db: &TransactionDb, min_support: u64) -> Vec<FrequentItemset> {
                 }
                 let candidate = level[i].with(b[k - 1]);
                 // Prune step: every (k)-subset must be frequent.
-                let all_frequent = candidate
-                    .items()
-                    .iter()
-                    .all(|&drop| prev.contains(&candidate.without(drop)));
+                let all_frequent =
+                    candidate.items().iter().all(|&drop| prev.contains(&candidate.without(drop)));
                 if !all_frequent {
                     continue;
                 }
@@ -76,9 +74,7 @@ mod tests {
     use rustc_hash::FxHashMap;
 
     fn db(rows: &[&[u32]]) -> TransactionDb {
-        TransactionDb::new(
-            rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect(),
-        )
+        TransactionDb::new(rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect())
     }
 
     fn as_map(v: Vec<FrequentItemset>) -> FxHashMap<ItemSet, u64> {

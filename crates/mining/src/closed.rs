@@ -58,8 +58,7 @@ impl ClosedMiner {
 
         // 2. Mark the direct sub-itemsets that share support: those are
         //    non-closed.
-        let mut closed: FxHashMap<&ItemSet, bool> =
-            supports.keys().map(|s| (s, true)).collect();
+        let mut closed: FxHashMap<&ItemSet, bool> = supports.keys().map(|s| (s, true)).collect();
         for (t, &sup) in &supports {
             if t.len() < 2 {
                 continue;
@@ -104,9 +103,7 @@ mod tests {
     use crate::items::Item;
 
     fn db(rows: &[&[u32]]) -> TransactionDb {
-        TransactionDb::new(
-            rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect(),
-        )
+        TransactionDb::new(rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect())
     }
 
     fn set(ids: &[u32]) -> ItemSet {

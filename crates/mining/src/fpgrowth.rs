@@ -131,11 +131,8 @@ pub(crate) fn conditional_tree(tree: &FpTree, item: Item, min_support: u64) -> F
         paths.push((path.clone(), count));
     }
     // Order surviving items by conditional support (descending).
-    let mut order: Vec<(Item, u64)> = csup
-        .iter()
-        .filter(|&(_, &s)| s >= min_support)
-        .map(|(&i, &s)| (i, s))
-        .collect();
+    let mut order: Vec<(Item, u64)> =
+        csup.iter().filter(|&(_, &s)| s >= min_support).map(|(&i, &s)| (i, s)).collect();
     order.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     let rank: FxHashMap<Item, u32> =
         order.iter().enumerate().map(|(r, &(i, _))| (i, r as u32)).collect();
@@ -195,9 +192,7 @@ mod tests {
     use rustc_hash::FxHashMap;
 
     fn db(rows: &[&[u32]]) -> TransactionDb {
-        TransactionDb::new(
-            rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect(),
-        )
+        TransactionDb::new(rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect())
     }
 
     fn mined_map(d: &TransactionDb, min_support: u64) -> FxHashMap<ItemSet, u64> {
@@ -295,10 +290,8 @@ mod tests {
                 return out;
             }
             for mask in 1u32..(1 << n) {
-                let s: ItemSet = (0..n)
-                    .filter(|b| mask & (1 << b) != 0)
-                    .map(|b| items[b])
-                    .collect();
+                let s: ItemSet =
+                    (0..n).filter(|b| mask & (1 << b) != 0).map(|b| items[b]).collect();
                 let sup = d.support(&s) as u64;
                 if sup >= min_support {
                     out.insert(s, sup);

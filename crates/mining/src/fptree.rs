@@ -56,7 +56,12 @@ impl FpTree {
     /// Creates an empty tree containing only the root.
     pub fn new() -> Self {
         FpTree {
-            nodes: vec![Node { item: Item(u32::MAX), count: 0, parent: NONE, next_same_item: NONE }],
+            nodes: vec![Node {
+                item: Item(u32::MAX),
+                count: 0,
+                parent: NONE,
+                next_same_item: NONE,
+            }],
             edges: FxHashMap::default(),
             headers: FxHashMap::default(),
             order: Vec::new(),
@@ -174,11 +179,7 @@ impl FpTree {
         let mut cur = self.root();
         loop {
             // Find the unique child of cur, if any.
-            let child = self
-                .edges
-                .iter()
-                .find(|((p, _), _)| *p == cur)
-                .map(|(_, &c)| c);
+            let child = self.edges.iter().find(|((p, _), _)| *p == cur).map(|(_, &c)| c);
             match child {
                 Some(c) => {
                     let n = &self.nodes[c as usize];

@@ -247,10 +247,7 @@ impl ItemSet {
         let full = (1u32 << n) - 1;
         let mut out = Vec::with_capacity(full.saturating_sub(1) as usize);
         for mask in 1..full {
-            let items = (0..n)
-                .filter(|b| mask & (1 << b) != 0)
-                .map(|b| self.items[b])
-                .collect();
+            let items = (0..n).filter(|b| mask & (1 << b) != 0).map(|b| self.items[b]).collect();
             out.push(ItemSet { items });
         }
         out

@@ -63,9 +63,7 @@ pub fn top_k_closed(db: &TransactionDb, k: usize, min_len: usize) -> Vec<Frequen
             .filter(|f| f.items.len() >= min_len)
             .collect();
         if found.len() >= k || threshold <= 1 {
-            found.sort_unstable_by(|a, b| {
-                b.support.cmp(&a.support).then(a.items.cmp(&b.items))
-            });
+            found.sort_unstable_by(|a, b| b.support.cmp(&a.support).then(a.items.cmp(&b.items)));
             found.truncate(k);
             return found;
         }
@@ -80,9 +78,7 @@ mod tests {
     use crate::items::Item;
 
     fn db(rows: &[&[u32]]) -> TransactionDb {
-        TransactionDb::new(
-            rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect(),
-        )
+        TransactionDb::new(rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect())
     }
 
     fn set(ids: &[u32]) -> ItemSet {
@@ -140,9 +136,7 @@ mod tests {
             // Every frequent set is covered by some maximal superset.
             for f in &frequent {
                 assert!(
-                    maximal
-                        .iter()
-                        .any(|m| f.items.is_subset_of(&m.items)),
+                    maximal.iter().any(|m| f.items.is_subset_of(&m.items)),
                     "ms={ms}: {} uncovered",
                     f.items
                 );
@@ -157,15 +151,7 @@ mod tests {
 
     #[test]
     fn top_k_closed_returns_highest_support() {
-        let d = db(&[
-            &[1, 2],
-            &[1, 2],
-            &[1, 2],
-            &[1, 2],
-            &[3, 4],
-            &[3, 4],
-            &[5, 6],
-        ]);
+        let d = db(&[&[1, 2], &[1, 2], &[1, 2], &[1, 2], &[3, 4], &[3, 4], &[5, 6]]);
         let top = top_k_closed(&d, 2, 2);
         assert_eq!(top.len(), 2);
         assert_eq!(top[0].items, set(&[1, 2]));

@@ -4,7 +4,7 @@
 //! pattern is generated under exactly one top-level suffix item (its
 //! globally least-frequent member), so assigning top-level items to workers
 //! partitions the mining work exactly. This module implements that sharding
-//! over a shared read-only FP-tree with crossbeam scoped threads, and is
+//! over a shared read-only FP-tree with std scoped threads, and is
 //! differential-tested to produce byte-identical output to the sequential
 //! miner.
 //!
@@ -77,10 +77,10 @@ pub fn frequent_itemsets_parallel(
     // (its globally least-frequent member), so assigning top-level items to
     // workers partitions both the output and the mining work.
     let mut shards: Vec<Vec<FrequentItemset>> = Vec::with_capacity(n_threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
             .map(|w| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local: Vec<FrequentItemset> = Vec::new();
                     let mut prefix: Vec<Item> = Vec::new();
                     for (idx, &item) in tree.mining_order().iter().enumerate() {
@@ -114,8 +114,7 @@ pub fn frequent_itemsets_parallel(
         for h in handles {
             shards.push(h.join().expect("miner thread panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
 
     let mut out: Vec<FrequentItemset> = shards.into_iter().flatten().collect();
     sort_patterns(&mut out);
@@ -144,9 +143,7 @@ mod tests {
     use crate::fpgrowth::frequent_itemsets;
 
     fn db(rows: &[&[u32]]) -> TransactionDb {
-        TransactionDb::new(
-            rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect(),
-        )
+        TransactionDb::new(rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect())
     }
 
     fn normalized(mut v: Vec<FrequentItemset>) -> Vec<FrequentItemset> {

@@ -323,12 +323,13 @@ mod tests {
         use proptest::prelude::*;
 
         fn arb_db() -> impl Strategy<Value = TransactionDb> {
-            proptest::collection::vec(proptest::collection::vec(0u32..20, 0..8), 0..30)
-                .prop_map(|raw| {
+            proptest::collection::vec(proptest::collection::vec(0u32..20, 0..8), 0..30).prop_map(
+                |raw| {
                     TransactionDb::new(
                         raw.into_iter().map(|t| t.into_iter().map(Item).collect()).collect(),
                     )
-                })
+                },
+            )
         }
 
         fn arb_set() -> impl Strategy<Value = ItemSet> {

@@ -108,9 +108,7 @@ mod tests {
     use maras_mining::{Item, ItemSet};
 
     fn db(rows: &[&[u32]]) -> TransactionDb {
-        TransactionDb::new(
-            rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect(),
-        )
+        TransactionDb::new(rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect())
     }
 
     fn set(ids: &[u32]) -> ItemSet {
@@ -150,9 +148,7 @@ mod tests {
             "partial rule leaked: {closed:?}"
         );
         // But the explicit report itself survives.
-        assert!(closed
-            .iter()
-            .any(|r| r.drugs == set(&[0, 1]) && r.adrs == set(&[10, 11])));
+        assert!(closed.iter().any(|r| r.drugs == set(&[0, 1]) && r.adrs == set(&[10, 11])));
         // And the implicit overlap {d0 ⇒ a10} (in both reports) survives.
         assert!(closed.iter().any(|r| r.drugs == set(&[0]) && r.adrs == set(&[10])));
     }
@@ -214,10 +210,7 @@ mod tests {
         fn arb_rows() -> impl Strategy<Value = Vec<Vec<u32>>> {
             // Items 0..5 are drugs, 10..15 ADRs under partition P.
             proptest::collection::vec(
-                proptest::collection::vec(
-                    prop_oneof![0u32..5, 10u32..15],
-                    0..6,
-                ),
+                proptest::collection::vec(prop_oneof![0u32..5, 10u32..15], 0..6),
                 0..20,
             )
         }

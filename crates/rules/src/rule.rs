@@ -107,9 +107,7 @@ mod tests {
     use maras_mining::Item;
 
     fn db(rows: &[&[u32]]) -> TransactionDb {
-        TransactionDb::new(
-            rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect(),
-        )
+        TransactionDb::new(rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect())
     }
 
     fn set(ids: &[u32]) -> ItemSet {
@@ -120,8 +118,7 @@ mod tests {
     fn from_itemset_splits_and_counts() {
         let p = ItemPartition::new(10);
         let d = db(&[&[0, 1, 10], &[0, 1, 10], &[0, 2], &[1, 10]]);
-        let rule =
-            DrugAdrRule::from_itemset(&set(&[0, 1, 10]), 2, &p, &d).expect("mixed itemset");
+        let rule = DrugAdrRule::from_itemset(&set(&[0, 1, 10]), 2, &p, &d).expect("mixed itemset");
         assert_eq!(rule.drugs, set(&[0, 1]));
         assert_eq!(rule.adrs, set(&[10]));
         assert_eq!(rule.stats.support_ab, 2);

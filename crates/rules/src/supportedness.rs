@@ -79,9 +79,7 @@ mod tests {
     use maras_mining::{closed_itemsets, Item};
 
     fn db(rows: &[&[u32]]) -> TransactionDb {
-        TransactionDb::new(
-            rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect(),
-        )
+        TransactionDb::new(rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect())
     }
 
     fn set(ids: &[u32]) -> ItemSet {

@@ -57,11 +57,7 @@ pub fn prr(t: &ContingencyTable) -> ConfidenceInterval {
     let estimate = (a / (a + b)) / (c / (c + d));
     let se = (1.0 / a - 1.0 / (a + b) + 1.0 / c - 1.0 / (c + d)).max(0.0).sqrt();
     let ln = estimate.ln();
-    ConfidenceInterval {
-        estimate,
-        lower: (ln - Z95 * se).exp(),
-        upper: (ln + Z95 * se).exp(),
-    }
+    ConfidenceInterval { estimate, lower: (ln - Z95 * se).exp(), upper: (ln + Z95 * se).exp() }
 }
 
 /// Reporting odds ratio `ROR = (a·d)/(b·c)` with a 95% CI.
@@ -80,11 +76,7 @@ pub fn ror(t: &ContingencyTable) -> ConfidenceInterval {
     let estimate = (a * d) / (b * c);
     let se = (1.0 / a + 1.0 / b + 1.0 / c + 1.0 / d).sqrt();
     let ln = estimate.ln();
-    ConfidenceInterval {
-        estimate,
-        lower: (ln - Z95 * se).exp(),
-        upper: (ln + Z95 * se).exp(),
-    }
+    ConfidenceInterval { estimate, lower: (ln - Z95 * se).exp(), upper: (ln + Z95 * se).exp() }
 }
 
 /// Pearson χ² with Yates continuity correction.

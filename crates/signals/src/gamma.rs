@@ -45,10 +45,9 @@ pub fn digamma(x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    acc + x.ln() - 0.5 * inv
-        - inv2
-            * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+    acc + x.ln()
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
 }
 
 /// Regularized lower incomplete gamma `P(a, x) = γ(a,x) / Γ(a)`.
@@ -165,10 +164,7 @@ mod tests {
     fn ln_gamma_recurrence_property() {
         // Γ(x+1) = x·Γ(x) → lnΓ(x+1) = ln x + lnΓ(x).
         for x in [0.3, 1.7, 4.2, 9.9, 55.5] {
-            assert!(
-                (ln_gamma(x + 1.0) - (x.ln() + ln_gamma(x))).abs() < 1e-9,
-                "x={x}"
-            );
+            assert!((ln_gamma(x + 1.0) - (x.ln() + ln_gamma(x))).abs() < 1e-9, "x={x}");
         }
     }
 

@@ -79,9 +79,7 @@ mod tests {
     use super::*;
 
     fn db(rows: &[&[u32]]) -> TransactionDb {
-        TransactionDb::new(
-            rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect(),
-        )
+        TransactionDb::new(rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect())
     }
 
     const P: ItemPartition = ItemPartition { adr_start: 10 };
@@ -92,14 +90,7 @@ mod tests {
 
     #[test]
     fn contrast_positive_for_exclusive_combo() {
-        let d = db(&[
-            &[0, 1, 10],
-            &[0, 1, 10],
-            &[0, 2],
-            &[0, 3],
-            &[1, 2],
-            &[1, 3],
-        ]);
+        let d = db(&[&[0, 1, 10], &[0, 1, 10], &[0, 2], &[0, 3], &[1, 2], &[1, 3]]);
         // P(10|{0,1}) = 1.0; best single is P(10|{0}) = 0.5 (the combo
         // reports count toward single-drug exposure too) → contrast ≈ 1 bit.
         let ic = interaction_contrast(&d, &set(&[0, 1]), &set(&[10]));

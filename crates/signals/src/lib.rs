@@ -10,10 +10,10 @@
 #![warn(missing_docs)]
 
 pub mod contingency;
+pub mod disproportionality;
 pub mod ebgm;
 pub mod gamma;
 pub mod ic;
-pub mod disproportionality;
 pub mod interaction;
 pub mod stratified;
 

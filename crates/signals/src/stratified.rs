@@ -103,10 +103,7 @@ mod tests {
         let crude = crude_or(&[young, old]);
         let adjusted = mantel_haenszel_or(&[young, old]);
         assert!(crude > 2.0, "confounded crude OR should be inflated: {crude}");
-        assert!(
-            (adjusted - 1.0).abs() < 0.05,
-            "MH must recover the null effect: {adjusted}"
-        );
+        assert!((adjusted - 1.0).abs() < 0.05, "MH must recover the null effect: {adjusted}");
     }
 
     #[test]
@@ -122,10 +119,7 @@ mod tests {
     fn degenerate_strata_are_skipped() {
         let empty = ContingencyTable { a: 0, b: 0, c: 0, d: 0 };
         let real = ContingencyTable { a: 40, b: 10, c: 50, d: 50 };
-        assert_eq!(
-            mantel_haenszel_or(&[empty, real]),
-            mantel_haenszel_or(&[real])
-        );
+        assert_eq!(mantel_haenszel_or(&[empty, real]), mantel_haenszel_or(&[real]));
         assert_eq!(mantel_haenszel_or(&[empty]), 0.0);
         assert_eq!(mantel_haenszel_or(&[]), 0.0);
     }
@@ -142,8 +136,12 @@ mod tests {
         use proptest::prelude::*;
 
         fn arb_stratum() -> impl Strategy<Value = ContingencyTable> {
-            (1u64..100, 1u64..100, 1u64..100, 1u64..100)
-                .prop_map(|(a, b, c, d)| ContingencyTable { a, b, c, d })
+            (1u64..100, 1u64..100, 1u64..100, 1u64..100).prop_map(|(a, b, c, d)| ContingencyTable {
+                a,
+                b,
+                c,
+                d,
+            })
         }
 
         proptest! {

@@ -131,7 +131,8 @@ fn make_question(
             // Decoy B: weak target, weak context.
             (rng.gen_range(0.28..0.42), false)
         };
-        let ctx_mean: f64 = if dominated { rng.gen_range(0.40..0.50) } else { rng.gen_range(0.12..0.22) };
+        let ctx_mean: f64 =
+            if dominated { rng.gen_range(0.40..0.50) } else { rng.gen_range(0.12..0.22) };
         let target = (score + ctx_mean).min(0.97);
         // Spread context values around their mean without moving it.
         let mut context: Vec<f64> = (0..context_size)
@@ -211,8 +212,10 @@ mod tests {
 
     #[test]
     fn battery_is_deterministic_in_seed() {
-        assert_eq!(appendix_a_battery(9).questions[0].candidates,
-                   appendix_a_battery(9).questions[0].candidates);
+        assert_eq!(
+            appendix_a_battery(9).questions[0].candidates,
+            appendix_a_battery(9).questions[0].candidates
+        );
         let a = appendix_a_battery(9);
         let b = appendix_a_battery(10);
         assert_ne!(a.questions[0].candidates, b.questions[0].candidates);
@@ -240,10 +243,8 @@ mod tests {
         let b = appendix_a_battery(4);
         for q in &b.questions {
             let answer = q.correct_answer();
-            let min_winner = answer
-                .iter()
-                .map(|&i| q.candidates[i].true_score)
-                .fold(f64::INFINITY, f64::min);
+            let min_winner =
+                answer.iter().map(|&i| q.candidates[i].true_score).fold(f64::INFINITY, f64::min);
             let max_decoy = (0..q.candidates.len())
                 .filter(|i| !answer.contains(i))
                 .map(|i| q.candidates[i].true_score)

@@ -130,8 +130,7 @@ impl Participant {
             .map(|c| match encoding {
                 Encoding::ContextualGlyph => self.params.t_glance,
                 Encoding::BarChart => {
-                    self.params.t_per_bar * (1.0 + c.context.len() as f64)
-                        + self.params.t_compute
+                    self.params.t_per_bar * (1.0 + c.context.len() as f64) + self.params.t_compute
                 }
             })
             .sum();
@@ -142,11 +141,8 @@ impl Participant {
     /// Answers a question: estimates every candidate and picks the top-k.
     /// Returns the picked indices as a sorted set.
     pub fn answer(&mut self, question: &Question, encoding: Encoding) -> Vec<usize> {
-        let estimates: Vec<f64> = question
-            .candidates
-            .iter()
-            .map(|c| self.perceive(c, encoding))
-            .collect();
+        let estimates: Vec<f64> =
+            question.candidates.iter().map(|c| self.perceive(c, encoding)).collect();
         let mut order: Vec<usize> = (0..estimates.len()).collect();
         order.sort_by(|&a, &b| {
             estimates[b].partial_cmp(&estimates[a]).unwrap_or(std::cmp::Ordering::Equal)
@@ -194,8 +190,7 @@ mod tests {
         let s = easy_stimulus();
         for enc in [Encoding::ContextualGlyph, Encoding::BarChart] {
             let n = 4000;
-            let mean: f64 =
-                (0..n).map(|_| p.perceive(&s, enc)).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| p.perceive(&s, enc)).sum::<f64>() / n as f64;
             assert!((mean - s.true_score).abs() < 0.02, "{enc}: {mean}");
         }
     }
@@ -213,10 +208,7 @@ mod tests {
         };
         let v_small = var(&mut p, &small);
         let v_large = var(&mut p, &large);
-        assert!(
-            v_large > v_small * 2.0,
-            "integration noise must grow: {v_small} vs {v_large}"
-        );
+        assert!(v_large > v_small * 2.0, "integration noise must grow: {v_small} vs {v_large}");
     }
 
     #[test]
@@ -226,8 +218,7 @@ mod tests {
         let large = ClusterStimulus::new(0.9, vec![0.1; 14]);
         let var = |p: &mut Participant, s: &ClusterStimulus| {
             let n = 4000;
-            let xs: Vec<f64> =
-                (0..n).map(|_| p.perceive(s, Encoding::ContextualGlyph)).collect();
+            let xs: Vec<f64> = (0..n).map(|_| p.perceive(s, Encoding::ContextualGlyph)).collect();
             let m = xs.iter().sum::<f64>() / n as f64;
             xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64
         };

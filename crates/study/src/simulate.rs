@@ -38,10 +38,7 @@ impl StudyResults {
     /// Fig. 5.2 accessor: % of participants correct for `n_drugs` under the
     /// encoding.
     pub fn percent_correct(&self, n_drugs: usize, encoding: Encoding) -> f64 {
-        *self
-            .accuracy_by_drugs
-            .get(&(n_drugs, key(encoding)))
-            .unwrap_or(&0.0)
+        *self.accuracy_by_drugs.get(&(n_drugs, key(encoding))).unwrap_or(&0.0)
     }
 
     /// Mean answer time in seconds for `n_drugs` under the encoding (the
@@ -86,10 +83,8 @@ pub fn run_study(battery: &Battery, config: &StudyConfig) -> StudyResults {
     }
 
     let n = config.n_participants.max(1) as f64;
-    let accuracy_by_question = correct_by_q
-        .into_iter()
-        .map(|(k, v)| (k, 100.0 * v as f64 / n))
-        .collect();
+    let accuracy_by_question =
+        correct_by_q.into_iter().map(|(k, v)| (k, 100.0 * v as f64 / n)).collect();
     let accuracy_by_drugs = correct_by_d
         .into_iter()
         .map(|(k, v)| {
@@ -120,10 +115,7 @@ mod tests {
         for n_drugs in [2usize, 3, 4] {
             let glyph = results.percent_correct(n_drugs, Encoding::ContextualGlyph);
             let bar = results.percent_correct(n_drugs, Encoding::BarChart);
-            assert!(
-                glyph > bar,
-                "{n_drugs} drugs: glyph {glyph:.0}% must beat barchart {bar:.0}%"
-            );
+            assert!(glyph > bar, "{n_drugs} drugs: glyph {glyph:.0}% must beat barchart {bar:.0}%");
             assert!((0.0..=100.0).contains(&glyph));
             assert!((0.0..=100.0).contains(&bar));
         }

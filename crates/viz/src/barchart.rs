@@ -292,14 +292,7 @@ pub fn mcac_barchart_themed(
             x += step;
         }
     }
-    doc.line(
-        MARGIN_LEFT,
-        baseline,
-        MARGIN_LEFT + plot_w,
-        baseline,
-        theme.text_secondary,
-        1.0,
-    );
+    doc.line(MARGIN_LEFT, baseline, MARGIN_LEFT + plot_w, baseline, theme.text_secondary, 1.0);
     doc
 }
 
@@ -315,11 +308,8 @@ mod tests {
             vec![Item(0), Item(2)],
             vec![Item(1), Item(10)],
         ]);
-        let t = DrugAdrRule::from_parts(
-            ItemSet::from_ids([0u32, 1]),
-            ItemSet::from_ids([10u32]),
-            &db,
-        );
+        let t =
+            DrugAdrRule::from_parts(ItemSet::from_ids([0u32, 1]), ItemSet::from_ids([10u32]), &db);
         Mcac::build(t, &db)
     }
 
@@ -360,10 +350,7 @@ mod tests {
     #[should_panic(expected = "series mismatch")]
     fn mismatched_group_panics() {
         let groups = vec![BarGroup { label: "A".into(), values: vec![1.0] }];
-        let cfg = GroupedBarConfig {
-            series: vec!["s1".into(), "s2".into()],
-            ..Default::default()
-        };
+        let cfg = GroupedBarConfig { series: vec!["s1".into(), "s2".into()], ..Default::default() };
         grouped_bars(&groups, &cfg);
     }
 
@@ -381,10 +368,7 @@ mod tests {
     #[test]
     fn zero_valued_bars_are_skipped_in_grouped_chart() {
         let groups = vec![BarGroup { label: "A".into(), values: vec![0.0, 5.0] }];
-        let cfg = GroupedBarConfig {
-            series: vec!["x".into(), "y".into()],
-            ..Default::default()
-        };
+        let cfg = GroupedBarConfig { series: vec!["x".into(), "y".into()], ..Default::default() };
         let svg = grouped_bars(&groups, &cfg).render();
         assert_eq!(svg.matches("<path").count(), 1);
     }

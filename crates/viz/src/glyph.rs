@@ -35,7 +35,14 @@ pub struct GlyphConfig {
 
 impl Default for GlyphConfig {
     fn default() -> Self {
-        GlyphConfig { size: 220.0, margin: 10.0, ring_gap: 3.0, show_labels: false, caption: None, theme: Theme::default() }
+        GlyphConfig {
+            size: 220.0,
+            margin: 10.0,
+            ring_gap: 3.0,
+            show_labels: false,
+            caption: None,
+            theme: Theme::default(),
+        }
     }
 }
 
@@ -262,9 +269,8 @@ mod tests {
     use maras_mining::{Item, ItemSet, TransactionDb};
 
     fn cluster(rows: &[&[u32]], drugs: &[u32], adrs: &[u32]) -> Mcac {
-        let db = TransactionDb::new(
-            rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect(),
-        );
+        let db =
+            TransactionDb::new(rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect());
         let t = DrugAdrRule::from_parts(
             ItemSet::from_ids(drugs.iter().copied()),
             ItemSet::from_ids(adrs.iter().copied()),
@@ -274,11 +280,7 @@ mod tests {
     }
 
     fn three_drug_cluster() -> Mcac {
-        cluster(
-            &[&[0, 1, 2, 10], &[0, 1, 2, 10], &[0, 10], &[1, 3], &[2, 4]],
-            &[0, 1, 2],
-            &[10],
-        )
+        cluster(&[&[0, 1, 2, 10], &[0, 1, 2, 10], &[0, 10], &[1, 3], &[2, 4]], &[0, 1, 2], &[10])
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! core, shallow ring" signature and compare similarly-ranked groups.
 
 use crate::glyph::{glyph_svg, GlyphConfig};
-use crate::theme::Theme;
 use crate::svg::SvgDoc;
+use crate::theme::Theme;
 use maras_mcac::RankedMcac;
 use maras_rules::DrugAdrRule;
 
@@ -23,7 +23,12 @@ pub struct PanoramaConfig {
 
 impl Default for PanoramaConfig {
     fn default() -> Self {
-        PanoramaConfig { columns: 5, cell: 180.0, title: "MARAS ranked drug-drug interactions".into(), theme: Theme::default() }
+        PanoramaConfig {
+            columns: 5,
+            cell: 180.0,
+            title: "MARAS ranked drug-drug interactions".into(),
+            theme: Theme::default(),
+        }
     }
 }
 
@@ -86,7 +91,12 @@ mod tests {
     #[test]
     fn grid_dimensions_fit_all_glyphs() {
         let ranked = ranked_fixture(7);
-        let cfg = PanoramaConfig { columns: 3, cell: 100.0, title: "test".into(), theme: Theme::default() };
+        let cfg = PanoramaConfig {
+            columns: 3,
+            cell: 100.0,
+            title: "test".into(),
+            theme: Theme::default(),
+        };
         let doc = panorama_svg(&ranked, &cfg, None);
         assert_eq!(doc.width(), 300.0);
         assert_eq!(doc.height(), 36.0 + 3.0 * 100.0); // ceil(7/3)=3 rows

@@ -86,12 +86,8 @@ impl SvgDoc {
             escape(fill)
         );
         if let Some((color, w)) = stroke {
-            let _ = write!(
-                self.body,
-                r#" stroke="{}" stroke-width="{}""#,
-                escape(color),
-                fmt_num(w)
-            );
+            let _ =
+                write!(self.body, r#" stroke="{}" stroke-width="{}""#, escape(color), fmt_num(w));
         }
         self.close_element("circle", title);
     }

@@ -108,11 +108,9 @@ mod tests {
     #[test]
     fn level_color_monotone_in_both_themes() {
         for theme in [LIGHT, DARK] {
-            let idx =
-                |c: &str| theme.blue_ordinal.iter().position(|&x| x == c).expect("from ramp");
+            let idx = |c: &str| theme.blue_ordinal.iter().position(|&x| x == c).expect("from ramp");
             for n in 2..=6 {
-                let picked: Vec<usize> =
-                    (0..n).map(|i| idx(theme.level_color(i, n))).collect();
+                let picked: Vec<usize> = (0..n).map(|i| idx(theme.level_color(i, n))).collect();
                 assert!(picked.windows(2).all(|w| w[0] > w[1]), "{picked:?}");
             }
         }

@@ -7,9 +7,7 @@
 //! cargo run --release --example interaction_screening [DRUG]
 //! ```
 
-use maras::core::{
-    supporting_reports, KnowledgeBase, Pipeline, PipelineConfig, RuleQuery,
-};
+use maras::core::{supporting_reports, KnowledgeBase, Pipeline, PipelineConfig, RuleQuery};
 use maras::faers::{QuarterId, SynthConfig, Synthesizer};
 use maras::signals::{
     ebgm_from_table, interaction_contrast, ContingencyTable, GammaMixturePrior, SignalScores,
@@ -21,8 +19,8 @@ fn main() {
     let mut synth = Synthesizer::new(SynthConfig::default());
     let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
     let (dv, av) = (synth.drug_vocab().clone(), synth.adr_vocab().clone());
-    let result = Pipeline::new(PipelineConfig::default().with_min_support(8))
-        .run(quarter, &dv, &av);
+    let result =
+        Pipeline::new(PipelineConfig::default().with_min_support(8)).run(quarter, &dv, &av);
     let kb = KnowledgeBase::literature_validated();
 
     // --- search: all interactions involving the drug --------------------

@@ -11,14 +11,13 @@
 //! cargo run --release --example surveillance_deep_dive
 //! ```
 
+use maras::core::KnowledgeBase;
 use maras::core::{
-    rollup_reports, stratified_tables, Pipeline, PipelineConfig, Rollup, Stratifier,
-    TrendTracker,
+    rollup_reports, stratified_tables, Pipeline, PipelineConfig, Rollup, Stratifier, TrendTracker,
 };
 use maras::faers::{AtcIndex, SocIndex, SynthConfig, Synthesizer};
-use maras::rules::multi_drug_rules;
-use maras::core::KnowledgeBase;
 use maras::report::{html_report_with_trends, ReportConfig};
+use maras::rules::multi_drug_rules;
 use maras::signals::{mantel_haenszel_or, ContingencyTable, SignalScores};
 
 fn main() {
@@ -43,10 +42,8 @@ fn main() {
         if !trend.is_persistent() {
             continue;
         }
-        let drugs: Vec<String> =
-            result.encoded.names(&trend.drugs, &dv, &av);
-        let supports: Vec<String> =
-            trend.points.iter().map(|p| p.support.to_string()).collect();
+        let drugs: Vec<String> = result.encoded.names(&trend.drugs, &dv, &av);
+        let supports: Vec<String> = trend.points.iter().map(|p| p.support.to_string()).collect();
         println!(
             "  [{}] mean score {:.3} · support by quarter: {}",
             drugs.join(" + "),
@@ -97,17 +94,14 @@ fn main() {
     println!("\n=== ATC-class x organ-class rollup (Tatonetti-style) ===");
     let atc = AtcIndex::build(&dv);
     let soc = SocIndex::build(&av);
-    let rolled = rollup_reports(
-        &result.cleaned,
-        &atc,
-        &soc,
-        dv.len() as u32,
-        av.len() as u32,
-        Rollup::Both,
-    );
+    let rolled =
+        rollup_reports(&result.cleaned, &atc, &soc, dv.len() as u32, av.len() as u32, Rollup::Both);
     let class_rules = multi_drug_rules(&rolled.db, &rolled.partition, 25);
     // (HTML report with trend sparklines is written at the end.)
-    println!("{} class-level multi-class rules at support >= 25; strongest five by lift:", class_rules.len());
+    println!(
+        "{} class-level multi-class rules at support >= 25; strongest five by lift:",
+        class_rules.len()
+    );
     let mut by_lift = class_rules;
     by_lift.sort_by(|a, b| b.lift().partial_cmp(&a.lift()).unwrap_or(std::cmp::Ordering::Equal));
     for rule in by_lift.iter().take(5) {
@@ -117,12 +111,7 @@ fn main() {
             .chain(rule.adrs.iter())
             .map(|i| rolled.item_name(i, &dv, &av))
             .collect();
-        println!(
-            "  {} (sup={}, lift={:.1})",
-            parts.join(" | "),
-            rule.support(),
-            rule.lift()
-        );
+        println!("  {} (sup={}, lift={:.1})", parts.join(" | "), rule.support(), rule.lift());
     }
 
     // ---- 4. the deliverable: an HTML report with trend sparklines --------
@@ -132,7 +121,10 @@ fn main() {
         &dv,
         &av,
         &kb,
-        &ReportConfig { title: "MARAS 2014 full-year review (Q4 ranking)".into(), ..Default::default() },
+        &ReportConfig {
+            title: "MARAS 2014 full-year review (Q4 ranking)".into(),
+            ..Default::default()
+        },
         Some(&tracker),
     );
     std::fs::create_dir_all("target/gallery").expect("mkdir");

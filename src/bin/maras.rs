@@ -3,6 +3,7 @@
 //! ```text
 //! maras generate --out DIR [--reports N] [--seed S]      synthesize a year of quarterly extracts
 //! maras analyze  --dir DIR --quarter 2014Q1 [opts]       run MARAS over one quarter
+//! maras year     --dir DIR [--year 2014] [opts]          fault-tolerant run over four quarters
 //! maras render   --dir DIR --quarter 2014Q1 --out DIR    render panorama + top-glyph SVGs
 //! maras study    [--participants N] [--seed S]           run the simulated user study
 //! maras demo                                             end-to-end demo on in-memory data
@@ -12,16 +13,76 @@
 //! `drug_vocab.txt` / `adr_vocab.txt` (one canonical term per line), which
 //! `analyze` and `render` read back — the same contract a real deployment
 //! would satisfy with RxNorm/MedDRA dictionaries.
+//!
+//! Dirty data: every reading command accepts `--ingest-mode
+//! strict|lenient` (default strict), `--max-bad-rows N` and
+//! `--max-bad-frac F`. Lenient ingestion quarantines malformed rows and
+//! reports them (and serializes the ingest report into `--json` output);
+//! a blown error budget exits with code 2.
 
+use maras::core::ingest::{run_quarters_dir, QuarterOutcome};
 use maras::core::{supporting_reports, KnowledgeBase, Pipeline, PipelineConfig};
-use maras::faers::ascii::{read_quarter_dir, write_quarter_dir};
+use maras::faers::ascii::{
+    read_quarter_dir_with, write_quarter_dir, AsciiError, ErrorBudget, IngestMode, IngestOptions,
+    IngestReport, Ingested,
+};
 use maras::faers::{QuarterId, SynthConfig, Synthesizer, Vocabulary};
 use maras::rules::{DrugAdrRule, Measure};
 use maras::study::{appendix_a_battery, run_study, Encoding, StudyConfig};
 use maras::viz::{glyph_svg, panorama_svg, GlyphConfig, PanoramaConfig, Theme, DARK, LIGHT};
 use std::collections::HashMap;
+use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// Structured CLI failure. Usage problems exit 1; a blown ingest error
+/// budget exits 2, so batch drivers can tell "you typed it wrong" from
+/// "the data is worse than the budget allows".
+#[derive(Debug)]
+enum CliError {
+    /// Bad flags, arguments, or values.
+    Usage(String),
+    /// FAERS ingestion failed (I/O, malformed data in strict mode, or a
+    /// blown error budget).
+    Ingest(AsciiError),
+    /// A non-ingest I/O step failed.
+    Io { context: String, source: std::io::Error },
+    /// Anything else (empty mining output, render failures, …).
+    Other(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+
+    fn io(context: impl Into<String>, source: std::io::Error) -> CliError {
+        CliError::Io { context: context.into(), source }
+    }
+
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Ingest(AsciiError::BudgetExceeded { .. }) => ExitCode::from(2),
+            _ => ExitCode::FAILURE,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Other(msg) => f.write_str(msg),
+            CliError::Ingest(e) => write!(f, "ingest: {e}"),
+            CliError::Io { context, source } => write!(f, "{context}: {source}"),
+        }
+    }
+}
+
+impl From<AsciiError> for CliError {
+    fn from(e: AsciiError) -> CliError {
+        CliError::Ingest(e)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,6 +97,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "generate" => cmd_generate(&flags),
         "analyze" => cmd_analyze(&flags),
+        "year" => cmd_year(&flags),
         "render" => cmd_render(&flags),
         "report" => cmd_report(&flags),
         "study" => cmd_study(&flags),
@@ -44,13 +106,13 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::usage(format!("unknown command {other:?}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            e.exit_code()
         }
     }
 }
@@ -63,10 +125,17 @@ USAGE:
   maras analyze  --dir DIR --quarter 2014Q1 [--min-support N] [--top K]
                  [--measure confidence|lift] [--theta T] [--drug NAME]
                  [--unknown-only] [--novel-adr-only] [--json FILE]
+                 [--ingest-mode strict|lenient] [--max-bad-rows N] [--max-bad-frac F]
+  maras year     --dir DIR [--year 2014] [--min-support N] [--top K] [--json FILE]
+                 [--ingest-mode strict|lenient] [--max-bad-rows N] [--max-bad-frac F]
   maras render   --dir DIR --quarter 2014Q1 [--out DIR] [--top K] [--dark]
   maras report   --dir DIR --quarter 2014Q1 [--out FILE.html] [--top K]
   maras study    [--participants N] [--seed S]
-  maras demo";
+  maras demo
+
+Dirty data: --ingest-mode lenient quarantines malformed rows instead of
+failing; --max-bad-rows / --max-bad-frac cap the quarantine (exceeding the
+budget exits with code 2).";
 
 type Flags = HashMap<String, String>;
 
@@ -91,53 +160,87 @@ fn parse(args: &[String]) -> Result<(String, Flags), String> {
     Ok((command, flags))
 }
 
-fn flag<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
-    flags.get(name).map(String::as_str).ok_or_else(|| format!("missing required --{name}"))
+fn flag<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, CliError> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| CliError::usage(format!("missing required --{name}")))
 }
 
-fn flag_num<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+fn flag_num<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, CliError> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        Some(v) => v.parse().map_err(|_| CliError::usage(format!("--{name}: cannot parse {v:?}"))),
     }
 }
 
-fn parse_quarter(s: &str) -> Result<QuarterId, String> {
+fn parse_quarter(s: &str) -> Result<QuarterId, CliError> {
     // "2014Q1" or "2014q1"
     let s = s.to_ascii_uppercase();
-    let (year, q) = s.split_once('Q').ok_or_else(|| format!("bad quarter {s:?}, want 2014Q1"))?;
-    let year: u16 = year.parse().map_err(|_| format!("bad year in {s:?}"))?;
-    let q: u8 = q.parse().map_err(|_| format!("bad quarter number in {s:?}"))?;
+    let (year, q) = s
+        .split_once('Q')
+        .ok_or_else(|| CliError::usage(format!("bad quarter {s:?}, want 2014Q1")))?;
+    let year: u16 = year.parse().map_err(|_| CliError::usage(format!("bad year in {s:?}")))?;
+    let q: u8 = q.parse().map_err(|_| CliError::usage(format!("bad quarter number in {s:?}")))?;
     if !(1..=4).contains(&q) {
-        return Err(format!("quarter must be 1-4, got {q}"));
+        return Err(CliError::usage(format!("quarter must be 1-4, got {q}")));
     }
     Ok(QuarterId::new(year, q))
 }
 
-fn write_vocab(path: &Path, vocab: &Vocabulary) -> Result<(), String> {
+/// `--ingest-mode` / `--max-bad-rows` / `--max-bad-frac` → [`IngestOptions`].
+fn ingest_options(flags: &Flags) -> Result<IngestOptions, CliError> {
+    let mode = match flags.get("ingest-mode") {
+        None => IngestMode::Strict,
+        Some(v) => IngestMode::from_str_opt(v).ok_or_else(|| {
+            CliError::usage(format!("--ingest-mode must be strict or lenient, got {v:?}"))
+        })?,
+    };
+    let mut budget = ErrorBudget::unlimited();
+    if let Some(v) = flags.get("max-bad-rows") {
+        let n: usize = v
+            .parse()
+            .map_err(|_| CliError::usage(format!("--max-bad-rows: cannot parse {v:?}")))?;
+        budget.max_bad_rows = Some(n);
+    }
+    if let Some(v) = flags.get("max-bad-frac") {
+        let f: f64 = v
+            .parse()
+            .map_err(|_| CliError::usage(format!("--max-bad-frac: cannot parse {v:?}")))?;
+        if !(0.0..=1.0).contains(&f) {
+            return Err(CliError::usage(format!("--max-bad-frac must be in [0, 1], got {f}")));
+        }
+        budget.max_bad_frac = Some(f);
+    }
+    Ok(IngestOptions { mode, budget })
+}
+
+fn write_vocab(path: &Path, vocab: &Vocabulary) -> Result<(), CliError> {
     let mut out = String::new();
     for (_, term) in vocab.iter() {
         out.push_str(term);
         out.push('\n');
     }
-    std::fs::write(path, out).map_err(|e| format!("write {}: {e}", path.display()))
+    std::fs::write(path, out).map_err(|e| CliError::io(format!("write {}", path.display()), e))
 }
 
-fn read_vocab(path: &Path) -> Result<Vocabulary, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+fn read_vocab(path: &Path) -> Result<Vocabulary, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::io(format!("read {}", path.display()), e))?;
     Ok(Vocabulary::from_terms(text.lines().map(str::to_string)))
 }
 
-fn cmd_generate(flags: &Flags) -> Result<(), String> {
+fn cmd_generate(flags: &Flags) -> Result<(), CliError> {
     let out = PathBuf::from(flag(flags, "out")?);
     let reports: usize = flag_num(flags, "reports", 5_000)?;
     let seed: u64 = flag_num(flags, "seed", 2014)?;
     let config = SynthConfig { n_reports: reports, seed, ..SynthConfig::default() };
     let mut synth = Synthesizer::new(config);
-    std::fs::create_dir_all(&out).map_err(|e| format!("mkdir {}: {e}", out.display()))?;
+    std::fs::create_dir_all(&out)
+        .map_err(|e| CliError::io(format!("mkdir {}", out.display()), e))?;
     for quarter in synth.generate_year(2014) {
-        write_quarter_dir(&out, &quarter).map_err(|e| format!("write quarter: {e}"))?;
+        write_quarter_dir(&out, &quarter)
+            .map_err(|e| CliError::io("write quarter".to_string(), e))?;
         println!("wrote {} ({} reports)", quarter.id, quarter.reports.len());
     }
     write_vocab(&out.join("drug_vocab.txt"), synth.drug_vocab())?;
@@ -146,31 +249,104 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn load(dir: &Path, id: QuarterId) -> Result<(maras::faers::QuarterData, Vocabulary, Vocabulary), String> {
-    let quarter = read_quarter_dir(dir, id).map_err(|e| format!("read quarter: {e}"))?;
-    let dv = read_vocab(&dir.join("drug_vocab.txt"))?;
-    let av = read_vocab(&dir.join("adr_vocab.txt"))?;
-    Ok((quarter, dv, av))
+fn load_vocabs(dir: &Path) -> Result<(Vocabulary, Vocabulary), CliError> {
+    Ok((read_vocab(&dir.join("drug_vocab.txt"))?, read_vocab(&dir.join("adr_vocab.txt"))?))
 }
 
-fn pipeline_config(flags: &Flags) -> Result<PipelineConfig, String> {
+fn load(
+    dir: &Path,
+    id: QuarterId,
+    opts: &IngestOptions,
+) -> Result<(Ingested, Vocabulary, Vocabulary), CliError> {
+    let ingested = read_quarter_dir_with(dir, id, opts)?;
+    let (dv, av) = load_vocabs(dir)?;
+    Ok((ingested, dv, av))
+}
+
+fn pipeline_config(flags: &Flags) -> Result<PipelineConfig, CliError> {
     let mut config = PipelineConfig::default()
         .with_min_support(flag_num(flags, "min-support", 6u64)?)
         .with_theta(flag_num(flags, "theta", 0.5f64)?);
     match flags.get("measure").map(String::as_str) {
         None | Some("confidence") => {}
         Some("lift") => config.exclusiveness.measure = Measure::Lift,
-        Some(other) => return Err(format!("--measure must be confidence or lift, got {other:?}")),
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "--measure must be confidence or lift, got {other:?}"
+            )))
+        }
     }
     Ok(config)
 }
 
-fn cmd_analyze(flags: &Flags) -> Result<(), String> {
+/// One-paragraph ingest accounting, printed by `analyze`, `year`, and
+/// `report`.
+fn print_ingest(report: &IngestReport) {
+    let mut line = format!(
+        "ingest [{}]: {}/{} rows ok, {} quarantined",
+        report.mode,
+        report.rows_ok(),
+        report.rows_read(),
+        report.quarantined(),
+    );
+    if !report.is_clean() {
+        let reasons: Vec<String> =
+            report.counts_by_reason().iter().map(|(r, n)| format!("{r}: {n}")).collect();
+        line.push_str(&format!(" ({})", reasons.join(", ")));
+    }
+    println!("{line}; budget: {}", report.budget);
+    let damaged = report.damaged_headers();
+    if !damaged.is_empty() {
+        println!("  damaged headers: {}", damaged.join(", "));
+    }
+}
+
+/// JSON projection of an [`IngestReport`] (the schema README documents).
+fn ingest_report_json(report: &IngestReport) -> serde_json::Value {
+    use serde_json::Value;
+    let files = Value::obj(report.files().into_iter().map(|(name, c)| {
+        (
+            name,
+            Value::obj([
+                ("rows", Value::from(c.rows)),
+                ("ok", Value::from(c.ok)),
+                ("quarantined", Value::from(c.quarantined)),
+            ]),
+        )
+    }));
+    let by_reason = Value::obj(
+        report.counts_by_reason().into_iter().map(|(r, n)| (r.as_str(), Value::from(n))),
+    );
+    Value::obj([
+        ("quarter", Value::from(report.quarter.to_string())),
+        ("mode", Value::from(report.mode.to_string())),
+        (
+            "budget",
+            Value::obj([
+                ("max_bad_rows", Value::from(report.budget.max_bad_rows)),
+                ("max_bad_frac", Value::from(report.budget.max_bad_frac)),
+            ]),
+        ),
+        ("rows_read", Value::from(report.rows_read())),
+        ("rows_ok", Value::from(report.rows_ok())),
+        ("bad_rows", Value::from(report.bad_rows())),
+        ("quarantined", Value::from(report.quarantined())),
+        ("files", files),
+        ("by_reason", by_reason),
+        ("damaged_headers", Value::arr(report.damaged_headers().into_iter().map(Value::from))),
+        ("clean", Value::from(report.is_clean())),
+    ])
+}
+
+fn cmd_analyze(flags: &Flags) -> Result<(), CliError> {
     let dir = PathBuf::from(flag(flags, "dir")?);
     let id = parse_quarter(flag(flags, "quarter")?)?;
     let top: usize = flag_num(flags, "top", 15)?;
-    let (quarter, dv, av) = load(&dir, id)?;
-    let result = Pipeline::new(pipeline_config(flags)?).run(quarter, &dv, &av);
+    let opts = ingest_options(flags)?;
+    let (ingested, dv, av) = load(&dir, id, &opts)?;
+    print_ingest(&ingested.report);
+    let ingest_report = ingested.report;
+    let result = Pipeline::new(pipeline_config(flags)?).run(ingested.data, &dv, &av);
 
     println!(
         "{id}: {} reports -> {} cleaned -> {} MCACs ({} total splits, {} drug->ADR rules)",
@@ -202,29 +378,150 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
         views.push(view);
     }
     if let Some(json_path) = flags.get("json") {
-        let json = serde_json::to_string_pretty(&views).map_err(|e| e.to_string())?;
-        std::fs::write(json_path, json).map_err(|e| format!("write {json_path}: {e}"))?;
+        let json = serde_json::Value::obj([
+            ("quarter", serde_json::Value::from(id.to_string())),
+            ("ingest", ingest_report_json(&ingest_report)),
+            ("rules", serde_json::Value::arr(views.iter().map(rule_view_json))),
+        ]);
+        let json =
+            serde_json::to_string_pretty(&json).map_err(|e| CliError::Other(e.to_string()))?;
+        std::fs::write(json_path, json)
+            .map_err(|e| CliError::io(format!("write {json_path}"), e))?;
         println!("wrote JSON to {json_path}");
     }
     Ok(())
 }
 
-fn cmd_render(flags: &Flags) -> Result<(), String> {
+/// JSON projection of a ranked rule, mirroring `RuleView`'s fields.
+fn rule_view_json(view: &maras::core::pipeline::RuleView) -> serde_json::Value {
+    serde_json::Value::obj([
+        ("rank", serde_json::Value::from(view.rank)),
+        ("drugs", serde_json::Value::from(view.drugs.clone())),
+        ("adrs", serde_json::Value::from(view.adrs.clone())),
+        ("score", serde_json::Value::from(view.score)),
+        ("support", serde_json::Value::from(view.support)),
+        ("confidence", serde_json::Value::from(view.confidence)),
+        ("lift", serde_json::Value::from(view.lift)),
+    ])
+}
+
+/// Fault-tolerant run over a year of quarters: failed quarters are
+/// reported and skipped instead of aborting the whole run.
+fn cmd_year(flags: &Flags) -> Result<(), CliError> {
+    let dir = PathBuf::from(flag(flags, "dir")?);
+    let year: u16 = flag_num(flags, "year", 2014)?;
+    let top: usize = flag_num(flags, "top", 10)?;
+    let opts = ingest_options(flags)?;
+    let (dv, av) = load_vocabs(&dir)?;
+    let pipeline = Pipeline::new(pipeline_config(flags)?);
+    let ids: Vec<QuarterId> = (1..=4).map(|q| QuarterId::new(year, q)).collect();
+    let run = run_quarters_dir(&pipeline, &dir, &ids, &opts, &dv, &av);
+
+    let mut quarters_json = Vec::new();
+    for qr in &run.runs {
+        match &qr.outcome {
+            QuarterOutcome::Ok { result, .. } => {
+                println!(
+                    "{}: ok - {} reports, {} MCACs",
+                    qr.id, result.cleaning.input_reports, result.counts.mcacs
+                );
+            }
+            QuarterOutcome::Degraded { result, report } => {
+                println!(
+                    "{}: degraded - {} of {} rows quarantined, {} MCACs from surviving reports",
+                    qr.id,
+                    report.quarantined(),
+                    report.rows_read(),
+                    result.counts.mcacs
+                );
+                print_ingest(report);
+            }
+            QuarterOutcome::Failed { error } => {
+                println!("{}: failed - {error}", qr.id);
+            }
+        }
+        quarters_json.push(serde_json::Value::obj([
+            ("quarter", serde_json::Value::from(qr.id.to_string())),
+            ("status", serde_json::Value::from(qr.status())),
+            ("ingest", qr.ingest_report().map_or(serde_json::Value::Null, ingest_report_json)),
+            (
+                "error",
+                qr.error()
+                    .map_or(serde_json::Value::Null, |e| serde_json::Value::from(e.to_string())),
+            ),
+        ]));
+    }
+    println!(
+        "{} ok, {} degraded, {} failed of {} quarters",
+        run.ok_count(),
+        run.degraded_count(),
+        run.failed_count(),
+        run.runs.len()
+    );
+
+    // Cross-quarter signals, decoded through any analyzed quarter (the
+    // item space depends only on the shared vocabularies).
+    let trends = run.tracker.trends();
+    if let Some((_, result)) = run.analyzed().next() {
+        println!("top signals across the year:");
+        for t in trends.iter().take(top) {
+            let drugs = result.encoded.names(&t.drugs, &dv, &av);
+            let adrs = result.encoded.names(&t.adrs, &dv, &av);
+            let marker = if t.is_persistent() {
+                " [persistent]"
+            } else if t.is_emerging() {
+                " [emerging]"
+            } else {
+                ""
+            };
+            println!(
+                "  [{}] => [{}] in {}/{} quarters, mean score {:.4}{}",
+                drugs.join(" + "),
+                adrs.join(", "),
+                t.quarters_present(),
+                t.points.len(),
+                t.mean_score(),
+                marker
+            );
+        }
+    }
+
+    if let Some(json_path) = flags.get("json") {
+        let json = serde_json::Value::obj([
+            ("year", serde_json::Value::from(year)),
+            ("quarters", serde_json::Value::arr(quarters_json)),
+            ("signals_tracked", serde_json::Value::from(trends.len())),
+        ]);
+        let json =
+            serde_json::to_string_pretty(&json).map_err(|e| CliError::Other(e.to_string()))?;
+        std::fs::write(json_path, json)
+            .map_err(|e| CliError::io(format!("write {json_path}"), e))?;
+        println!("wrote JSON to {json_path}");
+    }
+    Ok(())
+}
+
+fn cmd_render(flags: &Flags) -> Result<(), CliError> {
     let dir = PathBuf::from(flag(flags, "dir")?);
     let id = parse_quarter(flag(flags, "quarter")?)?;
     let out = PathBuf::from(flags.get("out").cloned().unwrap_or_else(|| "figures".into()));
     let top: usize = flag_num(flags, "top", 15)?;
-    let (quarter, dv, av) = load(&dir, id)?;
-    let result = Pipeline::new(pipeline_config(flags)?).run(quarter, &dv, &av);
+    let opts = ingest_options(flags)?;
+    let (ingested, dv, av) = load(&dir, id, &opts)?;
+    if !ingested.report.is_clean() {
+        print_ingest(&ingested.report);
+    }
+    let result = Pipeline::new(pipeline_config(flags)?).run(ingested.data, &dv, &av);
     if result.ranked.is_empty() {
-        return Err("no clusters mined".into());
+        return Err(CliError::Other("no clusters mined".into()));
     }
     let namer = |rule: &DrugAdrRule| -> String {
         let drugs = result.encoded.names(&rule.drugs, &dv, &av);
         let adrs = result.encoded.names(&rule.adrs, &dv, &av);
         format!("{} => {}", drugs.join("+"), adrs.join(","))
     };
-    std::fs::create_dir_all(&out).map_err(|e| format!("mkdir {}: {e}", out.display()))?;
+    std::fs::create_dir_all(&out)
+        .map_err(|e| CliError::io(format!("mkdir {}", out.display()), e))?;
     let theme: Theme = if flags.contains_key("dark") { DARK } else { LIGHT };
     let n = result.ranked.len().min(top);
     panorama_svg(
@@ -233,25 +530,27 @@ fn cmd_render(flags: &Flags) -> Result<(), String> {
         Some(&namer),
     )
     .save(&out.join("panoramagram.svg"))
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| CliError::Other(e.to_string()))?;
     glyph_svg(
         &result.ranked[0].cluster,
         &GlyphConfig { theme, ..GlyphConfig::zoomed() },
         Some(&namer),
     )
     .save(&out.join("top_glyph.svg"))
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| CliError::Other(e.to_string()))?;
     println!("wrote panoramagram.svg and top_glyph.svg to {}", out.display());
     Ok(())
 }
 
-fn cmd_report(flags: &Flags) -> Result<(), String> {
+fn cmd_report(flags: &Flags) -> Result<(), CliError> {
     let dir = PathBuf::from(flag(flags, "dir")?);
     let id = parse_quarter(flag(flags, "quarter")?)?;
     let out = PathBuf::from(flags.get("out").cloned().unwrap_or_else(|| "report.html".into()));
     let top: usize = flag_num(flags, "top", 25)?;
-    let (quarter, dv, av) = load(&dir, id)?;
-    let result = Pipeline::new(pipeline_config(flags)?).run(quarter, &dv, &av);
+    let opts = ingest_options(flags)?;
+    let (ingested, dv, av) = load(&dir, id, &opts)?;
+    print_ingest(&ingested.report);
+    let result = Pipeline::new(pipeline_config(flags)?).run(ingested.data, &dv, &av);
     let kb = KnowledgeBase::literature_validated();
     let cfg = maras::report::ReportConfig {
         top_n: top,
@@ -259,12 +558,12 @@ fn cmd_report(flags: &Flags) -> Result<(), String> {
         ..Default::default()
     };
     let html = maras::report::html_report(&result, &dv, &av, &kb, &cfg);
-    std::fs::write(&out, html).map_err(|e| format!("write {}: {e}", out.display()))?;
+    std::fs::write(&out, html).map_err(|e| CliError::io(format!("write {}", out.display()), e))?;
     println!("wrote {} ({} signals)", out.display(), result.ranked.len().min(top));
     Ok(())
 }
 
-fn cmd_study(flags: &Flags) -> Result<(), String> {
+fn cmd_study(flags: &Flags) -> Result<(), CliError> {
     let n: usize = flag_num(flags, "participants", 50)?;
     let seed: u64 = flag_num(flags, "seed", 2016)?;
     let battery = appendix_a_battery(seed);
@@ -282,7 +581,7 @@ fn cmd_study(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_demo() -> Result<(), String> {
+fn cmd_demo() -> Result<(), CliError> {
     let mut synth = Synthesizer::new(SynthConfig::default());
     let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
     let result = Pipeline::new(PipelineConfig::default().with_min_support(8)).run(

@@ -168,16 +168,11 @@ pub fn html_report_with_trends(
             "<tr class=\"drill\"><td colspan=\"{colspan}\"><details><summary>context &amp; supporting reports</summary>\n"
         ));
         html.push_str("<div class=\"drill-grid\"><div>\n");
-        let glyph = glyph_svg(
-            &r.cluster,
-            &GlyphConfig { size: 240.0, ..Default::default() },
-            Some(&namer),
-        );
+        let glyph =
+            glyph_svg(&r.cluster, &GlyphConfig { size: 240.0, ..Default::default() }, Some(&namer));
         html.push_str(&glyph.render());
         html.push_str("</div>\n<div><ul class=\"reports\">\n");
-        for report in supporting_reports(result, t)
-            .into_iter()
-            .take(config.max_reports_per_signal)
+        for report in supporting_reports(result, t).into_iter().take(config.max_reports_per_signal)
         {
             html.push_str(&format!(
                 "<li>case {case} · age {age} · {sex} · {country} · outcomes {outcomes} · drugs: {drugs}</li>\n",

@@ -3,8 +3,12 @@
 //! arbitrary corrupt inputs must produce errors, never panics or silent
 //! misparses.
 
-use maras::faers::ascii::{primary_id, read_quarter, QuarterWriter};
-use maras::faers::{CaseReport, DrugEntry, DrugRole, Outcome, QuarterData, QuarterId, ReportType, Sex};
+use maras::faers::ascii::{
+    primary_id, read_quarter, read_quarter_with, IngestOptions, QuarterWriter,
+};
+use maras::faers::{
+    CaseReport, DrugEntry, DrugRole, Outcome, QuarterData, QuarterId, ReportType, Sex,
+};
 use proptest::prelude::*;
 
 fn arb_outcome() -> impl Strategy<Value = Outcome> {
@@ -22,7 +26,11 @@ fn arb_outcome() -> impl Strategy<Value = Outcome> {
 fn arb_report(case_id: u64) -> impl Strategy<Value = CaseReport> {
     (
         1u32..4,
-        prop_oneof![Just(ReportType::Expedited), Just(ReportType::Periodic), Just(ReportType::Direct)],
+        prop_oneof![
+            Just(ReportType::Expedited),
+            Just(ReportType::Periodic),
+            Just(ReportType::Direct)
+        ],
         proptest::option::of(0.0f32..120.0),
         prop_oneof![Just(Sex::Female), Just(Sex::Male), Just(Sex::Unknown)],
         proptest::option::of(30.0f32..180.0),
@@ -33,7 +41,18 @@ fn arb_report(case_id: u64) -> impl Strategy<Value = CaseReport> {
         proptest::collection::vec(arb_outcome(), 0..3),
     )
         .prop_map(
-            move |(version, report_type, age, sex, weight_kg, country, event_date, drugs, reactions, outcomes)| {
+            move |(
+                version,
+                report_type,
+                age,
+                sex,
+                weight_kg,
+                country,
+                event_date,
+                drugs,
+                reactions,
+                outcomes,
+            )| {
                 CaseReport {
                     case_id,
                     version,
@@ -63,18 +82,17 @@ fn arb_report(case_id: u64) -> impl Strategy<Value = CaseReport> {
 }
 
 fn arb_quarter() -> impl Strategy<Value = QuarterData> {
-    proptest::collection::vec(proptest::num::u8::ANY, 1..12)
-        .prop_flat_map(|ids| {
-            // Distinct case ids so (case_id, version) keys stay unique.
-            let mut case_ids: Vec<u64> = ids.iter().map(|&b| 1_000 + b as u64).collect();
-            case_ids.sort_unstable();
-            case_ids.dedup();
-            case_ids
-                .into_iter()
-                .map(arb_report)
-                .collect::<Vec<_>>()
-                .prop_map(|reports| QuarterData { id: QuarterId::new(2014, 1), reports })
-        })
+    proptest::collection::vec(proptest::num::u8::ANY, 1..12).prop_flat_map(|ids| {
+        // Distinct case ids so (case_id, version) keys stay unique.
+        let mut case_ids: Vec<u64> = ids.iter().map(|&b| 1_000 + b as u64).collect();
+        case_ids.sort_unstable();
+        case_ids.dedup();
+        case_ids
+            .into_iter()
+            .map(arb_report)
+            .collect::<Vec<_>>()
+            .prop_map(|reports| QuarterData { id: QuarterId::new(2014, 1), reports })
+    })
 }
 
 /// What the writer is allowed to change: `$`, CR and LF become spaces; all
@@ -149,6 +167,83 @@ proptest! {
                 );
             }
         }
+    }
+
+    #[test]
+    fn lenient_ingest_never_panics_and_accounts_for_every_row(
+        q in arb_quarter(),
+        garbage in proptest::collection::vec("[^\n]{0,40}", 4..5),
+        picks in proptest::collection::vec(0usize..16, 4..5),
+    ) {
+        // Render the quarter, then smash one arbitrary line per table —
+        // including, sometimes, the header (pick index 0).
+        let mut tables = Vec::new();
+        for write in [
+            QuarterWriter::write_demo as fn(&mut Vec<u8>, &[CaseReport]) -> std::io::Result<()>,
+            QuarterWriter::write_drug,
+            QuarterWriter::write_reac,
+            QuarterWriter::write_outc,
+        ] {
+            let mut buf = Vec::new();
+            write(&mut buf, &q.reports).unwrap();
+            tables.push(String::from_utf8(buf).unwrap());
+        }
+        let mut data_rows = 0usize;
+        for ((table, garbage), pick) in tables.iter_mut().zip(&garbage).zip(&picks) {
+            let mut lines: Vec<String> = table.lines().map(str::to_string).collect();
+            let idx = pick % lines.len();
+            lines[idx] = garbage.clone();
+            data_rows += lines.len() - 1; // everything but line 1 is data
+            *table = lines.join("\n") + "\n";
+        }
+
+        // Lenient ingest with no budget must succeed whatever we fed it…
+        let ingested = read_quarter_with(
+            q.id,
+            tables[0].as_bytes(),
+            tables[1].as_bytes(),
+            tables[2].as_bytes(),
+            tables[3].as_bytes(),
+            &IngestOptions::lenient(),
+        )
+        .expect("lenient ingest with an unlimited budget must not fail");
+
+        // …and every non-header input row is either parsed or quarantined.
+        let report = &ingested.report;
+        prop_assert_eq!(report.rows_read(), data_rows);
+        prop_assert_eq!(report.rows_ok() + report.bad_rows(), report.rows_read());
+        for rec in &report.quarantine {
+            prop_assert!(rec.line >= 1);
+            prop_assert!(!rec.detail.is_empty());
+        }
+    }
+
+    #[test]
+    fn lenient_equals_strict_on_clean_quarters(q in arb_quarter()) {
+        let mut demo = Vec::new();
+        let mut drug = Vec::new();
+        let mut reac = Vec::new();
+        let mut outc = Vec::new();
+        QuarterWriter::write_demo(&mut demo, &q.reports).unwrap();
+        QuarterWriter::write_drug(&mut drug, &q.reports).unwrap();
+        QuarterWriter::write_reac(&mut reac, &q.reports).unwrap();
+        QuarterWriter::write_outc(&mut outc, &q.reports).unwrap();
+        let strict = read_quarter(q.id, &demo[..], &drug[..], &reac[..], &outc[..])
+            .expect("clean data parses strictly");
+        let lenient = read_quarter_with(
+            q.id,
+            &demo[..],
+            &drug[..],
+            &reac[..],
+            &outc[..],
+            &IngestOptions::lenient(),
+        )
+        .expect("clean data parses leniently");
+        // On clean input the two modes are indistinguishable.
+        prop_assert_eq!(&lenient.data, &strict);
+        prop_assert!(lenient.report.is_clean());
+        prop_assert_eq!(lenient.report.quarantined(), 0);
+        prop_assert_eq!(lenient.report.rows_ok(), lenient.report.rows_read());
     }
 
     #[test]

@@ -5,10 +5,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn maras(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_maras"))
-        .args(args)
-        .output()
-        .expect("spawn maras binary")
+    Command::new(env!("CARGO_BIN_EXE_maras")).args(args).output().expect("spawn maras binary")
 }
 
 fn tmpdir(tag: &str) -> PathBuf {
@@ -74,10 +71,15 @@ fn generate_analyze_render_roundtrip() {
     let stdout = String::from_utf8_lossy(&analyze.stdout);
     assert!(stdout.contains("MCACs"), "{stdout}");
     assert!(stdout.contains("#1 ["), "{stdout}");
-    // The JSON export parses and carries ranked views.
+    assert!(stdout.contains("ingest [strict]"), "{stdout}");
+    // The JSON export parses and carries the ingest report + ranked views.
     let parsed: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
-    let rows = parsed.as_array().unwrap();
+    assert_eq!(parsed["quarter"], "2014 Q1");
+    assert_eq!(parsed["ingest"]["clean"], true);
+    assert_eq!(parsed["ingest"]["quarantined"], 0usize);
+    assert!(parsed["ingest"]["rows_read"].as_u64().unwrap() > 0);
+    let rows = parsed["rules"].as_array().unwrap();
     assert!(!rows.is_empty() && rows.len() <= 5);
     assert!(rows[0]["drugs"].as_array().unwrap().len() >= 2);
     assert_eq!(rows[0]["rank"], 1);
@@ -127,6 +129,59 @@ fn analyze_with_drug_filter() {
     for line in stdout.lines().filter(|l| l.starts_with('#')) {
         assert!(line.contains("PROGRAF"), "filtered line without drug: {line}");
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dirty_data_modes_and_exit_codes() {
+    let dir = tmpdir("dirty");
+    let dir_s = dir.to_str().unwrap();
+    let gen = maras(&["generate", "--out", dir_s, "--reports", "900", "--seed", "9"]);
+    assert!(gen.status.success(), "stderr: {}", String::from_utf8_lossy(&gen.stderr));
+
+    // Plant an orphan DRUG row: pid 1 can never exist in DEMO (real
+    // primaryids are case_id*100 + version >= 100).
+    let drug_path = dir.join("DRUG14Q1.txt");
+    let mut drug = std::fs::read_to_string(&drug_path).unwrap();
+    drug.push_str("1$1$PS$BOGUS\n");
+    std::fs::write(&drug_path, drug).unwrap();
+
+    // Strict (the default) fails with exit 1, naming the offense.
+    let strict = maras(&["analyze", "--dir", dir_s, "--quarter", "2014Q1"]);
+    assert_eq!(strict.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&strict.stderr);
+    assert!(stderr.contains("unknown primaryid 1"), "{stderr}");
+
+    // Lenient quarantines the row and analyzes the rest.
+    let lenient =
+        maras(&["analyze", "--dir", dir_s, "--quarter", "2014Q1", "--ingest-mode", "lenient"]);
+    assert!(lenient.status.success(), "stderr: {}", String::from_utf8_lossy(&lenient.stderr));
+    let stdout = String::from_utf8_lossy(&lenient.stdout);
+    assert!(stdout.contains("ingest [lenient]"), "{stdout}");
+    assert!(stdout.contains("1 quarantined (orphan: 1)"), "{stdout}");
+
+    // A zero-row budget turns that quarantine into exit code 2.
+    let blown = maras(&[
+        "analyze",
+        "--dir",
+        dir_s,
+        "--quarter",
+        "2014Q1",
+        "--ingest-mode",
+        "lenient",
+        "--max-bad-rows",
+        "0",
+    ]);
+    assert_eq!(blown.status.code(), Some(2), "budget exceeded must exit 2");
+    assert!(String::from_utf8_lossy(&blown.stderr).contains("error budget"));
+
+    // The year runner degrades Q1 and keeps the other quarters.
+    let year = maras(&["year", "--dir", dir_s, "--ingest-mode", "lenient"]);
+    assert!(year.status.success(), "stderr: {}", String::from_utf8_lossy(&year.stderr));
+    let stdout = String::from_utf8_lossy(&year.stdout);
+    assert!(stdout.contains("2014 Q1: degraded"), "{stdout}");
+    assert!(stdout.contains("3 ok, 1 degraded, 0 failed of 4 quarters"), "{stdout}");
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -1,0 +1,125 @@
+//! Acceptance tests for fault-tolerant ingestion: a quarter corrupted at
+//! 2% by the seeded fault-injection harness must ingest in lenient mode
+//! with every corruption quarantined (and correctly attributed), the
+//! planted drug-interaction signal must survive the damage, and the same
+//! input under strict mode — or under a 1% error budget — must fail with
+//! a structured error naming the first offending file and line.
+
+use maras::core::{Pipeline, PipelineConfig};
+use maras::faers::ascii::{AsciiError, ErrorBudget, IngestOptions, Ingested};
+use maras::faers::{
+    corrupt_quarter, CorruptedQuarter, FaultConfig, PlantedInteraction, QuarterId, SynthConfig,
+    Synthesizer,
+};
+
+/// The pipeline_end_to_end fixture (seed 42, 2500 reports) with every
+/// fault kind injected at a 2% rate.
+fn corrupted_fixture() -> (CorruptedQuarter, Synthesizer) {
+    let mut cfg = SynthConfig::test_scale(42);
+    cfg.n_reports = 2500;
+    let mut synth = Synthesizer::new(cfg);
+    let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
+    let corrupted = corrupt_quarter(&quarter, &FaultConfig::new(1234, 0.02));
+    assert!(!corrupted.faults.is_empty(), "2% of 2500 reports must inject faults");
+    (corrupted, synth)
+}
+
+fn lenient_read(corrupted: &CorruptedQuarter) -> Ingested {
+    corrupted.read(&IngestOptions::lenient()).expect("unlimited lenient ingest succeeds")
+}
+
+#[test]
+fn two_percent_corruption_is_fully_quarantined_with_correct_reasons() {
+    let (corrupted, _) = corrupted_fixture();
+    let ingested = lenient_read(&corrupted);
+    let report = &ingested.report;
+    // Exact per-reason attribution against the injection ledger.
+    assert_eq!(report.counts_by_reason(), corrupted.expected_reason_counts());
+    assert_eq!(report.quarantined(), corrupted.expected_quarantines().len());
+    assert_eq!(report.bad_rows(), corrupted.expected_bad_rows());
+    assert_eq!(report.rows_ok() + report.bad_rows(), report.rows_read());
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn planted_interactions_survive_two_percent_corruption() {
+    let (corrupted, synth) = corrupted_fixture();
+    let ingested = lenient_read(&corrupted);
+    let result = Pipeline::new(PipelineConfig::default().with_min_support(6)).run(
+        ingested.data,
+        synth.drug_vocab(),
+        synth.adr_vocab(),
+    );
+    let n = result.ranked.len();
+    assert!(n > 50, "expected a substantial ruleset from the surviving reports, got {n}");
+    let mut found = 0usize;
+    for pi in PlantedInteraction::paper_case_studies() {
+        let drugs: Vec<&str> = pi.drugs.iter().map(String::as_str).collect();
+        let adrs: Vec<&str> = pi.adrs.iter().map(String::as_str).collect();
+        if let Some(rank) = result.rank_of(&drugs, &adrs, synth.drug_vocab(), synth.adr_vocab()) {
+            found += 1;
+            assert!(
+                rank < n / 4,
+                "{:?} ranked {rank} of {n} — outside the leading quartile",
+                pi.drugs
+            );
+        }
+    }
+    assert!(found >= 4, "planted interactions must survive 2% corruption, got {found}");
+}
+
+#[test]
+fn strict_mode_fails_naming_the_first_offense() {
+    let (corrupted, _) = corrupted_fixture();
+    let err = corrupted.read(&IngestOptions::strict()).expect_err("strict must fail");
+    match &err {
+        AsciiError::Malformed { file, line, .. } => {
+            assert!(
+                corrupted.expected_quarantines().iter().any(|(f, l, _)| f == file && *l == *line),
+                "strict error names ({file}, {line}), which is not in the injection ledger"
+            );
+        }
+        AsciiError::OrphanRow { file, .. } => {
+            assert!(
+                corrupted.expected_quarantines().iter().any(|(f, _, _)| f == file),
+                "strict orphan error names {file}, which has no ledger entry"
+            );
+        }
+        other => panic!("expected a structured parse error, got {other}"),
+    }
+}
+
+#[test]
+fn one_percent_budget_escalates_to_a_structured_failure() {
+    let (corrupted, _) = corrupted_fixture();
+    let opts = IngestOptions::lenient_with(ErrorBudget::max_frac(0.01));
+    let err = corrupted.read(&opts).expect_err("2% damage must blow a 1% budget");
+    match err {
+        AsciiError::BudgetExceeded { bad_rows, rows_read, first, .. } => {
+            assert!(bad_rows as f64 > 0.01 * rows_read as f64);
+            assert!(
+                corrupted
+                    .expected_quarantines()
+                    .iter()
+                    .any(|(f, l, _)| *f == first.file && *l == first.line),
+                "first offender ({}, {}) is not in the injection ledger",
+                first.file,
+                first.line
+            );
+        }
+        other => panic!("expected BudgetExceeded, got {other}"),
+    }
+}
+
+#[test]
+fn absolute_budget_fails_fast() {
+    let (corrupted, _) = corrupted_fixture();
+    let opts = IngestOptions::lenient_with(ErrorBudget::max_rows(3));
+    match corrupted.read(&opts) {
+        Err(AsciiError::BudgetExceeded { bad_rows, .. }) => {
+            // Fail-fast: the read stops as soon as the cap is crossed.
+            assert_eq!(bad_rows, 4, "the read must abandon at the first row over budget");
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+}

@@ -27,9 +27,7 @@ fn planted_interactions_rank_in_leading_fraction() {
     for pi in PlantedInteraction::paper_case_studies() {
         let drugs: Vec<&str> = pi.drugs.iter().map(String::as_str).collect();
         let adrs: Vec<&str> = pi.adrs.iter().map(String::as_str).collect();
-        if let Some(rank) =
-            result.rank_of(&drugs, &adrs, synth.drug_vocab(), synth.adr_vocab())
-        {
+        if let Some(rank) = result.rank_of(&drugs, &adrs, synth.drug_vocab(), synth.adr_vocab()) {
             found += 1;
             assert!(
                 rank < n / 4,

@@ -37,8 +37,7 @@ fn best_planted_rank<'a>(
     for (i, rule) in rules.enumerate() {
         for (drugs, adrs) in planted {
             let drug_match = rule.drugs.iter().map(|x| x.0).eq(drugs.iter().copied());
-            let adr_match =
-                adrs.iter().all(|&a| rule.adrs.iter().any(|x| x.0 == a + adr_start));
+            let adr_match = adrs.iter().all(|&a| rule.adrs.iter().any(|x| x.0 == a + adr_start));
             if drug_match && adr_match {
                 best = Some(best.map_or(i, |b: usize| b.min(i)));
             }
@@ -53,18 +52,13 @@ fn exclusiveness_outranks_plain_confidence_on_planted_truth() {
     let planted = f.synth.planted_truth();
     let adr_start = f.result.encoded.partition.adr_start;
 
-    let excl_rank = best_planted_rank(
-        f.result.ranked.iter().map(|r| &r.cluster.target),
-        &planted,
-        adr_start,
-    )
-    .expect("planted interaction mined");
+    let excl_rank =
+        best_planted_rank(f.result.ranked.iter().map(|r| &r.cluster.target), &planted, adr_start)
+            .expect("planted interaction mined");
 
-    let pool: Vec<DrugAdrRule> =
-        f.result.ranked.iter().map(|r| r.cluster.target.clone()).collect();
+    let pool: Vec<DrugAdrRule> = f.result.ranked.iter().map(|r| r.cluster.target.clone()).collect();
     let by_conf = rank_rules_by(pool, Measure::Confidence);
-    let conf_rank =
-        best_planted_rank(by_conf.iter(), &planted, adr_start).expect("same pool");
+    let conf_rank = best_planted_rank(by_conf.iter(), &planted, adr_start).expect("same pool");
 
     assert!(
         excl_rank < conf_rank,
@@ -76,11 +70,7 @@ fn exclusiveness_outranks_plain_confidence_on_planted_truth() {
 fn harpaz_baseline_runs_on_pipeline_output() {
     let f = fixture();
     let ranked = harpaz_rank(&f.result.encoded.db, &f.result.encoded.partition, 6);
-    assert_eq!(
-        ranked.len(),
-        f.result.ranked.len(),
-        "Harpaz ranks the same closed multi-drug pool"
-    );
+    assert_eq!(ranked.len(), f.result.ranked.len(), "Harpaz ranks the same closed multi-drug pool");
     assert!(ranked.windows(2).all(|w| w[0].rrr >= w[1].rrr));
 }
 

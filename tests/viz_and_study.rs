@@ -52,8 +52,11 @@ fn all_figure_types_render_from_mined_output() {
     let svg = pano.render();
     assert_eq!(svg.matches("transform=\"translate(").count(), 10);
     // Drug names must appear in hover titles.
-    let top_drugs =
-        result.encoded.names(&result.ranked[0].cluster.target.drugs, synth.drug_vocab(), synth.adr_vocab());
+    let top_drugs = result.encoded.names(
+        &result.ranked[0].cluster.target.drugs,
+        synth.drug_vocab(),
+        synth.adr_vocab(),
+    );
     assert!(svg.contains(&top_drugs[0]), "names missing from panorama titles");
 }
 
@@ -64,14 +67,9 @@ fn user_study_runs_on_real_ranked_output() {
     // that has enough clusters.
     let mut questions = Vec::new();
     for (i, n_drugs) in [2usize, 3].into_iter().enumerate() {
-        if let Some(q) = question_from_ranked(
-            &format!("R{i}"),
-            &result.ranked,
-            n_drugs,
-            6,
-            1,
-            99 + i as u64,
-        ) {
+        if let Some(q) =
+            question_from_ranked(&format!("R{i}"), &result.ranked, n_drugs, 6, 1, 99 + i as u64)
+        {
             assert_eq!(q.candidates.len(), 6);
             assert_eq!(q.correct_answer().len(), 1);
             questions.push(q);

@@ -1,0 +1,181 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!` bench targets compiling
+//! and runnable without the real crate: each benchmark is timed with
+//! `std::time::Instant` over a fixed number of samples and the median
+//! per-iteration time is printed. No statistics, plots, or baselines.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifies a benchmark within a group, e.g. `fpgrowth/4`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function: F, parameter: P) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration nanoseconds of the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the median of several samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup pass, then time each sample individually.
+        black_box(routine());
+        let mut samples_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed().as_nanos() as f64
+            })
+            .collect();
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { samples, last_ns: 0.0 };
+    f(&mut bencher);
+    println!("bench: {:<44} time: {}", label, human(bencher.last_ns));
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_one(&id.to_string(), self.samples, &mut f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string(), samples: self.samples }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_one(&format!("{}/{}", self.name, id), self.samples, &mut f);
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&format!("{}/{}", self.name, id), self.samples, &mut |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runner, like the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("fpgrowth", 4).to_string(), "fpgrowth/4");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn bencher_measures_and_groups_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            ran += 1;
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+}

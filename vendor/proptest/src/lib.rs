@@ -1,0 +1,660 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the strategy combinators and the `proptest!` family of macros
+//! used by this workspace, backed by the vendored deterministic `rand`.
+//! Differences from the real crate: no shrinking (a failure reports the
+//! case seed instead of a minimal counterexample), regex strategies cover
+//! only the single-character-class `[...]{m,n}` subset the tests use, and
+//! the default case count is 64.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use rand::prelude::*;
+
+    /// Deterministic RNG threaded through value generation.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produces one value from the RNG.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates an intermediate value, then generates from the
+        /// strategy it induces.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice between alternatives (backs `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics on an empty arm list.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.arms[rng.gen_range(0..self.arms.len())].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Regex-subset strategy: a single character class with a repeat
+    /// count, e.g. `"[ A-Za-z0-9$-]{1,18}"` or `"[^\n]{0,40}"`.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_class_pattern(self);
+            let len = rng.gen_range(lo..=hi);
+            (0..len).map(|_| *alphabet.choose(rng).expect("non-empty class")).collect()
+        }
+    }
+
+    fn unsupported(pattern: &str) -> ! {
+        panic!("unsupported regex strategy {pattern:?} (shim handles [class]{{m,n}})")
+    }
+
+    /// Parses `[class]{m}` / `[class]{m,n}` (count defaults to `{1}`)
+    /// into (alphabet, min_len, max_len). Panics on anything else: the
+    /// vendored shim supports exactly the patterns this workspace uses.
+    fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+        let mut chars = pattern.chars().peekable();
+        if chars.next() != Some('[') {
+            unsupported(pattern);
+        }
+        let negated = chars.peek() == Some(&'^');
+        if negated {
+            chars.next();
+        }
+        let mut members: Vec<char> = Vec::new();
+        loop {
+            let c = match chars.next() {
+                None => unsupported(pattern),
+                Some(']') => break,
+                Some('\\') => match chars.next() {
+                    Some('n') => '\n',
+                    Some('r') => '\r',
+                    Some('t') => '\t',
+                    Some(c @ ('\\' | ']' | '-' | '^' | '$')) => c,
+                    _ => unsupported(pattern),
+                },
+                Some(c) => c,
+            };
+            // `a-z` range, unless '-' is the last char before ']'.
+            if chars.peek() == Some(&'-') {
+                let mut ahead = chars.clone();
+                ahead.next();
+                if ahead.peek() != Some(&']') {
+                    chars.next();
+                    let end = match chars.next() {
+                        Some(']') | None => unsupported(pattern),
+                        Some(e) => e,
+                    };
+                    for code in (c as u32)..=(end as u32) {
+                        members.push(char::from_u32(code).unwrap_or_else(|| unsupported(pattern)));
+                    }
+                    continue;
+                }
+            }
+            members.push(c);
+        }
+        let alphabet: Vec<char> = if negated {
+            (0x20u8..0x7f).map(char::from).filter(|c| !members.contains(c)).collect()
+        } else {
+            members
+        };
+        if alphabet.is_empty() {
+            unsupported(pattern);
+        }
+        let (lo, hi) = match chars.next() {
+            None => (1, 1),
+            Some('{') => {
+                let counts: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                let mut parts = counts.splitn(2, ',');
+                let lo: usize = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .unwrap_or_else(|| unsupported(pattern));
+                let hi = match parts.next() {
+                    None => lo,
+                    Some(p) => p.parse().ok().unwrap_or_else(|| unsupported(pattern)),
+                };
+                if chars.next().is_some() {
+                    unsupported(pattern);
+                }
+                (lo, hi)
+            }
+            Some(_) => unsupported(pattern),
+        };
+        (alphabet, lo, hi)
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+    /// A vector of strategies generates element-wise (used with
+    /// `prop_flat_map` to build variable shapes).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    //! Sized-collection strategies.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeSet;
+
+    /// `Vec` strategy with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length lies in `size` (half-open, like the
+    /// real crate's `SizeRange` from a `Range`).
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet` strategy with a target size drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Generates ordered sets; duplicates are redrawn, so narrow element
+    /// domains may yield fewer than the drawn target size.
+    pub fn btree_set<S>(element: S, size: core::ops::Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.gen_range(self.size.clone());
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 10 + 100 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Option<T>`: `None` about a quarter of the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps a strategy to sometimes yield `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod num {
+    //! Whole-domain numeric strategies.
+
+    macro_rules! any_int {
+        ($($m:ident: $t:ty),*) => {$(
+            /// Strategies for this integer type.
+            pub mod $m {
+                /// The full domain of the type.
+                pub const ANY: core::ops::RangeInclusive<$t> = <$t>::MIN..=<$t>::MAX;
+            }
+        )*};
+    }
+
+    any_int!(u8: u8, u16: u16, u32: u32, i8: i8, i16: i16, i32: i32);
+}
+
+pub mod test_runner {
+    //! Case execution: configuration, failure kinds, and the driver loop
+    //! that `proptest!` expands to.
+
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration (only `cases` is honoured by the shim).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the case (and test) fails.
+        Fail(String),
+        /// `prop_assume!` filtered the inputs; the case is retried.
+        Reject,
+    }
+
+    /// Result of one property-test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Derives the per-case seed from the test name and attempt index.
+    /// Deterministic across runs, so failures reproduce; distinct per
+    /// test, so sibling properties see different data.
+    fn case_seed(name: &str, attempt: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h ^ attempt).wrapping_mul(0x0000_0100_0000_01b3)
+    }
+
+    /// Drives one property: runs `case` until `config.cases` successes,
+    /// retrying rejected cases, panicking on the first failure with the
+    /// seed that reproduces it.
+    pub fn run<F>(config: ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let max_rejects = config.cases as u64 * 16 + 256;
+        let mut rejects = 0u64;
+        let mut passed = 0u32;
+        let mut attempt = 0u64;
+        while passed < config.cases {
+            let seed = case_seed(name, attempt);
+            attempt += 1;
+            let mut rng = TestRng::seed_from_u64(seed);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= max_rejects,
+                        "property {name}: too many prop_assume! rejections ({rejects})"
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!("property {name} failed (case seed {seed:#018x}): {message}")
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    pub use rand::prelude::*;
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_eq!($left, $right, "")
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}` {}",
+                            l, r, format!($($fmt)+),
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_ne!($left, $right, "")
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `left != right`\n  both: `{:?}` {}",
+                            l, format!($($fmt)+),
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case (it is redrawn) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that draws inputs and checks the body over many
+/// seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr)) => {};
+    (@run ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run($cfg, stringify!($name), |rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                let mut case = move || -> $crate::test_runner::TestCaseResult {
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                case()
+            });
+        }
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::TestRng;
+
+    #[test]
+    fn regex_subset_generates_within_class() {
+        let mut rng = TestRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[ A-Za-z0-9$-]{1,18}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 18);
+            assert!(s
+                .chars()
+                .all(|c| c == ' ' || c == '$' || c == '-' || c.is_ascii_alphanumeric()));
+            let g = Strategy::generate(&"[^\n]{0,40}", &mut rng);
+            assert!(!g.contains('\n') && g.len() <= 40);
+            let two = Strategy::generate(&"[A-Z]{2}", &mut rng);
+            assert_eq!(two.len(), 2);
+            assert!(two.chars().all(|c| c.is_ascii_uppercase()));
+        }
+    }
+
+    #[test]
+    fn union_and_collections_cover_their_domains() {
+        let mut rng = TestRng::seed_from_u64(11);
+        let s = prop_oneof![0u32..5, 10u32..13];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            let v = s.generate(&mut rng);
+            assert!((0..5).contains(&v) || (10..13).contains(&v));
+            seen.insert(v);
+        }
+        assert!(seen.len() >= 7, "poor coverage: {seen:?}");
+
+        let vs = crate::collection::vec(0u8..4, 1..5);
+        for _ in 0..100 {
+            let v = vs.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+        let bs = crate::collection::btree_set("[A-Z]{1,6}", 1..30);
+        let set = bs.generate(&mut rng);
+        assert!(!set.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_wires_args_and_assertions(
+            x in 1u64..100,
+            pair in (0.0f64..1.0, proptest::option::of(0u8..4)),
+            items in proptest::collection::vec(0u32..10, 0..6),
+        ) {
+            prop_assert!(x >= 1 && x < 100);
+            prop_assert!((0.0..1.0).contains(&pair.0));
+            prop_assert_eq!(items.len(), items.len());
+            prop_assert_ne!(x, 0, "x must stay positive, got {}", x);
+            prop_assume!(x != 55);
+            prop_assert_ne!(x, 55);
+        }
+
+        #[test]
+        fn flat_map_threads_intermediate_values(
+            v in (1usize..6).prop_flat_map(|n| {
+                (0..n).map(|_| 0u32..7).collect::<Vec<_>>()
+            })
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 7));
+        }
+    }
+
+    use crate as proptest;
+}

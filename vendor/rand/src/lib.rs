@@ -1,0 +1,316 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! crates.io is unreachable in this build environment, so the workspace
+//! vendors exactly the surface it uses: a deterministic seeded [`StdRng`]
+//! (xoshiro256**), [`Rng::gen_range`] over integer and float ranges,
+//! [`Rng::gen_bool`], and slice [`seq::SliceRandom::choose`] /
+//! [`seq::SliceRandom::shuffle`]. Streams differ from the real `rand`
+//! crate, but everything downstream only requires determinism in the seed,
+//! not a specific stream.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform word generation.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (via SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`a..b` or `a..=b`, integer or float).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+#[inline]
+pub(crate) fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types [`Rng::gen_range`] can sample uniformly.
+///
+/// Implemented generically for ranges (`impl<T: SampleUniform>
+/// SampleRange<T> for Range<T>`) exactly so integer-literal inference
+/// behaves like the real crate: `b'A' + rng.gen_range(0..26)` unifies
+/// the literal with `u8` through the range's element type.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[start, end)` (or `[start, end]` when
+    /// `inclusive`).
+    fn sample_between<R: RngCore + ?Sized>(
+        start: Self,
+        end: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+/// Ranges [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(*self.start(), *self.end(), true, rng)
+    }
+}
+
+macro_rules! int_uniform {
+    ($($t:ty => $unsigned:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(
+                start: Self,
+                end: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let span = (end as $unsigned).wrapping_sub(start as $unsigned);
+                if inclusive {
+                    assert!(start <= end, "cannot sample empty range");
+                    if span as u64 == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let draw = (rng.next_u64() % (span as u64 + 1)) as $unsigned;
+                    start.wrapping_add(draw as $t)
+                } else {
+                    assert!(start < end, "cannot sample empty range");
+                    let draw = (rng.next_u64() % span as u64) as $unsigned;
+                    start.wrapping_add(draw as $t)
+                }
+            }
+        }
+    )*};
+}
+
+int_uniform!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => u64,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => u64,
+);
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(
+                start: Self,
+                end: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                if inclusive {
+                    assert!(start <= end, "cannot sample empty range");
+                } else {
+                    assert!(start < end, "cannot sample empty range");
+                }
+                let unit = unit_f64(rng.next_u64()) as $t;
+                start + (end - start) * unit
+            }
+        }
+    )*};
+}
+
+float_uniform!(f32, f64);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**
+    /// seeded through SplitMix64. (The real `rand::rngs::StdRng` is a
+    /// ChaCha block cipher; callers here only rely on seed-determinism.)
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, per Vigna's reference implementation.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let mut s = [next(), next(), next(), next()];
+            if s == [0; 4] {
+                s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** step.
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random selection and shuffling over slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Uniform in-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+/// The traits and types most callers want in scope.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0..=4usize);
+            assert!(y <= 4);
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let b = rng.gen_range(0u8..26);
+            assert!(b < 26);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_support() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let items = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(items.contains(items.choose(&mut rng).unwrap()));
+        }
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+
+        let mut v: Vec<u32> = (0..20).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+        assert_ne!(v, orig, "20 elements virtually never shuffle to identity");
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline stand-in for the `rand_distr` crate (0.4 API subset).
+//!
+//! Implements the two distributions the workspace samples — [`Normal`]
+//! (Box–Muller) and [`Zipf`] (inverse-CDF over a precomputed table) — on
+//! top of the vendored `rand` shim.
+
+#![warn(missing_docs)]
+
+use rand::RngCore;
+use std::fmt;
+
+/// Types that can be sampled from with an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+/// Float types [`Normal`] is defined over. A single generic `impl` keeps
+/// `Normal::new(58.0f32, 18.0)` inferable, as with the real crate.
+pub trait NormalFloat: Copy {
+    /// Converts from an `f64` intermediate.
+    fn from_f64(x: f64) -> Self;
+    /// Converts to an `f64` intermediate.
+    fn to_f64(self) -> f64;
+}
+
+impl NormalFloat for f32 {
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+impl NormalFloat for f64 {
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl<F: NormalFloat> Normal<F> {
+    /// Creates a normal distribution; `std_dev` must be finite and
+    /// non-negative.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, ParamError> {
+        let sd = std_dev.to_f64();
+        // NaN fails is_finite(), so `sd < 0.0` alone is a complete check.
+        if sd < 0.0 || !sd.is_finite() {
+            return Err(ParamError("std_dev must be finite and >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl<F: NormalFloat> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * standard_normal(rng))
+    }
+}
+
+/// One standard-normal draw via Box–Muller (the cosine branch).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1 = 1.0 - unit(rng.next_u64());
+    let u2 = unit(rng.next_u64());
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[inline]
+fn unit(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The Zipf distribution over `{1, …, n}` with exponent `s`:
+/// `P(k) ∝ 1 / k^s`. Samples are returned as floats, matching `rand_distr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf<F> {
+    /// Cumulative probabilities for k = 1..=n.
+    cdf: Vec<f64>,
+    _marker: std::marker::PhantomData<F>,
+}
+
+impl Zipf<f64> {
+    /// Creates a Zipf distribution; `n ≥ 1` and `s` finite and positive.
+    pub fn new(n: u64, s: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError("zipf n must be >= 1"));
+        }
+        if !s.is_finite() || s <= 0.0 {
+            return Err(ParamError("zipf exponent must be finite and > 0"));
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf, _marker: std::marker::PhantomData })
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = unit(rng.next_u64());
+        let idx = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        (idx + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn normal_moments_are_roughly_right() {
+        let dist = Normal::new(10.0f64, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_negative_std_dev() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(0.0f64, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zipf_favors_small_ranks() {
+        let dist = Zipf::new(100, 1.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            let k = dist.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&k));
+            counts[k as usize - 1] += 1;
+        }
+        assert!(counts[0] > counts[9], "rank 1 should beat rank 10");
+        assert!(counts[0] > 20_000 / 25, "rank 1 should be common: {}", counts[0]);
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+    }
+}

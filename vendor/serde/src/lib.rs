@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes [`Serialize`] / [`Deserialize`] as blanket-implemented marker
+//! traits and re-exports the no-op derives from the vendored
+//! `serde_derive`, so `use serde::{Serialize, Deserialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. Actual JSON
+//! encoding in this workspace goes through `serde_json::Value` builders.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

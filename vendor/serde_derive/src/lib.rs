@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its model types as
+//! documentation of intent, but nothing in the offline build consumes the
+//! generated impls — JSON output goes through the hand-rolled
+//! `serde_json::Value` builder instead. These derives therefore expand to
+//! nothing; the `serde` shim's blanket trait impls keep any bounds
+//! satisfied. Swapping the workspace dependency back to the real serde
+//! restores full codegen without touching call sites.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
