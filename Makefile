@@ -1,17 +1,18 @@
 # Development targets for the MARAS workspace.
 #
 # `make verify` is the pre-merge gate: formatting, lints as errors, and the
-# tier-1 build + test pass. Clippy is scoped to the first-party crates; the
+# tier-1 build + test pass (which includes the serve crate's ephemeral-port
+# HTTP integration tests). Clippy is scoped to the first-party crates; the
 # vendored dependency shims under vendor/ are formatted but not lint-clean
 # by contract.
 
 FIRST_PARTY = -p maras -p maras-bench -p maras-core -p maras-faers \
-              -p maras-mcac -p maras-mining -p maras-rules -p maras-signals \
-              -p maras-study -p maras-viz
+              -p maras-mcac -p maras-mining -p maras-rules -p maras-serve \
+              -p maras-signals -p maras-study -p maras-viz
 
-.PHONY: verify fmt fmt-check clippy test
+.PHONY: verify fmt fmt-check clippy test serve-test snapshot bench-serve
 
-verify: fmt-check clippy test
+verify: fmt-check clippy test serve-test
 
 fmt:
 	cargo fmt
@@ -25,3 +26,22 @@ clippy:
 test:
 	cargo build --release
 	cargo test -q
+
+# The server lifecycle test on its own: boots on an ephemeral port,
+# exercises every endpoint, and hot-swaps the snapshot mid-test.
+serve-test:
+	cargo test -q -p maras-serve --test server_integration
+
+# Build a demo snapshot end-to-end: synthesize a corpus, mine it, and
+# write the indexed binary snapshot `maras serve` loads.
+snapshot:
+	cargo run -q --release --bin maras -- generate --out target/demo-data --reports 5000
+	cargo run -q --release --bin maras -- snapshot --dir target/demo-data \
+		--quarter 2014Q1 --out target/demo-data/2014Q1.snap
+	cargo run -q --release --bin maras -- serve \
+		--snapshot target/demo-data/2014Q1.snap --check
+
+# Replay the fixed query workload against a synthetic snapshot and
+# record latency percentiles + throughput in BENCH_serve.json.
+bench-serve:
+	MARAS_SCALE=small cargo run -q --release -p maras-bench --bin bench_serve

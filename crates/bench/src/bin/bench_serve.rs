@@ -1,0 +1,155 @@
+//! Serving-layer benchmark: replays a fixed query workload against a
+//! synthetic snapshot through the production router (cache, indexes,
+//! metrics — everything but the socket) and writes `BENCH_serve.json`
+//! with latency percentiles, throughput, and the cache hit rate.
+//!
+//! The workload mixes the endpoint shapes a §4.1 interactive session
+//! produces: drug searches (hot keys repeated, so the cache sees a
+//! realistic mix), severity filters, autocomplete keystrokes, and
+//! cluster drill-downs. Scale via `MARAS_SCALE` as usual.
+
+use maras_bench::{generate_quarter, run_pipeline};
+use maras_core::PipelineConfig;
+use maras_serve::http::Request;
+use maras_serve::{respond, ServeState, Snapshot};
+use serde_json::Value;
+use std::time::Instant;
+
+/// Repetitions of the whole workload script (hot keys repeat across
+/// passes, which is what exercises the cache).
+const PASSES: usize = 40;
+
+fn get(path: &str, query: &[(&str, &str)]) -> Request {
+    Request {
+        method: "GET".into(),
+        path: path.into(),
+        query: query.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect(),
+    }
+}
+
+/// The fixed workload: one interactive session's worth of requests,
+/// parameterized by terms that actually occur in the snapshot.
+fn workload(snap: &Snapshot) -> Vec<Request> {
+    let mut reqs = Vec::new();
+    let top = &snap.clusters[0];
+    let drug = top.drugs[0].as_str();
+    let adr = top.adrs[0].as_str();
+    // Autocomplete: a user typing the drug name one keystroke at a time.
+    for end in 1..=drug.len().min(6) {
+        reqs.push(get("/autocomplete", &[("kind", "drug"), ("prefix", &drug[..end])]));
+    }
+    // Searches, from broad to narrow.
+    reqs.push(get("/search", &[]));
+    reqs.push(get("/search", &[("drug", drug)]));
+    reqs.push(get("/search", &[("drug", drug), ("min_severity", "3")]));
+    reqs.push(get("/search", &[("adr", adr)]));
+    reqs.push(get("/search", &[("n_drugs", "2"), ("min_severity", "4")]));
+    reqs.push(get("/search", &[("drug", drug), ("unknown_only", "true")]));
+    // Drill into the first few hits.
+    for rank in 1..=8usize.min(snap.len()) {
+        reqs.push(get(&format!("/cluster/{rank}"), &[]));
+    }
+    reqs.push(get("/healthz", &[]));
+    reqs
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// Replays the script `PASSES` times against `state`, returning
+/// `(sorted latencies µs, wall seconds)`.
+fn run(state: &ServeState, script: &[Request]) -> (Vec<u64>, f64) {
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(script.len() * PASSES);
+    let started = Instant::now();
+    for _ in 0..PASSES {
+        for req in script {
+            let t = Instant::now();
+            let (_, status, body) = respond(state, req);
+            latencies_us.push(t.elapsed().as_micros() as u64);
+            assert!(status == 200 || status == 404, "unexpected {status} for {req:?}");
+            assert!(!body.is_empty());
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    latencies_us.sort_unstable();
+    (latencies_us, wall)
+}
+
+fn summarize(label: &str, latencies_us: &[u64], wall: f64) -> Value {
+    let n = latencies_us.len();
+    let throughput = n as f64 / wall;
+    let (p50, p95, p99) = (
+        percentile(latencies_us, 0.50),
+        percentile(latencies_us, 0.95),
+        percentile(latencies_us, 0.99),
+    );
+    println!(
+        "{label}: {n} requests in {wall:.4}s -> {throughput:.0} req/s; \
+         latency_us p50 {p50}, p95 {p95}, p99 {p99}, max {}",
+        latencies_us[n - 1]
+    );
+    Value::obj([
+        ("requests", Value::from(n)),
+        ("wall_seconds", Value::from(wall)),
+        ("throughput_rps", Value::from(throughput)),
+        (
+            "latency_us",
+            Value::obj([
+                ("p50", Value::from(p50)),
+                ("p95", Value::from(p95)),
+                ("p99", Value::from(p99)),
+                ("max", Value::from(latencies_us[n - 1])),
+            ]),
+        ),
+    ])
+}
+
+fn main() {
+    let corpus = generate_quarter(1);
+    let result = run_pipeline(&corpus, 0, PipelineConfig::default());
+    let snap = Snapshot::build("2014 Q1", &result, &corpus.drug_vocab, &corpus.adr_vocab, None);
+    assert!(!snap.is_empty(), "benchmark snapshot mined no clusters");
+    let n_clusters = snap.len();
+
+    // Cold: cache disabled, so every request pays index intersection +
+    // JSON rendering. Hot: production cache capacity, steady state.
+    let cold_state = ServeState::new(
+        Snapshot::build("2014 Q1", &result, &corpus.drug_vocab, &corpus.adr_vocab, None),
+        None,
+        0,
+    );
+    let hot_state = ServeState::new(snap, None, 1024);
+    let script = workload(&hot_state.snapshot());
+    println!(
+        "bench_serve: {n_clusters} clusters, {} requests/pass x {PASSES} passes",
+        script.len()
+    );
+
+    let (cold_lat, cold_wall) = run(&cold_state, &script);
+    let cold = summarize("cold (uncached)", &cold_lat, cold_wall);
+
+    // Warm pass populates the cache before the measured hot run.
+    for req in &script {
+        respond(&hot_state, req);
+    }
+    let (hot_lat, hot_wall) = run(&hot_state, &script);
+    let hot = summarize("hot (cached)", &hot_lat, hot_wall);
+
+    let metrics = hot_state.metrics.to_json();
+    let hit_rate = metrics["cache"]["hit_rate"].as_f64().unwrap_or(0.0);
+    println!("cache: {} hits, hit rate {:.1}%", hot_state.metrics.cache_hits(), hit_rate * 100.0);
+
+    let json = Value::obj([
+        ("clusters", Value::from(n_clusters)),
+        ("passes", Value::from(PASSES)),
+        ("cold", cold),
+        ("hot", hot),
+        ("cache_hit_rate", Value::from(hit_rate)),
+    ]);
+    let out = "BENCH_serve.json";
+    std::fs::write(out, serde_json::to_string_pretty(&json).expect("render json"))
+        .expect("write BENCH_serve.json");
+    println!("wrote {out}");
+}

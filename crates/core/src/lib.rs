@@ -35,7 +35,7 @@ pub use ingest::{run_quarter_dir, run_quarters_dir, MultiQuarterRun, QuarterOutc
 pub use knowledge::KnowledgeBase;
 pub use link::supporting_reports;
 pub use pipeline::{AnalysisResult, Pipeline, RuleView};
-pub use query::RuleQuery;
+pub use query::{canonical_query_term, RuleQuery};
 pub use rollup::{rollup_reports, RolledUp, Rollup};
 pub use similar::{cluster_similarity, similar_clusters, SimilarityWeights};
 pub use stratify::{stratified_tables, Stratifier};

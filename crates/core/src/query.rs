@@ -6,7 +6,34 @@
 use crate::knowledge::KnowledgeBase;
 use crate::link::rule_max_severity;
 use crate::pipeline::AnalysisResult;
-use maras_faers::Vocabulary;
+use maras_faers::{CleanConfig, Vocabulary};
+
+/// Canonicalizes one raw query term against a vocabulary the same way the
+/// ingest cleaner resolves report strings (§5.2 step 1): whitespace folding,
+/// exact match, case-folded exact match, then bounded BK-tree fuzzy lookup.
+/// Terms that resolve nowhere are returned uppercased, which (like the
+/// legacy scan behaviour for unknown names) matches nothing.
+pub fn canonical_query_term(raw: &str, vocab: &Vocabulary) -> String {
+    let max_dist = CleanConfig::default().max_edit_distance;
+    let trimmed: String = raw.split_whitespace().collect::<Vec<_>>().join(" ");
+    if let Some(id) = vocab.id_of(&trimmed) {
+        return vocab.term(id).to_string();
+    }
+    let upper = trimmed.to_ascii_uppercase();
+    if let Some(id) = vocab.id_of(&upper) {
+        return vocab.term(id).to_string();
+    }
+    // Fuzzy-match both the verbatim and the case-folded spelling and keep
+    // the closer hit (ties prefer the verbatim form for determinism).
+    let best = match (vocab.nearest(&trimmed, max_dist), vocab.nearest(&upper, max_dist)) {
+        (Some(a), Some(b)) => Some(if b.1 < a.1 { b } else { a }),
+        (a, b) => a.or(b),
+    };
+    match best {
+        Some((id, _)) => vocab.term(id).to_string(),
+        None => upper,
+    }
+}
 
 /// A composable filter over the ranked clusters.
 #[derive(Debug, Clone, Default)]
@@ -77,6 +104,23 @@ impl RuleQuery {
         self
     }
 
+    /// Returns a copy of the query with `require_drugs` and `any_adr`
+    /// canonicalized through the vocabularies (BK-tree spelling
+    /// correction), so near-miss spellings in queries resolve exactly like
+    /// report strings do at ingest. [`RuleQuery::apply`] calls this
+    /// internally; the indexed serving path reuses it so scan and index
+    /// share one resolution rule.
+    pub fn resolved(&self, drug_vocab: &Vocabulary, adr_vocab: &Vocabulary) -> RuleQuery {
+        let mut q = self.clone();
+        q.require_drugs = self
+            .require_drugs
+            .iter()
+            .map(|d| canonical_query_term(d, drug_vocab).to_ascii_uppercase())
+            .collect();
+        q.any_adr = self.any_adr.iter().map(|a| canonical_query_term(a, adr_vocab)).collect();
+        q
+    }
+
     /// Applies the query, returning 0-based ranks (ascending = best first)
     /// of the clusters that match.
     pub fn apply(
@@ -86,6 +130,7 @@ impl RuleQuery {
         adr_vocab: &Vocabulary,
         kb: Option<&KnowledgeBase>,
     ) -> Vec<usize> {
+        let q = self.resolved(drug_vocab, adr_vocab);
         let mut out = Vec::new();
         'outer: for (rank, r) in result.ranked.iter().enumerate() {
             let t = &r.cluster.target;
@@ -105,14 +150,14 @@ impl RuleQuery {
                 .into_iter()
                 .map(|n| n.to_ascii_uppercase())
                 .collect();
-            for need in &self.require_drugs {
+            for need in &q.require_drugs {
                 if !drug_names.contains(need) {
                     continue 'outer;
                 }
             }
-            if !self.any_adr.is_empty() {
+            if !q.any_adr.is_empty() {
                 let adr_names = result.encoded.names(&t.adrs, drug_vocab, adr_vocab);
-                if !self.any_adr.iter().any(|want| adr_names.iter().any(|have| have == want)) {
+                if !q.any_adr.iter().any(|want| adr_names.iter().any(|have| have == want)) {
                     continue;
                 }
             }
@@ -236,6 +281,31 @@ mod tests {
         for rank in &hi {
             assert!(lo.contains(rank));
         }
+    }
+
+    #[test]
+    fn canonical_query_term_matches_ingest_resolution() {
+        let dv = Vocabulary::drugs(200);
+        let av = Vocabulary::adrs(160);
+        assert_eq!(canonical_query_term("IBUPROFEN", &dv), "IBUPROFEN");
+        assert_eq!(canonical_query_term("IBUPROFFEN", &dv), "IBUPROFEN");
+        assert_eq!(canonical_query_term("ibuprofen", &dv), "IBUPROFEN");
+        assert_eq!(canonical_query_term("  Acute   renal failure ", &av), "Acute renal failure");
+        assert_eq!(canonical_query_term("acute renal failure", &av), "Acute renal failure");
+        assert_eq!(canonical_query_term("Acute renal failur", &av), "Acute renal failure");
+        // Unresolvable terms fall back to the legacy uppercased form.
+        assert_eq!(canonical_query_term("QQQQQQQQQQQ", &dv), "QQQQQQQQQQQ");
+    }
+
+    #[test]
+    fn near_miss_query_spellings_resolve_like_ingest() {
+        let (result, dv, av) = fixture();
+        let exact = RuleQuery::new().with_drug("IBUPROFEN").apply(&result, &dv, &av, None);
+        let typo = RuleQuery::new().with_drug("IBUPROFFEN").apply(&result, &dv, &av, None);
+        assert_eq!(exact, typo);
+        let exact = RuleQuery::new().with_any_adr("Pain").apply(&result, &dv, &av, None);
+        let typo = RuleQuery::new().with_any_adr("pain").apply(&result, &dv, &av, None);
+        assert_eq!(exact, typo);
     }
 
     #[test]

@@ -416,6 +416,9 @@ pub struct Vocabulary {
     entries: Vec<String>,
     index: FxHashMap<String, u32>,
     bk: BkTree,
+    /// `(case-folded term, id)` sorted by the folded term — the binary-search
+    /// backbone of [`Vocabulary::iter_prefix`] autocomplete.
+    folded_sorted: Vec<(String, u32)>,
 }
 
 impl Vocabulary {
@@ -434,7 +437,10 @@ impl Vocabulary {
             bk.insert(&t, id);
             entries.push(t);
         }
-        Vocabulary { entries, index, bk }
+        let mut folded_sorted: Vec<(String, u32)> =
+            entries.iter().enumerate().map(|(i, t)| (t.to_ascii_lowercase(), i as u32)).collect();
+        folded_sorted.sort_unstable();
+        Vocabulary { entries, index, bk, folded_sorted }
     }
 
     /// A drug vocabulary of exactly `n` canonical names: the seed drugs
@@ -510,6 +516,27 @@ impl Vocabulary {
     /// Iterates over `(id, term)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
         self.entries.iter().enumerate().map(|(i, t)| (i as u32, t.as_str()))
+    }
+
+    /// Case-insensitive prefix iteration: every `(id, term)` whose canonical
+    /// term starts with `prefix` (ASCII case-folded), in case-folded
+    /// lexicographic order. Sub-linear via binary search over a sorted
+    /// folded index — the autocomplete backbone of the serving layer.
+    ///
+    /// ```
+    /// use maras_faers::Vocabulary;
+    /// let v = Vocabulary::drugs(200);
+    /// let hits: Vec<&str> = v.iter_prefix("warf").map(|(_, t)| t).collect();
+    /// assert_eq!(hits, ["WARFARIN"]);
+    /// assert_eq!(v.iter_prefix("zzzz").count(), 0);
+    /// ```
+    pub fn iter_prefix<'a>(&'a self, prefix: &str) -> impl Iterator<Item = (u32, &'a str)> + 'a {
+        let folded = prefix.to_ascii_lowercase();
+        let start = self.folded_sorted.partition_point(|(t, _)| t.as_str() < folded.as_str());
+        self.folded_sorted[start..]
+            .iter()
+            .take_while(move |(t, _)| t.starts_with(&folded))
+            .map(|&(_, id)| (id, self.term(id)))
     }
 }
 
@@ -696,6 +723,31 @@ mod tests {
         terms.sort_unstable();
         terms.dedup();
         assert_eq!(terms.len(), 2000);
+    }
+
+    #[test]
+    fn prefix_iteration_is_case_insensitive_and_sorted() {
+        let v = Vocabulary::drugs(500);
+        let hits: Vec<&str> = v.iter_prefix("PR").map(|(_, t)| t).collect();
+        assert!(hits.contains(&"PREDNISONE"));
+        assert!(hits.contains(&"PRILOSEC"));
+        assert!(hits.contains(&"PROGRAF"));
+        // Sorted by the case-folded term.
+        let folded: Vec<String> = hits.iter().map(|t| t.to_ascii_lowercase()).collect();
+        assert!(folded.windows(2).all(|w| w[0] <= w[1]), "{folded:?}");
+        // Lower-case query reaches the same set.
+        let lower: Vec<&str> = v.iter_prefix("pr").map(|(_, t)| t).collect();
+        assert_eq!(hits, lower);
+        // Matches a brute-force scan.
+        let mut expect: Vec<&str> = v
+            .iter()
+            .filter(|(_, t)| t.to_ascii_lowercase().starts_with("pr"))
+            .map(|(_, t)| t)
+            .collect();
+        expect.sort_unstable_by_key(|t| t.to_ascii_lowercase());
+        assert_eq!(hits, expect);
+        // Empty prefix enumerates the whole vocabulary.
+        assert_eq!(v.iter_prefix("").count(), v.len());
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! A deliberately small HTTP/1.1 subset — just enough protocol for a
+//! localhost JSON API with zero dependencies.
+//!
+//! Supported: request-line + header parsing, `Content-Length` bodies,
+//! percent-decoded query strings, and `Connection: close` responses.
+//! Not supported (and rejected cleanly rather than mis-parsed): chunked
+//! transfer encoding, pipelining, keep-alive, upgrades.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on header section + body size; a localhost API never needs
+/// more and the cap keeps a malformed client from ballooning memory.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request: method, decoded path, decoded query parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Percent-decoded path, e.g. `/cluster/3`.
+    pub path: String,
+    /// Percent-decoded query parameters in arrival order.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of a query parameter, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// All values of a repeatable query parameter.
+    pub fn params<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.query.iter().filter(move |(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Canonical cache key: path plus the query pairs re-encoded in
+    /// sorted order, so `?a=1&b=2` and `?b=2&a=1` share one cache slot.
+    pub fn cache_key(&self) -> String {
+        let mut pairs: Vec<&(String, String)> = self.query.iter().collect();
+        pairs.sort();
+        let mut key = self.path.clone();
+        for (k, v) in pairs {
+            key.push('\u{1f}');
+            key.push_str(k);
+            key.push('=');
+            key.push_str(v);
+        }
+        key
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Malformed request line / headers / body framing.
+    Malformed(&'static str),
+    /// Request exceeded the header or body cap.
+    TooLarge,
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads and parses one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if line.is_empty() {
+        return Err(ParseError::Malformed("empty request"));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or(ParseError::Malformed("missing method"))?.to_uppercase();
+    let target = parts.next().ok_or(ParseError::Malformed("missing target"))?;
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path).ok_or(ParseError::Malformed("bad path encoding"))?;
+    let query = match raw_query {
+        Some(q) => parse_query(q).ok_or(ParseError::Malformed("bad query encoding"))?,
+        None => Vec::new(),
+    };
+
+    let mut content_length = 0usize;
+    let mut header_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(ParseError::TooLarge);
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError::Malformed("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge);
+    }
+    // The API carries request data in the URL; bodies are drained so the
+    // peer can finish writing, then discarded.
+    if content_length > 0 {
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+    }
+    Ok(Request { method, path, query })
+}
+
+/// Writes a JSON response and closes the connection semantics.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn parse_query(raw: &str) -> Option<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    for pair in raw.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.push((percent_decode(k)?, percent_decode(v)?));
+    }
+    Some(out)
+}
+
+/// Decodes `%XX` escapes and `+`-as-space; `None` on malformed escapes
+/// or non-UTF-8 results.
+pub fn percent_decode(raw: &str) -> Option<String> {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hi = (hex[0] as char).to_digit(16)?;
+                let lo = (hex[1] as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("Acute+renal%20failure").as_deref(), Some("Acute renal failure"));
+        assert_eq!(percent_decode("plain").as_deref(), Some("plain"));
+        assert_eq!(percent_decode("bad%2"), None);
+        assert_eq!(percent_decode("bad%zz"), None);
+    }
+
+    #[test]
+    fn query_parsing_keeps_order_and_repeats() {
+        let q = parse_query("drug=WARFARIN&adr=Pain&adr=Nausea&flag").unwrap();
+        assert_eq!(
+            q,
+            vec![
+                ("drug".into(), "WARFARIN".into()),
+                ("adr".into(), "Pain".into()),
+                ("adr".into(), "Nausea".into()),
+                ("flag".into(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn cache_key_is_order_insensitive() {
+        let a = Request {
+            method: "GET".into(),
+            path: "/search".into(),
+            query: vec![("a".into(), "1".into()), ("b".into(), "2".into())],
+        };
+        let mut b = a.clone();
+        b.query.reverse();
+        assert_eq!(a.cache_key(), b.cache_key());
+        let c = Request { query: vec![("a".into(), "2".into())], ..a.clone() };
+        assert_ne!(a.cache_key(), c.cache_key());
+    }
+}

@@ -1,0 +1,40 @@
+//! Serving layer for MARAS analytics: indexed snapshots, versioned
+//! persistence, and a std-only concurrent HTTP query server.
+//!
+//! The thesis's §4.1 interactive interface is a query loop over one
+//! quarter's ranked MCACs. This crate turns that loop into a service:
+//!
+//! * [`snapshot`] — an immutable [`Snapshot`](snapshot::Snapshot) built
+//!   once per analysis, with inverted indexes (drug → clusters,
+//!   ADR → clusters, severity buckets, antecedent cardinality) and
+//!   prefix autocomplete, so every [`RuleQuery`](maras_core::RuleQuery)
+//!   dispatches through index intersection instead of a full scan —
+//!   with results guaranteed identical to the scan path.
+//! * [`store`] — versioned binary persistence (magic, format version,
+//!   FNV-1a checksum; refuses mismatches) with atomic temp-file +
+//!   rename writes.
+//! * [`server`] + [`router`] + [`http`] — an HTTP/1.1 JSON API on
+//!   `std::net` and a fixed thread pool: `/search`, `/autocomplete`,
+//!   `/cluster/<rank>`, `/healthz`, `/metrics`, and `POST /reload` for
+//!   atomic hot snapshot swaps that never block readers.
+//! * [`cache`] + [`metrics`] — a sharded LRU over rendered responses
+//!   (invalidated on swap) and lock-free counters behind `/metrics`.
+//!
+//! No dependencies beyond the workspace: the whole server is `std`.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod router;
+pub mod server;
+pub mod snapshot;
+pub mod store;
+
+pub use cache::QueryCache;
+pub use metrics::{Endpoint, Metrics};
+pub use router::{respond, ServeState};
+pub use server::{serve, ServerHandle};
+pub use snapshot::{ClusterEntry, ContextEntry, Snapshot};
+pub use store::{load, save, StoreError, FORMAT_VERSION, MAGIC};

@@ -1,0 +1,197 @@
+//! Lock-free server metrics: request counters, a fixed-bucket latency
+//! histogram, and cache hit/miss counts.
+//!
+//! Everything is `AtomicU64` with relaxed ordering — the numbers are
+//! monitoring data, not synchronization, so torn cross-counter reads
+//! (e.g. a request counted but its latency not yet recorded) are
+//! acceptable and each individual counter is still exact.
+
+use serde_json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (µs) of the latency histogram buckets; the last bucket
+/// is the +Inf overflow.
+pub const LATENCY_BUCKETS_US: [u64; 10] =
+    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 250_000];
+
+/// Endpoints the server distinguishes in its counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// `GET /search`
+    Search,
+    /// `GET /autocomplete`
+    Autocomplete,
+    /// `GET /cluster/<rank>`
+    Cluster,
+    /// `POST /reload`
+    Reload,
+    /// Anything else (404s, bad methods, parse failures).
+    Other,
+}
+
+const N_ENDPOINTS: usize = 7;
+
+impl Endpoint {
+    fn idx(self) -> usize {
+        match self {
+            Endpoint::Healthz => 0,
+            Endpoint::Metrics => 1,
+            Endpoint::Search => 2,
+            Endpoint::Autocomplete => 3,
+            Endpoint::Cluster => 4,
+            Endpoint::Reload => 5,
+            Endpoint::Other => 6,
+        }
+    }
+
+    fn name(i: usize) -> &'static str {
+        ["healthz", "metrics", "search", "autocomplete", "cluster", "reload", "other"][i]
+    }
+}
+
+/// Shared server metrics; cheap to record from any worker thread.
+#[derive(Default)]
+pub struct Metrics {
+    requests: [AtomicU64; N_ENDPOINTS],
+    errors: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    latency_total_us: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    reloads: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records one served request with its wall latency.
+    pub fn record(&self, endpoint: Endpoint, latency_us: u64, is_error: bool) {
+        self.requests[endpoint.idx()].fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&ub| latency_us <= ub)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_total_us.fetch_add(latency_us, Ordering::Relaxed);
+    }
+
+    /// Records a response-cache hit.
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a response-cache miss.
+    pub fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a completed snapshot reload.
+    pub fn reload(&self) {
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests across all endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.requests.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Renders the full counter set as JSON for `GET /metrics`.
+    pub fn to_json(&self) -> Value {
+        let requests =
+            Value::obj((0..N_ENDPOINTS).map(|i| {
+                (Endpoint::name(i), Value::from(self.requests[i].load(Ordering::Relaxed)))
+            }));
+        let histogram = Value::arr((0..self.latency.len()).map(|i| {
+            let le = LATENCY_BUCKETS_US
+                .get(i)
+                .map_or_else(|| Value::from("+Inf"), |&ub| Value::from(ub));
+            Value::obj([
+                ("le_us", le),
+                ("count", Value::from(self.latency[i].load(Ordering::Relaxed))),
+            ])
+        }));
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let lookups = hits + misses;
+        Value::obj([
+            ("requests", requests),
+            ("errors", Value::from(self.errors.load(Ordering::Relaxed))),
+            (
+                "latency_us",
+                Value::obj([
+                    ("buckets", histogram),
+                    ("total", Value::from(self.latency_total_us.load(Ordering::Relaxed))),
+                ]),
+            ),
+            (
+                "cache",
+                Value::obj([
+                    ("hits", Value::from(hits)),
+                    ("misses", Value::from(misses)),
+                    (
+                        "hit_rate",
+                        if lookups == 0 {
+                            Value::Null
+                        } else {
+                            Value::from(hits as f64 / lookups as f64)
+                        },
+                    ),
+                ]),
+            ),
+            ("reloads", Value::from(self.reloads.load(Ordering::Relaxed))),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = Metrics::new();
+        m.record(Endpoint::Search, 120, false);
+        m.record(Endpoint::Search, 30, false);
+        m.record(Endpoint::Other, 999_999, true);
+        m.cache_hit();
+        m.cache_miss();
+        m.cache_miss();
+        m.reload();
+        assert_eq!(m.total_requests(), 3);
+        let json = m.to_json();
+        assert_eq!(json["requests"]["search"], 2u64);
+        assert_eq!(json["requests"]["other"], 1u64);
+        assert_eq!(json["errors"], 1u64);
+        assert_eq!(json["reloads"], 1u64);
+        assert_eq!(json["cache"]["hits"], 1u64);
+        assert_eq!(json["cache"]["misses"], 2u64);
+        let rate = json["cache"]["hit_rate"].as_f64().unwrap();
+        assert!((rate - 1.0 / 3.0).abs() < 1e-12);
+        // 30µs lands in the ≤50 bucket, 120µs in ≤250, overflow in +Inf.
+        let buckets = json["latency_us"]["buckets"].as_array().unwrap();
+        assert_eq!(buckets[0]["count"], 1u64);
+        assert_eq!(buckets[2]["count"], 1u64);
+        assert_eq!(buckets.last().unwrap()["count"], 1u64);
+    }
+
+    #[test]
+    fn hit_rate_is_null_before_any_lookup() {
+        let m = Metrics::new();
+        assert!(m.to_json()["cache"]["hit_rate"].is_null());
+    }
+}

@@ -1,0 +1,375 @@
+//! Request routing over a hot-swappable snapshot.
+//!
+//! [`ServeState`] owns everything a worker thread needs: the current
+//! [`Snapshot`] behind `RwLock<Arc<..>>` (readers clone the `Arc` and
+//! release the lock immediately, so a reload never blocks in-flight
+//! queries), the response cache, and the metrics. [`respond`] is a pure
+//! request → `(status, body)` function over that state, which is what
+//! lets the bench harness and the integration tests drive the exact
+//! production code path without a socket in the way.
+
+use crate::cache::QueryCache;
+use crate::http::Request;
+use crate::metrics::{Endpoint, Metrics};
+use crate::snapshot::Snapshot;
+use crate::store::{self, StoreError};
+use maras_core::RuleQuery;
+use serde_json::Value;
+use std::path::PathBuf;
+use std::sync::{Arc, RwLock};
+
+/// Everything the server shares across worker threads.
+pub struct ServeState {
+    snapshot: RwLock<Arc<Snapshot>>,
+    /// Where `POST /reload` re-reads the snapshot from; `None` for
+    /// in-memory-only deployments (reload then returns 409).
+    snapshot_path: Option<PathBuf>,
+    /// Rendered-response cache, cleared on every successful swap.
+    pub cache: QueryCache,
+    /// Request/latency/cache counters.
+    pub metrics: Metrics,
+}
+
+impl ServeState {
+    /// Wraps an initial snapshot; `snapshot_path` enables `POST /reload`.
+    pub fn new(
+        snapshot: Snapshot,
+        snapshot_path: Option<PathBuf>,
+        cache_capacity: usize,
+    ) -> ServeState {
+        ServeState {
+            snapshot: RwLock::new(Arc::new(snapshot)),
+            snapshot_path,
+            cache: QueryCache::new(cache_capacity),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The current snapshot; cheap (one `Arc` clone under a read lock).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read().unwrap())
+    }
+
+    /// Atomically installs a new snapshot and invalidates the cache.
+    pub fn swap(&self, next: Snapshot) {
+        *self.snapshot.write().unwrap() = Arc::new(next);
+        self.cache.clear();
+        self.metrics.reload();
+    }
+
+    /// Re-reads the snapshot file and swaps it in. On any error the
+    /// current snapshot keeps serving untouched.
+    pub fn reload_from_disk(&self) -> Result<(), StoreError> {
+        let path = self
+            .snapshot_path
+            .as_ref()
+            .ok_or(StoreError::Corrupt("no snapshot path configured"))?;
+        let next = store::load(path)?;
+        self.swap(next);
+        Ok(())
+    }
+}
+
+/// Routes one parsed request. Returns the endpoint (for metrics), the
+/// HTTP status, and the JSON body.
+pub fn respond(state: &ServeState, req: &Request) -> (Endpoint, u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (Endpoint::Healthz, 200, healthz(state)),
+        ("GET", "/metrics") => (Endpoint::Metrics, 200, metrics(state)),
+        ("GET", "/search") => cached(state, Endpoint::Search, req, search),
+        ("GET", "/autocomplete") => cached(state, Endpoint::Autocomplete, req, autocomplete),
+        ("GET", path) if path.starts_with("/cluster/") => {
+            cached(state, Endpoint::Cluster, req, cluster)
+        }
+        ("POST", "/reload") => reload(state),
+        (_, path) if known_path(path) => {
+            (Endpoint::Other, 405, error_body("method_not_allowed", "wrong method for this path"))
+        }
+        _ => (Endpoint::Other, 404, error_body("not_found", "unknown path")),
+    }
+}
+
+fn known_path(path: &str) -> bool {
+    matches!(path, "/healthz" | "/metrics" | "/search" | "/autocomplete" | "/reload")
+        || path.starts_with("/cluster/")
+}
+
+/// Runs a GET handler through the response cache. Only 200 bodies are
+/// cached; error responses are cheap to recompute and should not shadow
+/// a later fix (e.g. a reload that adds the missing cluster).
+fn cached(
+    state: &ServeState,
+    endpoint: Endpoint,
+    req: &Request,
+    handler: fn(&ServeState, &Request) -> (u16, String),
+) -> (Endpoint, u16, String) {
+    let key = req.cache_key();
+    if let Some(body) = state.cache.get(&key) {
+        state.metrics.cache_hit();
+        return (endpoint, 200, body);
+    }
+    state.metrics.cache_miss();
+    let (status, body) = handler(state, req);
+    if status == 200 {
+        state.cache.put(key, body.clone());
+    }
+    (endpoint, status, body)
+}
+
+fn healthz(state: &ServeState) -> String {
+    let snap = state.snapshot();
+    Value::obj([
+        ("status", Value::from("ok")),
+        ("quarter", Value::from(snap.quarter.clone())),
+        ("clusters", Value::from(snap.len())),
+        ("reports", Value::from(snap.n_reports)),
+    ])
+    .to_string()
+}
+
+fn metrics(state: &ServeState) -> String {
+    let mut m = match state.metrics.to_json() {
+        Value::Object(m) => m,
+        _ => unreachable!("metrics render as an object"),
+    };
+    m.insert("cache_entries".into(), Value::from(state.cache.len()));
+    Value::Object(m).to_string()
+}
+
+fn search(state: &ServeState, req: &Request) -> (u16, String) {
+    let snap = state.snapshot();
+    let mut query = RuleQuery::new();
+    for drug in req.params("drug") {
+        query = query.with_drug(drug);
+    }
+    for adr in req.params("adr") {
+        query = query.with_any_adr(adr);
+    }
+    match parse_opt::<f64>(req, "min_score") {
+        Ok(Some(v)) => query = query.with_min_score(v),
+        Ok(None) => {}
+        Err(e) => return (400, e),
+    }
+    match parse_opt::<u8>(req, "min_severity") {
+        Ok(Some(v)) => query = query.with_min_severity(v),
+        Ok(None) => {}
+        Err(e) => return (400, e),
+    }
+    match parse_opt::<usize>(req, "n_drugs") {
+        Ok(Some(v)) => query = query.with_n_drugs(v),
+        Ok(None) => {}
+        Err(e) => return (400, e),
+    }
+    match parse_flag(req, "unknown_only") {
+        Ok(true) => query = query.unknown_only(),
+        Ok(false) => {}
+        Err(e) => return (400, e),
+    }
+    match parse_flag(req, "novel_adr_only") {
+        Ok(true) => query = query.novel_adr_only(),
+        Ok(false) => {}
+        Err(e) => return (400, e),
+    }
+    let limit = match parse_opt::<usize>(req, "limit") {
+        Ok(v) => v.unwrap_or(50),
+        Err(e) => return (400, e),
+    };
+    let ranks = snap.query(&query);
+    let body = Value::obj([
+        ("quarter", Value::from(snap.quarter.clone())),
+        ("total", Value::from(ranks.len())),
+        ("hits", Value::arr(ranks.iter().take(limit).map(|&r| snap.hit_json(r)))),
+    ]);
+    (200, body.to_string())
+}
+
+fn autocomplete(state: &ServeState, req: &Request) -> (u16, String) {
+    let snap = state.snapshot();
+    let prefix = match req.param("prefix") {
+        Some(p) if !p.is_empty() => p,
+        _ => return (400, error_body("bad_request", "missing or empty 'prefix' parameter")),
+    };
+    let limit = match parse_opt::<usize>(req, "limit") {
+        Ok(v) => v.unwrap_or(10),
+        Err(e) => return (400, e),
+    };
+    let completions = match req.param("kind") {
+        Some("drug") | None => snap.complete_drug(prefix, limit),
+        Some("adr") => snap.complete_adr(prefix, limit),
+        Some(_) => return (400, error_body("bad_request", "'kind' must be 'drug' or 'adr'")),
+    };
+    let body = Value::obj([(
+        "completions",
+        Value::arr(completions.into_iter().map(|(term, n)| {
+            Value::obj([("term", Value::from(term)), ("clusters", Value::from(n))])
+        })),
+    )]);
+    (200, body.to_string())
+}
+
+fn cluster(state: &ServeState, req: &Request) -> (u16, String) {
+    let snap = state.snapshot();
+    let rank: usize = match req.path["/cluster/".len()..].parse() {
+        Ok(r) => r,
+        Err(_) => return (400, error_body("bad_request", "cluster rank must be an integer")),
+    };
+    // Ranks are 1-based in the API, matching every report the CLI emits.
+    if rank == 0 || rank > snap.len() {
+        return (404, error_body("not_found", "no cluster at that rank"));
+    }
+    (200, snap.detail_json(rank - 1).to_string())
+}
+
+fn reload(state: &ServeState) -> (Endpoint, u16, String) {
+    match state.reload_from_disk() {
+        Ok(()) => {
+            let snap = state.snapshot();
+            let body = Value::obj([
+                ("status", Value::from("reloaded")),
+                ("quarter", Value::from(snap.quarter.clone())),
+                ("clusters", Value::from(snap.len())),
+            ]);
+            (Endpoint::Reload, 200, body.to_string())
+        }
+        Err(StoreError::Corrupt("no snapshot path configured")) => (
+            Endpoint::Reload,
+            409,
+            error_body("no_snapshot_path", "server was started without a snapshot file"),
+        ),
+        Err(e) => (Endpoint::Reload, 500, error_body("reload_failed", &e.to_string())),
+    }
+}
+
+fn parse_opt<T: std::str::FromStr>(req: &Request, name: &str) -> Result<Option<T>, String> {
+    match req.param(name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| error_body("bad_request", &format!("invalid '{name}' value: {raw:?}"))),
+    }
+}
+
+fn parse_flag(req: &Request, name: &str) -> Result<bool, String> {
+    match req.param(name) {
+        None => Ok(false),
+        Some("true") | Some("1") | Some("") => Ok(true),
+        Some("false") | Some("0") => Ok(false),
+        Some(raw) => {
+            Err(error_body("bad_request", &format!("invalid '{name}' flag value: {raw:?}")))
+        }
+    }
+}
+
+/// Renders the uniform error envelope every non-200 response uses.
+pub fn error_body(code: &str, message: &str) -> String {
+    Value::obj([(
+        "error",
+        Value::obj([("code", Value::from(code)), ("message", Value::from(message))]),
+    )])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maras_core::{Pipeline, PipelineConfig};
+    use maras_faers::{QuarterId, SynthConfig, Synthesizer};
+
+    fn state() -> ServeState {
+        let mut synth = Synthesizer::new(SynthConfig::test_scale(91));
+        let quarter = synth.generate_quarter(QuarterId::new(2016, 2));
+        let dv = synth.drug_vocab().clone();
+        let av = synth.adr_vocab().clone();
+        let result = Pipeline::new(PipelineConfig::default()).run(quarter, &dv, &av);
+        ServeState::new(Snapshot::build("2016 Q2", &result, &dv, &av, None), None, 64)
+    }
+
+    fn get(path: &str, query: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: query.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect(),
+        }
+    }
+
+    #[test]
+    fn search_serves_hits_and_caches_them() {
+        let st = state();
+        let req = get("/search", &[("min_severity", "3")]);
+        let (ep, status, body) = respond(&st, &req);
+        assert_eq!((ep, status), (Endpoint::Search, 200));
+        let json = serde_json::from_str(&body).unwrap();
+        assert_eq!(json["quarter"], "2016 Q2");
+        assert!(json["total"].as_u64().unwrap() > 0);
+        let (_, status2, body2) = respond(&st, &req);
+        assert_eq!(status2, 200);
+        assert_eq!(body2, body);
+        assert_eq!(st.metrics.cache_hits(), 1);
+    }
+
+    #[test]
+    fn bad_params_are_400_and_never_cached() {
+        let st = state();
+        for req in [
+            get("/search", &[("min_severity", "high")]),
+            get("/search", &[("unknown_only", "maybe")]),
+            get("/autocomplete", &[]),
+            get("/autocomplete", &[("prefix", "PR"), ("kind", "pet")]),
+            get("/cluster/zero", &[]),
+        ] {
+            let (_, status, body) = respond(&st, &req);
+            assert_eq!(status, 400, "{req:?}");
+            let json = serde_json::from_str(&body).unwrap();
+            assert!(!json["error"]["message"].as_str().unwrap().is_empty());
+        }
+        assert!(st.cache.is_empty());
+    }
+
+    #[test]
+    fn cluster_rank_bounds() {
+        let st = state();
+        let n = st.snapshot().len();
+        let (_, ok, body) = respond(&st, &get(&format!("/cluster/{n}"), &[]));
+        assert_eq!(ok, 200);
+        let json = serde_json::from_str(&body).unwrap();
+        assert_eq!(json["rank"], n);
+        let (_, missing, _) = respond(&st, &get(&format!("/cluster/{}", n + 1), &[]));
+        assert_eq!(missing, 404);
+        let (_, zero, _) = respond(&st, &get("/cluster/0", &[]));
+        assert_eq!(zero, 404);
+    }
+
+    #[test]
+    fn unknown_paths_and_methods() {
+        let st = state();
+        let (_, status, _) = respond(&st, &get("/nope", &[]));
+        assert_eq!(status, 404);
+        let req = Request { method: "POST".into(), path: "/search".into(), query: vec![] };
+        let (_, status, _) = respond(&st, &req);
+        assert_eq!(status, 405);
+        let req = Request { method: "POST".into(), path: "/reload".into(), query: vec![] };
+        let (_, status, _) = respond(&st, &req);
+        assert_eq!(status, 409, "no snapshot path configured");
+    }
+
+    #[test]
+    fn swap_clears_cache_and_counts_reload() {
+        let st = state();
+        let req = get("/search", &[]);
+        respond(&st, &req);
+        assert!(!st.cache.is_empty());
+        let snap = st.snapshot();
+        st.swap(Snapshot::from_parts(
+            "2017 Q1".into(),
+            snap.n_reports,
+            snap.drug_vocab().clone(),
+            snap.adr_vocab().clone(),
+            snap.clusters.clone(),
+        ));
+        assert!(st.cache.is_empty());
+        let (_, _, body) = respond(&st, &get("/healthz", &[]));
+        let json = serde_json::from_str(&body).unwrap();
+        assert_eq!(json["quarter"], "2017 Q1");
+    }
+}

@@ -1,0 +1,139 @@
+//! The std-only concurrent HTTP server.
+//!
+//! A `TcpListener` accept loop feeds connections to a fixed pool of
+//! worker threads over an `mpsc` channel. Every response carries
+//! `Connection: close` — one request per connection keeps the protocol
+//! handling trivial and is fine for a localhost analytics API. Shutdown
+//! is cooperative: [`ServerHandle::shutdown`] flips an `AtomicBool`,
+//! pokes the listener with a loopback connect so `accept` returns, and
+//! joins every thread.
+
+use crate::http::{self, ParseError};
+use crate::metrics::Endpoint;
+use crate::router::{self, ServeState};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A running server: its bound address and the handles to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state, for in-process inspection (tests, CLI).
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock accept(); an error just means the listener already died.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Best-effort: a dropped-without-shutdown handle still stops the
+        // accept loop; threads are detached rather than joined.
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port) and serves `state`
+/// on `n_threads` workers until [`ServerHandle::shutdown`].
+pub fn serve(
+    state: Arc<ServeState>,
+    addr: &str,
+    n_threads: usize,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let n_threads = n_threads.max(1);
+    let mut workers = Vec::with_capacity(n_threads);
+    for i in 0..n_threads {
+        let rx = Arc::clone(&rx);
+        let state = Arc::clone(&state);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("maras-serve-{i}"))
+                .spawn(move || {
+                    loop {
+                        // Holding the receiver lock only for the recv keeps
+                        // the other workers free to pick up the next socket.
+                        let conn = rx.lock().unwrap().recv();
+                        match conn {
+                            Ok(mut stream) => handle_connection(&state, &mut stream),
+                            Err(_) => break, // channel closed: shutdown
+                        }
+                    }
+                })
+                .expect("spawn worker thread"),
+        );
+    }
+
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("maras-serve-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    // A send error means every worker exited; stop accepting.
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }
+            // tx drops here, which unblocks and terminates the workers.
+        })
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle { addr, state, stop, accept_thread: Some(accept_thread), workers })
+}
+
+/// Parses, routes, responds, and records metrics for one connection.
+fn handle_connection(state: &ServeState, stream: &mut TcpStream) {
+    let started = Instant::now();
+    let (endpoint, status, body) = match http::read_request(stream) {
+        Ok(req) => router::respond(state, &req),
+        Err(ParseError::TooLarge) => {
+            (Endpoint::Other, 413, router::error_body("too_large", "request exceeds size limits"))
+        }
+        Err(ParseError::Malformed(what)) => {
+            (Endpoint::Other, 400, router::error_body("malformed_request", what))
+        }
+        // Socket died mid-read; nothing to respond to.
+        Err(ParseError::Io(_)) => return,
+    };
+    let latency_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    state.metrics.record(endpoint, latency_us, status >= 400);
+    let _ = http::write_response(stream, status, &body);
+}

@@ -1,0 +1,531 @@
+//! The immutable serving snapshot: a denormalized, indexed view of one
+//! mined quarter.
+//!
+//! A [`Snapshot`] is built once from an [`AnalysisResult`] (plus the
+//! vocabularies and an optional knowledge base) and is immutable
+//! thereafter: the server shares it between worker threads as a plain
+//! `Arc<Snapshot>` and hot-swaps whole snapshots instead of mutating one.
+//! Every [`RuleQuery`] dispatches through inverted-index intersection
+//! ([`Snapshot::query`]) instead of the legacy full scan, with results
+//! guaranteed identical to [`RuleQuery::apply`] — the parity the
+//! integration tests pin down.
+
+use maras_core::link::{rule_max_severity, supporting_case_ids};
+use maras_core::pipeline::AnalysisResult;
+use maras_core::{KnowledgeBase, RuleQuery};
+use maras_faers::Vocabulary;
+use rustc_hash::FxHashMap;
+use serde_json::Value;
+
+/// Outcome severities span 0..=6 (`Outcome::severity`), so seven
+/// at-least buckets cover every reachable threshold.
+const N_SEVERITIES: usize = 7;
+
+/// One contextual rule of a cluster, denormalized to names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextEntry {
+    /// Canonical drug names of the contextual antecedent.
+    pub drugs: Vec<String>,
+    /// Canonical ADR terms (same consequent as the target).
+    pub adrs: Vec<String>,
+    /// Absolute support of the contextual rule.
+    pub support: u64,
+    /// Confidence of the contextual rule.
+    pub confidence: f64,
+    /// Lift of the contextual rule.
+    pub lift: f64,
+}
+
+/// One ranked cluster, denormalized into exactly the fields the query
+/// filters and the JSON API read — no itemset decoding at request time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterEntry {
+    /// Canonical drug names (vocabulary case; uppercase in practice).
+    pub drugs: Vec<String>,
+    /// Canonical ADR terms.
+    pub adrs: Vec<String>,
+    /// Exclusiveness score.
+    pub score: f64,
+    /// Absolute support.
+    pub support: u64,
+    /// Confidence.
+    pub confidence: f64,
+    /// Lift.
+    pub lift: f64,
+    /// Highest outcome severity among supporting reports (0 if none).
+    pub max_severity: u8,
+    /// Whether the knowledge base documents this exact drug combination.
+    pub known: bool,
+    /// Whether at least one consequent ADR is absent from every
+    /// constituent drug's label.
+    pub has_novel_adr: bool,
+    /// FAERS case ids of the supporting reports (drill-down).
+    pub case_ids: Vec<u64>,
+    /// Contextual rules, levels flattened in the cluster's level order.
+    pub context: Vec<ContextEntry>,
+}
+
+/// An immutable, index-accelerated view of one quarter's ranked clusters.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Which quarter this snapshot serves (e.g. `"2014 Q1"`).
+    pub quarter: String,
+    /// Reports that entered the analysis (cleaning input).
+    pub n_reports: u64,
+    /// Clusters in rank order (index = 0-based rank).
+    pub clusters: Vec<ClusterEntry>,
+    drug_vocab: Vocabulary,
+    adr_vocab: Vocabulary,
+    /// Uppercased drug name → sorted ranks containing it.
+    drug_index: FxHashMap<String, Vec<u32>>,
+    /// Canonical ADR term → sorted ranks containing it.
+    adr_index: FxHashMap<String, Vec<u32>>,
+    /// `severity_at_least[s]` — sorted ranks with `max_severity >= s`.
+    severity_at_least: Vec<Vec<u32>>,
+    /// Antecedent cardinality → sorted ranks.
+    n_drugs_index: FxHashMap<usize, Vec<u32>>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from a pipeline result. Pass the knowledge base
+    /// the interactive scan path would use; with `None`, the
+    /// `unknown_only` / `novel_adr_only` filters keep everything, exactly
+    /// like `RuleQuery::apply` without a knowledge base.
+    pub fn build(
+        quarter: impl Into<String>,
+        result: &AnalysisResult,
+        drug_vocab: &Vocabulary,
+        adr_vocab: &Vocabulary,
+        kb: Option<&KnowledgeBase>,
+    ) -> Snapshot {
+        let clusters = result
+            .ranked
+            .iter()
+            .map(|r| {
+                let t = &r.cluster.target;
+                let drugs: Vec<String> = result
+                    .encoded
+                    .names(&t.drugs, drug_vocab, adr_vocab)
+                    .into_iter()
+                    .map(|n| n.to_ascii_uppercase())
+                    .collect();
+                let adrs = result.encoded.names(&t.adrs, drug_vocab, adr_vocab);
+                let refs: Vec<&str> = drugs.iter().map(String::as_str).collect();
+                let adr_refs: Vec<&str> = adrs.iter().map(String::as_str).collect();
+                let context = r
+                    .cluster
+                    .context_rules()
+                    .map(|c| ContextEntry {
+                        drugs: result
+                            .encoded
+                            .names(&c.drugs, drug_vocab, adr_vocab)
+                            .into_iter()
+                            .map(|n| n.to_ascii_uppercase())
+                            .collect(),
+                        adrs: result.encoded.names(&c.adrs, drug_vocab, adr_vocab),
+                        support: c.support(),
+                        confidence: c.confidence(),
+                        lift: c.lift(),
+                    })
+                    .collect();
+                ClusterEntry {
+                    score: r.score,
+                    support: t.support(),
+                    confidence: t.confidence(),
+                    lift: t.lift(),
+                    max_severity: rule_max_severity(result, t).map_or(0, |o| o.severity()),
+                    known: kb.is_some_and(|kb| kb.is_known(&refs)),
+                    has_novel_adr: kb.is_none_or(|kb| kb.has_novel_adr(&refs, &adr_refs)),
+                    case_ids: supporting_case_ids(result, t),
+                    context,
+                    drugs,
+                    adrs,
+                }
+            })
+            .collect();
+        Snapshot::from_parts(
+            quarter.into(),
+            result.cleaning.input_reports as u64,
+            drug_vocab.clone(),
+            adr_vocab.clone(),
+            clusters,
+        )
+    }
+
+    /// Assembles a snapshot from already-denormalized parts, rebuilding
+    /// every index. Used by `build` and by the store's load path, so
+    /// in-memory and reloaded snapshots index identically.
+    pub fn from_parts(
+        quarter: String,
+        n_reports: u64,
+        drug_vocab: Vocabulary,
+        adr_vocab: Vocabulary,
+        clusters: Vec<ClusterEntry>,
+    ) -> Snapshot {
+        let mut drug_index: FxHashMap<String, Vec<u32>> = FxHashMap::default();
+        let mut adr_index: FxHashMap<String, Vec<u32>> = FxHashMap::default();
+        let mut severity_at_least: Vec<Vec<u32>> = vec![Vec::new(); N_SEVERITIES];
+        let mut n_drugs_index: FxHashMap<usize, Vec<u32>> = FxHashMap::default();
+        for (rank, c) in clusters.iter().enumerate() {
+            let rank = rank as u32;
+            for d in &c.drugs {
+                drug_index.entry(d.clone()).or_default().push(rank);
+            }
+            for a in &c.adrs {
+                adr_index.entry(a.clone()).or_default().push(rank);
+            }
+            let top = (c.max_severity as usize).min(N_SEVERITIES - 1);
+            for bucket in severity_at_least.iter_mut().take(top + 1) {
+                bucket.push(rank);
+            }
+            n_drugs_index.entry(c.drugs.len()).or_default().push(rank);
+        }
+        // Postings come out ascending already (rank-order insertion); the
+        // dedup guards against a drug/ADR repeating inside one cluster.
+        for postings in drug_index.values_mut().chain(adr_index.values_mut()) {
+            postings.dedup();
+        }
+        Snapshot {
+            quarter,
+            n_reports,
+            clusters,
+            drug_vocab,
+            adr_vocab,
+            drug_index,
+            adr_index,
+            severity_at_least,
+            n_drugs_index,
+        }
+    }
+
+    /// The snapshot's drug vocabulary (canonicalization + autocomplete).
+    pub fn drug_vocab(&self) -> &Vocabulary {
+        &self.drug_vocab
+    }
+
+    /// The snapshot's ADR vocabulary.
+    pub fn adr_vocab(&self) -> &Vocabulary {
+        &self.adr_vocab
+    }
+
+    /// Number of clusters served.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the snapshot holds no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Applies a query through the inverted indexes, returning the same
+    /// 0-based ranks (ascending) as `RuleQuery::apply` over the original
+    /// `AnalysisResult`.
+    ///
+    /// Index intersection first narrows the candidate set (drug postings
+    /// ∩ ADR postings ∩ severity bucket ∩ cardinality bucket), then the
+    /// cheap denormalized predicates run over the few survivors, so the
+    /// semantics stay byte-identical to the scan while the work scales
+    /// with the answer instead of the corpus.
+    pub fn query(&self, query: &RuleQuery) -> Vec<usize> {
+        let q = query.resolved(&self.drug_vocab, &self.adr_vocab);
+        let mut candidates: Option<Vec<u32>> = None;
+        for drug in &q.require_drugs {
+            match self.drug_index.get(drug) {
+                Some(postings) => narrow(&mut candidates, postings),
+                None => return Vec::new(),
+            }
+        }
+        if !q.any_adr.is_empty() {
+            let mut union: Vec<u32> = Vec::new();
+            for adr in &q.any_adr {
+                if let Some(postings) = self.adr_index.get(adr) {
+                    union = sorted_union(&union, postings);
+                }
+            }
+            if union.is_empty() {
+                return Vec::new();
+            }
+            narrow(&mut candidates, &union);
+        }
+        if let Some(min_sev) = q.min_severity {
+            if min_sev as usize >= N_SEVERITIES {
+                return Vec::new();
+            }
+            narrow(&mut candidates, &self.severity_at_least[min_sev as usize]);
+        }
+        if let Some(n) = q.n_drugs {
+            match self.n_drugs_index.get(&n) {
+                Some(postings) => narrow(&mut candidates, postings),
+                None => return Vec::new(),
+            }
+        }
+        let survivors: Box<dyn Iterator<Item = u32>> = match candidates {
+            Some(ranks) => Box::new(ranks.into_iter()),
+            None => Box::new(0..self.clusters.len() as u32),
+        };
+        survivors
+            .filter(|&rank| self.matches(&q, &self.clusters[rank as usize]))
+            .map(|rank| rank as usize)
+            .collect()
+    }
+
+    /// Full predicate over one denormalized entry — the scan-path
+    /// semantics restated over precomputed fields.
+    fn matches(&self, q: &RuleQuery, c: &ClusterEntry) -> bool {
+        if q.n_drugs.is_some_and(|n| c.drugs.len() != n) {
+            return false;
+        }
+        if q.min_score.is_some_and(|min| c.score < min) {
+            return false;
+        }
+        if !q.require_drugs.iter().all(|need| c.drugs.contains(need)) {
+            return false;
+        }
+        if !q.any_adr.is_empty() && !q.any_adr.iter().any(|want| c.adrs.contains(want)) {
+            return false;
+        }
+        if q.min_severity.is_some_and(|min| c.max_severity < min) {
+            return false;
+        }
+        if q.unknown_only && c.known {
+            return false;
+        }
+        if q.novel_adr_only && !c.has_novel_adr {
+            return false;
+        }
+        true
+    }
+
+    /// Autocompletes a drug-name prefix: `(canonical term, clusters
+    /// containing it)` in case-folded lexicographic order.
+    pub fn complete_drug(&self, prefix: &str, limit: usize) -> Vec<(String, usize)> {
+        self.complete(&self.drug_vocab, &self.drug_index, prefix, limit)
+    }
+
+    /// Autocompletes an ADR-term prefix.
+    pub fn complete_adr(&self, prefix: &str, limit: usize) -> Vec<(String, usize)> {
+        self.complete(&self.adr_vocab, &self.adr_index, prefix, limit)
+    }
+
+    fn complete(
+        &self,
+        vocab: &Vocabulary,
+        index: &FxHashMap<String, Vec<u32>>,
+        prefix: &str,
+        limit: usize,
+    ) -> Vec<(String, usize)> {
+        vocab
+            .iter_prefix(prefix)
+            .take(limit)
+            .map(|(_, term)| {
+                let uppercase = term.to_ascii_uppercase();
+                let n = index
+                    .get(term)
+                    .or_else(|| index.get(&uppercase))
+                    .map_or(0, |postings| postings.len());
+                (term.to_string(), n)
+            })
+            .collect()
+    }
+
+    /// JSON view of one cluster for the search hit list (no context, no
+    /// case ids — those are detail-only).
+    pub fn hit_json(&self, rank: usize) -> Value {
+        let c = &self.clusters[rank];
+        Value::obj([
+            ("rank", Value::from(rank + 1)),
+            ("drugs", Value::from(c.drugs.clone())),
+            ("adrs", Value::from(c.adrs.clone())),
+            ("score", Value::from(c.score)),
+            ("support", Value::from(c.support)),
+            ("confidence", Value::from(c.confidence)),
+            ("lift", Value::from(c.lift)),
+            ("max_severity", Value::from(c.max_severity)),
+            ("known", Value::from(c.known)),
+            ("has_novel_adr", Value::from(c.has_novel_adr)),
+        ])
+    }
+
+    /// JSON detail view of one cluster: the hit fields plus contextual
+    /// rules and supporting case ids (the §4.1 drill-down).
+    pub fn detail_json(&self, rank: usize) -> Value {
+        let c = &self.clusters[rank];
+        let mut detail = match self.hit_json(rank) {
+            Value::Object(m) => m,
+            _ => unreachable!("hit_json returns an object"),
+        };
+        detail.insert("case_ids".into(), Value::arr(c.case_ids.iter().map(|&id| id.into())));
+        detail.insert(
+            "context".into(),
+            Value::arr(c.context.iter().map(|ctx| {
+                Value::obj([
+                    ("drugs", Value::from(ctx.drugs.clone())),
+                    ("adrs", Value::from(ctx.adrs.clone())),
+                    ("support", Value::from(ctx.support)),
+                    ("confidence", Value::from(ctx.confidence)),
+                    ("lift", Value::from(ctx.lift)),
+                ])
+            })),
+        );
+        Value::Object(detail)
+    }
+}
+
+/// Intersects the accumulator with a sorted posting list (`None` = "all").
+fn narrow(acc: &mut Option<Vec<u32>>, postings: &[u32]) {
+    *acc = Some(match acc.take() {
+        None => postings.to_vec(),
+        Some(cur) => sorted_intersection(&cur, postings),
+    });
+}
+
+fn sorted_intersection(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn sorted_union(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                out.push(x);
+                i += 1;
+                j += 1;
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                out.push(x);
+                i += 1;
+            }
+            (Some(_), Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (Some(&x), None) => {
+                out.push(x);
+                i += 1;
+            }
+            (None, Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maras_core::{Pipeline, PipelineConfig};
+    use maras_faers::{QuarterId, SynthConfig, Synthesizer};
+
+    fn fixture() -> (AnalysisResult, Vocabulary, Vocabulary) {
+        let mut cfg = SynthConfig::test_scale(23);
+        cfg.n_reports = 1200;
+        let mut synth = Synthesizer::new(cfg);
+        let quarter = synth.generate_quarter(QuarterId::new(2014, 1));
+        let dv = synth.drug_vocab().clone();
+        let av = synth.adr_vocab().clone();
+        let result = Pipeline::new(PipelineConfig::default()).run(quarter, &dv, &av);
+        (result, dv, av)
+    }
+
+    #[test]
+    fn merge_helpers_agree_with_sets() {
+        let a = [1u32, 3, 5, 9];
+        let b = [3u32, 4, 5, 10];
+        assert_eq!(sorted_intersection(&a, &b), vec![3, 5]);
+        assert_eq!(sorted_union(&a, &b), vec![1, 3, 4, 5, 9, 10]);
+        assert_eq!(sorted_intersection(&a, &[]), Vec::<u32>::new());
+        assert_eq!(sorted_union(&[], &b), b.to_vec());
+    }
+
+    #[test]
+    fn empty_query_returns_every_rank_in_order() {
+        let (result, dv, av) = fixture();
+        let snap = Snapshot::build("2014 Q1", &result, &dv, &av, None);
+        assert_eq!(snap.len(), result.ranked.len());
+        let hits = snap.query(&RuleQuery::new());
+        assert_eq!(hits, (0..snap.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn indexed_query_matches_scan_on_basic_filters() {
+        let (result, dv, av) = fixture();
+        let kb = KnowledgeBase::literature_validated();
+        let snap = Snapshot::build("2014 Q1", &result, &dv, &av, Some(&kb));
+        let top = &snap.clusters[0];
+        let queries = [
+            RuleQuery::new().with_drug(&top.drugs[0]),
+            RuleQuery::new().with_any_adr(&top.adrs[0]),
+            RuleQuery::new().with_min_severity(4),
+            RuleQuery::new().with_n_drugs(2),
+            RuleQuery::new().with_min_score(snap.clusters[snap.len() / 2].score),
+            RuleQuery::new().unknown_only(),
+            RuleQuery::new().novel_adr_only(),
+            RuleQuery::new().with_drug(&top.drugs[0]).with_min_severity(3).with_n_drugs(2),
+        ];
+        for q in queries {
+            let scan = q.apply(&result, &dv, &av, Some(&kb));
+            let indexed = snap.query(&q);
+            assert_eq!(scan, indexed, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_drug_and_adr_return_nothing() {
+        let (result, dv, av) = fixture();
+        let snap = Snapshot::build("2014 Q1", &result, &dv, &av, None);
+        assert!(snap.query(&RuleQuery::new().with_drug("QQQQQQQQQQ")).is_empty());
+        assert!(snap.query(&RuleQuery::new().with_any_adr("QQQQQQQQQQ")).is_empty());
+        assert!(snap.query(&RuleQuery::new().with_min_severity(200)).is_empty());
+        assert!(snap.query(&RuleQuery::new().with_n_drugs(17)).is_empty());
+    }
+
+    #[test]
+    fn autocomplete_orders_and_counts() {
+        let (result, dv, av) = fixture();
+        let snap = Snapshot::build("2014 Q1", &result, &dv, &av, None);
+        let hits = snap.complete_drug("PR", 50);
+        assert!(hits.iter().any(|(t, _)| t == "PROGRAF"));
+        for (term, n) in &hits {
+            let expect =
+                snap.clusters.iter().filter(|c| c.drugs.contains(&term.to_ascii_uppercase()));
+            assert_eq!(*n, expect.count(), "{term}");
+        }
+        assert!(snap.complete_drug("PR", 2).len() <= 2);
+        let adrs = snap.complete_adr("a", 1000);
+        assert!(!adrs.is_empty());
+    }
+
+    #[test]
+    fn detail_json_carries_context_and_cases() {
+        let (result, dv, av) = fixture();
+        let snap = Snapshot::build("2014 Q1", &result, &dv, &av, None);
+        let detail = snap.detail_json(0);
+        assert_eq!(detail["rank"], 1usize);
+        let n_drugs = detail["drugs"].as_array().unwrap().len();
+        let context = detail["context"].as_array().unwrap();
+        assert_eq!(context.len(), (1 << n_drugs) - 2, "complete MCAC context");
+        assert_eq!(
+            detail["case_ids"].as_array().unwrap().len() as u64,
+            detail["support"].as_u64().unwrap()
+        );
+    }
+}

@@ -1,0 +1,363 @@
+//! Versioned binary snapshot persistence.
+//!
+//! Layout, all integers little-endian:
+//!
+//! ```text
+//! magic    8 bytes  b"MARASNAP"
+//! version  u32      FORMAT_VERSION — refuse anything else
+//! length   u64      payload byte count
+//! checksum u64      FNV-1a 64 over the payload
+//! payload  ...      length-prefixed fields (see encode_snapshot)
+//! ```
+//!
+//! Loading verifies magic, version, length, and checksum before touching
+//! the payload, so a truncated or bit-flipped file is rejected with a
+//! structured [`StoreError`] instead of yielding a half-parsed snapshot.
+//! Saving goes through a temp file + rename, so a crash mid-write never
+//! clobbers the previous good snapshot, and a reload that races a save
+//! sees either the old file or the new one, never a torn mix.
+
+use crate::snapshot::{ClusterEntry, ContextEntry, Snapshot};
+use maras_faers::Vocabulary;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// File magic: identifies a MARAS snapshot regardless of extension.
+pub const MAGIC: &[u8; 8] = b"MARASNAP";
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why a snapshot file was refused.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    BadVersion(u32),
+    /// Payload shorter/longer than the header promised.
+    Truncated,
+    /// FNV-1a checksum mismatch (stored vs recomputed).
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum recomputed over the payload as read.
+        actual: u64,
+    },
+    /// Structurally invalid payload (bad length prefix, non-UTF-8 text).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not a MARAS snapshot (bad magic)"),
+            StoreError::BadVersion(v) => {
+                write!(f, "unsupported snapshot format version {v} (expected {FORMAT_VERSION})")
+            }
+            StoreError::Truncated => write!(f, "snapshot file truncated"),
+            StoreError::ChecksumMismatch { stored, actual } => write!(
+                f,
+                "snapshot checksum mismatch (header {stored:#018x}, payload {actual:#018x})"
+            ),
+            StoreError::Corrupt(what) => write!(f, "snapshot payload corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit — tiny, dependency-free, and plenty for integrity
+/// (corruption detection, not adversarial tamper-proofing).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes a snapshot and writes it atomically (temp file + rename).
+pub fn save(snapshot: &Snapshot, path: &Path) -> Result<(), StoreError> {
+    let payload = encode_snapshot(snapshot);
+    let mut file = Vec::with_capacity(payload.len() + 28);
+    file.extend_from_slice(MAGIC);
+    file.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    file.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    file.extend_from_slice(&payload);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut out = fs::File::create(&tmp)?;
+        out.write_all(&file)?;
+        out.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads and fully validates a snapshot file, rebuilding every index.
+pub fn load(path: &Path) -> Result<Snapshot, StoreError> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < 28 || &bytes[..8] != MAGIC {
+        return Err(if bytes.len() >= 8 { StoreError::BadMagic } else { StoreError::Truncated });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(StoreError::BadVersion(version));
+    }
+    let length = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    let stored = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+    let payload = &bytes[28..];
+    if payload.len() != length {
+        return Err(StoreError::Truncated);
+    }
+    let actual = fnv1a(payload);
+    if actual != stored {
+        return Err(StoreError::ChecksumMismatch { stored, actual });
+    }
+    decode_snapshot(payload)
+}
+
+fn encode_snapshot(s: &Snapshot) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_str(&mut out, &s.quarter);
+    put_u64(&mut out, s.n_reports);
+    put_vocab(&mut out, s.drug_vocab());
+    put_vocab(&mut out, s.adr_vocab());
+    put_u64(&mut out, s.clusters.len() as u64);
+    for c in &s.clusters {
+        put_strs(&mut out, &c.drugs);
+        put_strs(&mut out, &c.adrs);
+        put_f64(&mut out, c.score);
+        put_u64(&mut out, c.support);
+        put_f64(&mut out, c.confidence);
+        put_f64(&mut out, c.lift);
+        out.push(c.max_severity);
+        out.push(c.known as u8);
+        out.push(c.has_novel_adr as u8);
+        put_u64(&mut out, c.case_ids.len() as u64);
+        for &id in &c.case_ids {
+            put_u64(&mut out, id);
+        }
+        put_u64(&mut out, c.context.len() as u64);
+        for ctx in &c.context {
+            put_strs(&mut out, &ctx.drugs);
+            put_strs(&mut out, &ctx.adrs);
+            put_u64(&mut out, ctx.support);
+            put_f64(&mut out, ctx.confidence);
+            put_f64(&mut out, ctx.lift);
+        }
+    }
+    out
+}
+
+fn decode_snapshot(payload: &[u8]) -> Result<Snapshot, StoreError> {
+    let mut r = Reader { buf: payload, pos: 0 };
+    let quarter = r.str()?;
+    let n_reports = r.u64()?;
+    let drug_vocab = r.vocab()?;
+    let adr_vocab = r.vocab()?;
+    let n_clusters = r.u64()? as usize;
+    let mut clusters = Vec::with_capacity(n_clusters.min(1 << 20));
+    for _ in 0..n_clusters {
+        let drugs = r.strs()?;
+        let adrs = r.strs()?;
+        let score = r.f64()?;
+        let support = r.u64()?;
+        let confidence = r.f64()?;
+        let lift = r.f64()?;
+        let max_severity = r.u8()?;
+        let known = r.u8()? != 0;
+        let has_novel_adr = r.u8()? != 0;
+        let n_cases = r.u64()? as usize;
+        let mut case_ids = Vec::with_capacity(n_cases.min(1 << 20));
+        for _ in 0..n_cases {
+            case_ids.push(r.u64()?);
+        }
+        let n_ctx = r.u64()? as usize;
+        let mut context = Vec::with_capacity(n_ctx.min(1 << 20));
+        for _ in 0..n_ctx {
+            context.push(ContextEntry {
+                drugs: r.strs()?,
+                adrs: r.strs()?,
+                support: r.u64()?,
+                confidence: r.f64()?,
+                lift: r.f64()?,
+            });
+        }
+        clusters.push(ClusterEntry {
+            drugs,
+            adrs,
+            score,
+            support,
+            confidence,
+            lift,
+            max_severity,
+            known,
+            has_novel_adr,
+            case_ids,
+            context,
+        });
+    }
+    if r.pos != payload.len() {
+        return Err(StoreError::Corrupt("trailing bytes after last cluster"));
+    }
+    Ok(Snapshot::from_parts(quarter, n_reports, drug_vocab, adr_vocab, clusters))
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_strs(out: &mut Vec<u8>, ss: &[String]) {
+    put_u64(out, ss.len() as u64);
+    for s in ss {
+        put_str(out, s);
+    }
+}
+
+fn put_vocab(out: &mut Vec<u8>, v: &Vocabulary) {
+    put_u64(out, v.len() as u64);
+    for id in 0..v.len() as u32 {
+        put_str(out, v.term(id));
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], StoreError> {
+        let end = self.pos.checked_add(n).ok_or(StoreError::Corrupt("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(StoreError::Corrupt("length prefix past end of payload"));
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String, StoreError> {
+        let n = self.u64()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::Corrupt("non-UTF-8 string"))
+    }
+
+    fn strs(&mut self) -> Result<Vec<String>, StoreError> {
+        let n = self.u64()? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            out.push(self.str()?);
+        }
+        Ok(out)
+    }
+
+    fn vocab(&mut self) -> Result<Vocabulary, StoreError> {
+        let n = self.u64()? as usize;
+        let mut terms = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            terms.push(self.str()?);
+        }
+        Ok(Vocabulary::from_terms(terms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maras_core::{Pipeline, PipelineConfig, RuleQuery};
+    use maras_faers::{QuarterId, SynthConfig, Synthesizer};
+
+    fn snapshot() -> Snapshot {
+        let mut synth = Synthesizer::new(SynthConfig::test_scale(57));
+        let quarter = synth.generate_quarter(QuarterId::new(2015, 3));
+        let dv = synth.drug_vocab().clone();
+        let av = synth.adr_vocab().clone();
+        let result = Pipeline::new(PipelineConfig::default()).run(quarter, &dv, &av);
+        Snapshot::build("2015 Q3", &result, &dv, &av, None)
+    }
+
+    #[test]
+    fn roundtrip_preserves_clusters_and_queries() {
+        let snap = snapshot();
+        let dir = std::env::temp_dir().join("maras-store-roundtrip");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("q.snap");
+        save(&snap, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.quarter, snap.quarter);
+        assert_eq!(loaded.n_reports, snap.n_reports);
+        assert_eq!(loaded.clusters, snap.clusters);
+        let q = RuleQuery::new().with_min_severity(3);
+        assert_eq!(loaded.query(&q), snap.query(&q));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refuses_bad_magic_version_truncation_and_bitflips() {
+        let snap = snapshot();
+        let dir = std::env::temp_dir().join("maras-store-refuse");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("q.snap");
+        save(&snap, &path).unwrap();
+        let good = fs::read(&path).unwrap();
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(load(&path), Err(StoreError::BadMagic)));
+
+        let mut bad = good.clone();
+        bad[8] = 99;
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(load(&path), Err(StoreError::BadVersion(99))));
+
+        fs::write(&path, &good[..good.len() - 5]).unwrap();
+        assert!(matches!(load(&path), Err(StoreError::Truncated)));
+
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(load(&path), Err(StoreError::ChecksumMismatch { .. })));
+
+        fs::write(&path, &good).unwrap();
+        assert!(load(&path).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

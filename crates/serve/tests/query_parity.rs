@@ -1,0 +1,142 @@
+//! Exhaustive scan-vs-index parity: every combination of the query
+//! filters must return identical rank lists from `RuleQuery::apply`
+//! (the legacy full scan) and `Snapshot::query` (the inverted-index
+//! path), with and without a knowledge base.
+
+use maras_core::{KnowledgeBase, Pipeline, PipelineConfig, RuleQuery};
+use maras_faers::{QuarterId, SynthConfig, Synthesizer, Vocabulary};
+use maras_serve::Snapshot;
+
+struct Fixture {
+    result: maras_core::AnalysisResult,
+    dv: Vocabulary,
+    av: Vocabulary,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let mut cfg = SynthConfig::test_scale(seed);
+    cfg.n_reports = 1500;
+    let mut synth = Synthesizer::new(cfg);
+    let data = synth.generate_quarter(QuarterId::new(2014, 3));
+    let dv = synth.drug_vocab().clone();
+    let av = synth.adr_vocab().clone();
+    let result = Pipeline::new(PipelineConfig::default()).run(data, &dv, &av);
+    Fixture { result, dv, av }
+}
+
+/// Builds the full combination grid:
+/// severity × unknown_only × novel_adr_only × n_drugs × drug × adr.
+fn query_grid(snap: &Snapshot) -> Vec<RuleQuery> {
+    // Anchor drug/ADR choices in actual mined clusters so a meaningful
+    // share of combinations is non-empty.
+    let drugs: Vec<Option<String>> = {
+        let mut d = vec![None];
+        if let Some(c) = snap.clusters.first() {
+            d.push(Some(c.drugs[0].clone()));
+        }
+        if let Some(c) = snap.clusters.last() {
+            d.push(Some(c.drugs[c.drugs.len() - 1].clone()));
+        }
+        d.push(Some("NO-SUCH-DRUG-ANYWHERE".to_string()));
+        d
+    };
+    let adrs: Vec<Option<String>> = {
+        let mut a = vec![None];
+        if let Some(c) = snap.clusters.first() {
+            a.push(Some(c.adrs[0].clone()));
+        }
+        a
+    };
+    let mut grid = Vec::new();
+    for min_severity in [None, Some(0), Some(3), Some(5)] {
+        for unknown_only in [false, true] {
+            for novel_adr_only in [false, true] {
+                for n_drugs in [None, Some(2), Some(3)] {
+                    for drug in &drugs {
+                        for adr in &adrs {
+                            let mut q = RuleQuery::new();
+                            if let Some(s) = min_severity {
+                                q = q.with_min_severity(s);
+                            }
+                            if unknown_only {
+                                q = q.unknown_only();
+                            }
+                            if novel_adr_only {
+                                q = q.novel_adr_only();
+                            }
+                            if let Some(n) = n_drugs {
+                                q = q.with_n_drugs(n);
+                            }
+                            if let Some(d) = drug {
+                                q = q.with_drug(d);
+                            }
+                            if let Some(a) = adr {
+                                q = q.with_any_adr(a);
+                            }
+                            grid.push(q);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grid
+}
+
+fn assert_parity(fx: &Fixture, snap: &Snapshot, kb: Option<&KnowledgeBase>, label: &str) {
+    let grid = query_grid(snap);
+    let mut non_empty = 0usize;
+    for q in &grid {
+        let scan = q.apply(&fx.result, &fx.dv, &fx.av, kb);
+        let indexed = snap.query(q);
+        assert_eq!(scan, indexed, "[{label}] query {q:?}");
+        non_empty += usize::from(!scan.is_empty());
+    }
+    assert!(
+        non_empty >= grid.len() / 10,
+        "[{label}] grid too degenerate: only {non_empty}/{} non-empty",
+        grid.len()
+    );
+}
+
+#[test]
+fn filter_grid_parity_with_knowledge_base() {
+    let fx = fixture(7);
+    let kb = KnowledgeBase::literature_validated();
+    let snap = Snapshot::build("2014 Q3", &fx.result, &fx.dv, &fx.av, Some(&kb));
+    assert_parity(&fx, &snap, Some(&kb), "kb");
+}
+
+#[test]
+fn filter_grid_parity_without_knowledge_base() {
+    let fx = fixture(8);
+    let snap = Snapshot::build("2014 Q3", &fx.result, &fx.dv, &fx.av, None);
+    assert_parity(&fx, &snap, None, "no-kb");
+}
+
+#[test]
+fn parity_survives_store_roundtrip() {
+    let fx = fixture(9);
+    let kb = KnowledgeBase::literature_validated();
+    let snap = Snapshot::build("2014 Q3", &fx.result, &fx.dv, &fx.av, Some(&kb));
+    let dir = std::env::temp_dir().join(format!("maras-parity-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("q.snap");
+    maras_serve::save(&snap, &path).unwrap();
+    let loaded = maras_serve::load(&path).unwrap();
+    assert_parity(&fx, &loaded, Some(&kb), "roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn min_score_thresholds_agree() {
+    let fx = fixture(10);
+    let snap = Snapshot::build("2014 Q3", &fx.result, &fx.dv, &fx.av, None);
+    let scores: Vec<f64> = snap.clusters.iter().map(|c| c.score).collect();
+    let mut thresholds = vec![f64::NEG_INFINITY, 0.0, f64::INFINITY];
+    thresholds.extend(scores.iter().take(5).copied());
+    for t in thresholds {
+        let q = RuleQuery::new().with_min_score(t);
+        assert_eq!(q.apply(&fx.result, &fx.dv, &fx.av, None), snap.query(&q), "min_score {t}");
+    }
+}

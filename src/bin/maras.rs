@@ -28,6 +28,7 @@ use maras::faers::ascii::{
 };
 use maras::faers::{QuarterId, SynthConfig, Synthesizer, Vocabulary};
 use maras::rules::{DrugAdrRule, Measure};
+use maras::serve::{ServeState, Snapshot, StoreError};
 use maras::study::{appendix_a_battery, run_study, Encoding, StudyConfig};
 use maras::viz::{glyph_svg, panorama_svg, GlyphConfig, PanoramaConfig, Theme, DARK, LIGHT};
 use std::collections::HashMap;
@@ -47,6 +48,9 @@ enum CliError {
     Ingest(AsciiError),
     /// A non-ingest I/O step failed.
     Io { context: String, source: std::io::Error },
+    /// A snapshot file was refused (bad magic/version/checksum, corrupt
+    /// payload) when loading for `serve`.
+    Snapshot(StoreError),
     /// Anything else (empty mining output, render failures, …).
     Other(String),
 }
@@ -74,6 +78,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) | CliError::Other(msg) => f.write_str(msg),
             CliError::Ingest(e) => write!(f, "ingest: {e}"),
             CliError::Io { context, source } => write!(f, "{context}: {source}"),
+            CliError::Snapshot(e) => write!(f, "snapshot: {e}"),
         }
     }
 }
@@ -100,6 +105,8 @@ fn main() -> ExitCode {
         "year" => cmd_year(&flags),
         "render" => cmd_render(&flags),
         "report" => cmd_report(&flags),
+        "snapshot" => cmd_snapshot(&flags),
+        "serve" => cmd_serve(&flags),
         "study" => cmd_study(&flags),
         "demo" => cmd_demo(),
         "help" | "--help" | "-h" => {
@@ -130,8 +137,16 @@ USAGE:
                  [--ingest-mode strict|lenient] [--max-bad-rows N] [--max-bad-frac F]
   maras render   --dir DIR --quarter 2014Q1 [--out DIR] [--top K] [--dark]
   maras report   --dir DIR --quarter 2014Q1 [--out FILE.html] [--top K]
+  maras snapshot --dir DIR --quarter 2014Q1 --out FILE.snap [--json FILE]
+  maras serve    --snapshot FILE.snap [--addr HOST:PORT] [--threads N]
+                 [--cache N] [--check] [--json FILE]
   maras study    [--participants N] [--seed S]
   maras demo
+
+`snapshot` runs the pipeline and writes an indexed, checksummed binary
+snapshot; `serve` loads it and answers /search, /autocomplete,
+/cluster/<rank>, /healthz and /metrics over HTTP (POST /reload hot-swaps
+the file atomically). `--check` validates the snapshot and exits.
 
 Dirty data: --ingest-mode lenient quarantines malformed rows instead of
 failing; --max-bad-rows / --max-bad-frac cap the quarantine (exceeding the
@@ -148,7 +163,7 @@ fn parse(args: &[String]) -> Result<(String, Flags), String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
         // Boolean flags take no value.
-        if flag == "unknown-only" || flag == "dark" || flag == "novel-adr-only" {
+        if flag == "unknown-only" || flag == "dark" || flag == "novel-adr-only" || flag == "check" {
             flags.insert(flag.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -561,6 +576,98 @@ fn cmd_report(flags: &Flags) -> Result<(), CliError> {
     std::fs::write(&out, html).map_err(|e| CliError::io(format!("write {}", out.display()), e))?;
     println!("wrote {} ({} signals)", out.display(), result.ranked.len().min(top));
     Ok(())
+}
+
+/// Runs the pipeline over one quarter and writes the indexed,
+/// checksummed binary snapshot `maras serve` loads.
+fn cmd_snapshot(flags: &Flags) -> Result<(), CliError> {
+    let dir = PathBuf::from(flag(flags, "dir")?);
+    let id = parse_quarter(flag(flags, "quarter")?)?;
+    let out = PathBuf::from(flag(flags, "out")?);
+    let opts = ingest_options(flags)?;
+    let (ingested, dv, av) = load(&dir, id, &opts)?;
+    print_ingest(&ingested.report);
+    let result = Pipeline::new(pipeline_config(flags)?).run(ingested.data, &dv, &av);
+    let kb = KnowledgeBase::literature_validated();
+    let snap = Snapshot::build(id.to_string(), &result, &dv, &av, Some(&kb));
+    maras::serve::save(&snap, &out).map_err(CliError::Snapshot)?;
+    println!(
+        "wrote {} (format v{}, {} clusters from {} reports)",
+        out.display(),
+        maras::serve::FORMAT_VERSION,
+        snap.len(),
+        snap.n_reports
+    );
+    if let Some(json_path) = flags.get("json") {
+        write_json(json_path, snapshot_summary_json(&snap, &out))?;
+        println!("wrote JSON to {json_path}");
+    }
+    Ok(())
+}
+
+/// Serves a snapshot over HTTP; `--check` just validates it and exits.
+fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
+    let path = PathBuf::from(flag(flags, "snapshot")?);
+    let snap = match maras::serve::load(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            // `--json` gets the same structured error envelope the HTTP
+            // API uses, so supervisors can diagnose a refused snapshot
+            // without scraping stderr.
+            if let Some(json_path) = flags.get("json") {
+                let json = serde_json::Value::obj([(
+                    "error",
+                    serde_json::Value::obj([
+                        ("code", serde_json::Value::from("snapshot")),
+                        ("message", serde_json::Value::from(e.to_string())),
+                        ("path", serde_json::Value::from(path.display().to_string())),
+                    ]),
+                )]);
+                write_json(json_path, json)?;
+            }
+            return Err(CliError::Snapshot(e));
+        }
+    };
+    println!(
+        "loaded {}: {} ({} clusters from {} reports)",
+        path.display(),
+        snap.quarter,
+        snap.len(),
+        snap.n_reports
+    );
+    if let Some(json_path) = flags.get("json") {
+        write_json(json_path, snapshot_summary_json(&snap, &path))?;
+        println!("wrote JSON to {json_path}");
+    }
+    if flags.contains_key("check") {
+        return Ok(());
+    }
+    let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:8645");
+    let threads: usize = flag_num(flags, "threads", 4)?;
+    let cache: usize = flag_num(flags, "cache", 1024)?;
+    let state = std::sync::Arc::new(ServeState::new(snap, Some(path), cache));
+    let server = maras::serve::serve(state, addr, threads)
+        .map_err(|e| CliError::io(format!("bind {addr}"), e))?;
+    println!("serving on http://{} ({threads} threads; POST /reload to hot-swap)", server.addr());
+    // Serve until killed; workers run on their own threads.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn snapshot_summary_json(snap: &Snapshot, path: &Path) -> serde_json::Value {
+    serde_json::Value::obj([
+        ("path", serde_json::Value::from(path.display().to_string())),
+        ("format_version", serde_json::Value::from(maras::serve::FORMAT_VERSION)),
+        ("quarter", serde_json::Value::from(snap.quarter.clone())),
+        ("clusters", serde_json::Value::from(snap.len())),
+        ("reports", serde_json::Value::from(snap.n_reports)),
+    ])
+}
+
+fn write_json(path: &str, json: serde_json::Value) -> Result<(), CliError> {
+    let text = serde_json::to_string_pretty(&json).map_err(|e| CliError::Other(e.to_string()))?;
+    std::fs::write(path, text).map_err(|e| CliError::io(format!("write {path}"), e))
 }
 
 fn cmd_study(flags: &Flags) -> Result<(), CliError> {

@@ -18,6 +18,7 @@
 //! | [`viz`] | `maras-viz` | contextual glyph, bar charts, panoramagram (SVG) |
 //! | [`study`] | `maras-study` | simulated user-study harness |
 //! | [`core`] | `maras-core` | end-to-end pipeline, query API, knowledge base, drill-down |
+//! | [`serve`] | `maras-serve` | indexed snapshots, binary store, HTTP query server |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use maras_faers as faers;
 pub use maras_mcac as mcac;
 pub use maras_mining as mining;
 pub use maras_rules as rules;
+pub use maras_serve as serve;
 pub use maras_signals as signals;
 pub use maras_study as study;
 pub use maras_viz as viz;

@@ -186,6 +186,85 @@ fn dirty_data_modes_and_exit_codes() {
 }
 
 #[test]
+fn snapshot_and_serve_check_roundtrip() {
+    let dir = tmpdir("snapshot");
+    let dir_s = dir.to_str().unwrap();
+    let gen = maras(&["generate", "--out", dir_s, "--reports", "900", "--seed", "11"]);
+    assert!(gen.status.success(), "stderr: {}", String::from_utf8_lossy(&gen.stderr));
+
+    let snap = dir.join("2014Q1.snap");
+    let snap_s = snap.to_str().unwrap();
+    let json = dir.join("snapshot.json");
+    let made = maras(&[
+        "snapshot",
+        "--dir",
+        dir_s,
+        "--quarter",
+        "2014Q1",
+        "--min-support",
+        "4",
+        "--out",
+        snap_s,
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(made.status.success(), "stderr: {}", String::from_utf8_lossy(&made.stderr));
+    let stdout = String::from_utf8_lossy(&made.stdout);
+    assert!(stdout.contains("clusters"), "{stdout}");
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    assert_eq!(parsed["quarter"], "2014 Q1");
+    assert_eq!(parsed["format_version"], 1u32);
+    assert!(parsed["clusters"].as_u64().unwrap() > 0);
+
+    // `serve --check` validates the file and exits 0 without binding.
+    let check_json = dir.join("check.json");
+    let check =
+        maras(&["serve", "--snapshot", snap_s, "--check", "--json", check_json.to_str().unwrap()]);
+    assert!(check.status.success(), "stderr: {}", String::from_utf8_lossy(&check.stderr));
+    assert!(String::from_utf8_lossy(&check.stdout).contains("loaded"));
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&check_json).unwrap()).unwrap();
+    assert_eq!(parsed["quarter"], "2014 Q1");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_refuses_corrupt_snapshot_with_structured_error() {
+    let dir = tmpdir("serve_corrupt");
+
+    // Not a snapshot at all: bad magic, exit 1, structured --json error.
+    let bogus = dir.join("bogus.snap");
+    std::fs::write(&bogus, b"definitely not a maras snapshot, but >= header size").unwrap();
+    let err_json = dir.join("error.json");
+    let out = maras(&[
+        "serve",
+        "--snapshot",
+        bogus.to_str().unwrap(),
+        "--check",
+        "--json",
+        err_json.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("snapshot:"), "{stderr}");
+    assert!(stderr.contains("bad magic"), "{stderr}");
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&err_json).unwrap()).unwrap();
+    assert_eq!(parsed["error"]["code"], "snapshot");
+    assert!(parsed["error"]["message"].as_str().unwrap().contains("bad magic"));
+
+    // Missing file: still exit 1 with the structured envelope.
+    let gone = dir.join("missing.snap");
+    let out = maras(&["serve", "--snapshot", gone.to_str().unwrap(), "--check"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("snapshot:"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn study_reports_both_encodings() {
     let out = maras(&["study", "--participants", "20", "--seed", "3"]);
     assert!(out.status.success());
