@@ -10,7 +10,7 @@ FIRST_PARTY = -p maras -p maras-bench -p maras-core -p maras-faers \
               -p maras-mcac -p maras-mining -p maras-rules -p maras-serve \
               -p maras-signals -p maras-study -p maras-viz
 
-.PHONY: verify fmt fmt-check clippy test serve-test snapshot bench-serve
+.PHONY: verify fmt fmt-check clippy test serve-test snapshot bench-serve bench-mining
 
 verify: fmt-check clippy test serve-test
 
@@ -45,3 +45,8 @@ snapshot:
 # record latency percentiles + throughput in BENCH_serve.json.
 bench-serve:
 	MARAS_SCALE=small cargo run -q --release -p maras-bench --bin bench_serve
+
+# Time the arena-backed parallel miner at 1/2/4/8 threads and record
+# wall-time percentiles + speedup in BENCH_mining.json.
+bench-mining:
+	MARAS_SCALE=small cargo run -q --release -p maras-bench --bin bench_mining

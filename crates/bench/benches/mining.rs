@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use maras_faers::{clean_quarter, CleanConfig, QuarterId, SynthConfig, Synthesizer};
 use maras_mining::{
-    apriori, closed_itemsets, frequent_itemsets, frequent_itemsets_parallel, ItemSet, TransactionDb,
+    apriori, closed_itemsets, frequent_itemsets, mine_patterns_parallel, ItemSet, TransactionDb,
 };
 use std::hint::black_box;
 
@@ -81,7 +81,7 @@ fn bench_parallel(c: &mut Criterion) {
     group.sample_size(20);
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| black_box(frequent_itemsets_parallel(&db, 6, t).len()))
+            b.iter(|| black_box(mine_patterns_parallel(&db, 6, t).len()))
         });
     }
     group.finish();

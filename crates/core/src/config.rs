@@ -17,6 +17,10 @@ pub struct PipelineConfig {
     pub min_support: u64,
     /// Exclusiveness scoring settings (measure, θ, decay).
     pub exclusiveness: ExclusivenessConfig,
+    /// Mining worker threads; `0` means "use the machine's available
+    /// parallelism". Safe at any value: the parallel miner's output is
+    /// differential-tested byte-identical to the sequential miner's.
+    pub n_threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -26,6 +30,7 @@ impl Default for PipelineConfig {
             clean: CleanConfig::default(),
             min_support: 4,
             exclusiveness: ExclusivenessConfig::default(),
+            n_threads: 0,
         }
     }
 }
@@ -56,6 +61,23 @@ impl PipelineConfig {
         self.min_support = min_support;
         self
     }
+
+    /// Convenience: set the mining thread count (`0` = auto-detect).
+    pub fn with_n_threads(mut self, n_threads: usize) -> Self {
+        self.n_threads = n_threads;
+        self
+    }
+
+    /// Resolves [`Self::n_threads`] to a concrete worker count: `0` maps to
+    /// the machine's available parallelism (falling back to 1 when that is
+    /// unknowable), anything else is taken literally.
+    pub fn effective_threads(&self) -> usize {
+        if self.n_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.n_threads
+        }
+    }
 }
 
 #[cfg(test)]
@@ -82,5 +104,14 @@ mod tests {
     #[should_panic(expected = "theta must be in")]
     fn theta_out_of_range_panics() {
         PipelineConfig::default().with_theta(1.5);
+    }
+
+    #[test]
+    fn thread_count_resolution() {
+        let auto = PipelineConfig::default();
+        assert_eq!(auto.n_threads, 0);
+        assert!(auto.effective_threads() >= 1);
+        let fixed = PipelineConfig::default().with_n_threads(3);
+        assert_eq!(fixed.effective_threads(), 3);
     }
 }

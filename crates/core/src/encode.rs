@@ -43,7 +43,10 @@ pub fn encode_reports(
             .map(|&d| Item(d))
             .chain(r.adr_ids.iter().map(|&a| Item(adr_start + a)))
             .collect();
-        transactions.push(ItemSet::from_items(items));
+        // Drug ids arrive sorted+deduped from cleaning, ADR ids likewise, and
+        // the `adr_start` offset keeps the chained sequence strictly
+        // ascending — no re-sort needed.
+        transactions.push(ItemSet::from_sorted_unchecked(items));
         case_ids.push(r.case_id);
         source_indices.push(r.source_index);
     }

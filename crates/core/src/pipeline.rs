@@ -4,7 +4,8 @@ use crate::config::PipelineConfig;
 use crate::encode::{encode_reports, Encoded};
 use maras_faers::{clean_quarter, CleanedReport, CleaningStats, QuarterData, Vocabulary};
 use maras_mcac::{rank_clusters, RankedMcac, RankingMethod};
-use maras_rules::{count_all_rules, multi_drug_rules, RuleSpaceCounts};
+use maras_mining::PatternStore;
+use maras_rules::{rule_space, RuleSpaceCounts};
 use serde::Serialize;
 
 /// Runs MARAS over quarters of FAERS data.
@@ -44,19 +45,33 @@ impl Pipeline {
         // 3. Encode into the item space.
         let encoded = encode_reports(&cleaned, drug_vocab, adr_vocab);
 
-        // 4. §5.2 steps 2–3: closed mining + drug→ADR filtering, plus the
-        //    Fig. 5.1 rule-space accounting.
-        let counts = count_all_rules(&encoded.db, &encoded.partition, self.config.min_support);
-        let rules = multi_drug_rules(&encoded.db, &encoded.partition, self.config.min_support);
+        // 4. §5.2 steps 2–3: one shared mining pass produces the Fig. 5.1
+        //    rule-space accounting, the closed-pattern store, and the
+        //    multi-drug target rules (the legacy path re-mined the quarter
+        //    once per artifact).
+        let space = rule_space(
+            &encoded.db,
+            &encoded.partition,
+            self.config.min_support,
+            self.config.effective_threads(),
+        );
 
         // 5. §5.2 step 4: MCACs ranked by exclusiveness.
         let ranked = rank_clusters(
-            rules,
+            space.multi_drug_rules,
             &encoded.db,
             RankingMethod::Exclusiveness(self.config.exclusiveness),
         );
 
-        AnalysisResult { quarter, cleaned, cleaning, encoded, counts, ranked }
+        AnalysisResult {
+            quarter,
+            cleaned,
+            cleaning,
+            encoded,
+            counts: space.counts,
+            closed_patterns: space.closed,
+            ranked,
+        }
     }
 }
 
@@ -73,6 +88,9 @@ pub struct AnalysisResult {
     pub encoded: Encoded,
     /// Fig. 5.1-style rule-space sizes.
     pub counts: RuleSpaceCounts,
+    /// Closed frequent patterns in the arena store (support desc, items asc),
+    /// the §5.2 step-2 artifact downstream consumers can borrow slices from.
+    pub closed_patterns: PatternStore,
     /// MCACs in descending exclusiveness order.
     pub ranked: Vec<RankedMcac>,
 }
@@ -84,10 +102,25 @@ impl AnalysisResult {
     }
 
     /// Human-readable view of the `rank`-th cluster (0-based).
+    ///
+    /// # Panics
+    /// Panics if `rank` is out of range; use [`Self::try_view`] when the rank
+    /// comes from untrusted input (CLI flags, HTTP paths).
     pub fn view(&self, rank: usize, drug_vocab: &Vocabulary, adr_vocab: &Vocabulary) -> RuleView {
-        let r = &self.ranked[rank];
+        self.try_view(rank, drug_vocab, adr_vocab).expect("rank out of range")
+    }
+
+    /// Checked variant of [`Self::view`]: `None` when `rank` exceeds the
+    /// ranking instead of panicking.
+    pub fn try_view(
+        &self,
+        rank: usize,
+        drug_vocab: &Vocabulary,
+        adr_vocab: &Vocabulary,
+    ) -> Option<RuleView> {
+        let r = self.ranked.get(rank)?;
         let t = &r.cluster.target;
-        RuleView {
+        Some(RuleView {
             rank: rank + 1,
             drugs: self.encoded.names(&t.drugs, drug_vocab, adr_vocab),
             adrs: self.encoded.names(&t.adrs, drug_vocab, adr_vocab),
@@ -95,7 +128,7 @@ impl AnalysisResult {
             support: t.support(),
             confidence: t.confidence(),
             lift: t.lift(),
-        }
+        })
     }
 
     /// Views of the top `k` clusters.
@@ -250,5 +283,46 @@ mod tests {
     fn rank_of_unknown_names_is_none() {
         let (result, dv, av) = run_small();
         assert_eq!(result.rank_of(&["NOT_A_DRUG"], &["Pain"], &dv, &av), None);
+    }
+
+    #[test]
+    fn try_view_checks_bounds() {
+        let (result, dv, av) = run_small();
+        assert!(result.try_view(0, &dv, &av).is_some());
+        assert!(result.try_view(result.ranked.len(), &dv, &av).is_none());
+        assert!(result.try_view(usize::MAX, &dv, &av).is_none());
+        assert_eq!(result.try_view(0, &dv, &av).unwrap(), result.view(0, &dv, &av));
+    }
+
+    #[test]
+    fn closed_patterns_store_matches_counts() {
+        let (result, _, _) = run_small();
+        assert_eq!(result.closed_patterns.len() as u64, result.counts.closed_itemsets);
+        // Store contract: strictly ascending item slices, positive support.
+        for (items, support) in result.closed_patterns.iter() {
+            assert!(items.windows(2).all(|w| w[0] < w[1]));
+            assert!(support > 0);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let mut synth = Synthesizer::new(SynthConfig::test_scale(5));
+        let quarter = synth.generate_quarter(maras_faers::QuarterId::new(2015, 2));
+        let dv = synth.drug_vocab().clone();
+        let av = synth.adr_vocab().clone();
+        let seq = Pipeline::new(PipelineConfig::default().with_n_threads(1)).run(
+            quarter.clone(),
+            &dv,
+            &av,
+        );
+        let par = Pipeline::new(PipelineConfig::default().with_n_threads(4)).run(quarter, &dv, &av);
+        assert_eq!(seq.counts, par.counts);
+        assert!(seq.closed_patterns.iter().eq(par.closed_patterns.iter()));
+        assert_eq!(seq.ranked.len(), par.ranked.len());
+        for (a, b) in seq.ranked.iter().zip(&par.ranked) {
+            assert_eq!(a.cluster.target, b.cluster.target);
+            assert_eq!(a.score, b.score);
+        }
     }
 }

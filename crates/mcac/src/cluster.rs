@@ -62,11 +62,21 @@ impl Mcac {
     pub fn build(target: DrugAdrRule, db: &TransactionDb) -> Self {
         let n = target.drugs.len();
         assert!(n >= 2, "MCAC target must be a multi-drug rule");
+        assert!(n <= 24, "refusing to enumerate 2^{n} contextual subsets");
         let mut levels: Vec<ContextLevel> =
             (1..n).rev().map(|k| ContextLevel { cardinality: k, rules: Vec::new() }).collect();
-        for subset in target.drugs.proper_nonempty_subsets() {
+        // Enumerate proper non-empty antecedent subsets straight off the
+        // borrowed drug slice — one reused scratch buffer, no powerset of
+        // owned ItemSets.
+        let drugs = target.drugs.items();
+        let adrs = target.adrs.items();
+        let full = (1u32 << n) - 1;
+        let mut subset: Vec<maras_mining::Item> = Vec::with_capacity(n);
+        for mask in 1..full {
+            subset.clear();
+            subset.extend((0..n).filter(|b| mask & (1 << b) != 0).map(|b| drugs[b]));
             let k = subset.len();
-            let rule = DrugAdrRule::from_parts(subset, target.adrs.clone(), db);
+            let rule = DrugAdrRule::from_split_slices(&subset, adrs, db);
             // levels[0] has cardinality n-1, levels[n-1-k] has cardinality k.
             levels[n - 1 - k].rules.push(rule);
         }

@@ -11,10 +11,16 @@
 //! the same support, and — having the same support ≥ the threshold — is
 //! itself frequent and therefore present in the FP-Growth output. So closed
 //! sets fall out of one hash pass over the frequent sets, with no subsumption
-//! scans. A naive closure-operator miner is kept for differential testing.
+//! scans. The pass runs entirely over [`PatternStore`] slices: the hash table
+//! borrows the arena buffer, candidate parents are assembled in one reused
+//! scratch vector, and lengths are walked top-down through the store's
+//! per-length index — no per-pattern `ItemSet` is cloned. A naive
+//! closure-operator miner is kept for differential testing.
 
 use crate::fpgrowth::{fpgrowth, FrequentItemset};
-use crate::items::ItemSet;
+use crate::items::Item;
+use crate::parallel::mine_patterns_parallel;
+use crate::store::{PatternRef, PatternStore};
 use crate::transactions::TransactionDb;
 use rustc_hash::FxHashMap;
 
@@ -22,6 +28,61 @@ use rustc_hash::FxHashMap;
 /// threshold.
 pub fn closed_itemsets(db: &TransactionDb, min_support: u64) -> Vec<FrequentItemset> {
     ClosedMiner::new(min_support).mine(db)
+}
+
+/// Identifies the closed patterns of a mined frequent-pattern store.
+///
+/// One hash pass over borrowed arena slices: every pattern of length ≥ 2
+/// marks each of its length-1-smaller parents non-closed when the parent has
+/// equal support. Lengths are walked top-down via [`PatternStore::refs_by_len`];
+/// the returned refs are in store record order.
+pub fn closed_refs(store: &PatternStore) -> Vec<PatternRef> {
+    let mut by_items: FxHashMap<&[Item], (u64, u32)> = FxHashMap::default();
+    by_items.reserve(store.len());
+    for r in store.refs() {
+        by_items.insert(store.items(r), (store.support(r), r.index() as u32));
+    }
+    let mut is_closed = vec![true; store.len()];
+    let by_len = store.refs_by_len();
+    let mut parent: Vec<Item> = Vec::new();
+    for len in (2..by_len.len()).rev() {
+        for &r in &by_len[len] {
+            let items = store.items(r);
+            let support = store.support(r);
+            for drop in 0..items.len() {
+                parent.clear();
+                parent.extend_from_slice(&items[..drop]);
+                parent.extend_from_slice(&items[drop + 1..]);
+                if let Some(&(psup, pidx)) = by_items.get(parent.as_slice()) {
+                    if psup == support {
+                        is_closed[pidx as usize] = false;
+                    }
+                }
+            }
+        }
+    }
+    store.refs().filter(|r| is_closed[r.index()]).collect()
+}
+
+/// Mines the closed frequent patterns of `db` into a fresh [`PatternStore`],
+/// using `n_threads` mining workers, ordered by descending support then
+/// ascending itemset (the canonical presentation order). Returns the closed
+/// store together with the total frequent-pattern count.
+pub fn closed_patterns(
+    db: &TransactionDb,
+    min_support: u64,
+    n_threads: usize,
+) -> (PatternStore, u64) {
+    let store = mine_patterns_parallel(db, min_support, n_threads);
+    let mut refs = closed_refs(&store);
+    refs.sort_unstable_by(|&a, &b| {
+        store.support(b).cmp(&store.support(a)).then_with(|| store.items(a).cmp(store.items(b)))
+    });
+    let mut closed = PatternStore::with_capacity(refs.len(), 0);
+    for r in refs {
+        closed.push(store.items(r), store.support(r));
+    }
+    (closed, store.len() as u64)
 }
 
 /// Reusable closed-itemset miner.
@@ -49,37 +110,9 @@ impl ClosedMiner {
 
     /// Mines closed frequent itemsets.
     pub fn mine(&mut self, db: &TransactionDb) -> Vec<FrequentItemset> {
-        // 1. All frequent itemsets with supports.
-        let mut supports: FxHashMap<ItemSet, u64> = FxHashMap::default();
-        fpgrowth(db, self.min_support, |s, sup| {
-            supports.insert(s.clone(), sup);
-        });
-        self.frequent_count = supports.len() as u64;
-
-        // 2. Mark the direct sub-itemsets that share support: those are
-        //    non-closed.
-        let mut closed: FxHashMap<&ItemSet, bool> = supports.keys().map(|s| (s, true)).collect();
-        for (t, &sup) in &supports {
-            if t.len() < 2 {
-                continue;
-            }
-            for item in t.iter() {
-                let parent = t.without(item);
-                if supports.get(&parent) == Some(&sup) {
-                    if let Some(flag) = closed.get_mut(&parent) {
-                        *flag = false;
-                    }
-                }
-            }
-        }
-
-        let mut out: Vec<FrequentItemset> = closed
-            .into_iter()
-            .filter(|&(_, is_closed)| is_closed)
-            .map(|(s, _)| FrequentItemset { items: s.clone(), support: supports[s] })
-            .collect();
-        out.sort_unstable_by(|a, b| b.support.cmp(&a.support).then(a.items.cmp(&b.items)));
-        out
+        let (closed, frequent_count) = closed_patterns(db, self.min_support, 1);
+        self.frequent_count = frequent_count;
+        closed.to_frequent_itemsets()
     }
 }
 
@@ -100,7 +133,7 @@ pub fn closed_itemsets_naive(db: &TransactionDb, min_support: u64) -> Vec<Freque
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::items::Item;
+    use crate::items::{Item, ItemSet};
 
     fn db(rows: &[&[u32]]) -> TransactionDb {
         TransactionDb::new(rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect())

@@ -6,6 +6,7 @@
 
 use crate::fptree::FpTree;
 use crate::items::{Item, ItemSet};
+use crate::store::{PatternSink, PatternStore};
 use crate::transactions::TransactionDb;
 use rustc_hash::FxHashMap;
 
@@ -45,9 +46,44 @@ const SINGLE_PATH_CAP: usize = 16;
 /// low threshold to keep rare drug combinations (§1.3 "a low support is
 /// necessary"). A `min_support` of 0 is clamped to 1: support-0 itemsets are
 /// not patterns of the data.
-pub fn fpgrowth<F: FnMut(&ItemSet, u64)>(db: &TransactionDb, min_support: u64, mut sink: F) {
+pub fn fpgrowth<F: FnMut(&ItemSet, u64)>(db: &TransactionDb, min_support: u64, sink: F) {
+    struct Adapter<F>(F);
+    impl<F: FnMut(&ItemSet, u64)> PatternSink for Adapter<F> {
+        fn emit(&mut self, items: &[Item], support: u64) {
+            (self.0)(&ItemSet::from_sorted_unchecked(items.to_vec()), support)
+        }
+    }
+    fpgrowth_into(db, min_support, &mut Adapter(sink));
+}
+
+/// Runs FP-Growth, streaming every frequent itemset into `sink` as a
+/// strictly-ascending `&[Item]` slice — the zero-allocation emission path.
+///
+/// Equivalent to [`fpgrowth`] but without materializing an [`ItemSet`] per
+/// pattern: the slice lives in a reused scratch buffer and is only valid for
+/// the duration of each [`PatternSink::emit`] call.
+pub fn fpgrowth_into<S: PatternSink>(db: &TransactionDb, min_support: u64, sink: &mut S) {
     let min_support = min_support.max(1);
-    // 1. Global frequent items and their order (descending support).
+    let tree = build_global_tree(db, min_support);
+    let mut prefix: Vec<Item> = Vec::new();
+    let mut scratch: Vec<Item> = Vec::new();
+    mine_into(&tree, min_support, &mut prefix, &mut scratch, sink);
+}
+
+/// Mines the frequent-pattern space into a fresh [`PatternStore`], in the
+/// miner's emission order (use [`PatternStore::sort_by_items`] for the
+/// canonical order).
+pub fn mine_patterns(db: &TransactionDb, min_support: u64) -> PatternStore {
+    let mut store = PatternStore::new();
+    fpgrowth_into(db, min_support, &mut store);
+    store
+}
+
+/// Builds the global FP-tree: items below `min_support` dropped, transaction
+/// items reordered by descending global support (ties by ascending id).
+/// Shared by the sequential and parallel miners so "suffix item" means the
+/// same thing in both.
+pub(crate) fn build_global_tree(db: &TransactionDb, min_support: u64) -> FpTree {
     let mut supports: Vec<(Item, u64)> = db
         .item_supports()
         .filter(|&(_, s)| s as u64 >= min_support)
@@ -57,7 +93,6 @@ pub fn fpgrowth<F: FnMut(&ItemSet, u64)>(db: &TransactionDb, min_support: u64, m
     let rank: FxHashMap<Item, u32> =
         supports.iter().enumerate().map(|(r, &(i, _))| (i, r as u32)).collect();
 
-    // 2. Build the global tree.
     let mut tree = FpTree::new();
     let mut buf: Vec<Item> = Vec::new();
     for t in db.transactions() {
@@ -69,23 +104,37 @@ pub fn fpgrowth<F: FnMut(&ItemSet, u64)>(db: &TransactionDb, min_support: u64, m
         }
     }
     tree.finish();
-
-    // 3. Recurse.
-    let mut prefix: Vec<Item> = Vec::new();
-    mine(&tree, min_support, &mut prefix, &mut sink);
+    tree
 }
 
-pub(crate) fn mine<F: FnMut(&ItemSet, u64)>(
+/// Normalizes `prefix` (which is in mining order, not ascending) into
+/// `scratch` and emits it. Items are distinct by construction, so sorting
+/// yields a strictly-ascending slice.
+#[inline]
+fn emit_sorted<S: PatternSink>(
+    prefix: &[Item],
+    support: u64,
+    scratch: &mut Vec<Item>,
+    sink: &mut S,
+) {
+    scratch.clear();
+    scratch.extend_from_slice(prefix);
+    scratch.sort_unstable();
+    sink.emit(scratch, support);
+}
+
+pub(crate) fn mine_into<S: PatternSink>(
     tree: &FpTree,
     min_support: u64,
     prefix: &mut Vec<Item>,
-    sink: &mut F,
+    scratch: &mut Vec<Item>,
+    sink: &mut S,
 ) {
     // Single-path shortcut: all combinations of path items are frequent with
     // support = min count of the chosen suffix.
     if let Some(path) = tree.single_path() {
         if path.len() <= SINGLE_PATH_CAP {
-            emit_path_combinations(&path, min_support, prefix, sink);
+            emit_path_combinations(&path, min_support, prefix, scratch, sink);
             return;
         }
     }
@@ -99,7 +148,7 @@ pub(crate) fn mine<F: FnMut(&ItemSet, u64)>(
             continue;
         }
         prefix.push(item);
-        sink(&ItemSet::from_items(prefix.clone()), header.total);
+        emit_sorted(prefix, header.total, scratch, sink);
 
         // Conditional pattern base → conditional tree.
         let cond = conditional_tree(tree, item, min_support);
@@ -107,7 +156,7 @@ pub(crate) fn mine<F: FnMut(&ItemSet, u64)>(
             prefix.pop();
             continue;
         }
-        mine(&cond, min_support, prefix, sink);
+        mine_into(&cond, min_support, prefix, scratch, sink);
         prefix.pop();
     }
 }
@@ -154,11 +203,12 @@ pub(crate) fn conditional_tree(tree: &FpTree, item: Item, min_support: u64) -> F
 /// Emits every non-empty combination of a single path, each unioned with the
 /// current prefix. `path` is in root→leaf order so counts are non-increasing;
 /// a combination's support is the count of its deepest item.
-fn emit_path_combinations<F: FnMut(&ItemSet, u64)>(
+fn emit_path_combinations<S: PatternSink>(
     path: &[(Item, u64)],
     min_support: u64,
     prefix: &[Item],
-    sink: &mut F,
+    scratch: &mut Vec<Item>,
+    sink: &mut S,
 ) {
     let n = path.len();
     if n == 0 {
@@ -171,9 +221,11 @@ fn emit_path_combinations<F: FnMut(&ItemSet, u64)>(
         if support < min_support {
             continue;
         }
-        let mut items: Vec<Item> = prefix.to_vec();
-        items.extend((0..n).filter(|b| mask & (1 << b) != 0).map(|b| path[b].0));
-        sink(&ItemSet::from_items(items), support);
+        scratch.clear();
+        scratch.extend_from_slice(prefix);
+        scratch.extend((0..n).filter(|b| mask & (1 << b) != 0).map(|b| path[b].0));
+        scratch.sort_unstable();
+        sink.emit(scratch, support);
     }
 }
 

@@ -8,39 +8,50 @@
 //! quarter.
 
 use crate::closed::closed_itemsets;
-use crate::fpgrowth::{fpgrowth, FrequentItemset};
-use crate::items::ItemSet;
+use crate::fpgrowth::{mine_patterns, FrequentItemset};
+use crate::items::Item;
 use crate::transactions::TransactionDb;
 use rustc_hash::FxHashMap;
 
 /// Mines all *maximal* frequent itemsets: frequent sets with no frequent
 /// proper superset.
 ///
-/// Derived from the frequent-set stream with a one-pass parent-marking
-/// trick (mirroring the closed miner): a frequent set is non-maximal iff
-/// some one-item extension is frequent, and every such extension is itself
-/// in the stream.
+/// Derived from the arena-backed pattern store with a one-pass
+/// parent-marking trick (mirroring the closed miner): a frequent set is
+/// non-maximal iff some one-item extension is frequent, and every such
+/// extension is itself in the store. The hash table borrows the store's
+/// arena buffer; candidate parents are assembled in one reused scratch
+/// vector.
 pub fn maximal_itemsets(db: &TransactionDb, min_support: u64) -> Vec<FrequentItemset> {
-    let mut supports: FxHashMap<ItemSet, u64> = FxHashMap::default();
-    fpgrowth(db, min_support, |s, sup| {
-        supports.insert(s.clone(), sup);
-    });
-    let mut maximal: FxHashMap<&ItemSet, bool> = supports.keys().map(|s| (s, true)).collect();
-    for t in supports.keys() {
-        if t.len() < 2 {
-            continue;
-        }
-        for item in t.iter() {
-            let parent = t.without(item);
-            if let Some(flag) = maximal.get_mut(&parent) {
-                *flag = false;
+    let store = mine_patterns(db, min_support);
+    let mut by_items: FxHashMap<&[Item], u32> = FxHashMap::default();
+    by_items.reserve(store.len());
+    for r in store.refs() {
+        by_items.insert(store.items(r), r.index() as u32);
+    }
+    let mut is_max = vec![true; store.len()];
+    let by_len = store.refs_by_len();
+    let mut parent: Vec<Item> = Vec::new();
+    for len in (2..by_len.len()).rev() {
+        for &r in &by_len[len] {
+            let items = store.items(r);
+            for drop in 0..items.len() {
+                parent.clear();
+                parent.extend_from_slice(&items[..drop]);
+                parent.extend_from_slice(&items[drop + 1..]);
+                if let Some(&pidx) = by_items.get(parent.as_slice()) {
+                    is_max[pidx as usize] = false;
+                }
             }
         }
     }
-    let mut out: Vec<FrequentItemset> = maximal
-        .into_iter()
-        .filter(|&(_, is_max)| is_max)
-        .map(|(s, _)| FrequentItemset { items: s.clone(), support: supports[s] })
+    let mut out: Vec<FrequentItemset> = store
+        .refs()
+        .filter(|r| is_max[r.index()])
+        .map(|r| FrequentItemset {
+            items: crate::items::ItemSet::from_sorted_unchecked(store.items(r).to_vec()),
+            support: store.support(r),
+        })
         .collect();
     out.sort_unstable_by(|a, b| b.support.cmp(&a.support).then(a.items.cmp(&b.items)));
     out
@@ -75,7 +86,7 @@ pub fn top_k_closed(db: &TransactionDb, k: usize, min_len: usize) -> Vec<Frequen
 mod tests {
     use super::*;
     use crate::fpgrowth::frequent_itemsets;
-    use crate::items::Item;
+    use crate::items::{Item, ItemSet};
 
     fn db(rows: &[&[u32]]) -> TransactionDb {
         TransactionDb::new(rows.iter().map(|r| r.iter().map(|&i| Item(i)).collect()).collect())

@@ -1,88 +1,56 @@
-//! Parallel FP-Growth.
+//! Parallel FP-Growth over arena-backed pattern stores.
 //!
-//! FP-Growth's outer loop is embarrassingly parallel in *principle*: every
-//! pattern is generated under exactly one top-level suffix item (its
-//! globally least-frequent member), so assigning top-level items to workers
-//! partitions the mining work exactly. This module implements that sharding
-//! over a shared read-only FP-tree with std scoped threads, and is
-//! differential-tested to produce byte-identical output to the sequential
-//! miner.
+//! FP-Growth's outer loop is embarrassingly parallel: every pattern is
+//! generated under exactly one top-level suffix item (its globally
+//! least-frequent member), so assigning top-level items to workers partitions
+//! the mining work exactly. This module shards that loop over a shared
+//! read-only FP-tree with std scoped threads.
 //!
-//! **Measured result (recorded honestly): it does not get faster.** On this
-//! workload the mining loop is *allocation-bound* — each of the 10⁶–10⁷
-//! emitted patterns materializes an `ItemSet` — so the default allocator
-//! becomes the contended resource and 8 threads run no faster (sometimes
-//! slower, once shard merging and output sorting are paid) than 1. See
-//! `benches/mining.rs::bench_parallel` and EXPERIMENTS.md. The module is
-//! kept as a correctness-tested scaffold: with an arena/zero-copy pattern
-//! sink (or a thread-caching allocator) the same sharding would apply
-//! unchanged.
+//! Earlier revisions recorded an honest negative result here: with every
+//! emitted pattern boxed as an owned `ItemSet`, the global allocator was the
+//! contended resource and 8 threads ran no faster than 1. The emission path
+//! is now allocation-free — each worker streams sorted slices into a private
+//! [`PatternStore`] arena, and the join is a rebase merge
+//! ([`PatternStore::absorb`]) plus one record sort. See
+//! EXPERIMENTS.md ("Parallel mining after the arena refactor") and
+//! `bench_mining` for the re-measured 1/2/4/8-thread scaling, and the
+//! differential suite in `tests/differential.rs` for the byte-identical
+//! output proof at every thread count.
 
-use crate::fpgrowth::{conditional_tree, fpgrowth, mine, FrequentItemset};
-use crate::fptree::FpTree;
-use crate::items::{Item, ItemSet};
+use crate::fpgrowth::{
+    build_global_tree, conditional_tree, fpgrowth_into, mine_into, FrequentItemset,
+};
+use crate::items::Item;
+use crate::store::{CountSink, PatternSink, PatternStore};
 use crate::transactions::TransactionDb;
-use rustc_hash::FxHashMap;
 
-/// Mines all frequent itemsets using `n_threads` workers (clamped to ≥ 1).
-///
-/// The transaction database is sharded by *suffix item*: worker `w` mines
-/// exactly the patterns whose least-frequent item has rank `≡ w (mod
-/// n_threads)` in the global frequency order. Every pattern is produced by
-/// exactly one worker, so the merged output equals the sequential output
-/// (up to order, which is normalized here by sorting).
-pub fn frequent_itemsets_parallel(
+/// Runs the suffix-sharded miner with one private sink per worker and
+/// returns the sinks in worker order. Worker `w` mines exactly the patterns
+/// whose top-level suffix item has rank `≡ w (mod n_threads)` in the global
+/// frequency order, so each pattern lands in exactly one sink.
+fn mine_sharded<S, F>(
     db: &TransactionDb,
     min_support: u64,
     n_threads: usize,
-) -> Vec<FrequentItemset> {
-    let n_threads = n_threads.max(1);
-    if n_threads == 1 {
-        let mut out = crate::fpgrowth::frequent_itemsets(db, min_support);
-        sort_patterns(&mut out);
-        return out;
-    }
-
-    // Global frequency ranks (descending support) — the same order the
-    // sequential miner uses, so "suffix item" is well-defined.
-    let min_support = min_support.max(1);
-    let mut supports: Vec<(Item, u64)> = db
-        .item_supports()
-        .filter(|&(_, s)| s as u64 >= min_support)
-        .map(|(i, s)| (i, s as u64))
-        .collect();
-    supports.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    let rank: FxHashMap<Item, u32> =
-        supports.iter().enumerate().map(|(r, &(i, _))| (i, r as u32)).collect();
-    if rank.is_empty() {
+    make_sink: F,
+) -> Vec<S>
+where
+    S: PatternSink + Send,
+    F: Fn() -> S + Sync,
+{
+    let tree = build_global_tree(db, min_support);
+    if tree.mining_order().is_empty() {
         return Vec::new();
     }
-
-    // Build the global FP-tree ONCE; it is read-only after `finish()` and
-    // shared by reference across the workers.
-    let mut tree = FpTree::new();
-    let mut buf: Vec<Item> = Vec::new();
-    for t in db.transactions() {
-        buf.clear();
-        buf.extend(t.iter().filter(|i| rank.contains_key(i)));
-        buf.sort_unstable_by_key(|i| rank[i]);
-        if !buf.is_empty() {
-            tree.insert_path(&buf, 1);
-        }
-    }
-    tree.finish();
     let tree = &tree;
-
-    // Every pattern is generated under exactly one *top-level suffix item*
-    // (its globally least-frequent member), so assigning top-level items to
-    // workers partitions both the output and the mining work.
-    let mut shards: Vec<Vec<FrequentItemset>> = Vec::with_capacity(n_threads);
+    let make_sink = &make_sink;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
             .map(|w| {
                 scope.spawn(move || {
-                    let mut local: Vec<FrequentItemset> = Vec::new();
+                    let mut sink = make_sink();
                     let mut prefix: Vec<Item> = Vec::new();
+                    let mut scratch: Vec<Item> = Vec::new();
                     for (idx, &item) in tree.mining_order().iter().enumerate() {
                         if idx % n_threads != w {
                             continue;
@@ -94,47 +62,76 @@ pub fn frequent_itemsets_parallel(
                         if header.total < min_support {
                             continue;
                         }
+                        sink.emit(&[item], header.total);
+                        prefix.clear();
                         prefix.push(item);
-                        local.push(FrequentItemset {
-                            items: ItemSet::from_items(prefix.clone()),
-                            support: header.total,
-                        });
                         let cond = conditional_tree(tree, item, min_support);
                         if !cond.mining_order().is_empty() {
-                            mine(&cond, min_support, &mut prefix, &mut |s: &ItemSet, sup| {
-                                local.push(FrequentItemset { items: s.clone(), support: sup });
-                            });
+                            mine_into(&cond, min_support, &mut prefix, &mut scratch, &mut sink);
                         }
-                        prefix.pop();
                     }
-                    local
+                    sink
                 })
             })
             .collect();
-        for h in handles {
-            shards.push(h.join().expect("miner thread panicked"));
-        }
-    });
+        handles.into_iter().map(|h| h.join().expect("miner thread panicked")).collect()
+    })
+}
 
-    let mut out: Vec<FrequentItemset> = shards.into_iter().flatten().collect();
-    sort_patterns(&mut out);
+/// Mines all frequent itemsets into one [`PatternStore`] using `n_threads`
+/// workers (clamped to ≥ 1), records sorted in canonical (lexicographic
+/// itemset) order.
+///
+/// Each worker fills a private arena; at join the arenas are merged by
+/// rebase and the combined record table is sorted once. The output is
+/// byte-identical to the sequential miner's sorted output at every thread
+/// count (differential-tested in `tests/differential.rs`).
+pub fn mine_patterns_parallel(
+    db: &TransactionDb,
+    min_support: u64,
+    n_threads: usize,
+) -> PatternStore {
+    let n_threads = n_threads.max(1);
+    let min_support = min_support.max(1);
+    let mut out = if n_threads == 1 {
+        crate::fpgrowth::mine_patterns(db, min_support)
+    } else {
+        let shards = mine_sharded(db, min_support, n_threads, PatternStore::new);
+        let mut merged = PatternStore::new();
+        for shard in shards {
+            merged.absorb(shard);
+        }
+        merged
+    };
+    out.sort_by_items();
     out
 }
 
-fn sort_patterns(patterns: &mut [FrequentItemset]) {
-    patterns.sort_unstable_by(|a, b| a.items.cmp(&b.items));
+/// Mines all frequent itemsets using `n_threads` workers (clamped to ≥ 1),
+/// returned as owned sets in canonical order.
+///
+/// Compatibility wrapper over [`mine_patterns_parallel`]; the owned
+/// [`FrequentItemset`]s are materialized once at this boundary, not per
+/// emitted pattern.
+pub fn frequent_itemsets_parallel(
+    db: &TransactionDb,
+    min_support: u64,
+    n_threads: usize,
+) -> Vec<FrequentItemset> {
+    mine_patterns_parallel(db, min_support, n_threads).to_frequent_itemsets()
 }
 
-/// Counts frequent itemsets in parallel without materializing them — the
-/// cheap path for Fig. 5.1-style rule-space accounting.
+/// Counts frequent itemsets without materializing them — the cheap path for
+/// Fig. 5.1-style rule-space accounting. Parallel counting shards the same
+/// way but each worker's sink is a bare counter.
 pub fn count_frequent_parallel(db: &TransactionDb, min_support: u64, n_threads: usize) -> u64 {
     // Counting is not worth sharding below a few thousand transactions.
     if n_threads <= 1 || db.len() < 1024 {
-        let mut n = 0u64;
-        fpgrowth(db, min_support, |_, _| n += 1);
-        return n;
+        let mut n = CountSink::default();
+        fpgrowth_into(db, min_support, &mut n);
+        return n.0;
     }
-    frequent_itemsets_parallel(db, min_support, n_threads).len() as u64
+    mine_sharded(db, min_support.max(1), n_threads, CountSink::default).iter().map(|c| c.0).sum()
 }
 
 #[cfg(test)]
@@ -176,6 +173,18 @@ mod tests {
     }
 
     #[test]
+    fn store_matches_sequential_store() {
+        let d = db(&[&[1, 2, 3], &[1, 2], &[2, 3], &[1, 3], &[1, 2, 3]]);
+        let mut seq = crate::fpgrowth::mine_patterns(&d, 1);
+        seq.sort_by_items();
+        for threads in [2, 4] {
+            let par = mine_patterns_parallel(&d, 1, threads);
+            assert_eq!(par.len(), seq.len());
+            assert!(par.iter().eq(seq.iter()), "threads={threads}");
+        }
+    }
+
+    #[test]
     fn single_thread_falls_back_to_sequential() {
         let d = db(&[&[1, 2], &[2, 3]]);
         let par = frequent_itemsets_parallel(&d, 1, 1);
@@ -186,6 +195,7 @@ mod tests {
     fn empty_db_yields_nothing() {
         let d = db(&[]);
         assert!(frequent_itemsets_parallel(&d, 1, 4).is_empty());
+        assert!(mine_patterns_parallel(&d, 1, 4).is_empty());
     }
 
     #[test]

@@ -116,7 +116,23 @@ impl TransactionDb {
     /// `N`. Computed by intersecting tid-lists smallest-first with galloping
     /// search, so cost is near-linear in the smallest cover.
     pub fn support(&self, itemset: &ItemSet) -> u32 {
-        match self.cover(itemset) {
+        self.support_of(itemset.items())
+    }
+
+    /// Exact absolute support of an item slice — the borrowed-view path the
+    /// arena-backed pattern store hands out (no `ItemSet` required).
+    pub fn support_of(&self, items: &[Item]) -> u32 {
+        match self.cover_of(items.iter().copied(), items.len()) {
+            CoverCount::All => self.len() as u32,
+            CoverCount::Tids(t) => t.len() as u32,
+        }
+    }
+
+    /// Exact absolute support of the union of two item slices, without
+    /// materializing the union. Duplicate items across the slices are
+    /// harmless (a tid-list intersected with itself is itself).
+    pub fn support_of_union(&self, a: &[Item], b: &[Item]) -> u32 {
+        match self.cover_of(a.iter().chain(b).copied(), a.len() + b.len()) {
             CoverCount::All => self.len() as u32,
             CoverCount::Tids(t) => t.len() as u32,
         }
@@ -126,23 +142,23 @@ impl TransactionDb {
     ///
     /// For the empty itemset this materializes `0..N`.
     pub fn cover_tids(&self, itemset: &ItemSet) -> TidSet {
-        match self.cover(itemset) {
+        match self.cover_of(itemset.iter(), itemset.len()) {
             CoverCount::All => (0..self.len() as u32).collect(),
             CoverCount::Tids(t) => t,
         }
     }
 
-    fn cover(&self, itemset: &ItemSet) -> CoverCount {
-        if itemset.is_empty() {
-            return CoverCount::All;
-        }
+    fn cover_of(&self, items: impl Iterator<Item = Item>, size_hint: usize) -> CoverCount {
         // Gather tid-lists; a missing item means empty cover.
-        let mut lists: Vec<&TidSet> = Vec::with_capacity(itemset.len());
-        for item in itemset.iter() {
+        let mut lists: Vec<&TidSet> = Vec::with_capacity(size_hint);
+        for item in items {
             match self.tidlists.get(&item) {
                 Some(l) => lists.push(l),
                 None => return CoverCount::Tids(Vec::new()),
             }
+        }
+        if lists.is_empty() {
+            return CoverCount::All;
         }
         lists.sort_unstable_by_key(|l| l.len());
         let mut acc: TidSet = lists[0].clone();

@@ -10,7 +10,9 @@
 
 use crate::partition::ItemPartition;
 use crate::rule::DrugAdrRule;
-use maras_mining::{closed_itemsets, fpgrowth, TransactionDb};
+use maras_mining::{
+    closed_refs, fpgrowth_into, mine_patterns_parallel, FnSink, PatternStore, TransactionDb,
+};
 use serde::{Deserialize, Serialize};
 
 /// Sizes of the successively-reduced rule spaces (the three series of
@@ -30,48 +32,107 @@ pub struct RuleSpaceCounts {
     pub closed_itemsets: u64,
 }
 
-/// Counts the three rule spaces of Fig. 5.1 in one pass over the pattern
-/// stream plus one closed-mining pass. Nothing is materialized for the
-/// "total" space, so the 10⁶–10⁷ rule counts the paper reports stay cheap.
+/// One quarter's complete rule space, derived from a *single* mining pass:
+/// the Fig. 5.1 counters, the MCAC target rules, and the closed patterns
+/// themselves (arena-backed, in descending-support presentation order).
+#[derive(Debug, Clone, Default)]
+pub struct RuleSpace {
+    /// The three successively-reduced rule-space sizes.
+    pub counts: RuleSpaceCounts,
+    /// Closed, mixed, multi-drug rules — the MCAC targets, in the closed
+    /// store's order.
+    pub multi_drug_rules: Vec<DrugAdrRule>,
+    /// Every closed frequent pattern, ordered by descending support then
+    /// ascending itemset.
+    pub closed: PatternStore,
+}
+
+/// Mines the quarter once (with `n_threads` workers) and derives everything
+/// downstream of mining from the resulting arena: Fig. 5.1 counters, closed
+/// patterns, and the multi-drug MCAC target rules. Replaces the legacy
+/// arrangement where counting, closed mining, and rule generation each ran
+/// their own FP-Growth pass.
+pub fn rule_space(
+    db: &TransactionDb,
+    partition: &ItemPartition,
+    min_support: u64,
+    n_threads: usize,
+) -> RuleSpace {
+    space(db, partition, min_support, n_threads, true)
+}
+
+fn space(
+    db: &TransactionDb,
+    partition: &ItemPartition,
+    min_support: u64,
+    n_threads: usize,
+    build_rules: bool,
+) -> RuleSpace {
+    let store = mine_patterns_parallel(db, min_support, n_threads);
+    let mut counts =
+        RuleSpaceCounts { frequent_itemsets: store.len() as u64, ..RuleSpaceCounts::default() };
+    for (items, _) in store.iter() {
+        let n = items.len() as u32;
+        if n >= 2 {
+            counts.total_rules += (1u64 << n.min(62)) - 2;
+        }
+        if partition.is_mixed_items(items) {
+            counts.filtered_rules += 1;
+        }
+    }
+
+    let mut refs = closed_refs(&store);
+    refs.sort_unstable_by(|&a, &b| {
+        store.support(b).cmp(&store.support(a)).then_with(|| store.items(a).cmp(store.items(b)))
+    });
+    counts.closed_itemsets = refs.len() as u64;
+
+    let mut closed = PatternStore::with_capacity(refs.len(), 0);
+    let mut rules = Vec::new();
+    for r in refs {
+        let items = store.items(r);
+        let support = store.support(r);
+        closed.push(items, support);
+        if partition.is_mixed_items(items) && partition.drug_count_items(items) >= 2 {
+            counts.mcacs += 1;
+            if build_rules {
+                rules.push(
+                    DrugAdrRule::from_pattern(items, support, partition, db)
+                        .expect("mixed pattern must yield a rule"),
+                );
+            }
+        }
+    }
+    RuleSpace { counts, multi_drug_rules: rules, closed }
+}
+
+/// Counts the three rule spaces of Fig. 5.1 from one mining pass. Only the
+/// closed patterns are materialized (in the arena); no per-pattern sets or
+/// rules are built.
 pub fn count_all_rules(
     db: &TransactionDb,
     partition: &ItemPartition,
     min_support: u64,
 ) -> RuleSpaceCounts {
-    let mut counts = RuleSpaceCounts::default();
-    fpgrowth(db, min_support, |s, _| {
-        counts.frequent_itemsets += 1;
-        let n = s.len() as u32;
-        if n >= 2 {
-            counts.total_rules += (1u64 << n.min(62)) - 2;
-        }
-        if partition.is_mixed(s) {
-            counts.filtered_rules += 1;
-        }
-    });
-    for f in closed_itemsets(db, min_support) {
-        counts.closed_itemsets += 1;
-        if partition.is_mixed(&f.items) && partition.drug_count(&f.items) >= 2 {
-            counts.mcacs += 1;
-        }
-    }
-    counts
+    space(db, partition, min_support, 1, false).counts
 }
 
 /// All drug→ADR rules from the *unfiltered* frequent itemsets — the
 /// traditional pool Table 5.2's plain confidence/lift rankings draw from
 /// ("these two methods do not filter the rule using closed itemsets").
+/// Streams the pattern space; rules materialize at the sink.
 pub fn drug_adr_rules(
     db: &TransactionDb,
     partition: &ItemPartition,
     min_support: u64,
 ) -> Vec<DrugAdrRule> {
     let mut out = Vec::new();
-    fpgrowth(db, min_support, |s, sup| {
-        if let Some(rule) = DrugAdrRule::from_itemset(s, sup, partition, db) {
+    let mut sink = FnSink(|items: &[maras_mining::Item], sup| {
+        if let Some(rule) = DrugAdrRule::from_pattern(items, sup, partition, db) {
             out.push(rule);
         }
     });
+    fpgrowth_into(db, min_support, &mut sink);
     out
 }
 
@@ -82,9 +143,10 @@ pub fn closed_drug_adr_rules(
     partition: &ItemPartition,
     min_support: u64,
 ) -> Vec<DrugAdrRule> {
-    closed_itemsets(db, min_support)
-        .into_iter()
-        .filter_map(|f| DrugAdrRule::from_itemset(&f.items, f.support, partition, db))
+    let (closed, _) = maras_mining::closed_patterns(db, min_support, 1);
+    closed
+        .iter()
+        .filter_map(|(items, sup)| DrugAdrRule::from_pattern(items, sup, partition, db))
         .collect()
 }
 
@@ -96,10 +158,7 @@ pub fn multi_drug_rules(
     partition: &ItemPartition,
     min_support: u64,
 ) -> Vec<DrugAdrRule> {
-    closed_drug_adr_rules(db, partition, min_support)
-        .into_iter()
-        .filter(DrugAdrRule::is_multi_drug)
-        .collect()
+    rule_space(db, partition, min_support, 1).multi_drug_rules
 }
 
 #[cfg(test)]

@@ -59,10 +59,23 @@ impl ItemPartition {
         itemset.split_at_item(Item(self.adr_start))
     }
 
+    /// Splits a sorted item slice into its (drugs, ADRs) halves as borrowed
+    /// sub-slices — the zero-copy view the arena-backed pattern store makes
+    /// possible.
+    pub fn split_items<'a>(&self, items: &'a [Item]) -> (&'a [Item], &'a [Item]) {
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "items not strictly ascending");
+        items.split_at(items.partition_point(|&i| i.0 < self.adr_start))
+    }
+
     /// Whether an itemset contains at least one drug and one ADR — the
     /// precondition for it to induce a drug-ADR association (§3.1).
     pub fn is_mixed(&self, itemset: &ItemSet) -> bool {
-        match (itemset.items().first(), itemset.items().last()) {
+        self.is_mixed_items(itemset.items())
+    }
+
+    /// [`ItemPartition::is_mixed`] over a sorted item slice.
+    pub fn is_mixed_items(&self, items: &[Item]) -> bool {
+        match (items.first(), items.last()) {
             (Some(&first), Some(&last)) => self.is_drug(first) && self.is_adr(last),
             _ => false,
         }
@@ -70,7 +83,12 @@ impl ItemPartition {
 
     /// Number of drug items in an itemset.
     pub fn drug_count(&self, itemset: &ItemSet) -> usize {
-        itemset.items().partition_point(|&i| i.0 < self.adr_start)
+        self.drug_count_items(itemset.items())
+    }
+
+    /// [`ItemPartition::drug_count`] over a sorted item slice.
+    pub fn drug_count_items(&self, items: &[Item]) -> usize {
+        items.partition_point(|&i| i.0 < self.adr_start)
     }
 }
 
@@ -146,6 +164,12 @@ mod tests {
                 prop_assert!(a.iter().all(|i| p.is_adr(i)));
                 prop_assert_eq!(p.drug_count(&s), d.len());
                 prop_assert_eq!(p.is_mixed(&s), !d.is_empty() && !a.is_empty());
+                // Slice views agree with the owned split.
+                let (ds, adrs) = p.split_items(s.items());
+                prop_assert_eq!(ds, d.items());
+                prop_assert_eq!(adrs, a.items());
+                prop_assert_eq!(p.is_mixed_items(s.items()), p.is_mixed(&s));
+                prop_assert_eq!(p.drug_count_items(s.items()), p.drug_count(&s));
             }
         }
     }

@@ -2,7 +2,7 @@
 
 use crate::measures::RuleStats;
 use crate::partition::ItemPartition;
-use maras_mining::{ItemSet, TransactionDb};
+use maras_mining::{Item, ItemSet, TransactionDb};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -29,30 +29,64 @@ impl DrugAdrRule {
         partition: &ItemPartition,
         db: &TransactionDb,
     ) -> Option<Self> {
-        if !partition.is_mixed(itemset) {
+        Self::from_pattern(itemset.items(), support, partition, db)
+    }
+
+    /// Builds a rule from a mixed pattern borrowed as a sorted item slice —
+    /// the arena-store path. Owned [`ItemSet`]s are materialized here, at the
+    /// final rule boundary, and nowhere upstream.
+    ///
+    /// Returns `None` if the slice lacks either a drug or an ADR item.
+    pub fn from_pattern(
+        items: &[Item],
+        support: u64,
+        partition: &ItemPartition,
+        db: &TransactionDb,
+    ) -> Option<Self> {
+        if !partition.is_mixed_items(items) {
             return None;
         }
-        let (drugs, adrs) = partition.split(itemset);
+        let (drugs, adrs) = partition.split_items(items);
         let stats = RuleStats {
             support_ab: support,
-            support_a: db.support(&drugs) as u64,
-            support_b: db.support(&adrs) as u64,
+            support_a: db.support_of(drugs) as u64,
+            support_b: db.support_of(adrs) as u64,
             n_transactions: db.len() as u64,
         };
-        Some(DrugAdrRule { drugs, adrs, stats })
+        Some(DrugAdrRule {
+            drugs: ItemSet::from_sorted_unchecked(drugs.to_vec()),
+            adrs: ItemSet::from_sorted_unchecked(adrs.to_vec()),
+            stats,
+        })
     }
 
     /// Builds a rule for an explicit (drugs, adrs) split, counting all three
     /// supports. Used for contextual sub-rules, which need not be frequent.
     pub fn from_parts(drugs: ItemSet, adrs: ItemSet, db: &TransactionDb) -> Self {
-        let whole = drugs.union(&adrs);
-        let stats = RuleStats {
-            support_ab: db.support(&whole) as u64,
-            support_a: db.support(&drugs) as u64,
-            support_b: db.support(&adrs) as u64,
-            n_transactions: db.len() as u64,
-        };
+        let stats = Self::split_stats(drugs.items(), adrs.items(), db);
         DrugAdrRule { drugs, adrs, stats }
+    }
+
+    /// Builds a rule from borrowed (drugs, adrs) slices, counting all three
+    /// supports without materializing the union. The MCAC context loop uses
+    /// this to enumerate `2^n − 2` contextual sub-rules per cluster straight
+    /// from borrowed antecedent subsets.
+    pub fn from_split_slices(drugs: &[Item], adrs: &[Item], db: &TransactionDb) -> Self {
+        let stats = Self::split_stats(drugs, adrs, db);
+        DrugAdrRule {
+            drugs: ItemSet::from_sorted_unchecked(drugs.to_vec()),
+            adrs: ItemSet::from_sorted_unchecked(adrs.to_vec()),
+            stats,
+        }
+    }
+
+    fn split_stats(drugs: &[Item], adrs: &[Item], db: &TransactionDb) -> RuleStats {
+        RuleStats {
+            support_ab: db.support_of_union(drugs, adrs) as u64,
+            support_a: db.support_of(drugs) as u64,
+            support_b: db.support_of(adrs) as u64,
+            n_transactions: db.len() as u64,
+        }
     }
 
     /// The complete itemset `A ∪ B` of the rule (§3.4 "complete itemset").

@@ -214,10 +214,12 @@ fn cluster(state: &ServeState, req: &Request) -> (u16, String) {
         Err(_) => return (400, error_body("bad_request", "cluster rank must be an integer")),
     };
     // Ranks are 1-based in the API, matching every report the CLI emits.
-    if rank == 0 || rank > snap.len() {
-        return (404, error_body("not_found", "no cluster at that rank"));
+    // `try_detail_json` keeps any out-of-range rank (including 0) on the 404
+    // path instead of panicking the worker.
+    match rank.checked_sub(1).and_then(|r| snap.try_detail_json(r)) {
+        Some(detail) => (200, detail.to_string()),
+        None => (404, error_body("not_found", "no cluster at that rank")),
     }
-    (200, snap.detail_json(rank - 1).to_string())
 }
 
 fn reload(state: &ServeState) -> (Endpoint, u16, String) {

@@ -331,9 +331,19 @@ impl Snapshot {
 
     /// JSON view of one cluster for the search hit list (no context, no
     /// case ids — those are detail-only).
+    ///
+    /// # Panics
+    /// Panics if `rank` is out of range; use [`Self::try_hit_json`] for
+    /// ranks parsed from request paths.
     pub fn hit_json(&self, rank: usize) -> Value {
-        let c = &self.clusters[rank];
-        Value::obj([
+        self.try_hit_json(rank).expect("cluster rank out of range")
+    }
+
+    /// Checked variant of [`Self::hit_json`]: `None` when `rank` is out of
+    /// range instead of panicking.
+    pub fn try_hit_json(&self, rank: usize) -> Option<Value> {
+        let c = self.clusters.get(rank)?;
+        Some(Value::obj([
             ("rank", Value::from(rank + 1)),
             ("drugs", Value::from(c.drugs.clone())),
             ("adrs", Value::from(c.adrs.clone())),
@@ -344,14 +354,24 @@ impl Snapshot {
             ("max_severity", Value::from(c.max_severity)),
             ("known", Value::from(c.known)),
             ("has_novel_adr", Value::from(c.has_novel_adr)),
-        ])
+        ]))
     }
 
     /// JSON detail view of one cluster: the hit fields plus contextual
     /// rules and supporting case ids (the §4.1 drill-down).
+    ///
+    /// # Panics
+    /// Panics if `rank` is out of range; use [`Self::try_detail_json`] for
+    /// ranks parsed from request paths.
     pub fn detail_json(&self, rank: usize) -> Value {
-        let c = &self.clusters[rank];
-        let mut detail = match self.hit_json(rank) {
+        self.try_detail_json(rank).expect("cluster rank out of range")
+    }
+
+    /// Checked variant of [`Self::detail_json`]: `None` when `rank` is out
+    /// of range instead of panicking.
+    pub fn try_detail_json(&self, rank: usize) -> Option<Value> {
+        let c = self.clusters.get(rank)?;
+        let mut detail = match self.try_hit_json(rank)? {
             Value::Object(m) => m,
             _ => unreachable!("hit_json returns an object"),
         };
@@ -368,7 +388,7 @@ impl Snapshot {
                 ])
             })),
         );
-        Value::Object(detail)
+        Some(Value::Object(detail))
     }
 }
 
@@ -527,5 +547,17 @@ mod tests {
             detail["case_ids"].as_array().unwrap().len() as u64,
             detail["support"].as_u64().unwrap()
         );
+    }
+
+    #[test]
+    fn try_json_views_check_bounds() {
+        let (result, dv, av) = fixture();
+        let snap = Snapshot::build("2014 Q1", &result, &dv, &av, None);
+        assert!(snap.try_hit_json(0).is_some());
+        assert!(snap.try_detail_json(0).is_some());
+        assert!(snap.try_hit_json(snap.len()).is_none());
+        assert!(snap.try_detail_json(snap.len()).is_none());
+        assert!(snap.try_detail_json(usize::MAX).is_none());
+        assert_eq!(snap.try_detail_json(0).unwrap().to_string(), snap.detail_json(0).to_string());
     }
 }

@@ -130,16 +130,20 @@ maras - multi-drug adverse reaction analytics
 USAGE:
   maras generate --out DIR [--reports N] [--seed S]
   maras analyze  --dir DIR --quarter 2014Q1 [--min-support N] [--top K]
-                 [--measure confidence|lift] [--theta T] [--drug NAME]
-                 [--unknown-only] [--novel-adr-only] [--json FILE]
+                 [--measure confidence|lift] [--theta T] [--threads N]
+                 [--drug NAME] [--unknown-only] [--novel-adr-only] [--json FILE]
                  [--ingest-mode strict|lenient] [--max-bad-rows N] [--max-bad-frac F]
-  maras year     --dir DIR [--year 2014] [--min-support N] [--top K] [--json FILE]
+  maras year     --dir DIR [--year 2014] [--min-support N] [--top K] [--threads N]
+                 [--json FILE]
                  [--ingest-mode strict|lenient] [--max-bad-rows N] [--max-bad-frac F]
   maras render   --dir DIR --quarter 2014Q1 [--out DIR] [--top K] [--dark]
-  maras report   --dir DIR --quarter 2014Q1 [--out FILE.html] [--top K]
-  maras snapshot --dir DIR --quarter 2014Q1 --out FILE.snap [--json FILE]
+  maras report   --dir DIR --quarter 2014Q1 [--out FILE.html] [--top K] [--threads N]
+  maras snapshot --dir DIR --quarter 2014Q1 --out FILE.snap [--json FILE] [--threads N]
   maras serve    --snapshot FILE.snap [--addr HOST:PORT] [--threads N]
                  [--cache N] [--check] [--json FILE]
+
+For analyze/year/report/snapshot, --threads N sets the mining worker count
+(0 or omitted = all available cores); for serve it sets HTTP worker threads.
   maras study    [--participants N] [--seed S]
   maras demo
 
@@ -281,7 +285,8 @@ fn load(
 fn pipeline_config(flags: &Flags) -> Result<PipelineConfig, CliError> {
     let mut config = PipelineConfig::default()
         .with_min_support(flag_num(flags, "min-support", 6u64)?)
-        .with_theta(flag_num(flags, "theta", 0.5f64)?);
+        .with_theta(flag_num(flags, "theta", 0.5f64)?)
+        .with_n_threads(flag_num(flags, "threads", 0usize)?);
     match flags.get("measure").map(String::as_str) {
         None | Some("confidence") => {}
         Some("lift") => config.exclusiveness.measure = Measure::Lift,
@@ -388,7 +393,9 @@ fn cmd_analyze(flags: &Flags) -> Result<(), CliError> {
 
     let mut views = Vec::new();
     for &rank in hits.iter().take(top) {
-        let view = result.view(rank, &dv, &av);
+        // `try_view` keeps a bad rank from panicking the CLI, whatever the
+        // query produced.
+        let Some(view) = result.try_view(rank, &dv, &av) else { continue };
         println!("{view}");
         views.push(view);
     }
