@@ -10,7 +10,7 @@ FIRST_PARTY = -p maras -p maras-bench -p maras-core -p maras-faers \
               -p maras-mcac -p maras-mining -p maras-rules -p maras-serve \
               -p maras-signals -p maras-study -p maras-viz
 
-.PHONY: verify fmt fmt-check clippy test serve-test snapshot bench-serve bench-mining
+.PHONY: verify fmt fmt-check clippy test serve-test snapshot bench-serve bench-mining bench-ingest
 
 verify: fmt-check clippy test serve-test
 
@@ -50,3 +50,8 @@ bench-serve:
 # wall-time percentiles + speedup in BENCH_mining.json.
 bench-mining:
 	MARAS_SCALE=small cargo run -q --release -p maras-bench --bin bench_mining
+
+# Time the zero-copy parallel reader at 1/2/4/8 threads and memoized vs
+# uncached cleaning, recording results in BENCH_ingest.json.
+bench-ingest:
+	MARAS_SCALE=small cargo run -q --release -p maras-bench --bin bench_ingest

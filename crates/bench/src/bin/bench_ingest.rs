@@ -1,0 +1,256 @@
+//! Ingestion-layer benchmark: times the zero-copy parallel FAERS reader at
+//! several thread counts over one synthetic quarter, and the memoized
+//! drug/ADR canonicalization against its uncached path over the full
+//! four-quarter year (the `maras year` shape: one `Cleaner` shared across
+//! quarters). Writes `BENCH_ingest.json` with wall-time percentiles,
+//! reports/s, interner and memo statistics, and the per-report
+//! string-allocation proxy.
+//!
+//! EXPERIMENTS.md's "Zero-copy parallel ingestion" section is regenerated
+//! from this binary's output. Scale via `MARAS_SCALE` as usual.
+
+use maras_bench::{generate_corpus, print_table};
+use maras_faers::ascii::{read_quarter_with, IngestOptions, QuarterWriter};
+use maras_faers::{CleanConfig, Cleaner};
+use serde_json::Value;
+use std::time::Instant;
+
+/// Timed repetitions per configuration (first extra run is a discarded
+/// warm-up, so caches and the allocator reach steady state).
+const REPS: usize = 7;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn main() {
+    let corpus = generate_corpus();
+    let quarter = &corpus.quarters[0];
+    let id = quarter.id;
+
+    // Serialize once: the benchmark times the read side only.
+    let mut demo = Vec::new();
+    let mut drug = Vec::new();
+    let mut reac = Vec::new();
+    let mut outc = Vec::new();
+    QuarterWriter::write_demo(&mut demo, &quarter.reports).expect("write DEMO");
+    QuarterWriter::write_drug(&mut drug, &quarter.reports).expect("write DRUG");
+    QuarterWriter::write_reac(&mut reac, &quarter.reports).expect("write REAC");
+    QuarterWriter::write_outc(&mut outc, &quarter.reports).expect("write OUTC");
+    let input_bytes = demo.len() + drug.len() + reac.len() + outc.len();
+
+    let read = |threads: usize| {
+        let opts = IngestOptions::strict().with_threads(threads);
+        read_quarter_with(id, &demo[..], &drug[..], &reac[..], &outc[..], &opts)
+            .expect("benchmark quarter must ingest cleanly")
+    };
+
+    let reference = read(1);
+    let n_reports = reference.data.reports.len();
+    assert!(n_reports > 0, "benchmark quarter is empty");
+
+    // The interner collapses every repeated drug-name/reaction/country
+    // string to one allocation; the legacy reader allocated each verbatim.
+    let intern = reference.metrics.intern;
+    let verbatim_bytes: usize = reference
+        .data
+        .reports
+        .iter()
+        .map(|r| {
+            r.country.len()
+                + r.reactions.iter().map(|x| x.len()).sum::<usize>()
+                + r.drugs.iter().map(|d| d.name.len()).sum::<usize>()
+        })
+        .sum();
+    println!(
+        "bench_ingest: {n_reports} reports, {input_bytes} input bytes; \
+         interner: {} unique strings ({} bytes) for {} lookups; \
+         verbatim string bytes {verbatim_bytes} -> {:.1} vs {:.1} per report; \
+         {REPS} reps per config",
+        intern.unique,
+        intern.bytes,
+        intern.lookups(),
+        verbatim_bytes as f64 / n_reports as f64,
+        intern.bytes as f64 / n_reports as f64,
+    );
+
+    // --- Read throughput by thread count -------------------------------
+    let mut rows = Vec::new();
+    let mut per_thread = Vec::new();
+    let mut p50_at_1 = 0u64;
+    for &threads in &THREAD_COUNTS {
+        // Warm-up plus the cheap cross-check the differential suite
+        // guarantees in depth: output is identical at every thread count.
+        let warm = read(threads);
+        assert!(warm == reference, "thread count {threads} changed the output");
+
+        let mut lat_us: Vec<u64> = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            let t = Instant::now();
+            let ingested = read(threads);
+            lat_us.push(t.elapsed().as_micros() as u64);
+            assert_eq!(ingested.data.reports.len(), n_reports);
+        }
+        lat_us.sort_unstable();
+        let (min, p50, p95, max) =
+            (lat_us[0], percentile(&lat_us, 0.50), percentile(&lat_us, 0.95), lat_us[REPS - 1]);
+        if threads == 1 {
+            p50_at_1 = p50;
+        }
+        let reports_per_sec = n_reports as f64 / (p50 as f64 / 1e6);
+        let speedup = p50_at_1 as f64 / p50 as f64;
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.2}", p50 as f64 / 1000.0),
+            format!("{:.2}", p95 as f64 / 1000.0),
+            format!("{:.2}", min as f64 / 1000.0),
+            format!("{reports_per_sec:.0}"),
+            format!("{speedup:.2}x"),
+        ]);
+        per_thread.push(Value::obj([
+            ("threads", Value::from(threads)),
+            (
+                "wall_us",
+                Value::obj([
+                    ("min", Value::from(min)),
+                    ("p50", Value::from(p50)),
+                    ("p95", Value::from(p95)),
+                    ("max", Value::from(max)),
+                ]),
+            ),
+            ("reports_per_sec", Value::from(reports_per_sec)),
+            ("speedup_vs_1_thread", Value::from(speedup)),
+        ]));
+    }
+    print_table(&["threads", "p50 ms", "p95 ms", "min ms", "reports/s", "speedup"], &rows);
+
+    // --- Memoized vs uncached cleaning ---------------------------------
+    // Production shape (`maras year`): one Cleaner shared across every
+    // quarter of the year, so the memo amortizes first-occurrence fuzzy
+    // searches over the whole run. Each rep starts with a cold memo.
+    let clean_year = |memoize: bool| {
+        let config = CleanConfig { memoize, ..Default::default() };
+        let mut cleaner = Cleaner::new(&corpus.drug_vocab, &corpus.adr_vocab, config);
+        let mut reports = Vec::new();
+        let mut stats = maras_faers::CleaningStats::default();
+        for q in &corpus.quarters {
+            let (r, s) = cleaner.clean_quarter(q);
+            reports.push(r);
+            stats = stats.merged(&s);
+        }
+        (reports, stats)
+    };
+    let clean_bench = |memoize: bool| {
+        let (reports, stats) = clean_year(memoize);
+        let mut lat_us: Vec<u64> = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            let t = Instant::now();
+            let (r, _) = clean_year(memoize);
+            lat_us.push(t.elapsed().as_micros() as u64);
+            assert_eq!(r.len(), reports.len());
+        }
+        lat_us.sort_unstable();
+        (reports, stats, lat_us)
+    };
+    let (reports_c, stats_c, lat_c) = clean_bench(true);
+    let (reports_u, stats_u, lat_u) = clean_bench(false);
+    assert_eq!(reports_c, reports_u, "memoization changed the cleaning output");
+    assert_eq!(stats_c.without_cache_counters(), stats_u.without_cache_counters());
+
+    let (p50_c, p95_c) = (percentile(&lat_c, 0.50), percentile(&lat_c, 0.95));
+    let (p50_u, p95_u) = (percentile(&lat_u, 0.50), percentile(&lat_u, 0.95));
+    let clean_speedup = p50_u as f64 / p50_c as f64;
+    // Noise-robust secondary reading: minimum-of-N is the usual estimator
+    // for CPU-bound loops on a shared machine.
+    let clean_speedup_min = lat_u[0] as f64 / lat_c[0] as f64;
+    let hit_rate = stats_c.cache_hit_rate();
+    let year_reports: usize = corpus.quarters.iter().map(|q| q.reports.len()).sum();
+    println!(
+        "cleaning: {} quarters, {year_reports} reports, one shared cleaner per pass",
+        corpus.quarters.len()
+    );
+    print_table(
+        &["cleaning", "p50 ms", "p95 ms", "min ms", "hit rate", "speedup p50", "speedup min"],
+        &[
+            vec![
+                "memoized".into(),
+                format!("{:.2}", p50_c as f64 / 1000.0),
+                format!("{:.2}", p95_c as f64 / 1000.0),
+                format!("{:.2}", lat_c[0] as f64 / 1000.0),
+                format!("{:.1}%", hit_rate * 100.0),
+                format!("{clean_speedup:.2}x"),
+                format!("{clean_speedup_min:.2}x"),
+            ],
+            vec![
+                "uncached".into(),
+                format!("{:.2}", p50_u as f64 / 1000.0),
+                format!("{:.2}", p95_u as f64 / 1000.0),
+                format!("{:.2}", lat_u[0] as f64 / 1000.0),
+                "-".into(),
+                "1.00x".into(),
+                "1.00x".into(),
+            ],
+        ],
+    );
+
+    let json = Value::obj([
+        ("reports", Value::from(n_reports)),
+        ("input_bytes", Value::from(input_bytes)),
+        ("reps", Value::from(REPS)),
+        (
+            "interner",
+            Value::obj([
+                ("unique", Value::from(intern.unique)),
+                ("hits", Value::from(intern.hits)),
+                ("bytes", Value::from(intern.bytes)),
+                ("hit_rate", Value::from(intern.hit_rate())),
+                ("verbatim_bytes", Value::from(verbatim_bytes)),
+                (
+                    "string_bytes_per_report",
+                    Value::obj([
+                        ("legacy", Value::from(verbatim_bytes as f64 / n_reports as f64)),
+                        ("interned", Value::from(intern.bytes as f64 / n_reports as f64)),
+                    ]),
+                ),
+            ]),
+        ),
+        ("read_per_thread", Value::arr(per_thread)),
+        (
+            "cleaning",
+            Value::obj([
+                ("quarters", Value::from(corpus.quarters.len())),
+                ("reports", Value::from(year_reports)),
+                (
+                    "memoized",
+                    Value::obj([
+                        ("wall_us_min", Value::from(lat_c[0])),
+                        ("wall_us_p50", Value::from(p50_c)),
+                        ("wall_us_p95", Value::from(p95_c)),
+                        ("drug_cache_hits", Value::from(stats_c.drug_cache_hits)),
+                        ("drug_cache_misses", Value::from(stats_c.drug_cache_misses)),
+                        ("adr_cache_hits", Value::from(stats_c.adr_cache_hits)),
+                        ("adr_cache_misses", Value::from(stats_c.adr_cache_misses)),
+                        ("cache_hit_rate", Value::from(hit_rate)),
+                    ]),
+                ),
+                (
+                    "uncached",
+                    Value::obj([
+                        ("wall_us_min", Value::from(lat_u[0])),
+                        ("wall_us_p50", Value::from(p50_u)),
+                        ("wall_us_p95", Value::from(p95_u)),
+                    ]),
+                ),
+                ("speedup_memoized_vs_uncached", Value::from(clean_speedup)),
+                ("speedup_memoized_vs_uncached_min", Value::from(clean_speedup_min)),
+            ]),
+        ),
+    ]);
+    let out = "BENCH_ingest.json";
+    std::fs::write(out, serde_json::to_string_pretty(&json).expect("render json"))
+        .expect("write BENCH_ingest.json");
+    println!("wrote {out}");
+}

@@ -22,8 +22,10 @@
 
 use crate::pipeline::{AnalysisResult, Pipeline};
 use crate::trend::TrendTracker;
-use maras_faers::ascii::{read_quarter_dir_with, AsciiError, IngestOptions, IngestReport};
-use maras_faers::{QuarterId, Vocabulary};
+use maras_faers::ascii::{
+    read_quarter_dir_with, AsciiError, IngestMetrics, IngestOptions, IngestReport,
+};
+use maras_faers::{Cleaner, QuarterId, Vocabulary};
 use std::path::Path;
 
 /// What one quarter produced in a fault-tolerant run.
@@ -35,6 +37,8 @@ pub enum QuarterOutcome {
         result: AnalysisResult,
         /// The (clean) ingest accounting.
         report: IngestReport,
+        /// Where the read spent its time.
+        metrics: IngestMetrics,
     },
     /// Analysis completed on partial data: some rows were quarantined.
     Degraded {
@@ -42,6 +46,8 @@ pub enum QuarterOutcome {
         result: AnalysisResult,
         /// What was quarantined, and why.
         report: IngestReport,
+        /// Where the read spent its time.
+        metrics: IngestMetrics,
     },
     /// Ingest failed hard; the quarter contributed nothing.
     Failed {
@@ -75,6 +81,16 @@ impl QuarterRun {
         match &self.outcome {
             QuarterOutcome::Ok { report, .. } | QuarterOutcome::Degraded { report, .. } => {
                 Some(report)
+            }
+            QuarterOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The ingest wall-time/interner metrics, for analyzed quarters.
+    pub fn ingest_metrics(&self) -> Option<&IngestMetrics> {
+        match &self.outcome {
+            QuarterOutcome::Ok { metrics, .. } | QuarterOutcome::Degraded { metrics, .. } => {
+                Some(metrics)
             }
             QuarterOutcome::Failed { .. } => None,
         }
@@ -141,15 +157,30 @@ pub fn run_quarter_dir(
     drug_vocab: &Vocabulary,
     adr_vocab: &Vocabulary,
 ) -> QuarterRun {
+    let mut cleaner = Cleaner::new(drug_vocab, adr_vocab, pipeline.config().clean.clone());
+    run_quarter_dir_with_cleaner(pipeline, dir, id, opts, &mut cleaner)
+}
+
+fn run_quarter_dir_with_cleaner(
+    pipeline: &Pipeline,
+    dir: &Path,
+    id: QuarterId,
+    opts: &IngestOptions,
+    cleaner: &mut Cleaner<'_>,
+) -> QuarterRun {
     let outcome = match read_quarter_dir_with(dir, id, opts) {
         Err(error) => QuarterOutcome::Failed { error },
         Ok(ingested) => {
             let clean = ingested.report.is_clean();
-            let result = pipeline.run(ingested.data, drug_vocab, adr_vocab);
+            let result = pipeline.run_with_cleaner(ingested.data, cleaner);
             if clean {
-                QuarterOutcome::Ok { result, report: ingested.report }
+                QuarterOutcome::Ok { result, report: ingested.report, metrics: ingested.metrics }
             } else {
-                QuarterOutcome::Degraded { result, report: ingested.report }
+                QuarterOutcome::Degraded {
+                    result,
+                    report: ingested.report,
+                    metrics: ingested.metrics,
+                }
             }
         }
     };
@@ -169,8 +200,12 @@ pub fn run_quarters_dir(
 ) -> MultiQuarterRun {
     let mut tracker = TrendTracker::new();
     let mut runs = Vec::with_capacity(ids.len());
+    // One cleaner for the whole run: the canonicalization memos carry
+    // across quarters, so each verbatim drug/ADR string pays the fuzzy
+    // vocabulary search once per run instead of once per quarter.
+    let mut cleaner = Cleaner::new(drug_vocab, adr_vocab, pipeline.config().clean.clone());
     for &id in ids {
-        let run = run_quarter_dir(pipeline, dir, id, opts, drug_vocab, adr_vocab);
+        let run = run_quarter_dir_with_cleaner(pipeline, dir, id, opts, &mut cleaner);
         match run.result() {
             Some(result) => tracker.ingest(id, result),
             None => tracker.skip_quarter(id),

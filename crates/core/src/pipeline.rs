@@ -2,7 +2,7 @@
 
 use crate::config::PipelineConfig;
 use crate::encode::{encode_reports, Encoded};
-use maras_faers::{clean_quarter, CleanedReport, CleaningStats, QuarterData, Vocabulary};
+use maras_faers::{CleanedReport, Cleaner, CleaningStats, QuarterData, Vocabulary};
 use maras_mcac::{rank_clusters, RankedMcac, RankingMethod};
 use maras_mining::PatternStore;
 use maras_rules::{rule_space, RuleSpaceCounts};
@@ -35,12 +35,29 @@ impl Pipeline {
         drug_vocab: &Vocabulary,
         adr_vocab: &Vocabulary,
     ) -> AnalysisResult {
+        let mut cleaner = Cleaner::new(drug_vocab, adr_vocab, self.config.clean.clone());
+        self.run_with_cleaner(quarter, &mut cleaner)
+    }
+
+    /// [`Self::run`] with a caller-supplied [`Cleaner`].
+    ///
+    /// Multi-quarter drivers pass one cleaner for the whole run so the
+    /// drug/ADR canonicalization memos carry across quarters — repeated
+    /// verbatim strings pay the fuzzy vocabulary search once per run, not
+    /// once per quarter. The cleaner's own `CleanConfig` governs cleaning;
+    /// build it from [`PipelineConfig::clean`] to match [`Self::run`].
+    pub fn run_with_cleaner(
+        &self,
+        quarter: QuarterData,
+        cleaner: &mut Cleaner<'_>,
+    ) -> AnalysisResult {
+        let (drug_vocab, adr_vocab) = (cleaner.drug_vocab(), cleaner.adr_vocab());
+
         // 1. §5.1 selection.
         let quarter = if self.config.expedited_only { quarter.expedited_only() } else { quarter };
 
         // 2. §5.2 step 1: clean.
-        let (cleaned, cleaning) =
-            clean_quarter(&quarter, drug_vocab, adr_vocab, &self.config.clean);
+        let (cleaned, cleaning) = cleaner.clean_quarter(&quarter);
 
         // 3. Encode into the item space.
         let encoded = encode_reports(&cleaned, drug_vocab, adr_vocab);

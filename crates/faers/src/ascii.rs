@@ -13,13 +13,15 @@
 //! pipeline consumes) with exact round-tripping, strict error reporting
 //! (file + line), and delimiter sanitization on write.
 
+use crate::intern::{InternStats, SymbolTable};
 use crate::model::{CaseReport, DrugEntry, DrugRole, Outcome, ReportType, Sex};
 use crate::quarter::{QuarterData, QuarterId};
 use rustc_hash::FxHashMap;
 use std::collections::hash_map::Entry;
 use std::fmt;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, Read, Write};
 use std::path::Path;
+use std::time::Instant;
 
 /// Errors raised while reading a FAERS ASCII quarter.
 #[derive(Debug)]
@@ -186,6 +188,12 @@ pub struct IngestOptions {
     pub mode: IngestMode,
     /// Error budget applied in lenient mode (ignored in strict mode).
     pub budget: ErrorBudget,
+    /// Parse worker threads for the read side; `0` means "use the
+    /// machine's available parallelism". Safe at any value: the parallel
+    /// parse is a pure per-line map and the merge that applies mode,
+    /// budget, and quarantine policy is sequential, so the output is
+    /// byte-identical at every thread count (differential-tested).
+    pub n_threads: usize,
 }
 
 impl IngestOptions {
@@ -196,12 +204,29 @@ impl IngestOptions {
 
     /// Lenient mode with an unlimited budget.
     pub fn lenient() -> Self {
-        IngestOptions { mode: IngestMode::Lenient, budget: ErrorBudget::unlimited() }
+        IngestOptions { mode: IngestMode::Lenient, ..IngestOptions::default() }
     }
 
     /// Lenient mode with the given budget.
     pub fn lenient_with(budget: ErrorBudget) -> Self {
-        IngestOptions { mode: IngestMode::Lenient, budget }
+        IngestOptions { mode: IngestMode::Lenient, budget, ..IngestOptions::default() }
+    }
+
+    /// Same policy with an explicit parse thread count (`0` = auto).
+    pub fn with_threads(mut self, n_threads: usize) -> Self {
+        self.n_threads = n_threads;
+        self
+    }
+
+    /// Resolves [`Self::n_threads`] to a concrete worker count: `0` maps
+    /// to the machine's available parallelism (falling back to 1 when
+    /// that is unknowable), anything else is taken literally.
+    pub fn effective_threads(&self) -> usize {
+        if self.n_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.n_threads
+        }
     }
 }
 
@@ -397,12 +422,54 @@ impl IngestReport {
 
 /// A successfully ingested quarter: the parsed data plus the accounting
 /// of everything that was skipped to get it.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Ingested {
     /// The parsed quarter.
     pub data: QuarterData,
     /// What was read, skipped, and why.
     pub report: IngestReport,
+    /// Wall-time and interner accounting for the read.
+    pub metrics: IngestMetrics,
+}
+
+/// Equality deliberately ignores [`Ingested::metrics`]: two reads of the
+/// same bytes are "the same ingest" even though their wall times differ.
+impl PartialEq for Ingested {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data && self.report == other.report
+    }
+}
+
+/// Where one quarter read spent its time, plus what the string interner
+/// absorbed. Surfaced through `maras analyze --json` so ingestion
+/// regressions are observable without a profiler.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IngestMetrics {
+    /// Microseconds reading each file's bytes (DEMO, DRUG, REAC, OUTC).
+    pub io_us: [u64; 4],
+    /// Microseconds parsing each file's rows, summed across workers
+    /// (DEMO, DRUG, REAC, OUTC).
+    pub parse_us: [u64; 4],
+    /// Microseconds in the sequential merge (policy, budget, join).
+    pub merge_us: u64,
+    /// Microseconds for the whole read, wall clock.
+    pub total_us: u64,
+    /// Parse workers the read ran with (resolved, never 0).
+    pub threads: usize,
+    /// What the string interner deduplicated.
+    pub intern: InternStats,
+}
+
+impl IngestMetrics {
+    /// Per-file `(name, io µs, parse µs)` rows, in file order.
+    pub fn per_file(&self) -> [(&'static str, u64, u64); 4] {
+        [
+            ("DEMO", self.io_us[0], self.parse_us[0]),
+            ("DRUG", self.io_us[1], self.parse_us[1]),
+            ("REAC", self.io_us[2], self.parse_us[2]),
+            ("OUTC", self.io_us[3], self.parse_us[3]),
+        ]
+    }
 }
 
 /// Writes one table to a writer. Exposed for targeted tests; use
@@ -580,14 +647,14 @@ impl Sink {
         }
     }
 
-    fn check_header(&mut self, file: &'static str, all: &[String]) -> Result<(), AsciiError> {
+    fn check_header(&mut self, file: &'static str, first: Option<&str>) -> Result<(), AsciiError> {
         let expected = match file {
             "DEMO" => DEMO_HEADER,
             "DRUG" => DRUG_HEADER,
             "REAC" => REAC_HEADER,
             _ => OUTC_HEADER,
         };
-        match all.first() {
+        match first {
             None => {
                 let offense = (None, QuarantineReason::HeaderDamage, "missing header".to_string());
                 self.offend(file, 1, offense, "")
@@ -595,8 +662,7 @@ impl Sink {
             Some(line) if line != expected => {
                 let offense =
                     (None, QuarantineReason::HeaderDamage, format!("bad header {line:?}"));
-                let raw = line.clone();
-                self.offend(file, 1, offense, &raw)
+                self.offend(file, 1, offense, line)
             }
             Some(_) => Ok(()),
         }
@@ -620,35 +686,249 @@ pub fn read_quarter_with<R1: Read, R2: Read, R3: Read, R4: Read>(
     outc: R4,
     opts: &IngestOptions,
 ) -> Result<Ingested, AsciiError> {
+    let t_total = Instant::now();
+    let mut metrics = IngestMetrics { threads: opts.effective_threads(), ..Default::default() };
+
+    // Phase 0: slurp each file into one buffer; every field below is a
+    // borrow into these buffers until the CaseReport boundary.
+    //
+    // The legacy reader interleaved I/O and parsing table by table, so an
+    // I/O failure in a later file could be masked by a strict parse error
+    // in an earlier one. Reading all four buffers up front means I/O
+    // errors now always surface first; parse, quarantine, and budget
+    // behaviour is otherwise byte-identical (differential-tested).
+    let demo_buf = slurp(demo, &mut metrics.io_us[0])?;
+    let drug_buf = slurp(drug, &mut metrics.io_us[1])?;
+    let reac_buf = slurp(reac, &mut metrics.io_us[2])?;
+    let outc_buf = slurp(outc, &mut metrics.io_us[3])?;
+    let line_sets: [Vec<&str>; 4] = [
+        demo_buf.lines().collect(),
+        drug_buf.lines().collect(),
+        reac_buf.lines().collect(),
+        outc_buf.lines().collect(),
+    ];
+    let headers: [Option<&str>; 4] = [
+        line_sets[0].first().copied(),
+        line_sets[1].first().copied(),
+        line_sets[2].first().copied(),
+        line_sets[3].first().copied(),
+    ];
+    let rows: [&[&str]; 4] = [
+        data_rows(&line_sets[0]),
+        data_rows(&line_sets[1]),
+        data_rows(&line_sets[2]),
+        data_rows(&line_sets[3]),
+    ];
+
+    // Phase 1: embarrassingly parallel pure parse over line ranges.
+    let parsed = parse_phase(&rows, metrics.threads, &mut metrics.parse_us);
+
+    // Phase 2: sequential merge applies mode/budget/quarantine policy in
+    // exact legacy row order and interns the repeated strings.
+    let t_merge = Instant::now();
+    let mut interner = SymbolTable::new();
+    let merged = merge_quarter(id, opts, headers, rows, parsed, &mut interner);
+    metrics.merge_us = t_merge.elapsed().as_micros() as u64;
+    metrics.intern = interner.stats();
+    metrics.total_us = t_total.elapsed().as_micros() as u64;
+    let (data, report) = merged?;
+    Ok(Ingested { data, report, metrics })
+}
+
+/// Reads a whole stream into one buffer, accumulating the wall time.
+fn slurp<R: Read>(mut reader: R, io_us: &mut u64) -> Result<String, AsciiError> {
+    let t = Instant::now();
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    *io_us += t.elapsed().as_micros() as u64;
+    Ok(buf)
+}
+
+/// The data rows of a file: everything after the header line.
+fn data_rows<'a>(lines: &'a [&'a str]) -> &'a [&'a str] {
+    if lines.is_empty() {
+        &[]
+    } else {
+        &lines[1..]
+    }
+}
+
+/// A DEMO row parsed into borrowed fields, before interning.
+struct DemoRow<'a> {
+    pid: u64,
+    case_id: u64,
+    version: u32,
+    report_type: ReportType,
+    age: Option<f32>,
+    sex: Sex,
+    weight_kg: Option<f32>,
+    country: &'a str,
+    event_date: Option<u32>,
+}
+
+/// A DRUG row parsed into borrowed fields, before interning.
+struct DrugRow<'a> {
+    pid: u64,
+    seq: u32,
+    role: DrugRole,
+    name: &'a str,
+}
+
+/// An OUTC row after parsing: primaryid plus a *deferred* outcome-code
+/// validation, so the merge can apply the legacy error precedence
+/// (primaryid parse, then orphan check, then code).
+type OutcRow = (u64, Result<Outcome, Offense>);
+
+/// One file's rows after the parallel parse phase.
+struct ParsedQuarter<'a> {
+    demo: Vec<Result<DemoRow<'a>, Offense>>,
+    drug: Vec<Result<DrugRow<'a>, Offense>>,
+    reac: Vec<Result<(u64, &'a str), Offense>>,
+    outc: Vec<Result<OutcRow, Offense>>,
+}
+
+/// One contiguous line range's parse output, tagged by table.
+enum ParsedChunk<'a> {
+    Demo(Vec<Result<DemoRow<'a>, Offense>>),
+    Drug(Vec<Result<DrugRow<'a>, Offense>>),
+    Reac(Vec<Result<(u64, &'a str), Offense>>),
+    Outc(Vec<Result<OutcRow, Offense>>),
+}
+
+fn parse_chunk<'a>(file: usize, lines: &[&'a str]) -> ParsedChunk<'a> {
+    match file {
+        0 => ParsedChunk::Demo(lines.iter().map(|l| parse_demo_line(l)).collect()),
+        1 => ParsedChunk::Drug(lines.iter().map(|l| parse_drug_line(l)).collect()),
+        2 => ParsedChunk::Reac(lines.iter().map(|l| parse_reac_line(l)).collect()),
+        _ => ParsedChunk::Outc(lines.iter().map(|l| parse_outc_line(l)).collect()),
+    }
+}
+
+/// Parses all four tables' data rows, sharding each table's line ranges
+/// across `n_threads` scoped workers. Parsing a row is a pure function of
+/// its text, so reassembling chunks in job order makes the result
+/// independent of scheduling by construction.
+fn parse_phase<'a>(
+    rows: &[&'a [&'a str]; 4],
+    n_threads: usize,
+    parse_us: &mut [u64; 4],
+) -> ParsedQuarter<'a> {
+    // Job list in (file, offset) order: reassembly is plain concatenation.
+    let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
+    for (f, file_rows) in rows.iter().enumerate() {
+        let len = file_rows.len();
+        let chunk = len.div_ceil(n_threads).max(1);
+        let mut start = 0;
+        while start < len {
+            let end = (start + chunk).min(len);
+            jobs.push((f, start, end));
+            start = end;
+        }
+    }
+
+    let workers = n_threads.min(jobs.len()).max(1);
+    let mut results: Vec<(usize, ParsedChunk<'a>, u64)> = Vec::with_capacity(jobs.len());
+    if workers <= 1 {
+        for (i, &(f, start, end)) in jobs.iter().enumerate() {
+            let t = Instant::now();
+            let chunk = parse_chunk(f, &rows[f][start..end]);
+            results.push((i, chunk, t.elapsed().as_micros() as u64));
+        }
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let jobs = &jobs;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        for (i, &(f, start, end)) in jobs.iter().enumerate() {
+                            if i % workers != w {
+                                continue;
+                            }
+                            let t = Instant::now();
+                            let chunk = parse_chunk(f, &rows[f][start..end]);
+                            out.push((i, chunk, t.elapsed().as_micros() as u64));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.extend(h.join().expect("parse worker panicked"));
+            }
+        });
+        results.sort_unstable_by_key(|r| r.0);
+    }
+
+    let mut parsed = ParsedQuarter {
+        demo: Vec::with_capacity(rows[0].len()),
+        drug: Vec::with_capacity(rows[1].len()),
+        reac: Vec::with_capacity(rows[2].len()),
+        outc: Vec::with_capacity(rows[3].len()),
+    };
+    for (i, chunk, us) in results {
+        parse_us[jobs[i].0] += us;
+        match chunk {
+            ParsedChunk::Demo(v) => parsed.demo.extend(v),
+            ParsedChunk::Drug(v) => parsed.drug.extend(v),
+            ParsedChunk::Reac(v) => parsed.reac.extend(v),
+            ParsedChunk::Outc(v) => parsed.outc.extend(v),
+        }
+    }
+    parsed
+}
+
+/// Sequentially replays the parsed rows through the mode/budget/quarantine
+/// policy in exact legacy order, joining child tables onto their cases and
+/// interning repeated strings at the [`CaseReport`] boundary.
+fn merge_quarter(
+    id: QuarterId,
+    opts: &IngestOptions,
+    headers: [Option<&str>; 4],
+    rows: [&[&str]; 4],
+    parsed: ParsedQuarter<'_>,
+    interner: &mut SymbolTable,
+) -> Result<(QuarterData, IngestReport), AsciiError> {
     let mut reports: Vec<CaseReport> = Vec::new();
     let mut by_pid: FxHashMap<u64, usize> = FxHashMap::default();
     let mut sink =
         Sink { mode: opts.mode, budget: opts.budget, report: IngestReport::new(id, opts) };
 
     // DEMO establishes the cases.
-    let demo_lines = read_lines(demo)?;
-    sink.check_header("DEMO", &demo_lines)?;
-    for (lineno, line) in demo_lines.iter().enumerate().skip(1) {
+    sink.check_header("DEMO", headers[0])?;
+    for (i, res) in parsed.demo.into_iter().enumerate() {
+        let (lineno, line) = (i + 2, rows[0][i]);
         sink.report.demo.rows += 1;
-        let fields: Vec<&str> = line.split('$').collect();
-        match parse_demo_row(&fields) {
+        match res {
             Err(offense) => {
-                sink.offend("DEMO", lineno + 1, offense, line)?;
+                sink.offend("DEMO", lineno, offense, line)?;
                 sink.report.demo.quarantined += 1;
             }
-            Ok((pid, report)) => match by_pid.entry(pid) {
+            Ok(d) => match by_pid.entry(d.pid) {
                 Entry::Occupied(_) => {
                     let offense = (
-                        Some(pid),
+                        Some(d.pid),
                         QuarantineReason::DuplicatePrimaryid,
-                        format!("duplicate primaryid {pid}"),
+                        format!("duplicate primaryid {}", d.pid),
                     );
-                    sink.offend("DEMO", lineno + 1, offense, line)?;
+                    sink.offend("DEMO", lineno, offense, line)?;
                     sink.report.demo.quarantined += 1;
                 }
                 Entry::Vacant(slot) => {
                     slot.insert(reports.len());
-                    reports.push(report);
+                    reports.push(CaseReport {
+                        case_id: d.case_id,
+                        version: d.version,
+                        report_type: d.report_type,
+                        age: d.age,
+                        sex: d.sex,
+                        weight_kg: d.weight_kg,
+                        country: interner.intern(d.country),
+                        event_date: d.event_date,
+                        drugs: Vec::new(),
+                        reactions: Vec::new(),
+                        outcomes: Vec::new(),
+                    });
                     sink.report.demo.ok += 1;
                 }
             },
@@ -656,15 +936,14 @@ pub fn read_quarter_with<R1: Read, R2: Read, R3: Read, R4: Read>(
     }
 
     // DRUG rows attach medications (kept in drug_seq order).
-    let drug_lines = read_lines(drug)?;
-    sink.check_header("DRUG", &drug_lines)?;
-    let mut drug_rows: Vec<(u64, u32, DrugEntry)> = Vec::new();
-    for (lineno, line) in drug_lines.iter().enumerate().skip(1) {
+    sink.check_header("DRUG", headers[1])?;
+    let mut drug_rows: Vec<DrugRow<'_>> = Vec::new();
+    for (i, res) in parsed.drug.into_iter().enumerate() {
+        let (lineno, line) = (i + 2, rows[1][i]);
         sink.report.drug.rows += 1;
-        let fields: Vec<&str> = line.split('$').collect();
-        match parse_drug_row(&fields).and_then(|row| orphan_check(&by_pid, row.0).map(|()| row)) {
+        match res.and_then(|row| orphan_check(&by_pid, row.pid).map(|()| row)) {
             Err(offense) => {
-                sink.offend("DRUG", lineno + 1, offense, line)?;
+                sink.offend("DRUG", lineno, offense, line)?;
                 sink.report.drug.quarantined += 1;
             }
             Ok(row) => {
@@ -673,23 +952,24 @@ pub fn read_quarter_with<R1: Read, R2: Read, R3: Read, R4: Read>(
             }
         }
     }
-    drug_rows.sort_by_key(|&(pid, seq, _)| (pid, seq));
-    for (pid, _, entry) in drug_rows {
-        reports[by_pid[&pid]].drugs.push(entry);
+    drug_rows.sort_by_key(|r| (r.pid, r.seq));
+    for r in drug_rows {
+        let entry = DrugEntry { name: interner.intern(r.name), role: r.role };
+        reports[by_pid[&r.pid]].drugs.push(entry);
     }
 
     // REAC rows attach reactions.
-    let reac_lines = read_lines(reac)?;
-    sink.check_header("REAC", &reac_lines)?;
-    for (lineno, line) in reac_lines.iter().enumerate().skip(1) {
+    sink.check_header("REAC", headers[2])?;
+    for (i, res) in parsed.reac.into_iter().enumerate() {
+        let (lineno, line) = (i + 2, rows[2][i]);
         sink.report.reac.rows += 1;
-        let fields: Vec<&str> = line.split('$').collect();
-        match parse_reac_row(&fields).and_then(|row| orphan_check(&by_pid, row.0).map(|()| row)) {
+        match res.and_then(|row| orphan_check(&by_pid, row.0).map(|()| row)) {
             Err(offense) => {
-                sink.offend("REAC", lineno + 1, offense, line)?;
+                sink.offend("REAC", lineno, offense, line)?;
                 sink.report.reac.quarantined += 1;
             }
             Ok((pid, pt)) => {
+                let pt = interner.intern(pt);
                 reports[by_pid[&pid]].reactions.push(pt);
                 sink.report.reac.ok += 1;
             }
@@ -698,17 +978,16 @@ pub fn read_quarter_with<R1: Read, R2: Read, R3: Read, R4: Read>(
 
     // OUTC rows attach outcomes. (The orphan check precedes code
     // validation, preserving strict-mode error precedence.)
-    let outc_lines = read_lines(outc)?;
-    sink.check_header("OUTC", &outc_lines)?;
-    for (lineno, line) in outc_lines.iter().enumerate().skip(1) {
+    sink.check_header("OUTC", headers[3])?;
+    for (i, res) in parsed.outc.into_iter().enumerate() {
+        let (lineno, line) = (i + 2, rows[3][i]);
         sink.report.outc.rows += 1;
-        let fields: Vec<&str> = line.split('$').collect();
-        let parsed = parse_outc_pid(&fields)
-            .and_then(|pid| orphan_check(&by_pid, pid).map(|()| pid))
-            .and_then(|pid| parse_outc_code(&fields).map(|o| (pid, o)));
-        match parsed {
+        let resolved = res
+            .and_then(|(pid, code)| orphan_check(&by_pid, pid).map(|()| (pid, code)))
+            .and_then(|(pid, code)| code.map(|outcome| (pid, outcome)));
+        match resolved {
             Err(offense) => {
-                sink.offend("OUTC", lineno + 1, offense, line)?;
+                sink.offend("OUTC", lineno, offense, line)?;
                 sink.report.outc.quarantined += 1;
             }
             Ok((pid, outcome)) => {
@@ -728,7 +1007,7 @@ pub fn read_quarter_with<R1: Read, R2: Read, R3: Read, R4: Read>(
         }
     }
 
-    Ok(Ingested { data: QuarterData { id, reports }, report: sink.report })
+    Ok((QuarterData { id, reports }, sink.report))
 }
 
 fn orphan_check(by_pid: &FxHashMap<u64, usize>, pid: u64) -> Result<(), Offense> {
@@ -740,11 +1019,29 @@ fn orphan_check(by_pid: &FxHashMap<u64, usize>, pid: u64) -> Result<(), Offense>
     }
 }
 
-fn parse_demo_row(fields: &[&str]) -> Result<(u64, CaseReport), Offense> {
-    use QuarantineReason as Q;
-    if fields.len() != 9 {
-        return Err((None, Q::FieldCount, format!("expected 9 fields, got {}", fields.len())));
+/// Splits a line into exactly `N` `$`-separated borrowed fields without
+/// allocating; `Err` carries the actual field count for the legacy
+/// `FieldCount` message.
+fn split_fixed<const N: usize>(line: &str) -> Result<[&str; N], usize> {
+    let mut out = [""; N];
+    let mut n = 0;
+    for part in line.split('$') {
+        if n < N {
+            out[n] = part;
+        }
+        n += 1;
     }
+    if n == N {
+        Ok(out)
+    } else {
+        Err(n)
+    }
+}
+
+fn parse_demo_line(line: &str) -> Result<DemoRow<'_>, Offense> {
+    use QuarantineReason as Q;
+    let fields: [&str; 9] = split_fixed(line)
+        .map_err(|n| (None, Q::FieldCount, format!("expected 9 fields, got {n}")))?;
     let pid: u64 = fields[0]
         .parse()
         .map_err(|_| (None, Q::BadPrimaryid, format!("bad primaryid {:?}", fields[0])))?;
@@ -777,29 +1074,23 @@ fn parse_demo_row(fields: &[&str]) -> Result<(u64, CaseReport), Offense> {
             format!("primaryid {pid} inconsistent with caseid {case_id} v{version}"),
         ));
     }
-    Ok((
+    Ok(DemoRow {
         pid,
-        CaseReport {
-            case_id,
-            version,
-            report_type,
-            age,
-            sex,
-            weight_kg,
-            country: fields[7].to_string(),
-            event_date,
-            drugs: Vec::new(),
-            reactions: Vec::new(),
-            outcomes: Vec::new(),
-        },
-    ))
+        case_id,
+        version,
+        report_type,
+        age,
+        sex,
+        weight_kg,
+        country: fields[7],
+        event_date,
+    })
 }
 
-fn parse_drug_row(fields: &[&str]) -> Result<(u64, u32, DrugEntry), Offense> {
+fn parse_drug_line(line: &str) -> Result<DrugRow<'_>, Offense> {
     use QuarantineReason as Q;
-    if fields.len() != 4 {
-        return Err((None, Q::FieldCount, format!("expected 4 fields, got {}", fields.len())));
-    }
+    let fields: [&str; 4] = split_fixed(line)
+        .map_err(|n| (None, Q::FieldCount, format!("expected 4 fields, got {n}")))?;
     let pid: u64 = fields[0]
         .parse()
         .map_err(|_| (None, Q::BadPrimaryid, format!("bad primaryid {:?}", fields[0])))?;
@@ -808,32 +1099,29 @@ fn parse_drug_row(fields: &[&str]) -> Result<(u64, u32, DrugEntry), Offense> {
         .map_err(|_| (Some(pid), Q::BadNumeric, format!("bad drug_seq {:?}", fields[1])))?;
     let role = DrugRole::from_code(fields[2])
         .ok_or_else(|| (Some(pid), Q::UnknownCode, format!("bad role_cod {:?}", fields[2])))?;
-    Ok((pid, seq, DrugEntry::new(fields[3], role)))
+    Ok(DrugRow { pid, seq, role, name: fields[3] })
 }
 
-fn parse_reac_row(fields: &[&str]) -> Result<(u64, String), Offense> {
+fn parse_reac_line(line: &str) -> Result<(u64, &str), Offense> {
     use QuarantineReason as Q;
-    if fields.len() != 2 {
-        return Err((None, Q::FieldCount, format!("expected 2 fields, got {}", fields.len())));
-    }
+    let fields: [&str; 2] = split_fixed(line)
+        .map_err(|n| (None, Q::FieldCount, format!("expected 2 fields, got {n}")))?;
     let pid: u64 = fields[0]
         .parse()
         .map_err(|_| (None, Q::BadPrimaryid, format!("bad primaryid {:?}", fields[0])))?;
-    Ok((pid, fields[1].to_string()))
+    Ok((pid, fields[1]))
 }
 
-fn parse_outc_pid(fields: &[&str]) -> Result<u64, Offense> {
+fn parse_outc_line(line: &str) -> Result<(u64, Result<Outcome, Offense>), Offense> {
     use QuarantineReason as Q;
-    if fields.len() != 2 {
-        return Err((None, Q::FieldCount, format!("expected 2 fields, got {}", fields.len())));
-    }
-    fields[0].parse().map_err(|_| (None, Q::BadPrimaryid, format!("bad primaryid {:?}", fields[0])))
-}
-
-fn parse_outc_code(fields: &[&str]) -> Result<Outcome, Offense> {
-    Outcome::from_code(fields[1]).ok_or_else(|| {
-        (None, QuarantineReason::UnknownCode, format!("bad outc_cod {:?}", fields[1]))
-    })
+    let fields: [&str; 2] = split_fixed(line)
+        .map_err(|n| (None, Q::FieldCount, format!("expected 2 fields, got {n}")))?;
+    let pid: u64 = fields[0]
+        .parse()
+        .map_err(|_| (None, Q::BadPrimaryid, format!("bad primaryid {:?}", fields[0])))?;
+    let code = Outcome::from_code(fields[1])
+        .ok_or_else(|| (None, Q::UnknownCode, format!("bad outc_cod {:?}", fields[1])));
+    Ok((pid, code))
 }
 
 fn parse_opt_f32(field: &str) -> Result<Option<f32>, std::num::ParseFloatError> {
@@ -842,10 +1130,6 @@ fn parse_opt_f32(field: &str) -> Result<Option<f32>, std::num::ParseFloatError> 
     } else {
         field.parse().map(Some)
     }
-}
-
-fn read_lines<R: Read>(reader: R) -> Result<Vec<String>, AsciiError> {
-    BufReader::new(reader).lines().map(|l| l.map_err(AsciiError::from)).collect()
 }
 
 #[cfg(test)]

@@ -33,11 +33,23 @@ pub struct CleanConfig {
     pub min_drugs: usize,
     /// Minimum reactions a cleaned report must retain to be kept.
     pub min_reactions: usize,
+    /// Memoize canonicalization per raw string. Raw FAERS strings are
+    /// wildly repetitive, so most mentions replay a cached verdict instead
+    /// of re-running normalization + the BK-tree walk. Output and the
+    /// legacy stats counters are identical either way (differential-
+    /// tested); only the `*_cache_*` counters depend on this flag.
+    pub memoize: bool,
 }
 
 impl Default for CleanConfig {
     fn default() -> Self {
-        CleanConfig { max_edit_distance: 2, strip_dosage: true, min_drugs: 1, min_reactions: 1 }
+        CleanConfig {
+            max_edit_distance: 2,
+            strip_dosage: true,
+            min_drugs: 1,
+            min_reactions: 1,
+            memoize: true,
+        }
     }
 }
 
@@ -82,6 +94,60 @@ pub struct CleaningStats {
     pub corrected_adrs: usize,
     /// Reaction mentions that matched no canonical term and were dropped.
     pub unmatched_adrs: usize,
+    /// Drug mentions answered by the canonicalization memo.
+    pub drug_cache_hits: usize,
+    /// Drug mentions that ran full normalization + BK-tree resolution.
+    pub drug_cache_misses: usize,
+    /// Reaction mentions answered by the canonicalization memo.
+    pub adr_cache_hits: usize,
+    /// Reaction mentions that ran full resolution.
+    pub adr_cache_misses: usize,
+}
+
+impl CleaningStats {
+    /// These stats with the memo counters zeroed. Cleaning output and the
+    /// legacy counters are identical with memoization on or off; only the
+    /// cache counters may differ, so comparisons across the two paths go
+    /// through this.
+    pub fn without_cache_counters(mut self) -> Self {
+        self.drug_cache_hits = 0;
+        self.drug_cache_misses = 0;
+        self.adr_cache_hits = 0;
+        self.adr_cache_misses = 0;
+        self
+    }
+
+    /// Field-wise sum of these stats and another quarter's, for run-level
+    /// rollups across a shared-[`Cleaner`] multi-quarter run.
+    pub fn merged(&self, other: &Self) -> Self {
+        CleaningStats {
+            input_reports: self.input_reports + other.input_reports,
+            deduplicated_versions: self.deduplicated_versions + other.deduplicated_versions,
+            output_reports: self.output_reports + other.output_reports,
+            dropped_sparse: self.dropped_sparse + other.dropped_sparse,
+            drug_mentions: self.drug_mentions + other.drug_mentions,
+            corrected_drugs: self.corrected_drugs + other.corrected_drugs,
+            unmatched_drugs: self.unmatched_drugs + other.unmatched_drugs,
+            adr_mentions: self.adr_mentions + other.adr_mentions,
+            corrected_adrs: self.corrected_adrs + other.corrected_adrs,
+            unmatched_adrs: self.unmatched_adrs + other.unmatched_adrs,
+            drug_cache_hits: self.drug_cache_hits + other.drug_cache_hits,
+            drug_cache_misses: self.drug_cache_misses + other.drug_cache_misses,
+            adr_cache_hits: self.adr_cache_hits + other.adr_cache_hits,
+            adr_cache_misses: self.adr_cache_misses + other.adr_cache_misses,
+        }
+    }
+
+    /// Fraction of drug + ADR mentions answered by the memo, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.drug_cache_hits + self.adr_cache_hits;
+        let total = hits + self.drug_cache_misses + self.adr_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
 }
 
 /// Formulation / dosage tokens stripped from verbatim drug strings.
@@ -122,6 +188,10 @@ const FORMULATION_TOKENS: &[&str] = &[
     "IU",
 ];
 
+/// Dosage unit spellings (the alphabetic residue of tokens like `10MG`,
+/// `2.5MG`, `100MCG`, `5ML`, `40IU`, `10MG/ML`).
+const DOSAGE_UNITS: &[&str] = &["", "MG", "MCG", "ML", "G", "IU", "MGML", "MCGML"];
+
 fn is_dosage_token(tok: &str) -> bool {
     if tok.chars().all(|c| c.is_ascii_digit()) && !tok.is_empty() {
         return true;
@@ -136,140 +206,296 @@ fn is_dosage_token(tok: &str) -> bool {
     if digits == 0 {
         return false;
     }
-    let unit_part: String = tok.chars().filter(|c| c.is_ascii_alphabetic()).collect();
-    matches!(unit_part.as_str(), "" | "MG" | "MCG" | "ML" | "G" | "IU" | "MGML" | "MCGML")
-        || tok.ends_with('%')
+    let alpha = || tok.chars().filter(|c| c.is_ascii_alphabetic());
+    DOSAGE_UNITS.iter().any(|u| alpha().eq(u.chars())) || tok.ends_with('%')
 }
 
 /// Normalizes a verbatim drug string: uppercase, collapse whitespace, and
 /// (optionally) strip dosage / formulation tokens.
 pub fn normalize_drug_string(raw: &str, strip_dosage: bool) -> String {
-    let upper = raw.to_ascii_uppercase();
-    let tokens: Vec<&str> = upper
-        .split_whitespace()
-        .filter(|t| {
-            if !strip_dosage {
-                return true;
+    let mut out = String::new();
+    normalize_drug_string_into(raw, strip_dosage, &mut out);
+    out
+}
+
+/// [`normalize_drug_string`] into a reused buffer: one pass, appending
+/// each uppercased token and truncating it back off when it turns out to
+/// be a dosage / formulation token.
+fn normalize_drug_string_into(raw: &str, strip_dosage: bool, out: &mut String) {
+    out.clear();
+    for tok in raw.split_whitespace() {
+        let sep_start = out.len();
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        let tok_start = out.len();
+        for c in tok.chars() {
+            out.push(c.to_ascii_uppercase());
+        }
+        if strip_dosage {
+            let up = &out[tok_start..];
+            if is_dosage_token(up) || FORMULATION_TOKENS.contains(&up) {
+                out.truncate(sep_start);
             }
-            !is_dosage_token(t) && !FORMULATION_TOKENS.contains(t)
-        })
-        .collect();
-    if tokens.is_empty() {
+        }
+    }
+    if out.is_empty() {
         // A pure-dosage string: fall back to the collapsed original.
-        upper.split_whitespace().collect::<Vec<_>>().join(" ")
-    } else {
-        tokens.join(" ")
+        for tok in raw.split_whitespace() {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            for c in tok.chars() {
+                out.push(c.to_ascii_uppercase());
+            }
+        }
     }
 }
 
-/// Runs the cleaning pipeline over a quarter.
+/// Collapses runs of whitespace to single spaces into a reused buffer
+/// (the single-pass replacement for `split_whitespace().collect().join()`).
+fn collapse_whitespace_into(raw: &str, out: &mut String) {
+    out.clear();
+    for tok in raw.split_whitespace() {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(tok);
+    }
+}
+
+/// Runs the cleaning pipeline over a quarter with a fresh [`Cleaner`].
+///
+/// When cleaning several quarters against the same vocabularies (a year
+/// run), construct one [`Cleaner`] and call
+/// [`Cleaner::clean_quarter`] per quarter instead: the canonicalization
+/// memos carry over, so repeated raw strings pay the fuzzy vocabulary
+/// search only once per run rather than once per quarter.
 pub fn clean_quarter(
     quarter: &QuarterData,
     drug_vocab: &Vocabulary,
     adr_vocab: &Vocabulary,
     config: &CleanConfig,
 ) -> (Vec<CleanedReport>, CleaningStats) {
-    let mut stats = CleaningStats { input_reports: quarter.reports.len(), ..Default::default() };
-
-    // 1. Case de-duplication: keep the highest version per case id (later
-    //    index wins ties, matching FAERS "latest row wins" guidance).
-    let mut latest: FxHashMap<u64, usize> = FxHashMap::default();
-    for (idx, r) in quarter.reports.iter().enumerate() {
-        match latest.entry(r.case_id) {
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(idx);
-            }
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                stats.deduplicated_versions += 1;
-                if quarter.reports[*e.get()].version <= r.version {
-                    e.insert(idx);
-                }
-            }
-        }
-    }
-    let mut kept: Vec<usize> = latest.into_values().collect();
-    kept.sort_unstable();
-
-    // Case-folded exact index for ADR terms.
-    let folded_adrs: FxHashMap<String, u32> =
-        adr_vocab.iter().map(|(id, t)| (t.to_ascii_lowercase(), id)).collect();
-
-    let mut out = Vec::with_capacity(kept.len());
-    for idx in kept {
-        let report = &quarter.reports[idx];
-        let (drug_ids, adr_ids) =
-            clean_one(report, drug_vocab, adr_vocab, &folded_adrs, config, &mut stats);
-        if drug_ids.len() < config.min_drugs || adr_ids.len() < config.min_reactions {
-            stats.dropped_sparse += 1;
-            continue;
-        }
-        out.push(CleanedReport {
-            case_id: report.case_id,
-            drug_ids,
-            adr_ids,
-            serious: report.is_serious(),
-            max_severity: report.max_severity(),
-            source_index: idx,
-        });
-    }
-    stats.output_reports = out.len();
-    (out, stats)
+    Cleaner::new(drug_vocab, adr_vocab, config.clone()).clean_quarter(quarter)
 }
 
-fn clean_one(
-    report: &CaseReport,
-    drug_vocab: &Vocabulary,
-    adr_vocab: &Vocabulary,
-    folded_adrs: &FxHashMap<String, u32>,
-    config: &CleanConfig,
-    stats: &mut CleaningStats,
-) -> (Vec<u32>, Vec<u32>) {
-    let mut drug_ids: Vec<u32> = Vec::with_capacity(report.drugs.len());
-    for entry in &report.drugs {
-        stats.drug_mentions += 1;
-        let normalized = normalize_drug_string(&entry.name, config.strip_dosage);
-        match drug_vocab.nearest(&normalized, config.max_edit_distance) {
-            Some((id, 0)) => {
-                if normalized != entry.name {
-                    stats.corrected_drugs += 1;
+/// Reusable cleaning state: vocabularies, the case-folded ADR index,
+/// the canonicalization memos, and reused scratch buffers.
+///
+/// The memos are keyed on the *raw* string and store the full verdict —
+/// canonical id (or none) plus whether resolving it counted as a
+/// correction — so replaying a hit updates every stats counter exactly as
+/// the uncached path would. A memo entry depends only on the vocabularies
+/// and config (both fixed for the cleaner's lifetime), never on the
+/// quarter, so one cleaner may be shared across every quarter of a run:
+/// output is identical to cleaning each quarter with a fresh cleaner, and
+/// statistics stay per-call.
+#[derive(Debug)]
+pub struct Cleaner<'a> {
+    drug_vocab: &'a Vocabulary,
+    adr_vocab: &'a Vocabulary,
+    folded_adrs: FxHashMap<String, u32>,
+    config: CleanConfig,
+    drug_memo: FxHashMap<Box<str>, Option<(u32, bool)>>,
+    /// Second-level memo keyed on the *normalized* drug string, gating the
+    /// BK-tree walk: dosage/case variants of one misspelling normalize to
+    /// the same string, so only the first pays the fuzzy search. Stores
+    /// the `(id, distance)` the vocabulary returned.
+    drug_norm_memo: FxHashMap<Box<str>, Option<(u32, usize)>>,
+    adr_memo: FxHashMap<Box<str>, Option<(u32, bool)>>,
+    buf: String,
+    folded_buf: String,
+}
+
+impl<'a> Cleaner<'a> {
+    /// Builds a cleaner over the given vocabularies, including the
+    /// case-folded exact index for ADR terms.
+    pub fn new(drug_vocab: &'a Vocabulary, adr_vocab: &'a Vocabulary, config: CleanConfig) -> Self {
+        let folded_adrs: FxHashMap<String, u32> =
+            adr_vocab.iter().map(|(id, t)| (t.to_ascii_lowercase(), id)).collect();
+        Cleaner {
+            drug_vocab,
+            adr_vocab,
+            folded_adrs,
+            config,
+            drug_memo: FxHashMap::default(),
+            drug_norm_memo: FxHashMap::default(),
+            adr_memo: FxHashMap::default(),
+            buf: String::new(),
+            folded_buf: String::new(),
+        }
+    }
+
+    /// The drug vocabulary this cleaner resolves against.
+    pub fn drug_vocab(&self) -> &'a Vocabulary {
+        self.drug_vocab
+    }
+
+    /// The ADR vocabulary this cleaner resolves against.
+    pub fn adr_vocab(&self) -> &'a Vocabulary {
+        self.adr_vocab
+    }
+
+    /// The active cleaning configuration.
+    pub fn config(&self) -> &CleanConfig {
+        &self.config
+    }
+
+    /// Runs the cleaning pipeline over one quarter.
+    ///
+    /// Statistics cover this call only; the canonicalization memos persist
+    /// across calls (see the type-level docs for why that is sound).
+    pub fn clean_quarter(&mut self, quarter: &QuarterData) -> (Vec<CleanedReport>, CleaningStats) {
+        let mut stats =
+            CleaningStats { input_reports: quarter.reports.len(), ..Default::default() };
+
+        // 1. Case de-duplication: keep the highest version per case id
+        //    (later index wins ties, matching FAERS "latest row wins"
+        //    guidance).
+        let mut latest: FxHashMap<u64, usize> = FxHashMap::default();
+        for (idx, r) in quarter.reports.iter().enumerate() {
+            match latest.entry(r.case_id) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(idx);
                 }
-                drug_ids.push(id);
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    stats.deduplicated_versions += 1;
+                    if quarter.reports[*e.get()].version <= r.version {
+                        e.insert(idx);
+                    }
+                }
             }
-            Some((id, _)) => {
-                stats.corrected_drugs += 1;
-                drug_ids.push(id);
+        }
+        let mut kept: Vec<usize> = latest.into_values().collect();
+        kept.sort_unstable();
+
+        let mut out = Vec::with_capacity(kept.len());
+        for idx in kept {
+            let report = &quarter.reports[idx];
+            let (drug_ids, adr_ids) = self.clean_one(report, &mut stats);
+            if drug_ids.len() < self.config.min_drugs || adr_ids.len() < self.config.min_reactions {
+                stats.dropped_sparse += 1;
+                continue;
             }
-            None => stats.unmatched_drugs += 1,
+            out.push(CleanedReport {
+                case_id: report.case_id,
+                drug_ids,
+                adr_ids,
+                serious: report.is_serious(),
+                max_severity: report.max_severity(),
+                source_index: idx,
+            });
+        }
+        stats.output_reports = out.len();
+        (out, stats)
+    }
+
+    fn clean_one(
+        &mut self,
+        report: &CaseReport,
+        stats: &mut CleaningStats,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let mut drug_ids: Vec<u32> = Vec::with_capacity(report.drugs.len());
+        for entry in &report.drugs {
+            stats.drug_mentions += 1;
+            match self.resolve_drug(&entry.name, stats) {
+                Some((id, corrected)) => {
+                    if corrected {
+                        stats.corrected_drugs += 1;
+                    }
+                    drug_ids.push(id);
+                }
+                None => stats.unmatched_drugs += 1,
+            }
+        }
+        drug_ids.sort_unstable();
+        drug_ids.dedup();
+
+        let mut adr_ids: Vec<u32> = Vec::with_capacity(report.reactions.len());
+        for raw in &report.reactions {
+            stats.adr_mentions += 1;
+            match self.resolve_adr(raw, stats) {
+                Some((id, corrected)) => {
+                    if corrected {
+                        stats.corrected_adrs += 1;
+                    }
+                    adr_ids.push(id);
+                }
+                None => stats.unmatched_adrs += 1,
+            }
+        }
+        adr_ids.sort_unstable();
+        adr_ids.dedup();
+
+        (drug_ids, adr_ids)
+    }
+
+    fn resolve_drug(&mut self, raw: &str, stats: &mut CleaningStats) -> Option<(u32, bool)> {
+        if !self.config.memoize {
+            return self.resolve_drug_uncached(raw);
+        }
+        if let Some(&verdict) = self.drug_memo.get(raw) {
+            stats.drug_cache_hits += 1;
+            return verdict;
+        }
+        stats.drug_cache_misses += 1;
+        normalize_drug_string_into(raw, self.config.strip_dosage, &mut self.buf);
+        let nearest = match self.drug_norm_memo.get(self.buf.as_str()) {
+            Some(&hit) => hit,
+            None => {
+                let computed = self.drug_vocab.nearest(&self.buf, self.config.max_edit_distance);
+                self.drug_norm_memo.insert(self.buf.as_str().into(), computed);
+                computed
+            }
+        };
+        let verdict = match nearest {
+            Some((id, 0)) => Some((id, self.buf != raw)),
+            Some((id, _)) => Some((id, true)),
+            None => None,
+        };
+        self.drug_memo.insert(raw.into(), verdict);
+        verdict
+    }
+
+    fn resolve_drug_uncached(&mut self, raw: &str) -> Option<(u32, bool)> {
+        normalize_drug_string_into(raw, self.config.strip_dosage, &mut self.buf);
+        match self.drug_vocab.nearest(&self.buf, self.config.max_edit_distance) {
+            // Exact match still counts as a correction when normalization
+            // changed the string (dosage strip, case fix).
+            Some((id, 0)) => Some((id, self.buf != raw)),
+            Some((id, _)) => Some((id, true)),
+            None => None,
         }
     }
-    drug_ids.sort_unstable();
-    drug_ids.dedup();
 
-    let mut adr_ids: Vec<u32> = Vec::with_capacity(report.reactions.len());
-    for raw in &report.reactions {
-        stats.adr_mentions += 1;
-        let trimmed: String = raw.split_whitespace().collect::<Vec<_>>().join(" ");
-        if let Some(id) = adr_vocab.id_of(&trimmed) {
-            adr_ids.push(id);
-            continue;
+    fn resolve_adr(&mut self, raw: &str, stats: &mut CleaningStats) -> Option<(u32, bool)> {
+        if !self.config.memoize {
+            return self.resolve_adr_uncached(raw);
         }
-        if let Some(&id) = folded_adrs.get(&trimmed.to_ascii_lowercase()) {
-            stats.corrected_adrs += 1;
-            adr_ids.push(id);
-            continue;
+        if let Some(&verdict) = self.adr_memo.get(raw) {
+            stats.adr_cache_hits += 1;
+            return verdict;
         }
-        match adr_vocab.nearest(&trimmed, config.max_edit_distance) {
-            Some((id, _)) => {
-                stats.corrected_adrs += 1;
-                adr_ids.push(id);
-            }
-            None => stats.unmatched_adrs += 1,
-        }
+        stats.adr_cache_misses += 1;
+        let verdict = self.resolve_adr_uncached(raw);
+        self.adr_memo.insert(raw.into(), verdict);
+        verdict
     }
-    adr_ids.sort_unstable();
-    adr_ids.dedup();
 
-    (drug_ids, adr_ids)
+    fn resolve_adr_uncached(&mut self, raw: &str) -> Option<(u32, bool)> {
+        collapse_whitespace_into(raw, &mut self.buf);
+        if let Some(id) = self.adr_vocab.id_of(&self.buf) {
+            return Some((id, false));
+        }
+        self.folded_buf.clear();
+        self.folded_buf.push_str(&self.buf);
+        self.folded_buf.make_ascii_lowercase();
+        if let Some(&id) = self.folded_adrs.get(&self.folded_buf) {
+            return Some((id, true));
+        }
+        self.adr_vocab.nearest(&self.buf, self.config.max_edit_distance).map(|(id, _)| (id, true))
+    }
 }
 
 #[cfg(test)]
@@ -289,7 +515,7 @@ mod tests {
             country: "US".into(),
             event_date: None,
             drugs: drugs.iter().map(|d| DrugEntry::new(*d, DrugRole::PrimarySuspect)).collect(),
-            reactions: adrs.iter().map(|a| a.to_string()).collect(),
+            reactions: adrs.iter().map(|&a| a.into()).collect(),
             outcomes: vec![Outcome::Hospitalization],
         }
     }
@@ -410,6 +636,99 @@ mod tests {
         assert!(ids.windows(2).all(|w| w[0] < w[1]), "{ids:?}");
         assert_eq!(ids.len(), 2);
         assert_eq!(cleaned[0].adr_ids.len(), 1);
+    }
+
+    #[test]
+    fn memoized_cleaning_matches_uncached() {
+        let (dv, av) = vocabs();
+        // Heavy repetition across reports so the memo actually gets hits,
+        // plus typos/dosage noise so every resolution path is exercised.
+        let mut reports = Vec::new();
+        for i in 0..40u64 {
+            reports.push(report(
+                i + 1,
+                1,
+                &["IBUPROFEN 200MG", "IBUPROFFEN", "warfarin  sodium 5 MG", "XQZWJK"],
+                &["acute renal failure", "Naussea", "OSTEOPOROSIS", "Zzzz-not-a-term"],
+            ));
+        }
+        let q = quarter(reports);
+        let cached_cfg = CleanConfig::default();
+        let uncached_cfg = CleanConfig { memoize: false, ..Default::default() };
+        let (cleaned_c, stats_c) = clean_quarter(&q, &dv, &av, &cached_cfg);
+        let (cleaned_u, stats_u) = clean_quarter(&q, &dv, &av, &uncached_cfg);
+        assert_eq!(cleaned_c, cleaned_u);
+        assert_eq!(stats_c.without_cache_counters(), stats_u.without_cache_counters());
+        // The uncached path never touches the memo.
+        assert_eq!(stats_u.drug_cache_hits + stats_u.drug_cache_misses, 0);
+        assert_eq!(stats_u.adr_cache_hits + stats_u.adr_cache_misses, 0);
+        // The cached path: 4 unique strings per vocabulary, rest are hits.
+        assert_eq!(stats_c.drug_cache_misses, 4);
+        assert_eq!(stats_c.drug_cache_hits, 40 * 4 - 4);
+        assert_eq!(stats_c.adr_cache_misses, 4);
+        assert_eq!(stats_c.adr_cache_hits, 40 * 4 - 4);
+        assert!(stats_c.cache_hit_rate() > 0.9, "{}", stats_c.cache_hit_rate());
+    }
+
+    #[test]
+    fn shared_cleaner_across_quarters_matches_fresh_per_quarter() {
+        let (dv, av) = vocabs();
+        let make = |offset: u64| {
+            let mut reports = Vec::new();
+            for i in 0..12u64 {
+                reports.push(report(
+                    offset + i + 1,
+                    1,
+                    &["IBUPROFEN 200MG", "IBUPROFFEN", "warfarin  sodium 5 MG"],
+                    &["acute renal failure", "Naussea"],
+                ));
+            }
+            quarter(reports)
+        };
+        let (q1, q2) = (make(0), make(100));
+
+        let mut shared = Cleaner::new(&dv, &av, CleanConfig::default());
+        let (s1, st1) = shared.clean_quarter(&q1);
+        let (s2, st2) = shared.clean_quarter(&q2);
+        let (f1, ft1) = clean_quarter(&q1, &dv, &av, &CleanConfig::default());
+        let (f2, ft2) = clean_quarter(&q2, &dv, &av, &CleanConfig::default());
+
+        // Memo entries depend only on the vocabularies and config, so the
+        // carried-over memo cannot change the output...
+        assert_eq!(s1, f1);
+        assert_eq!(s2, f2);
+        assert_eq!(st1.without_cache_counters(), ft1.without_cache_counters());
+        assert_eq!(st2.without_cache_counters(), ft2.without_cache_counters());
+        assert_eq!(st1, ft1); // first quarter: memo started empty either way
+                              // ...but the second quarter resolves every string from the memo.
+        assert_eq!(st2.drug_cache_misses, 0);
+        assert_eq!(st2.adr_cache_misses, 0);
+        assert_eq!(st2.drug_cache_hits, 12 * 3);
+        assert_eq!(st2.adr_cache_hits, 12 * 2);
+    }
+
+    #[test]
+    fn without_cache_counters_zeroes_only_cache_fields() {
+        let stats = CleaningStats {
+            drug_mentions: 7,
+            drug_cache_hits: 5,
+            drug_cache_misses: 2,
+            adr_cache_hits: 3,
+            adr_cache_misses: 1,
+            ..Default::default()
+        };
+        let wiped = stats.without_cache_counters();
+        assert_eq!(wiped.drug_mentions, 7);
+        assert_eq!(wiped.drug_cache_hits, 0);
+        assert_eq!(wiped.drug_cache_misses, 0);
+        assert_eq!(wiped.adr_cache_hits, 0);
+        assert_eq!(wiped.adr_cache_misses, 0);
+    }
+
+    #[test]
+    fn empty_quarter_cache_hit_rate_is_zero() {
+        let stats = CleaningStats::default();
+        assert_eq!(stats.cache_hit_rate(), 0.0);
     }
 
     #[test]

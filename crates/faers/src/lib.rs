@@ -15,6 +15,9 @@
 //! * [`clean`] — the §5.2 "data preparation and cleaning" step: case-version
 //!   de-duplication, drug-name normalization and misspelling correction,
 //!   ADR-term canonicalization.
+//! * [`intern`] — string interning for the ingestion hot path: repeated
+//!   drug names, ADR terms, and country codes are allocated once and
+//!   shared by refcount thereafter.
 //! * [`faults`] — deterministic fault injection over the ASCII format
 //!   (truncation, stray delimiters, orphans, duplicates, header damage)
 //!   with a ledger of expected quarantines, for robustness testing.
@@ -30,6 +33,7 @@ pub mod ascii;
 pub mod atc;
 pub mod clean;
 pub mod faults;
+pub mod intern;
 pub mod meddra;
 pub mod model;
 pub mod quarter;
@@ -37,8 +41,9 @@ pub mod synth;
 pub mod vocab;
 
 pub use atc::{classify_drug, AtcGroup, AtcIndex};
-pub use clean::{clean_quarter, CleanConfig, CleanedReport, CleaningStats};
+pub use clean::{clean_quarter, CleanConfig, CleanedReport, Cleaner, CleaningStats};
 pub use faults::{corrupt_quarter, CorruptedQuarter, FaultConfig, FaultKind, InjectedFault};
+pub use intern::{IStr, InternStats, SymbolTable};
 pub use meddra::{classify_term, Soc, SocIndex};
 pub use model::{CaseReport, DrugEntry, DrugRole, Outcome, ReportType, Sex};
 pub use quarter::{QuarterData, QuarterId, QuarterStats};

@@ -7,6 +7,7 @@
 //! "mandatory reports submitted by manufacturers marked as expedited (EXP)
 //! as these reports contain at least one severe adverse event" (§5.1).
 
+use crate::intern::IStr;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -186,15 +187,16 @@ impl DrugRole {
 /// dosage-laden) drug string plus its suspect role.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DrugEntry {
-    /// Verbatim drug name as reported (`drugname`).
-    pub name: String,
+    /// Verbatim drug name as reported (`drugname`), interned: reports that
+    /// name the same drug share one allocation.
+    pub name: IStr,
     /// Suspect role.
     pub role: DrugRole,
 }
 
 impl DrugEntry {
     /// Convenience constructor.
-    pub fn new(name: impl Into<String>, role: DrugRole) -> Self {
+    pub fn new(name: impl Into<IStr>, role: DrugRole) -> Self {
         DrugEntry { name: name.into(), role }
     }
 }
@@ -215,14 +217,14 @@ pub struct CaseReport {
     pub sex: Sex,
     /// Patient weight in kilograms, if reported.
     pub weight_kg: Option<f32>,
-    /// Reporter country (ISO-3166 alpha-2).
-    pub country: String,
+    /// Reporter country (ISO-3166 alpha-2), interned.
+    pub country: IStr,
     /// Event date `YYYYMMDD`, if reported.
     pub event_date: Option<u32>,
     /// Reported medications.
     pub drugs: Vec<DrugEntry>,
-    /// Reaction preferred terms (verbatim).
-    pub reactions: Vec<String>,
+    /// Reaction preferred terms (verbatim), interned.
+    pub reactions: Vec<IStr>,
     /// Outcome codes.
     pub outcomes: Vec<Outcome>,
 }
@@ -253,7 +255,7 @@ impl fmt::Display for CaseReport {
             self.version,
             self.report_type.code(),
             self.drugs.iter().map(|d| d.name.as_str()).collect::<Vec<_>>().join("; "),
-            self.reactions.join("; "),
+            self.reactions.iter().map(|r| r.as_str()).collect::<Vec<_>>().join("; "),
         )
     }
 }

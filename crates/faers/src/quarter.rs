@@ -146,7 +146,7 @@ mod tests {
             country: "US".into(),
             event_date: None,
             drugs: drugs.iter().map(|d| DrugEntry::new(*d, DrugRole::PrimarySuspect)).collect(),
-            reactions: adrs.iter().map(|a| a.to_string()).collect(),
+            reactions: adrs.iter().map(|&a| a.into()).collect(),
             outcomes: vec![Outcome::Hospitalization],
         }
     }

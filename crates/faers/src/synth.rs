@@ -23,6 +23,7 @@
 //!
 //! Everything is deterministic in `SynthConfig::seed`.
 
+use crate::intern::IStr;
 use crate::model::{CaseReport, DrugEntry, DrugRole, Outcome, ReportType, Sex};
 use crate::quarter::{QuarterData, QuarterId};
 use crate::vocab::Vocabulary;
@@ -98,6 +99,13 @@ pub struct SynthConfig {
     pub interactions: Vec<PlantedInteraction>,
     /// Probability a drug mention gets a spelling perturbation.
     pub misspelling_rate: f64,
+    /// Distinct misspelled variants per drug. Real extracts contain far
+    /// fewer distinct verbatim strings than mentions (Table 5.1 counts
+    /// 33k–38k distinct strings per quarter against millions of rows)
+    /// because reporters and manufacturers reuse the same garbled strings;
+    /// each misspelled mention draws from a deterministic per-drug pool of
+    /// this size instead of minting a fresh random edit.
+    pub typo_variants_per_drug: usize,
     /// Probability a drug mention gets a dosage/formulation suffix.
     pub dosage_noise_rate: f64,
     /// Probability a case gets an additional follow-up version.
@@ -123,6 +131,7 @@ impl Default for SynthConfig {
             seed: 2014,
             interactions: PlantedInteraction::paper_case_studies(),
             misspelling_rate: 0.08,
+            typo_variants_per_drug: 3,
             dosage_noise_rate: 0.12,
             duplicate_rate: 0.04,
             expedited_fraction: 0.85,
@@ -280,7 +289,7 @@ impl Synthesizer {
                 followup.version += 1;
                 if rng.gen_bool(0.5) {
                     let extra = rng.gen_range(0..self.config.n_adrs as u32);
-                    followup.reactions.push(self.adr_vocab.term(extra).to_string());
+                    followup.reactions.push(self.adr_vocab.term(extra).into());
                 }
                 reports.push(report);
                 reports.push(followup);
@@ -385,16 +394,16 @@ impl Synthesizer {
                 DrugEntry::new(name, role)
             })
             .collect();
-        let reactions: Vec<String> = adr_ids
+        let reactions: Vec<IStr> = adr_ids
             .iter()
             .map(|&a| {
                 let term = self.adr_vocab.term(a);
                 if rng.gen_bool(0.1) {
-                    term.to_ascii_lowercase()
+                    term.to_ascii_lowercase().into()
                 } else if rng.gen_bool(0.05) {
-                    term.to_ascii_uppercase()
+                    term.to_ascii_uppercase().into()
                 } else {
-                    term.to_string()
+                    term.into()
                 }
             })
             .collect();
@@ -419,10 +428,11 @@ impl Synthesizer {
             5..=8 => Sex::Male,
             _ => Sex::Unknown,
         };
-        let country = ["US", "US", "US", "US", "US", "US", "GB", "CA", "JP", "FR", "DE", "MX"]
-            .choose(rng)
-            .expect("non-empty")
-            .to_string();
+        let country: IStr =
+            (*["US", "US", "US", "US", "US", "US", "GB", "CA", "JP", "FR", "DE", "MX"]
+                .choose(rng)
+                .expect("non-empty"))
+            .into();
         let month = u32::from(quarter.quarter - 1) * 3 + rng.gen_range(1..=3);
         let day = rng.gen_range(1..=28);
         let event_date = Some(u32::from(quarter.year) * 10_000 + month * 100 + day);
@@ -475,7 +485,19 @@ impl Synthesizer {
     fn noisy_drug_string(&self, canonical: &str, rng: &mut StdRng) -> String {
         let mut s = canonical.to_string();
         if rng.gen_bool(self.config.misspelling_rate) {
-            s = perturb_spelling(&s, rng);
+            // Draw from the drug's bounded variant pool: the variant index
+            // seeds its own generator, so mention k of drug D always
+            // produces the same garbled string, mention streams stay
+            // deterministic, and distinct misspellings stay ≪ mentions.
+            let k = rng.gen_range(0..self.config.typo_variants_per_drug.max(1)) as u64;
+            let mut h = rustc_hash::FxHasher::default();
+            std::hash::Hash::hash(canonical, &mut h);
+            let mut pool_rng = StdRng::seed_from_u64(
+                self.config.seed
+                    ^ std::hash::Hasher::finish(&h)
+                    ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            s = perturb_spelling(&s, &mut pool_rng);
         }
         if rng.gen_bool(self.config.dosage_noise_rate) {
             let strength = [5u32, 10, 20, 25, 40, 50, 100, 200, 500].choose(rng).unwrap();

@@ -17,25 +17,36 @@ use serde::{Deserialize, Serialize};
 
 /// Levenshtein edit distance (two-row DP).
 pub fn levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+    let mut prev = Vec::new();
+    let mut cur = Vec::new();
+    levenshtein_buf(a, b, &mut prev, &mut cur)
+}
+
+/// [`levenshtein`] into caller-owned DP rows, so a tight loop (the BK-tree
+/// walk) computes distances without touching the allocator. The strings
+/// are walked as char iterators directly — the two-row recurrence only
+/// needs sequential access, never random indexing.
+fn levenshtein_buf(a: &str, b: &str, prev: &mut Vec<usize>, cur: &mut Vec<usize>) -> usize {
+    let lb = b.chars().count();
     if a.is_empty() {
-        return b.len();
+        return lb;
     }
-    if b.is_empty() {
-        return a.len();
+    if lb == 0 {
+        return a.chars().count();
     }
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur: Vec<usize> = vec![0; b.len() + 1];
-    for (i, &ca) in a.iter().enumerate() {
+    prev.clear();
+    prev.extend(0..=lb);
+    cur.clear();
+    cur.resize(lb + 1, 0);
+    for (i, ca) in a.chars().enumerate() {
         cur[0] = i + 1;
-        for (j, &cb) in b.iter().enumerate() {
+        for (j, cb) in b.chars().enumerate() {
             let cost = usize::from(ca != cb);
             cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
     }
-    prev[b.len()]
+    prev[lb]
 }
 
 /// Levenshtein distance if ≤ `max`, else `None` (banded DP; the spelling
@@ -49,6 +60,25 @@ pub fn levenshtein_within(a: &str, b: &str, max: usize) -> Option<usize> {
     }
     let d = levenshtein(a, b);
     (d <= max).then_some(d)
+}
+
+/// Whether a BK walk can skip `node` *and* its whole subtree without
+/// computing the edit distance.
+///
+/// Length difference lower-bounds edit distance: `d ≥ |len(q) − len(t)|`.
+/// If that bound already exceeds `radius + max_edge` (the largest child
+/// edge), then the node is no candidate (`d > radius`) and no child
+/// survives the triangle-inequality filter either: a child is visited only
+/// when `cd ≥ d − radius`, but `d − radius > max_edge ≥ cd` for every
+/// child. So the subtree is unreachable and the Levenshtein DP — the
+/// dominant cost per visited node — can be skipped wholesale.
+fn prune_subtree(query_len: usize, node: &BkNode, radius: usize) -> bool {
+    let bound = query_len.abs_diff(node.term.chars().count());
+    if bound <= radius {
+        return false;
+    }
+    let max_edge = node.children.iter().map(|&(cd, _)| cd).max().unwrap_or(0);
+    bound > radius + max_edge
 }
 
 /// A BK-tree over Levenshtein distance: metric-tree fuzzy lookup.
@@ -112,10 +142,15 @@ impl BkTree {
         if self.nodes.is_empty() {
             return out;
         }
+        let query_len = query.chars().count();
         let mut stack = vec![0usize];
+        let (mut prev, mut cur) = (Vec::new(), Vec::new());
         while let Some(idx) = stack.pop() {
             let node = &self.nodes[idx];
-            let d = levenshtein(query, &node.term);
+            if prune_subtree(query_len, node, max_dist) {
+                continue;
+            }
+            let d = levenshtein_buf(query, &node.term, &mut prev, &mut cur);
             if d <= max_dist {
                 out.push((node.term.as_str(), node.id, d));
             }
@@ -131,10 +166,43 @@ impl BkTree {
 
     /// The closest term within `max_dist`, ties broken lexicographically for
     /// determinism.
+    ///
+    /// Unlike [`BkTree::lookup`] this never materializes the candidate set:
+    /// it walks the tree tracking the best hit so far, shrinking the search
+    /// radius to the best distance as it improves. The radius stays
+    /// *inclusive* (children within `[d - best, d + best]` are visited) so
+    /// equal-distance candidates remain reachable for the lexicographic
+    /// tie-break — this agrees with `lookup(..).min()` on every input.
     pub fn nearest(&self, query: &str, max_dist: usize) -> Option<(&str, u32, usize)> {
-        self.lookup(query, max_dist)
-            .into_iter()
-            .min_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(b.0)))
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let query_len = query.chars().count();
+        let mut best: Option<(usize, usize)> = None; // (distance, node index)
+        let mut radius = max_dist;
+        let mut stack = vec![0usize];
+        let (mut prev, mut cur) = (Vec::new(), Vec::new());
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx];
+            if prune_subtree(query_len, node, radius) {
+                continue;
+            }
+            let d = levenshtein_buf(query, &node.term, &mut prev, &mut cur);
+            let better = match best {
+                None => d <= radius,
+                Some((bd, bi)) => d < bd || (d == bd && node.term < self.nodes[bi].term),
+            };
+            if better {
+                best = Some((d, idx));
+                radius = d;
+            }
+            for &(cd, child) in &node.children {
+                if cd + radius >= d && cd <= d + radius {
+                    stack.push(child);
+                }
+            }
+        }
+        best.map(|(d, idx)| (self.nodes[idx].term.as_str(), self.nodes[idx].id, d))
     }
 }
 
@@ -679,6 +747,40 @@ mod tests {
             let mut got: Vec<&str> = t.lookup(query, 2).into_iter().map(|(w, _, _)| w).collect();
             got.sort_unstable();
             assert_eq!(got, expect, "query {query}");
+        }
+    }
+
+    #[test]
+    fn bktree_nearest_agrees_with_lookup_min() {
+        // The shrinking-radius walk must agree with the materialize-then-min
+        // legacy definition, including lexicographic tie-breaks.
+        let words: Vec<String> = (0..400).map(procedural_drug_name).collect();
+        let mut t = BkTree::new();
+        for (i, w) in words.iter().enumerate() {
+            t.insert(w, i as u32);
+        }
+        let queries = [
+            "ABAMAB",
+            "CARINIB",
+            "XIMOPRIL",
+            "KETUSTATIN",
+            "NOPE",
+            "",
+            "A",
+            "ABA",
+            "PERAMAB",
+            "SULOLOL",
+            "VALANDOVIR",
+            "ZALUVIMYCIN",
+        ];
+        for max_dist in 0..=3 {
+            for query in queries {
+                let via_lookup = t
+                    .lookup(query, max_dist)
+                    .into_iter()
+                    .min_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(b.0)));
+                assert_eq!(t.nearest(query, max_dist), via_lookup, "query {query} @ {max_dist}");
+            }
         }
     }
 

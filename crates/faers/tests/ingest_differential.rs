@@ -1,0 +1,491 @@
+//! Differential tests: the zero-copy parallel reader must be
+//! byte-identical to the legacy sequential reader — same `QuarterData`,
+//! same `IngestReport` (including quarantine ledger order), same terminal
+//! errors (strict offenses, absolute and fractional budget trips) — at
+//! every thread count, over seeded fault-injected quarters.
+//!
+//! The oracle below is a self-contained re-implementation of the reader
+//! this crate shipped before the parallel rewrite, kept verbatim so the
+//! new path is compared against the actual historical semantics rather
+//! than against itself.
+
+use maras_faers::ascii::{
+    primary_id, read_quarter_with, AsciiError, ErrorBudget, IngestMode, IngestOptions,
+    IngestReport, QuarantineReason, QuarantinedRecord,
+};
+use maras_faers::faults::{corrupt_quarter, CorruptedQuarter, FaultConfig};
+use maras_faers::{
+    clean_quarter, CaseReport, CleanConfig, DrugEntry, DrugRole, Outcome, QuarterData, QuarterId,
+    ReportType, Sex, SynthConfig, Synthesizer,
+};
+use rustc_hash::FxHashMap;
+use std::collections::hash_map::Entry;
+
+// ---------------------------------------------------------------------------
+// Legacy oracle: the pre-rewrite sequential reader, over table strings.
+// ---------------------------------------------------------------------------
+
+const DEMO_HEADER: &str =
+    "primaryid$caseid$caseversion$rept_cod$age$sex$wt$reporter_country$event_dt";
+const DRUG_HEADER: &str = "primaryid$drug_seq$role_cod$drugname";
+const REAC_HEADER: &str = "primaryid$pt";
+const OUTC_HEADER: &str = "primaryid$outc_cod";
+
+type Offense = (Option<u64>, QuarantineReason, String);
+
+struct LegacySink {
+    mode: IngestMode,
+    budget: ErrorBudget,
+    report: IngestReport,
+}
+
+impl LegacySink {
+    fn new(id: QuarterId, opts: &IngestOptions) -> Self {
+        LegacySink {
+            mode: opts.mode,
+            budget: opts.budget,
+            report: IngestReport {
+                quarter: id,
+                mode: opts.mode,
+                budget: opts.budget,
+                demo: Default::default(),
+                drug: Default::default(),
+                reac: Default::default(),
+                outc: Default::default(),
+                quarantine: Vec::new(),
+            },
+        }
+    }
+
+    fn offend(
+        &mut self,
+        file: &'static str,
+        line: usize,
+        offense: Offense,
+        raw: &str,
+    ) -> Result<(), AsciiError> {
+        let (primaryid, reason, detail) = offense;
+        match self.mode {
+            IngestMode::Strict => Err(if reason == QuarantineReason::Orphan {
+                AsciiError::OrphanRow { file, primaryid: primaryid.unwrap_or(0) }
+            } else {
+                AsciiError::Malformed { file, line, message: detail }
+            }),
+            IngestMode::Lenient => {
+                self.report.quarantine.push(QuarantinedRecord {
+                    file,
+                    line,
+                    primaryid,
+                    reason,
+                    detail,
+                    raw: raw.to_string(),
+                });
+                match self.budget.max_bad_rows {
+                    Some(max) if self.report.quarantine.len() > max => Err(self.budget_exceeded()),
+                    _ => Ok(()),
+                }
+            }
+        }
+    }
+
+    fn budget_exceeded(&self) -> AsciiError {
+        AsciiError::BudgetExceeded {
+            bad_rows: self.report.quarantine.len(),
+            rows_read: self.report.rows_read(),
+            budget: self.budget,
+            first: Box::new(self.report.quarantine[0].clone()),
+        }
+    }
+
+    fn check_header(&mut self, file: &'static str, all: &[&str]) -> Result<(), AsciiError> {
+        let expected = match file {
+            "DEMO" => DEMO_HEADER,
+            "DRUG" => DRUG_HEADER,
+            "REAC" => REAC_HEADER,
+            _ => OUTC_HEADER,
+        };
+        match all.first() {
+            None => {
+                let offense = (None, QuarantineReason::HeaderDamage, "missing header".to_string());
+                self.offend(file, 1, offense, "")
+            }
+            Some(line) if *line != expected => {
+                let offense =
+                    (None, QuarantineReason::HeaderDamage, format!("bad header {line:?}"));
+                self.offend(file, 1, offense, line)
+            }
+            Some(_) => Ok(()),
+        }
+    }
+}
+
+fn orphan_check(by_pid: &FxHashMap<u64, usize>, pid: u64) -> Result<(), Offense> {
+    if by_pid.contains_key(&pid) {
+        Ok(())
+    } else {
+        let msg = format!("row references unknown primaryid {pid}");
+        Err((Some(pid), QuarantineReason::Orphan, msg))
+    }
+}
+
+fn parse_opt_f32(field: &str) -> Result<Option<f32>, std::num::ParseFloatError> {
+    if field.is_empty() {
+        Ok(None)
+    } else {
+        field.parse().map(Some)
+    }
+}
+
+fn parse_demo_row(fields: &[&str]) -> Result<(u64, CaseReport), Offense> {
+    use QuarantineReason as Q;
+    if fields.len() != 9 {
+        return Err((None, Q::FieldCount, format!("expected 9 fields, got {}", fields.len())));
+    }
+    let pid: u64 = fields[0]
+        .parse()
+        .map_err(|_| (None, Q::BadPrimaryid, format!("bad primaryid {:?}", fields[0])))?;
+    let case_id: u64 = fields[1]
+        .parse()
+        .map_err(|_| (Some(pid), Q::BadNumeric, format!("bad caseid {:?}", fields[1])))?;
+    let version: u32 = fields[2]
+        .parse()
+        .map_err(|_| (Some(pid), Q::BadNumeric, format!("bad caseversion {:?}", fields[2])))?;
+    let report_type = ReportType::from_code(fields[3])
+        .ok_or_else(|| (Some(pid), Q::UnknownCode, format!("bad rept_cod {:?}", fields[3])))?;
+    let age = parse_opt_f32(fields[4])
+        .map_err(|_| (Some(pid), Q::BadNumeric, format!("bad age {:?}", fields[4])))?;
+    let sex = Sex::from_code(fields[5]);
+    let weight_kg = parse_opt_f32(fields[6])
+        .map_err(|_| (Some(pid), Q::BadNumeric, format!("bad wt {:?}", fields[6])))?;
+    let event_date = if fields[8].is_empty() {
+        None
+    } else {
+        Some(
+            fields[8]
+                .parse()
+                .map_err(|_| (Some(pid), Q::BadNumeric, format!("bad event_dt {:?}", fields[8])))?,
+        )
+    };
+    if primary_id(case_id, version) != pid {
+        return Err((
+            Some(pid),
+            Q::InconsistentPrimaryid,
+            format!("primaryid {pid} inconsistent with caseid {case_id} v{version}"),
+        ));
+    }
+    Ok((
+        pid,
+        CaseReport {
+            case_id,
+            version,
+            report_type,
+            age,
+            sex,
+            weight_kg,
+            country: fields[7].into(),
+            event_date,
+            drugs: Vec::new(),
+            reactions: Vec::new(),
+            outcomes: Vec::new(),
+        },
+    ))
+}
+
+fn parse_drug_row(fields: &[&str]) -> Result<(u64, u32, DrugEntry), Offense> {
+    use QuarantineReason as Q;
+    if fields.len() != 4 {
+        return Err((None, Q::FieldCount, format!("expected 4 fields, got {}", fields.len())));
+    }
+    let pid: u64 = fields[0]
+        .parse()
+        .map_err(|_| (None, Q::BadPrimaryid, format!("bad primaryid {:?}", fields[0])))?;
+    let seq: u32 = fields[1]
+        .parse()
+        .map_err(|_| (Some(pid), Q::BadNumeric, format!("bad drug_seq {:?}", fields[1])))?;
+    let role = DrugRole::from_code(fields[2])
+        .ok_or_else(|| (Some(pid), Q::UnknownCode, format!("bad role_cod {:?}", fields[2])))?;
+    Ok((pid, seq, DrugEntry::new(fields[3], role)))
+}
+
+fn parse_reac_row<'a>(fields: &[&'a str]) -> Result<(u64, &'a str), Offense> {
+    use QuarantineReason as Q;
+    if fields.len() != 2 {
+        return Err((None, Q::FieldCount, format!("expected 2 fields, got {}", fields.len())));
+    }
+    let pid: u64 = fields[0]
+        .parse()
+        .map_err(|_| (None, Q::BadPrimaryid, format!("bad primaryid {:?}", fields[0])))?;
+    Ok((pid, fields[1]))
+}
+
+fn parse_outc_pid(fields: &[&str]) -> Result<u64, Offense> {
+    use QuarantineReason as Q;
+    if fields.len() != 2 {
+        return Err((None, Q::FieldCount, format!("expected 2 fields, got {}", fields.len())));
+    }
+    fields[0].parse().map_err(|_| (None, Q::BadPrimaryid, format!("bad primaryid {:?}", fields[0])))
+}
+
+fn parse_outc_code(fields: &[&str]) -> Result<Outcome, Offense> {
+    Outcome::from_code(fields[1]).ok_or_else(|| {
+        (None, QuarantineReason::UnknownCode, format!("bad outc_cod {:?}", fields[1]))
+    })
+}
+
+/// The legacy sequential read, table by table, row by row.
+fn legacy_read(
+    cq: &CorruptedQuarter,
+    opts: &IngestOptions,
+) -> Result<(QuarterData, IngestReport), AsciiError> {
+    let id = cq.id;
+    let mut reports: Vec<CaseReport> = Vec::new();
+    let mut by_pid: FxHashMap<u64, usize> = FxHashMap::default();
+    let mut sink = LegacySink::new(id, opts);
+
+    let demo_lines: Vec<&str> = cq.demo.lines().collect();
+    sink.check_header("DEMO", &demo_lines)?;
+    for (lineno, line) in demo_lines.iter().enumerate().skip(1) {
+        sink.report.demo.rows += 1;
+        let fields: Vec<&str> = line.split('$').collect();
+        match parse_demo_row(&fields) {
+            Err(offense) => {
+                sink.offend("DEMO", lineno + 1, offense, line)?;
+                sink.report.demo.quarantined += 1;
+            }
+            Ok((pid, report)) => match by_pid.entry(pid) {
+                Entry::Occupied(_) => {
+                    let offense = (
+                        Some(pid),
+                        QuarantineReason::DuplicatePrimaryid,
+                        format!("duplicate primaryid {pid}"),
+                    );
+                    sink.offend("DEMO", lineno + 1, offense, line)?;
+                    sink.report.demo.quarantined += 1;
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(reports.len());
+                    reports.push(report);
+                    sink.report.demo.ok += 1;
+                }
+            },
+        }
+    }
+
+    let drug_lines: Vec<&str> = cq.drug.lines().collect();
+    sink.check_header("DRUG", &drug_lines)?;
+    let mut drug_rows: Vec<(u64, u32, DrugEntry)> = Vec::new();
+    for (lineno, line) in drug_lines.iter().enumerate().skip(1) {
+        sink.report.drug.rows += 1;
+        let fields: Vec<&str> = line.split('$').collect();
+        match parse_drug_row(&fields).and_then(|row| orphan_check(&by_pid, row.0).map(|()| row)) {
+            Err(offense) => {
+                sink.offend("DRUG", lineno + 1, offense, line)?;
+                sink.report.drug.quarantined += 1;
+            }
+            Ok(row) => {
+                drug_rows.push(row);
+                sink.report.drug.ok += 1;
+            }
+        }
+    }
+    drug_rows.sort_by_key(|&(pid, seq, _)| (pid, seq));
+    for (pid, _, entry) in drug_rows {
+        reports[by_pid[&pid]].drugs.push(entry);
+    }
+
+    let reac_lines: Vec<&str> = cq.reac.lines().collect();
+    sink.check_header("REAC", &reac_lines)?;
+    for (lineno, line) in reac_lines.iter().enumerate().skip(1) {
+        sink.report.reac.rows += 1;
+        let fields: Vec<&str> = line.split('$').collect();
+        match parse_reac_row(&fields).and_then(|row| orphan_check(&by_pid, row.0).map(|()| row)) {
+            Err(offense) => {
+                sink.offend("REAC", lineno + 1, offense, line)?;
+                sink.report.reac.quarantined += 1;
+            }
+            Ok((pid, pt)) => {
+                reports[by_pid[&pid]].reactions.push(pt.into());
+                sink.report.reac.ok += 1;
+            }
+        }
+    }
+
+    let outc_lines: Vec<&str> = cq.outc.lines().collect();
+    sink.check_header("OUTC", &outc_lines)?;
+    for (lineno, line) in outc_lines.iter().enumerate().skip(1) {
+        sink.report.outc.rows += 1;
+        let fields: Vec<&str> = line.split('$').collect();
+        let parsed = parse_outc_pid(&fields)
+            .and_then(|pid| orphan_check(&by_pid, pid).map(|()| pid))
+            .and_then(|pid| parse_outc_code(&fields).map(|o| (pid, o)));
+        match parsed {
+            Err(offense) => {
+                sink.offend("OUTC", lineno + 1, offense, line)?;
+                sink.report.outc.quarantined += 1;
+            }
+            Ok((pid, outcome)) => {
+                reports[by_pid[&pid]].outcomes.push(outcome);
+                sink.report.outc.ok += 1;
+            }
+        }
+    }
+
+    if let Some(max_frac) = opts.budget.max_bad_frac {
+        if opts.mode == IngestMode::Lenient
+            && !sink.report.quarantine.is_empty()
+            && sink.report.bad_fraction() > max_frac
+        {
+            return Err(sink.budget_exceeded());
+        }
+    }
+
+    Ok((QuarterData { id, reports }, sink.report))
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures and the comparison harness.
+// ---------------------------------------------------------------------------
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Four seeded fault-injected quarters at different corruption rates,
+/// from 0 (clean) up to 10%.
+fn fixture_quarters() -> Vec<CorruptedQuarter> {
+    let mut synth = Synthesizer::new(SynthConfig::test_scale(97));
+    let quarters = synth.generate_year(2015);
+    let faults = [
+        FaultConfig::new(7, 0.0),
+        FaultConfig::new(11, 0.02),
+        FaultConfig::new(13, 0.05),
+        FaultConfig::new(17, 0.10),
+    ];
+    quarters.iter().zip(faults).map(|(q, cfg)| corrupt_quarter(q, &cfg)).collect()
+}
+
+fn new_read(
+    cq: &CorruptedQuarter,
+    opts: &IngestOptions,
+) -> Result<(QuarterData, IngestReport), AsciiError> {
+    read_quarter_with(
+        cq.id,
+        cq.demo.as_bytes(),
+        cq.drug.as_bytes(),
+        cq.reac.as_bytes(),
+        cq.outc.as_bytes(),
+        opts,
+    )
+    .map(|i| (i.data, i.report))
+}
+
+/// Asserts the new reader agrees with the oracle — success payloads
+/// field-for-field (including the quarantine ledger, in order), failures
+/// by full debug representation (variant + every field).
+fn assert_agrees(cq: &CorruptedQuarter, opts: &IngestOptions, label: &str) {
+    let expect = legacy_read(cq, opts);
+    for threads in THREAD_COUNTS {
+        let opts = (*opts).with_threads(threads);
+        let got = new_read(cq, &opts);
+        match (&expect, &got) {
+            (Ok((edata, ereport)), Ok((gdata, greport))) => {
+                assert_eq!(gdata, edata, "{label} @ {threads} threads: data diverged");
+                assert_eq!(greport, ereport, "{label} @ {threads} threads: report diverged");
+            }
+            (Err(e), Err(g)) => {
+                assert_eq!(
+                    format!("{g:?}"),
+                    format!("{e:?}"),
+                    "{label} @ {threads} threads: error diverged"
+                );
+            }
+            _ => panic!(
+                "{label} @ {threads} threads: outcome diverged\n legacy: {expect:?}\n    new: {got:?}"
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The differential matrix.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lenient_unlimited_is_byte_identical_across_thread_counts() {
+    for (i, cq) in fixture_quarters().iter().enumerate() {
+        assert_agrees(cq, &IngestOptions::lenient(), &format!("quarter {i} lenient"));
+    }
+}
+
+#[test]
+fn strict_mode_fails_identically() {
+    for (i, cq) in fixture_quarters().iter().enumerate() {
+        assert_agrees(cq, &IngestOptions::strict(), &format!("quarter {i} strict"));
+    }
+    // Sanity: the dirty quarters actually exercise the error path.
+    let dirty = &fixture_quarters()[3];
+    assert!(legacy_read(dirty, &IngestOptions::strict()).is_err());
+}
+
+#[test]
+fn absolute_budget_trips_identically() {
+    for (i, cq) in fixture_quarters().iter().enumerate() {
+        for max in [0, 1, 3, 10] {
+            let opts = IngestOptions::lenient_with(ErrorBudget::max_rows(max));
+            assert_agrees(cq, &opts, &format!("quarter {i} max_rows={max}"));
+        }
+    }
+}
+
+#[test]
+fn fractional_budget_settles_identically() {
+    for (i, cq) in fixture_quarters().iter().enumerate() {
+        for frac in [0.001, 0.03, 0.5] {
+            let opts = IngestOptions::lenient_with(ErrorBudget::max_frac(frac));
+            assert_agrees(cq, &opts, &format!("quarter {i} max_frac={frac}"));
+        }
+    }
+}
+
+#[test]
+fn damaged_and_missing_headers_are_identical() {
+    let mut cq = fixture_quarters().into_iter().nth(1).unwrap();
+    cq.demo = cq.demo.replacen(DEMO_HEADER, "primaryid$oops", 1);
+    cq.outc.clear();
+    assert_agrees(&cq, &IngestOptions::lenient(), "broken headers lenient");
+    assert_agrees(&cq, &IngestOptions::strict(), "broken headers strict");
+}
+
+#[test]
+fn memoized_cleaning_is_byte_identical_on_ingested_data() {
+    let cq = fixture_quarters().into_iter().nth(2).unwrap();
+    let (data, _) = new_read(&cq, &IngestOptions::lenient()).unwrap();
+    let dv = maras_faers::Vocabulary::drugs(150);
+    let av = maras_faers::Vocabulary::adrs(120);
+    let cached = CleanConfig::default();
+    let uncached = CleanConfig { memoize: false, ..Default::default() };
+    let (reports_c, stats_c) = clean_quarter(&data, &dv, &av, &cached);
+    let (reports_u, stats_u) = clean_quarter(&data, &dv, &av, &uncached);
+    assert_eq!(reports_c, reports_u);
+    assert_eq!(stats_c.without_cache_counters(), stats_u.without_cache_counters());
+    assert!(stats_c.drug_cache_hits + stats_c.adr_cache_hits > 0, "memo never hit");
+}
+
+/// One `Cleaner` shared across a whole (fault-injected) year must produce
+/// exactly what fresh uncached per-quarter cleaning produces — the memo
+/// carried between quarters cannot leak state into the output.
+#[test]
+fn shared_cleaner_across_year_is_byte_identical() {
+    let dv = maras_faers::Vocabulary::drugs(150);
+    let av = maras_faers::Vocabulary::adrs(120);
+    let mut shared = maras_faers::Cleaner::new(&dv, &av, CleanConfig::default());
+    let uncached = CleanConfig { memoize: false, ..Default::default() };
+    let mut carried_hits = 0usize;
+    for cq in fixture_quarters() {
+        let (data, _) = new_read(&cq, &IngestOptions::lenient()).unwrap();
+        let (reports_s, stats_s) = shared.clean_quarter(&data);
+        let (reports_f, stats_f) = clean_quarter(&data, &dv, &av, &uncached);
+        assert_eq!(reports_s, reports_f, "shared memo changed quarter {:?}", cq.id);
+        assert_eq!(stats_s.without_cache_counters(), stats_f.without_cache_counters());
+        carried_hits += stats_s.drug_cache_hits + stats_s.adr_cache_hits;
+    }
+    assert!(carried_hits > 0, "shared memo never hit across the year");
+}

@@ -23,10 +23,10 @@
 use maras::core::ingest::{run_quarters_dir, QuarterOutcome};
 use maras::core::{supporting_reports, KnowledgeBase, Pipeline, PipelineConfig};
 use maras::faers::ascii::{
-    read_quarter_dir_with, write_quarter_dir, AsciiError, ErrorBudget, IngestMode, IngestOptions,
-    IngestReport, Ingested,
+    read_quarter_dir_with, write_quarter_dir, AsciiError, ErrorBudget, IngestMetrics, IngestMode,
+    IngestOptions, IngestReport, Ingested,
 };
-use maras::faers::{QuarterId, SynthConfig, Synthesizer, Vocabulary};
+use maras::faers::{CleaningStats, QuarterId, SynthConfig, Synthesizer, Vocabulary};
 use maras::rules::{DrugAdrRule, Measure};
 use maras::serve::{ServeState, Snapshot, StoreError};
 use maras::study::{appendix_a_battery, run_study, Encoding, StudyConfig};
@@ -142,8 +142,9 @@ USAGE:
   maras serve    --snapshot FILE.snap [--addr HOST:PORT] [--threads N]
                  [--cache N] [--check] [--json FILE]
 
-For analyze/year/report/snapshot, --threads N sets the mining worker count
-(0 or omitted = all available cores); for serve it sets HTTP worker threads.
+For analyze/year/report/snapshot, --threads N sets the mining AND ingest
+worker count (0 or omitted = all available cores); for serve it sets HTTP
+worker threads. Ingest output is byte-identical at any thread count.
   maras study    [--participants N] [--seed S]
   maras demo
 
@@ -231,7 +232,7 @@ fn ingest_options(flags: &Flags) -> Result<IngestOptions, CliError> {
         }
         budget.max_bad_frac = Some(f);
     }
-    Ok(IngestOptions { mode, budget })
+    Ok(IngestOptions { mode, budget, n_threads: flag_num(flags, "threads", 0usize)? })
 }
 
 fn write_vocab(path: &Path, vocab: &Vocabulary) -> Result<(), CliError> {
@@ -358,6 +359,53 @@ fn ingest_report_json(report: &IngestReport) -> serde_json::Value {
     ])
 }
 
+/// JSON projection of [`IngestMetrics`]: where the read spent its time,
+/// plus interner accounting.
+fn ingest_metrics_json(metrics: &IngestMetrics) -> serde_json::Value {
+    use serde_json::Value;
+    let files = Value::obj(metrics.per_file().into_iter().map(|(name, io_us, parse_us)| {
+        (name, Value::obj([("io_us", Value::from(io_us)), ("parse_us", Value::from(parse_us))]))
+    }));
+    Value::obj([
+        ("threads", Value::from(metrics.threads)),
+        ("files", files),
+        ("merge_us", Value::from(metrics.merge_us)),
+        ("total_us", Value::from(metrics.total_us)),
+        (
+            "interner",
+            Value::obj([
+                ("unique", Value::from(metrics.intern.unique)),
+                ("hits", Value::from(metrics.intern.hits)),
+                ("bytes", Value::from(metrics.intern.bytes)),
+                ("hit_rate", Value::from(metrics.intern.hit_rate())),
+            ]),
+        ),
+    ])
+}
+
+/// JSON projection of [`CleaningStats`], including the canonicalization
+/// cache counters.
+fn cleaning_stats_json(stats: &CleaningStats) -> serde_json::Value {
+    use serde_json::Value;
+    Value::obj([
+        ("input_reports", Value::from(stats.input_reports)),
+        ("deduplicated_versions", Value::from(stats.deduplicated_versions)),
+        ("output_reports", Value::from(stats.output_reports)),
+        ("dropped_sparse", Value::from(stats.dropped_sparse)),
+        ("drug_mentions", Value::from(stats.drug_mentions)),
+        ("corrected_drugs", Value::from(stats.corrected_drugs)),
+        ("unmatched_drugs", Value::from(stats.unmatched_drugs)),
+        ("adr_mentions", Value::from(stats.adr_mentions)),
+        ("corrected_adrs", Value::from(stats.corrected_adrs)),
+        ("unmatched_adrs", Value::from(stats.unmatched_adrs)),
+        ("drug_cache_hits", Value::from(stats.drug_cache_hits)),
+        ("drug_cache_misses", Value::from(stats.drug_cache_misses)),
+        ("adr_cache_hits", Value::from(stats.adr_cache_hits)),
+        ("adr_cache_misses", Value::from(stats.adr_cache_misses)),
+        ("cache_hit_rate", Value::from(stats.cache_hit_rate())),
+    ])
+}
+
 fn cmd_analyze(flags: &Flags) -> Result<(), CliError> {
     let dir = PathBuf::from(flag(flags, "dir")?);
     let id = parse_quarter(flag(flags, "quarter")?)?;
@@ -366,6 +414,7 @@ fn cmd_analyze(flags: &Flags) -> Result<(), CliError> {
     let (ingested, dv, av) = load(&dir, id, &opts)?;
     print_ingest(&ingested.report);
     let ingest_report = ingested.report;
+    let ingest_metrics = ingested.metrics;
     let result = Pipeline::new(pipeline_config(flags)?).run(ingested.data, &dv, &av);
 
     println!(
@@ -403,6 +452,8 @@ fn cmd_analyze(flags: &Flags) -> Result<(), CliError> {
         let json = serde_json::Value::obj([
             ("quarter", serde_json::Value::from(id.to_string())),
             ("ingest", ingest_report_json(&ingest_report)),
+            ("ingest_metrics", ingest_metrics_json(&ingest_metrics)),
+            ("cleaning", cleaning_stats_json(&result.cleaning)),
             ("rules", serde_json::Value::arr(views.iter().map(rule_view_json))),
         ]);
         let json =
@@ -448,7 +499,7 @@ fn cmd_year(flags: &Flags) -> Result<(), CliError> {
                     qr.id, result.cleaning.input_reports, result.counts.mcacs
                 );
             }
-            QuarterOutcome::Degraded { result, report } => {
+            QuarterOutcome::Degraded { result, report, .. } => {
                 println!(
                     "{}: degraded - {} of {} rows quarantined, {} MCACs from surviving reports",
                     qr.id,
@@ -466,6 +517,14 @@ fn cmd_year(flags: &Flags) -> Result<(), CliError> {
             ("quarter", serde_json::Value::from(qr.id.to_string())),
             ("status", serde_json::Value::from(qr.status())),
             ("ingest", qr.ingest_report().map_or(serde_json::Value::Null, ingest_report_json)),
+            (
+                "ingest_metrics",
+                qr.ingest_metrics().map_or(serde_json::Value::Null, ingest_metrics_json),
+            ),
+            (
+                "cleaning",
+                qr.result().map_or(serde_json::Value::Null, |r| cleaning_stats_json(&r.cleaning)),
+            ),
             (
                 "error",
                 qr.error()

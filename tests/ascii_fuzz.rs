@@ -60,7 +60,7 @@ fn arb_report(case_id: u64) -> impl Strategy<Value = CaseReport> {
                     age: age.map(|a| (a * 2.0).round() / 2.0),
                     sex,
                     weight_kg: weight_kg.map(|w| (w * 2.0).round() / 2.0),
-                    country,
+                    country: country.into(),
                     event_date,
                     drugs: drugs
                         .into_iter()
@@ -74,7 +74,7 @@ fn arb_report(case_id: u64) -> impl Strategy<Value = CaseReport> {
                             DrugEntry::new(name, role)
                         })
                         .collect(),
-                    reactions,
+                    reactions: reactions.into_iter().map(Into::into).collect(),
                     outcomes,
                 }
             },
