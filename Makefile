@@ -7,12 +7,13 @@
 # by contract.
 
 FIRST_PARTY = -p maras -p maras-bench -p maras-core -p maras-faers \
-              -p maras-mcac -p maras-mining -p maras-rules -p maras-serve \
-              -p maras-signals -p maras-study -p maras-viz
+              -p maras-mcac -p maras-mining -p maras-obs -p maras-rules \
+              -p maras-serve -p maras-signals -p maras-study -p maras-viz
 
-.PHONY: verify fmt fmt-check clippy test serve-test snapshot bench-serve bench-mining bench-ingest
+.PHONY: verify fmt fmt-check clippy test obs-test serve-test snapshot trace \
+        bench-serve bench-mining bench-ingest
 
-verify: fmt-check clippy test serve-test
+verify: fmt-check clippy test obs-test serve-test
 
 fmt:
 	cargo fmt
@@ -27,6 +28,14 @@ test:
 	cargo build --release
 	cargo test -q
 
+# The observability layer on its own: obs crate unit tests (tracer,
+# registry, exposition, trace export), the Prometheus golden file, and
+# the cross-layer span determinism suite.
+obs-test:
+	cargo test -q -p maras-obs
+	cargo test -q -p maras-serve --test prometheus_golden
+	cargo test -q --test observability
+
 # The server lifecycle test on its own: boots on an ephemeral port,
 # exercises every endpoint, and hot-swaps the snapshot mid-test.
 serve-test:
@@ -40,6 +49,14 @@ snapshot:
 		--quarter 2014Q1 --out target/demo-data/2014Q1.snap
 	cargo run -q --release --bin maras -- serve \
 		--snapshot target/demo-data/2014Q1.snap --check
+
+# End-to-end observability demo: synthesize a year, run it with span
+# tracing, and leave a Chrome trace (open in chrome://tracing or
+# Perfetto) plus the span-tree table on stderr.
+trace:
+	cargo run -q --release --bin maras -- generate --out target/trace-data --reports 5000
+	cargo run -q --release --bin maras -- year --dir target/trace-data \
+		--trace target/trace-data/trace.json --timings
 
 # Replay the fixed query workload against a synthetic snapshot and
 # record latency percentiles + throughput in BENCH_serve.json.

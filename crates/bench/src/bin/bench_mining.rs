@@ -10,6 +10,7 @@
 use maras_bench::{generate_quarter, print_table};
 use maras_faers::{clean_quarter, CleanConfig};
 use maras_mining::{mine_patterns_parallel, TransactionDb};
+use maras_obs::ObsConfig;
 use serde_json::Value;
 use std::time::Instant;
 
@@ -102,6 +103,8 @@ fn main() {
     }
     print_table(&["threads", "p50 ms", "min ms", "max ms", "patterns/s", "speedup"], &rows);
 
+    let obs_overhead = measure_obs_overhead(&db, n_patterns);
+
     let json = Value::obj([
         ("transactions", Value::from(db.len())),
         ("min_support", Value::from(MIN_SUPPORT)),
@@ -109,9 +112,54 @@ fn main() {
         ("arena_bytes", Value::from(arena_bytes)),
         ("reps", Value::from(REPS)),
         ("per_thread", Value::arr(per_thread)),
+        ("obs_overhead", obs_overhead),
     ]);
     let out = "BENCH_mining.json";
     std::fs::write(out, serde_json::to_string_pretty(&json).expect("render json"))
         .expect("write BENCH_mining.json");
     println!("wrote {out}");
+}
+
+/// Times the miner with span tracing on (draining the collector each rep,
+/// as a `--trace` run would) against `ObsConfig::disabled()`, and enforces
+/// the observability budget: instrumented p50 must stay within 5% of the
+/// disabled p50 (plus a 500 µs floor so micro-runs don't trip on noise).
+fn measure_obs_overhead(db: &TransactionDb, n_patterns: usize) -> Value {
+    let threads = 4;
+    let mut p50_us = [0u64; 2];
+    for (slot, tracing) in [(0usize, true), (1, false)] {
+        let cfg = if tracing { ObsConfig::enabled() } else { ObsConfig::disabled() };
+        maras_obs::init(&cfg);
+        maras_obs::take_spans(); // start each mode from an empty collector
+        let mut lat_us: Vec<u64> = Vec::with_capacity(REPS);
+        for _ in 0..=REPS {
+            let t = Instant::now();
+            let store = mine_patterns_parallel(db, MIN_SUPPORT, threads);
+            let spans = maras_obs::take_spans();
+            lat_us.push(t.elapsed().as_micros() as u64);
+            assert_eq!(store.len(), n_patterns);
+            assert_eq!(spans.is_empty(), !tracing, "tracing mode not honored");
+        }
+        lat_us.remove(0); // discard the warm-up rep
+        lat_us.sort_unstable();
+        p50_us[slot] = percentile(&lat_us, 0.50);
+    }
+    maras_obs::init(&ObsConfig::enabled());
+    let [on, off] = p50_us;
+    let overhead_pct = (on as f64 - off as f64) / off as f64 * 100.0;
+    let budget = (off as f64 * 0.05).max(500.0);
+    println!(
+        "obs overhead @ {threads} threads: tracing on p50 {on} us, off p50 {off} us \
+         ({overhead_pct:+.1}%; budget 5% or 500 us)"
+    );
+    assert!(
+        on as f64 <= off as f64 + budget,
+        "span tracing overhead blew the budget: on {on} us vs off {off} us"
+    );
+    Value::obj([
+        ("threads", Value::from(threads)),
+        ("p50_tracing_on_us", Value::from(on)),
+        ("p50_tracing_off_us", Value::from(off)),
+        ("overhead_pct", Value::from(overhead_pct)),
+    ])
 }

@@ -168,6 +168,7 @@ fn run_quarter_dir_with_cleaner(
     opts: &IngestOptions,
     cleaner: &mut Cleaner<'_>,
 ) -> QuarterRun {
+    let _span = maras_obs::span(&format!("quarter {id}"));
     let outcome = match read_quarter_dir_with(dir, id, opts) {
         Err(error) => QuarterOutcome::Failed { error },
         Ok(ingested) => {

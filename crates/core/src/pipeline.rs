@@ -60,7 +60,9 @@ impl Pipeline {
         let (cleaned, cleaning) = cleaner.clean_quarter(&quarter);
 
         // 3. Encode into the item space.
+        let encode_span = maras_obs::span("encode");
         let encoded = encode_reports(&cleaned, drug_vocab, adr_vocab);
+        drop(encode_span);
 
         // 4. §5.2 steps 2–3: one shared mining pass produces the Fig. 5.1
         //    rule-space accounting, the closed-pattern store, and the

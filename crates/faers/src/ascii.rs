@@ -687,6 +687,7 @@ pub fn read_quarter_with<R1: Read, R2: Read, R3: Read, R4: Read>(
     opts: &IngestOptions,
 ) -> Result<Ingested, AsciiError> {
     let t_total = Instant::now();
+    let _span = maras_obs::span("ingest");
     let mut metrics = IngestMetrics { threads: opts.effective_threads(), ..Default::default() };
 
     // Phase 0: slurp each file into one buffer; every field below is a
@@ -697,10 +698,12 @@ pub fn read_quarter_with<R1: Read, R2: Read, R3: Read, R4: Read>(
     // in an earlier one. Reading all four buffers up front means I/O
     // errors now always surface first; parse, quarantine, and budget
     // behaviour is otherwise byte-identical (differential-tested).
+    let io_span = maras_obs::span("io");
     let demo_buf = slurp(demo, &mut metrics.io_us[0])?;
     let drug_buf = slurp(drug, &mut metrics.io_us[1])?;
     let reac_buf = slurp(reac, &mut metrics.io_us[2])?;
     let outc_buf = slurp(outc, &mut metrics.io_us[3])?;
+    drop(io_span);
     let line_sets: [Vec<&str>; 4] = [
         demo_buf.lines().collect(),
         drug_buf.lines().collect(),
@@ -721,18 +724,54 @@ pub fn read_quarter_with<R1: Read, R2: Read, R3: Read, R4: Read>(
     ];
 
     // Phase 1: embarrassingly parallel pure parse over line ranges.
+    let parse_span = maras_obs::span("parse");
     let parsed = parse_phase(&rows, metrics.threads, &mut metrics.parse_us);
+    drop(parse_span);
 
     // Phase 2: sequential merge applies mode/budget/quarantine policy in
     // exact legacy row order and interns the repeated strings.
     let t_merge = Instant::now();
+    let merge_span = maras_obs::span("merge");
     let mut interner = SymbolTable::new();
     let merged = merge_quarter(id, opts, headers, rows, parsed, &mut interner);
+    drop(merge_span);
     metrics.merge_us = t_merge.elapsed().as_micros() as u64;
     metrics.intern = interner.stats();
     metrics.total_us = t_total.elapsed().as_micros() as u64;
     let (data, report) = merged?;
+    publish_ingest_metrics(&report, &metrics);
     Ok(Ingested { data, report, metrics })
+}
+
+/// Folds one quarter's ingest accounting into the global metrics
+/// registry: cumulative row outcomes, per-phase wall time, and the
+/// interner's footprint (a gauge — it describes the latest quarter).
+fn publish_ingest_metrics(report: &IngestReport, metrics: &IngestMetrics) {
+    let (ok, quarantined) = report.files().iter().fold((0u64, 0u64), |(ok, q), (_, counts)| {
+        (ok + counts.ok as u64, q + counts.quarantined as u64)
+    });
+    maras_obs::counter("maras_ingest_rows_ok_total", "FAERS data rows parsed into quarters")
+        .add(ok);
+    maras_obs::counter("maras_ingest_rows_quarantined_total", "FAERS data rows quarantined")
+        .add(quarantined);
+    for (phase, us) in [
+        ("io", metrics.io_us.iter().sum::<u64>()),
+        ("parse", metrics.parse_us.iter().sum::<u64>()),
+        ("merge", metrics.merge_us),
+    ] {
+        maras_obs::counter_with(
+            "maras_ingest_phase_us_total",
+            "ingest wall time by phase",
+            &[("phase", phase)],
+        )
+        .add(us);
+    }
+    maras_obs::counter("maras_intern_hits_total", "string-interner lookups answered by cache")
+        .add(metrics.intern.hits);
+    maras_obs::gauge("maras_intern_unique", "distinct strings in the latest quarter's interner")
+        .set(metrics.intern.unique as f64);
+    maras_obs::gauge("maras_intern_bytes", "bytes owned by the latest quarter's interner")
+        .set(metrics.intern.bytes as f64);
 }
 
 /// Reads a whole stream into one buffer, accumulating the wall time.
@@ -826,11 +865,14 @@ fn parse_phase<'a>(
         }
     }
 
+    const TABLE: [&str; 4] = ["DEMO", "DRUG", "REAC", "OUTC"];
     let workers = n_threads.min(jobs.len()).max(1);
+    let parent = maras_obs::current_path().unwrap_or_default();
     let mut results: Vec<(usize, ParsedChunk<'a>, u64)> = Vec::with_capacity(jobs.len());
     if workers <= 1 {
         for (i, &(f, start, end)) in jobs.iter().enumerate() {
             let t = Instant::now();
+            let _job = maras_obs::span(TABLE[f]);
             let chunk = parse_chunk(f, &rows[f][start..end]);
             results.push((i, chunk, t.elapsed().as_micros() as u64));
         }
@@ -839,6 +881,7 @@ fn parse_phase<'a>(
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let jobs = &jobs;
+                    let parent = &parent;
                     s.spawn(move || {
                         let mut out = Vec::new();
                         for (i, &(f, start, end)) in jobs.iter().enumerate() {
@@ -846,6 +889,7 @@ fn parse_phase<'a>(
                                 continue;
                             }
                             let t = Instant::now();
+                            let _job = maras_obs::span_under(parent, TABLE[f]);
                             let chunk = parse_chunk(f, &rows[f][start..end]);
                             out.push((i, chunk, t.elapsed().as_micros() as u64));
                         }

@@ -347,6 +347,7 @@ impl<'a> Cleaner<'a> {
     /// Statistics cover this call only; the canonicalization memos persist
     /// across calls (see the type-level docs for why that is sound).
     pub fn clean_quarter(&mut self, quarter: &QuarterData) -> (Vec<CleanedReport>, CleaningStats) {
+        let _span = maras_obs::span("clean");
         let mut stats =
             CleaningStats { input_reports: quarter.reports.len(), ..Default::default() };
 
@@ -388,6 +389,12 @@ impl<'a> Cleaner<'a> {
             });
         }
         stats.output_reports = out.len();
+        maras_obs::counter("maras_clean_reports_total", "cleaned reports emitted")
+            .add(out.len() as u64);
+        maras_obs::counter("maras_clean_cache_hits_total", "canonicalization memo hits")
+            .add((stats.drug_cache_hits + stats.adr_cache_hits) as u64);
+        maras_obs::counter("maras_clean_cache_misses_total", "canonicalization memo misses")
+            .add((stats.drug_cache_misses + stats.adr_cache_misses) as u64);
         (out, stats)
     }
 

@@ -68,6 +68,7 @@ pub fn rank_clusters(
     db: &TransactionDb,
     method: RankingMethod,
 ) -> Vec<RankedMcac> {
+    let _span = maras_obs::span("mcac");
     let mut out: Vec<RankedMcac> = rules
         .into_iter()
         .filter(DrugAdrRule::is_multi_drug)
@@ -78,6 +79,8 @@ pub fn rank_clusters(
         })
         .collect();
     sort_ranked(&mut out);
+    maras_obs::counter("maras_mcac_clusters_total", "MCAC clusters built and ranked")
+        .add(out.len() as u64);
     out
 }
 

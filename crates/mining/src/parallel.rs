@@ -38,16 +38,21 @@ where
     S: PatternSink + Send,
     F: Fn() -> S + Sync,
 {
+    let build_span = maras_obs::span("build_tree");
     let tree = build_global_tree(db, min_support);
+    drop(build_span);
     if tree.mining_order().is_empty() {
         return Vec::new();
     }
     let tree = &tree;
     let make_sink = &make_sink;
+    let parent = maras_obs::current_path().unwrap_or_default();
+    let parent = &parent;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
             .map(|w| {
                 scope.spawn(move || {
+                    let _shard = maras_obs::span_under(parent, "shard");
                     let mut sink = make_sink();
                     let mut prefix: Vec<Item> = Vec::new();
                     let mut scratch: Vec<Item> = Vec::new();
@@ -93,17 +98,27 @@ pub fn mine_patterns_parallel(
 ) -> PatternStore {
     let n_threads = n_threads.max(1);
     let min_support = min_support.max(1);
+    let mine_span = maras_obs::span("mine");
     let mut out = if n_threads == 1 {
+        let _seq = maras_obs::span("mine_seq");
         crate::fpgrowth::mine_patterns(db, min_support)
     } else {
         let shards = mine_sharded(db, min_support, n_threads, PatternStore::new);
+        let _merge = maras_obs::span("merge");
         let mut merged = PatternStore::new();
         for shard in shards {
             merged.absorb(shard);
         }
         merged
     };
+    let sort_span = maras_obs::span("sort");
     out.sort_by_items();
+    drop(sort_span);
+    maras_obs::counter("maras_mining_patterns_total", "frequent patterns mined")
+        .add(out.len() as u64);
+    maras_obs::gauge("maras_mining_arena_bytes", "item arena size of the latest pattern store")
+        .set(out.arena_bytes() as f64);
+    drop(mine_span);
     out
 }
 

@@ -1,0 +1,183 @@
+//! Prometheus text exposition format v0.0.4 rendering.
+//!
+//! [`PromText`] is an append-only writer: callers emit series in any
+//! order; `# HELP` / `# TYPE` headers are written once per metric name
+//! (the first help string wins), label values are escaped per the spec,
+//! and histograms expand into cumulative `_bucket` series ending in
+//! `le="+Inf"` plus `_sum` and `_count`.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Incremental writer for Prometheus exposition text.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+    typed: BTreeSet<String>,
+}
+
+/// Escapes a label value: backslash, double-quote, and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a HELP string: backslash and newline (quotes are legal there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` the way Prometheus expects: integral values without a
+/// trailing `.0`, everything else via the shortest round-trip form.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn fmt_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+impl PromText {
+    /// Creates an empty writer.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        if self.typed.insert(name.to_string()) {
+            let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        }
+    }
+
+    /// Emits one counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name}{} {value}", fmt_labels(labels));
+    }
+
+    /// Emits one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name}{} {}", fmt_labels(labels), fmt_f64(value));
+    }
+
+    /// Emits one histogram: cumulative `_bucket` series per bound, the
+    /// mandatory `le="+Inf"` bucket, then `_sum` and `_count`.
+    ///
+    /// `counts` are per-bucket (non-cumulative) and must have one more
+    /// entry than `bounds` — the trailing overflow bucket.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        counts: &[u64],
+        sum: f64,
+    ) {
+        assert_eq!(counts.len(), bounds.len() + 1, "counts must include +Inf bucket");
+        self.header(name, help, "histogram");
+        let mut cum = 0u64;
+        for (i, &ub) in bounds.iter().enumerate() {
+            cum += counts[i];
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            let le = fmt_f64(ub);
+            with_le.push(("le", &le));
+            let _ = writeln!(self.out, "{name}_bucket{} {cum}", fmt_labels(&with_le));
+        }
+        cum += counts[bounds.len()];
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        with_le.push(("le", "+Inf"));
+        let _ = writeln!(self.out, "{name}_bucket{} {cum}", fmt_labels(&with_le));
+        let _ = writeln!(self.out, "{name}_sum{} {}", fmt_labels(labels), fmt_f64(sum));
+        let _ = writeln!(self.out, "{name}_count{} {cum}", fmt_labels(labels));
+    }
+
+    /// Returns the accumulated exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_and_type_emitted_once_per_name() {
+        let mut t = PromText::new();
+        t.counter("req_total", "requests", &[("ep", "a")], 1);
+        t.counter("req_total", "requests", &[("ep", "b")], 2);
+        let out = t.finish();
+        assert_eq!(out.matches("# HELP req_total").count(), 1);
+        assert_eq!(out.matches("# TYPE req_total counter").count(), 1);
+        assert!(out.contains("req_total{ep=\"a\"} 1\n"));
+        assert!(out.contains("req_total{ep=\"b\"} 2\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut t = PromText::new();
+        t.gauge("g", "with \\ and \"quotes\"\nnewline", &[("k", "a\\b\"c\nd")], 1.0);
+        let out = t.finish();
+        assert!(out.contains("# HELP g with \\\\ and \"quotes\"\\nnewline\n"));
+        assert!(out.contains("g{k=\"a\\\\b\\\"c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_with_inf() {
+        let mut t = PromText::new();
+        t.histogram("lat", "latency", &[], &[50.0, 100.0], &[2, 3, 1], 321.5);
+        let out = t.finish();
+        assert!(out.contains("# TYPE lat histogram"));
+        assert!(out.contains("lat_bucket{le=\"50\"} 2\n"));
+        assert!(out.contains("lat_bucket{le=\"100\"} 5\n"));
+        assert!(out.contains("lat_bucket{le=\"+Inf\"} 6\n"));
+        assert!(out.contains("lat_sum 321.5\n"));
+        assert!(out.contains("lat_count 6\n"));
+        // Bucket counts never decrease.
+        let counts: Vec<u64> = out
+            .lines()
+            .filter(|l| l.starts_with("lat_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn histogram_labels_compose_with_le() {
+        let mut t = PromText::new();
+        t.histogram("lat", "latency", &[("ep", "search")], &[1.0], &[1, 0], 0.5);
+        let out = t.finish();
+        assert!(out.contains("lat_bucket{ep=\"search\",le=\"1\"} 1\n"));
+        assert!(out.contains("lat_bucket{ep=\"search\",le=\"+Inf\"} 1\n"));
+        assert!(out.contains("lat_sum{ep=\"search\"} 0.5\n"));
+        assert!(out.contains("lat_count{ep=\"search\"} 1\n"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Chrome trace-event export: renders recorded spans as the JSON object
+//! format `chrome://tracing` and Perfetto load directly.
+//!
+//! Each span becomes one complete (`"ph":"X"`) event with microsecond
+//! timestamps; thread ids map to trace `tid`s so parallel workers render
+//! as separate tracks. The full hierarchical path rides along in `args`
+//! for filtering.
+
+use crate::span::SpanRecord;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn push_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders spans as a Chrome trace-event JSON document.
+pub fn chrome_trace(records: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(128 + records.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        push_json_escaped(&mut out, r.name());
+        out.push_str("\",\"cat\":\"maras\",\"ph\":\"X\",\"ts\":");
+        out.push_str(&format!("{:.3}", r.start_ns as f64 / 1_000.0));
+        out.push_str(",\"dur\":");
+        out.push_str(&format!("{:.3}", r.dur_ns as f64 / 1_000.0));
+        out.push_str(&format!(",\"pid\":1,\"tid\":{}", r.tid));
+        out.push_str(",\"args\":{\"path\":\"");
+        push_json_escaped(&mut out, &r.path);
+        out.push_str("\"}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(path: &str, start: u64, dur: u64, tid: u64) -> SpanRecord {
+        SpanRecord { path: path.into(), start_ns: start, dur_ns: dur, tid }
+    }
+
+    #[test]
+    fn renders_valid_json_with_complete_events() {
+        let json = chrome_trace(&[
+            rec("run", 0, 2_500_000, 0),
+            rec("run/step \"odd\"\\name", 1_000, 500_000, 3),
+        ]);
+        let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(value["displayTimeUnit"], "ms");
+        let events = value["traceEvents"].as_array().expect("events array");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0]["ph"], "X");
+        assert_eq!(events[0]["name"], "run");
+        assert_eq!(events[0]["dur"].as_f64().unwrap(), 2500.0);
+        assert_eq!(events[1]["tid"], 3u64);
+        assert_eq!(events[1]["name"], "step \"odd\"\\name");
+        assert_eq!(events[1]["args"]["path"], "run/step \"odd\"\\name");
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_event_list() {
+        let value: serde_json::Value = serde_json::from_str(&chrome_trace(&[])).unwrap();
+        assert_eq!(value["traceEvents"].as_array().unwrap().len(), 0);
+    }
+}

@@ -68,6 +68,7 @@ fn space(
     n_threads: usize,
     build_rules: bool,
 ) -> RuleSpace {
+    let _span = maras_obs::span("rules");
     let store = mine_patterns_parallel(db, min_support, n_threads);
     let mut counts =
         RuleSpaceCounts { frequent_itemsets: store.len() as u64, ..RuleSpaceCounts::default() };
@@ -81,12 +82,15 @@ fn space(
         }
     }
 
+    let closed_span = maras_obs::span("closed");
     let mut refs = closed_refs(&store);
     refs.sort_unstable_by(|&a, &b| {
         store.support(b).cmp(&store.support(a)).then_with(|| store.items(a).cmp(store.items(b)))
     });
+    drop(closed_span);
     counts.closed_itemsets = refs.len() as u64;
 
+    let _derive = maras_obs::span("derive");
     let mut closed = PatternStore::with_capacity(refs.len(), 0);
     let mut rules = Vec::new();
     for r in refs {
@@ -103,6 +107,8 @@ fn space(
             }
         }
     }
+    maras_obs::counter("maras_rules_mcac_total", "closed multi-drug MCAC target rules derived")
+        .add(counts.mcacs);
     RuleSpace { counts, multi_drug_rules: rules, closed }
 }
 

@@ -124,8 +124,14 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     Ok(Request { method, path, query })
 }
 
-/// Writes a JSON response and closes the connection semantics.
-pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+/// Writes a response with the given content type and closes the
+/// connection semantics.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -136,7 +142,7 @@ pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::i
         _ => "Internal Server Error",
     };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;

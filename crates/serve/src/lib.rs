@@ -15,10 +15,15 @@
 //!   rename writes.
 //! * [`server`] + [`router`] + [`http`] — an HTTP/1.1 JSON API on
 //!   `std::net` and a fixed thread pool: `/search`, `/autocomplete`,
-//!   `/cluster/<rank>`, `/healthz`, `/metrics`, and `POST /reload` for
-//!   atomic hot snapshot swaps that never block readers.
+//!   `/cluster/<rank>`, `/healthz`, and `POST /reload` for atomic hot
+//!   snapshot swaps that never block readers.
 //! * [`cache`] + [`metrics`] — a sharded LRU over rendered responses
-//!   (invalidated on swap) and lock-free counters behind `/metrics`.
+//!   (invalidated on swap) and lock-free per-endpoint counters and
+//!   latency histograms, exposed as Prometheus text on `/metrics` and
+//!   as the legacy JSON dump on `/metrics.json`. Requests slower than
+//!   [`ServeState::slow_threshold_us`](router::ServeState) are logged
+//!   and counted; every request records parse/route/cache/render spans
+//!   into [`maras_obs`].
 //!
 //! No dependencies beyond the workspace: the whole server is `std`.
 
@@ -34,7 +39,7 @@ pub mod store;
 
 pub use cache::QueryCache;
 pub use metrics::{Endpoint, Metrics};
-pub use router::{respond, ServeState};
+pub use router::{respond, ServeState, DEFAULT_SLOW_THRESHOLD_US};
 pub use server::{serve, ServerHandle};
 pub use snapshot::{ClusterEntry, ContextEntry, Snapshot};
 pub use store::{load, save, StoreError, FORMAT_VERSION, MAGIC};

@@ -1,10 +1,17 @@
-//! Lock-free server metrics: request counters, a fixed-bucket latency
-//! histogram, and cache hit/miss counts.
+//! Lock-free server metrics: per-endpoint request counters and latency
+//! histograms, cache hit/miss counts, and both exposition formats.
 //!
 //! Everything is `AtomicU64` with relaxed ordering — the numbers are
 //! monitoring data, not synchronization, so torn cross-counter reads
 //! (e.g. a request counted but its latency not yet recorded) are
 //! acceptable and each individual counter is still exact.
+//!
+//! Two render paths share these counters: [`Metrics::to_json`] preserves
+//! the legacy `/metrics.json` schema (global histogram, summed across
+//! endpoints), and [`Metrics::to_prometheus`] emits text exposition
+//! v0.0.4 with one `maras_request_latency_us` histogram per endpoint.
+//! Reloads only ever *increment* `maras_snapshot_reloads_total`; no
+//! cumulative series resets on a snapshot swap.
 
 use serde_json::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,7 +26,7 @@ pub const LATENCY_BUCKETS_US: [u64; 10] =
 pub enum Endpoint {
     /// `GET /healthz`
     Healthz,
-    /// `GET /metrics`
+    /// `GET /metrics` (Prometheus) and `GET /metrics.json`
     Metrics,
     /// `GET /search`
     Search,
@@ -53,16 +60,29 @@ impl Endpoint {
     }
 }
 
+/// One endpoint's request count and latency histogram.
+#[derive(Default)]
+struct EndpointSeries {
+    requests: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    latency_total_us: AtomicU64,
+}
+
+impl EndpointSeries {
+    fn bucket_counts(&self) -> Vec<u64> {
+        self.latency.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+}
+
 /// Shared server metrics; cheap to record from any worker thread.
 #[derive(Default)]
 pub struct Metrics {
-    requests: [AtomicU64; N_ENDPOINTS],
+    endpoints: [EndpointSeries; N_ENDPOINTS],
     errors: AtomicU64,
-    latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
-    latency_total_us: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     reloads: AtomicU64,
+    slow_requests: AtomicU64,
 }
 
 impl Metrics {
@@ -73,7 +93,8 @@ impl Metrics {
 
     /// Records one served request with its wall latency.
     pub fn record(&self, endpoint: Endpoint, latency_us: u64, is_error: bool) {
-        self.requests[endpoint.idx()].fetch_add(1, Ordering::Relaxed);
+        let series = &self.endpoints[endpoint.idx()];
+        series.requests.fetch_add(1, Ordering::Relaxed);
         if is_error {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -81,8 +102,13 @@ impl Metrics {
             .iter()
             .position(|&ub| latency_us <= ub)
             .unwrap_or(LATENCY_BUCKETS_US.len());
-        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
-        self.latency_total_us.fetch_add(latency_us, Ordering::Relaxed);
+        series.latency[bucket].fetch_add(1, Ordering::Relaxed);
+        series.latency_total_us.fetch_add(latency_us, Ordering::Relaxed);
+    }
+
+    /// Records a request that exceeded the slow-request threshold.
+    pub fn slow_request(&self) {
+        self.slow_requests.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a response-cache hit.
@@ -95,14 +121,20 @@ impl Metrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records a completed snapshot reload.
+    /// Records a completed snapshot reload. Strictly increments — request
+    /// and latency series are cumulative across reloads by design.
     pub fn reload(&self) {
         self.reloads.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Snapshot reloads so far.
+    pub fn reloads(&self) -> u64 {
+        self.reloads.load(Ordering::Relaxed)
+    }
+
     /// Total requests across all endpoints.
     pub fn total_requests(&self) -> u64 {
-        self.requests.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.endpoints.iter().map(|e| e.requests.load(Ordering::Relaxed)).sum()
     }
 
     /// Cache hits so far.
@@ -110,34 +142,48 @@ impl Metrics {
         self.cache_hits.load(Ordering::Relaxed)
     }
 
-    /// Renders the full counter set as JSON for `GET /metrics`.
+    /// Global per-bucket latency counts (all endpoints summed), including
+    /// the trailing +Inf overflow bucket.
+    fn global_buckets(&self) -> [u64; LATENCY_BUCKETS_US.len() + 1] {
+        let mut out = [0u64; LATENCY_BUCKETS_US.len() + 1];
+        for series in &self.endpoints {
+            for (slot, c) in out.iter_mut().zip(&series.latency) {
+                *slot += c.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// Approximate global latency quantile in µs, linearly interpolated
+    /// within the containing bucket (a quantile landing in the overflow
+    /// bucket is clamped to the last finite bound). `None` before any
+    /// request was recorded.
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        let bounds: Vec<f64> = LATENCY_BUCKETS_US.iter().map(|&ub| ub as f64).collect();
+        maras_obs::quantile_from_buckets(&bounds, &self.global_buckets(), q)
+    }
+
+    /// Renders the full counter set as JSON for `GET /metrics.json`.
     pub fn to_json(&self) -> Value {
-        let requests =
-            Value::obj((0..N_ENDPOINTS).map(|i| {
-                (Endpoint::name(i), Value::from(self.requests[i].load(Ordering::Relaxed)))
-            }));
-        let histogram = Value::arr((0..self.latency.len()).map(|i| {
+        let requests = Value::obj((0..N_ENDPOINTS).map(|i| {
+            (Endpoint::name(i), Value::from(self.endpoints[i].requests.load(Ordering::Relaxed)))
+        }));
+        let global = self.global_buckets();
+        let histogram = Value::arr((0..global.len()).map(|i| {
             let le = LATENCY_BUCKETS_US
                 .get(i)
                 .map_or_else(|| Value::from("+Inf"), |&ub| Value::from(ub));
-            Value::obj([
-                ("le_us", le),
-                ("count", Value::from(self.latency[i].load(Ordering::Relaxed))),
-            ])
+            Value::obj([("le_us", le), ("count", Value::from(global[i]))])
         }));
+        let total_us: u64 =
+            self.endpoints.iter().map(|e| e.latency_total_us.load(Ordering::Relaxed)).sum();
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
         let lookups = hits + misses;
         Value::obj([
             ("requests", requests),
             ("errors", Value::from(self.errors.load(Ordering::Relaxed))),
-            (
-                "latency_us",
-                Value::obj([
-                    ("buckets", histogram),
-                    ("total", Value::from(self.latency_total_us.load(Ordering::Relaxed))),
-                ]),
-            ),
+            ("latency_us", Value::obj([("buckets", histogram), ("total", Value::from(total_us))])),
             (
                 "cache",
                 Value::obj([
@@ -155,6 +201,74 @@ impl Metrics {
             ),
             ("reloads", Value::from(self.reloads.load(Ordering::Relaxed))),
         ])
+    }
+
+    /// Renders the counter set as Prometheus text exposition v0.0.4 for
+    /// `GET /metrics`. `cache_entries` is the response cache's current
+    /// size (owned by the router, not these counters).
+    pub fn to_prometheus(&self, cache_entries: usize) -> String {
+        let bounds: Vec<f64> = LATENCY_BUCKETS_US.iter().map(|&ub| ub as f64).collect();
+        let mut text = maras_obs::PromText::new();
+        for (i, series) in self.endpoints.iter().enumerate() {
+            text.counter(
+                "maras_requests_total",
+                "requests served, by endpoint",
+                &[("endpoint", Endpoint::name(i))],
+                series.requests.load(Ordering::Relaxed),
+            );
+        }
+        text.counter(
+            "maras_request_errors_total",
+            "requests answered with status >= 400",
+            &[],
+            self.errors.load(Ordering::Relaxed),
+        );
+        for (i, series) in self.endpoints.iter().enumerate() {
+            text.histogram(
+                "maras_request_latency_us",
+                "request wall latency in microseconds, by endpoint",
+                &[("endpoint", Endpoint::name(i))],
+                &bounds,
+                &series.bucket_counts(),
+                series.latency_total_us.load(Ordering::Relaxed) as f64,
+            );
+        }
+        for (q, name) in
+            [(0.5, "maras_request_latency_p50_us"), (0.99, "maras_request_latency_p99_us")]
+        {
+            text.gauge(
+                name,
+                "interpolated global latency quantile in microseconds",
+                &[],
+                self.latency_quantile(q).unwrap_or(0.0),
+            );
+        }
+        text.counter(
+            "maras_cache_hits_total",
+            "response-cache hits",
+            &[],
+            self.cache_hits.load(Ordering::Relaxed),
+        );
+        text.counter(
+            "maras_cache_misses_total",
+            "response-cache misses",
+            &[],
+            self.cache_misses.load(Ordering::Relaxed),
+        );
+        text.gauge("maras_cache_entries", "response-cache entries", &[], cache_entries as f64);
+        text.counter(
+            "maras_snapshot_reloads_total",
+            "snapshot reloads completed",
+            &[],
+            self.reloads.load(Ordering::Relaxed),
+        );
+        text.counter(
+            "maras_slow_requests_total",
+            "requests slower than the slow-request threshold",
+            &[],
+            self.slow_requests.load(Ordering::Relaxed),
+        );
+        text.finish()
     }
 }
 
@@ -193,5 +307,59 @@ mod tests {
     fn hit_rate_is_null_before_any_lookup() {
         let m = Metrics::new();
         assert!(m.to_json()["cache"]["hit_rate"].is_null());
+    }
+
+    #[test]
+    fn latency_quantile_interpolates_within_bucket() {
+        let m = Metrics::new();
+        assert_eq!(m.latency_quantile(0.99), None, "no observations yet");
+        // 100 requests, all in the (100, 250] bucket.
+        for _ in 0..100 {
+            m.record(Endpoint::Search, 200, false);
+        }
+        // p50 is halfway into the bucket, p99 near its top — not the
+        // bucket's upper bound for every quantile.
+        assert_eq!(m.latency_quantile(0.5), Some(175.0));
+        assert_eq!(m.latency_quantile(0.99), Some(248.5));
+        // Overflow-bucket observations clamp to the last finite bound.
+        let m2 = Metrics::new();
+        m2.record(Endpoint::Search, 10_000_000, false);
+        assert_eq!(m2.latency_quantile(0.99), Some(250_000.0));
+    }
+
+    #[test]
+    fn reload_never_resets_cumulative_series() {
+        let m = Metrics::new();
+        m.record(Endpoint::Search, 100, false);
+        m.record(Endpoint::Cluster, 100, true);
+        m.cache_hit();
+        let before = m.to_json();
+        m.reload();
+        m.reload();
+        let after = m.to_json();
+        assert_eq!(after["requests"], before["requests"]);
+        assert_eq!(after["errors"], before["errors"]);
+        assert_eq!(after["latency_us"], before["latency_us"]);
+        assert_eq!(after["cache"]["hits"], before["cache"]["hits"]);
+        assert_eq!(after["reloads"], 2u64);
+        assert!(m.to_prometheus(0).contains("maras_snapshot_reloads_total 2"));
+    }
+
+    #[test]
+    fn prometheus_exposition_has_per_endpoint_series() {
+        let m = Metrics::new();
+        m.record(Endpoint::Search, 120, false);
+        m.record(Endpoint::Healthz, 10, false);
+        m.slow_request();
+        let text = m.to_prometheus(3);
+        assert!(text.contains("# TYPE maras_requests_total counter"));
+        assert!(text.contains("maras_requests_total{endpoint=\"search\"} 1"));
+        assert!(text.contains("maras_requests_total{endpoint=\"healthz\"} 1"));
+        assert!(text.contains("# TYPE maras_request_latency_us histogram"));
+        assert!(text.contains("maras_request_latency_us_bucket{endpoint=\"search\",le=\"250\"} 1"));
+        assert!(text.contains("maras_request_latency_us_bucket{endpoint=\"search\",le=\"+Inf\"} 1"));
+        assert!(text.contains("maras_request_latency_us_count{endpoint=\"search\"} 1"));
+        assert!(text.contains("maras_cache_entries 3"));
+        assert!(text.contains("maras_slow_requests_total 1"));
     }
 }

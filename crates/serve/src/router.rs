@@ -16,7 +16,11 @@ use crate::store::{self, StoreError};
 use maras_core::RuleQuery;
 use serde_json::Value;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// Default slow-request threshold: 1 second.
+pub const DEFAULT_SLOW_THRESHOLD_US: u64 = 1_000_000;
 
 /// Everything the server shares across worker threads.
 pub struct ServeState {
@@ -28,6 +32,9 @@ pub struct ServeState {
     pub cache: QueryCache,
     /// Request/latency/cache counters.
     pub metrics: Metrics,
+    /// Requests slower than this (µs) are logged to stderr and counted in
+    /// `maras_slow_requests_total`.
+    slow_threshold_us: AtomicU64,
 }
 
 impl ServeState {
@@ -42,7 +49,18 @@ impl ServeState {
             snapshot_path,
             cache: QueryCache::new(cache_capacity),
             metrics: Metrics::new(),
+            slow_threshold_us: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_US),
         }
+    }
+
+    /// Sets the slow-request threshold in microseconds.
+    pub fn set_slow_threshold_us(&self, us: u64) {
+        self.slow_threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    /// The current slow-request threshold in microseconds.
+    pub fn slow_threshold_us(&self) -> u64 {
+        self.slow_threshold_us.load(Ordering::Relaxed)
     }
 
     /// The current snapshot; cheap (one `Arc` clone under a read lock).
@@ -75,7 +93,8 @@ impl ServeState {
 pub fn respond(state: &ServeState, req: &Request) -> (Endpoint, u16, String) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (Endpoint::Healthz, 200, healthz(state)),
-        ("GET", "/metrics") => (Endpoint::Metrics, 200, metrics(state)),
+        ("GET", "/metrics") => (Endpoint::Metrics, 200, metrics_prometheus(state)),
+        ("GET", "/metrics.json") => (Endpoint::Metrics, 200, metrics_json(state)),
         ("GET", "/search") => cached(state, Endpoint::Search, req, search),
         ("GET", "/autocomplete") => cached(state, Endpoint::Autocomplete, req, autocomplete),
         ("GET", path) if path.starts_with("/cluster/") => {
@@ -90,8 +109,10 @@ pub fn respond(state: &ServeState, req: &Request) -> (Endpoint, u16, String) {
 }
 
 fn known_path(path: &str) -> bool {
-    matches!(path, "/healthz" | "/metrics" | "/search" | "/autocomplete" | "/reload")
-        || path.starts_with("/cluster/")
+    matches!(
+        path,
+        "/healthz" | "/metrics" | "/metrics.json" | "/search" | "/autocomplete" | "/reload"
+    ) || path.starts_with("/cluster/")
 }
 
 /// Runs a GET handler through the response cache. Only 200 bodies are
@@ -104,11 +125,15 @@ fn cached(
     handler: fn(&ServeState, &Request) -> (u16, String),
 ) -> (Endpoint, u16, String) {
     let key = req.cache_key();
-    if let Some(body) = state.cache.get(&key) {
+    let cache_span = maras_obs::span("cache");
+    let hit = state.cache.get(&key);
+    drop(cache_span);
+    if let Some(body) = hit {
         state.metrics.cache_hit();
         return (endpoint, 200, body);
     }
     state.metrics.cache_miss();
+    let _render = maras_obs::span("render");
     let (status, body) = handler(state, req);
     if status == 200 {
         state.cache.put(key, body.clone());
@@ -127,13 +152,23 @@ fn healthz(state: &ServeState) -> String {
     .to_string()
 }
 
-fn metrics(state: &ServeState) -> String {
+/// The legacy JSON counter dump, preserved verbatim on `/metrics.json`.
+fn metrics_json(state: &ServeState) -> String {
     let mut m = match state.metrics.to_json() {
         Value::Object(m) => m,
         _ => unreachable!("metrics render as an object"),
     };
     m.insert("cache_entries".into(), Value::from(state.cache.len()));
     Value::Object(m).to_string()
+}
+
+/// Prometheus text exposition for `/metrics`: the server's own counters
+/// followed by every series in the process-global registry (pipeline
+/// counters, interner gauges, ... — whatever this process recorded).
+fn metrics_prometheus(state: &ServeState) -> String {
+    let mut text = state.metrics.to_prometheus(state.cache.len());
+    text.push_str(&maras_obs::registry().render_prometheus());
+    text
 }
 
 fn search(state: &ServeState, req: &Request) -> (u16, String) {
@@ -353,6 +388,27 @@ mod tests {
         let req = Request { method: "POST".into(), path: "/reload".into(), query: vec![] };
         let (_, status, _) = respond(&st, &req);
         assert_eq!(status, 409, "no snapshot path configured");
+    }
+
+    #[test]
+    fn metrics_endpoints_serve_both_formats() {
+        let st = state();
+        respond(&st, &get("/search", &[]));
+        // Request accounting lives in the connection handler, not respond().
+        st.metrics.record(Endpoint::Search, 100, false);
+        let (ep, status, prom) = respond(&st, &get("/metrics", &[]));
+        assert_eq!((ep, status), (Endpoint::Metrics, 200));
+        assert!(prom.contains("# TYPE maras_requests_total counter"), "{prom}");
+        assert!(prom.contains("maras_requests_total{endpoint=\"search\"} 1"));
+        let (ep, status, json) = respond(&st, &get("/metrics.json", &[]));
+        assert_eq!((ep, status), (Endpoint::Metrics, 200));
+        let json: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(json["requests"]["search"], 1u64);
+        assert!(json["cache_entries"].as_u64().is_some());
+        // Wrong method on the new path still routes to 405, not 404.
+        let req = Request { method: "POST".into(), path: "/metrics.json".into(), query: vec![] };
+        let (_, status, _) = respond(&st, &req);
+        assert_eq!(status, 405);
     }
 
     #[test]

@@ -119,21 +119,68 @@ pub fn serve(
     Ok(ServerHandle { addr, state, stop, accept_thread: Some(accept_thread), workers })
 }
 
+/// Phase wall times feed one labelled histogram per request phase, in µs.
+fn phase_histogram(phase: &'static str) -> maras_obs::Histogram {
+    const PHASE_BUCKETS_US: [f64; 8] =
+        [10.0, 50.0, 100.0, 250.0, 1_000.0, 5_000.0, 25_000.0, 100_000.0];
+    maras_obs::histogram_with(
+        "maras_serve_phase_us",
+        "request handling wall time by phase, microseconds",
+        &PHASE_BUCKETS_US,
+        &[("phase", phase)],
+    )
+}
+
+fn timed<T>(phase: &'static str, f: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    let span = maras_obs::span(phase);
+    let out = f();
+    drop(span);
+    phase_histogram(phase).observe(t.elapsed().as_micros() as f64);
+    out
+}
+
 /// Parses, routes, responds, and records metrics for one connection.
 fn handle_connection(state: &ServeState, stream: &mut TcpStream) {
     let started = Instant::now();
-    let (endpoint, status, body) = match http::read_request(stream) {
-        Ok(req) => router::respond(state, &req),
-        Err(ParseError::TooLarge) => {
-            (Endpoint::Other, 413, router::error_body("too_large", "request exceeds size limits"))
+    let request_span = maras_obs::span("request");
+    let parsed = timed("parse", || http::read_request(stream));
+    let (target, endpoint, status, body) = match parsed {
+        Ok(req) => {
+            let (endpoint, status, body) = timed("route", || router::respond(state, &req));
+            (Some(req), endpoint, status, body)
         }
+        Err(ParseError::TooLarge) => (
+            None,
+            Endpoint::Other,
+            413,
+            router::error_body("too_large", "request exceeds size limits"),
+        ),
         Err(ParseError::Malformed(what)) => {
-            (Endpoint::Other, 400, router::error_body("malformed_request", what))
+            (None, Endpoint::Other, 400, router::error_body("malformed_request", what))
         }
         // Socket died mid-read; nothing to respond to.
         Err(ParseError::Io(_)) => return,
     };
+    // The Prometheus endpoint is the one non-JSON body the server emits.
+    let content_type = match &target {
+        Some(req) if req.method == "GET" && req.path == "/metrics" && status == 200 => {
+            "text/plain; version=0.0.4; charset=utf-8"
+        }
+        _ => "application/json",
+    };
+    timed("write", || {
+        let _ = http::write_response(stream, status, content_type, &body);
+    });
     let latency_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
     state.metrics.record(endpoint, latency_us, status >= 400);
-    let _ = http::write_response(stream, status, &body);
+    drop(request_span);
+    if latency_us > state.slow_threshold_us() {
+        state.metrics.slow_request();
+        let what = target.map_or_else(
+            || "<unparsed request>".to_string(),
+            |req| format!("{} {}", req.method, req.path),
+        );
+        eprintln!("slow request: {what} -> {status} took {:.1} ms", latency_us as f64 / 1_000.0);
+    }
 }

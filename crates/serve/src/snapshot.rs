@@ -98,6 +98,7 @@ impl Snapshot {
         adr_vocab: &Vocabulary,
         kb: Option<&KnowledgeBase>,
     ) -> Snapshot {
+        let _span = maras_obs::span("snapshot_build");
         let clusters = result
             .ranked
             .iter()

@@ -90,6 +90,7 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 
 /// Serializes a snapshot and writes it atomically (temp file + rename).
 pub fn save(snapshot: &Snapshot, path: &Path) -> Result<(), StoreError> {
+    let _span = maras_obs::span("snapshot_save");
     let payload = encode_snapshot(snapshot);
     let mut file = Vec::with_capacity(payload.len() + 28);
     file.extend_from_slice(MAGIC);
@@ -109,6 +110,7 @@ pub fn save(snapshot: &Snapshot, path: &Path) -> Result<(), StoreError> {
 
 /// Loads and fully validates a snapshot file, rebuilding every index.
 pub fn load(path: &Path) -> Result<Snapshot, StoreError> {
+    let _span = maras_obs::span("snapshot_load");
     let bytes = fs::read(path)?;
     if bytes.len() < 28 || &bytes[..8] != MAGIC {
         return Err(if bytes.len() >= 8 { StoreError::BadMagic } else { StoreError::Truncated });

@@ -1,0 +1,99 @@
+//! Golden-file test for the Prometheus text exposition: a fixed sequence
+//! of recorded requests must render byte-identically to the checked-in
+//! `tests/golden/metrics.prom`, plus structural checks (header-once
+//! semantics, label escaping, bucket monotonicity) that hold for any
+//! counter state.
+//!
+//! Regenerate the golden file after an intentional format change with
+//! `UPDATE_GOLDEN=1 cargo test -p maras-serve --test prometheus_golden`.
+
+use maras_serve::{Endpoint, Metrics};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics.prom")
+}
+
+/// The fixed counter state every golden render uses.
+fn fixed_metrics() -> Metrics {
+    let m = Metrics::new();
+    m.record(Endpoint::Healthz, 40, false);
+    m.record(Endpoint::Search, 120, false);
+    m.record(Endpoint::Search, 800, false);
+    m.record(Endpoint::Search, 2_000_000, false);
+    m.record(Endpoint::Cluster, 90, true);
+    m.record(Endpoint::Other, 10, true);
+    m.cache_hit();
+    m.cache_miss();
+    m.cache_miss();
+    m.reload();
+    m.slow_request();
+    m
+}
+
+#[test]
+fn exposition_matches_golden_file() {
+    let rendered = fixed_metrics().to_prometheus(5);
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(rendered, golden, "exposition drifted from {path:?}");
+}
+
+#[test]
+fn exposition_is_structurally_valid() {
+    let text = fixed_metrics().to_prometheus(5);
+    let mut seen_types = std::collections::HashSet::new();
+    for line in text.lines() {
+        assert!(!line.is_empty(), "no blank lines inside the exposition");
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap();
+            let kind = parts.next().unwrap();
+            assert!(["counter", "gauge", "histogram"].contains(&kind), "{line}");
+            assert!(seen_types.insert(name.to_string()), "duplicate # TYPE for {name}");
+        } else if !line.starts_with('#') {
+            // Every sample line is `name{labels} value` or `name value`.
+            let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+            value.parse::<f64>().unwrap_or_else(|_| panic!("non-numeric value in {line}"));
+        }
+    }
+    // Cumulative buckets never decrease within one series, and each
+    // histogram's last bucket is le="+Inf" with count == _count.
+    for endpoint in ["healthz", "metrics", "search", "autocomplete", "cluster", "reload", "other"] {
+        let prefix = format!("maras_request_latency_us_bucket{{endpoint=\"{endpoint}\",le=");
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with(&prefix))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(!counts.is_empty(), "missing histogram for {endpoint}");
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{endpoint} buckets not monotone");
+        let inf_line =
+            format!("maras_request_latency_us_bucket{{endpoint=\"{endpoint}\",le=\"+Inf\"}}");
+        assert!(text.lines().any(|l| l.starts_with(&inf_line)), "missing +Inf bucket");
+        let count_line = format!("maras_request_latency_us_count{{endpoint=\"{endpoint}\"}}");
+        let total: u64 = text
+            .lines()
+            .find(|l| l.starts_with(&count_line))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .expect("histogram _count");
+        assert_eq!(*counts.last().unwrap(), total, "{endpoint}: +Inf bucket != _count");
+    }
+}
+
+#[test]
+fn label_values_are_escaped_in_registry_series() {
+    // The global registry flows into the same exposition on /metrics;
+    // escaping must survive the round trip for hostile label values.
+    let reg = maras_obs::Registry::new();
+    reg.counter_with("golden_escapes_total", "tricky \\ help\nline", &[("q", "a\"b\\c\nd")]).add(1);
+    let text = reg.render_prometheus();
+    assert!(text.contains("# HELP golden_escapes_total tricky \\\\ help\\nline\n"));
+    assert!(text.contains("golden_escapes_total{q=\"a\\\"b\\\\c\\nd\"} 1\n"));
+}

@@ -32,8 +32,8 @@ fn fixture(seed: u64, quarter: QuarterId, label: &str) -> Fixture {
     Fixture { snapshot, result, dv, av, kb }
 }
 
-/// Minimal HTTP/1.1 client: one request, parse status + JSON body.
-fn http(addr: SocketAddr, method: &str, target: &str) -> (u16, Value) {
+/// Minimal HTTP/1.1 client: one request, parse status + raw headers + body.
+fn http_raw(addr: SocketAddr, method: &str, target: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let req = format!("{method} {target} HTTP/1.1\r\nhost: localhost\r\nconnection: close\r\n\r\n");
     stream.write_all(req.as_bytes()).expect("send request");
@@ -46,10 +46,16 @@ fn http(addr: SocketAddr, method: &str, target: &str) -> (u16, Value) {
         .and_then(|l| l.split_whitespace().nth(1))
         .and_then(|s| s.parse().ok())
         .expect("status line");
+    (status, head.to_string(), body.to_string())
+}
+
+/// Minimal HTTP/1.1 client: one request, parse status + JSON body.
+fn http(addr: SocketAddr, method: &str, target: &str) -> (u16, Value) {
+    let (status, _, body) = http_raw(addr, method, target);
     let json = if body.is_empty() {
         Value::Null
     } else {
-        serde_json::from_str(body).unwrap_or_else(|e| panic!("bad JSON body {body:?}: {e:?}"))
+        serde_json::from_str(&body).unwrap_or_else(|e| panic!("bad JSON body {body:?}: {e:?}"))
     };
     (status, json)
 }
@@ -168,19 +174,40 @@ fn full_server_lifecycle() {
     let (_, found2) = http(addr, "GET", &target);
     assert_eq!(found2["total"], scan2.len(), "swap must invalidate cached answers");
 
-    // -- /metrics ---------------------------------------------------------
-    let (status, metrics) = http(addr, "GET", "/metrics");
+    // -- /metrics.json: the legacy JSON counter schema --------------------
+    let (status, metrics) = http(addr, "GET", "/metrics.json");
     assert_eq!(status, 200);
     assert!(metrics["requests"]["search"].as_u64().unwrap() >= 4);
     assert!(metrics["requests"]["healthz"].as_u64().unwrap() >= 3);
     assert_eq!(metrics["reloads"], 1u64);
     assert!(metrics["cache"]["hits"].as_u64().unwrap() >= 1);
+    assert!(metrics["cache_entries"].as_u64().is_some());
     let buckets = metrics["latency_us"]["buckets"].as_array().unwrap();
     let total: u64 = buckets.iter().map(|b| b["count"].as_u64().unwrap()).sum();
     assert_eq!(
         total,
         metrics["requests"].as_object().unwrap().values().fold(0, |a, v| a + v.as_u64().unwrap())
     );
+
+    // -- /metrics: Prometheus text exposition ------------------------------
+    let (status, head, prom) = http_raw(addr, "GET", "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        head.to_ascii_lowercase().contains("content-type: text/plain; version=0.0.4"),
+        "Prometheus content type, got headers: {head}"
+    );
+    assert!(prom.contains("# TYPE maras_requests_total counter"));
+    assert!(prom.contains("# TYPE maras_request_latency_us histogram"));
+    assert!(prom.contains("maras_requests_total{endpoint=\"search\"}"));
+    assert!(prom.contains("maras_request_latency_us_bucket{endpoint=\"search\",le=\"+Inf\"}"));
+    assert!(prom.contains("maras_snapshot_reloads_total 1"));
+    // The scrape reflects the same counters as the JSON dump.
+    let search_line = prom
+        .lines()
+        .find(|l| l.starts_with("maras_requests_total{endpoint=\"search\"}"))
+        .expect("search series");
+    let search_count: u64 = search_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert_eq!(search_count, metrics["requests"]["search"].as_u64().unwrap());
 
     // -- malformed request handling ---------------------------------------
     let (status, err) = http(addr, "GET", "/search?min_severity=high");

@@ -133,14 +133,17 @@ USAGE:
                  [--measure confidence|lift] [--theta T] [--threads N]
                  [--drug NAME] [--unknown-only] [--novel-adr-only] [--json FILE]
                  [--ingest-mode strict|lenient] [--max-bad-rows N] [--max-bad-frac F]
+                 [--trace FILE.json] [--timings]
   maras year     --dir DIR [--year 2014] [--min-support N] [--top K] [--threads N]
-                 [--json FILE]
+                 [--json FILE] [--trace FILE.json] [--timings]
                  [--ingest-mode strict|lenient] [--max-bad-rows N] [--max-bad-frac F]
   maras render   --dir DIR --quarter 2014Q1 [--out DIR] [--top K] [--dark]
   maras report   --dir DIR --quarter 2014Q1 [--out FILE.html] [--top K] [--threads N]
+                 [--trace FILE.json] [--timings]
   maras snapshot --dir DIR --quarter 2014Q1 --out FILE.snap [--json FILE] [--threads N]
+                 [--trace FILE.json] [--timings]
   maras serve    --snapshot FILE.snap [--addr HOST:PORT] [--threads N]
-                 [--cache N] [--check] [--json FILE]
+                 [--cache N] [--check] [--json FILE] [--slow-ms MS]
 
 For analyze/year/report/snapshot, --threads N sets the mining AND ingest
 worker count (0 or omitted = all available cores); for serve it sets HTTP
@@ -150,8 +153,14 @@ worker threads. Ingest output is byte-identical at any thread count.
 
 `snapshot` runs the pipeline and writes an indexed, checksummed binary
 snapshot; `serve` loads it and answers /search, /autocomplete,
-/cluster/<rank>, /healthz and /metrics over HTTP (POST /reload hot-swaps
-the file atomically). `--check` validates the snapshot and exits.
+/cluster/<rank>, /healthz, /metrics (Prometheus text) and /metrics.json
+(legacy JSON) over HTTP (POST /reload hot-swaps the file atomically).
+`--check` validates the snapshot and exits. `--slow-ms` sets the
+slow-request log threshold (default 1000 ms).
+
+Observability: --trace FILE.json writes a Chrome trace-event file of the
+run (open in chrome://tracing or Perfetto); --timings prints the
+aggregated span tree to stderr.
 
 Dirty data: --ingest-mode lenient quarantines malformed rows instead of
 failing; --max-bad-rows / --max-bad-frac cap the quarantine (exceeding the
@@ -168,7 +177,12 @@ fn parse(args: &[String]) -> Result<(String, Flags), String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
         // Boolean flags take no value.
-        if flag == "unknown-only" || flag == "dark" || flag == "novel-adr-only" || flag == "check" {
+        if flag == "unknown-only"
+            || flag == "dark"
+            || flag == "novel-adr-only"
+            || flag == "check"
+            || flag == "timings"
+        {
             flags.insert(flag.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -206,6 +220,34 @@ fn parse_quarter(s: &str) -> Result<QuarterId, CliError> {
         return Err(CliError::usage(format!("quarter must be 1-4, got {q}")));
     }
     Ok(QuarterId::new(year, q))
+}
+
+/// Drains the span collector and emits the observability artifacts the
+/// run asked for: `--trace FILE` writes a Chrome trace-event JSON file
+/// (open in `chrome://tracing` or Perfetto), `--timings` prints the
+/// aggregated span tree to stderr. With neither flag this is a no-op —
+/// the collector is left alone so tests sharing the process can drain
+/// it themselves.
+fn emit_obs(flags: &Flags) -> Result<(), CliError> {
+    let trace_path = flags.get("trace");
+    let timings = flags.contains_key("timings");
+    if trace_path.is_none() && !timings {
+        return Ok(());
+    }
+    let spans = maras::obs::take_spans();
+    if let Some(path) = trace_path {
+        let json = maras::obs::chrome_trace(&spans);
+        std::fs::write(path, json).map_err(|e| CliError::io(format!("write {path}"), e))?;
+        println!("wrote Chrome trace ({} spans) to {path}", spans.len());
+    }
+    if timings {
+        eprint!("{}", maras::obs::SpanTree::build(&spans).render());
+    }
+    let dropped = maras::obs::spans_dropped();
+    if dropped > 0 {
+        eprintln!("warning: {dropped} spans dropped (collector cap reached)");
+    }
+    Ok(())
 }
 
 /// `--ingest-mode` / `--max-bad-rows` / `--max-bad-frac` → [`IngestOptions`].
@@ -462,7 +504,7 @@ fn cmd_analyze(flags: &Flags) -> Result<(), CliError> {
             .map_err(|e| CliError::io(format!("write {json_path}"), e))?;
         println!("wrote JSON to {json_path}");
     }
-    Ok(())
+    emit_obs(flags)
 }
 
 /// JSON projection of a ranked rule, mirroring `RuleView`'s fields.
@@ -579,7 +621,7 @@ fn cmd_year(flags: &Flags) -> Result<(), CliError> {
             .map_err(|e| CliError::io(format!("write {json_path}"), e))?;
         println!("wrote JSON to {json_path}");
     }
-    Ok(())
+    emit_obs(flags)
 }
 
 fn cmd_render(flags: &Flags) -> Result<(), CliError> {
@@ -641,7 +683,7 @@ fn cmd_report(flags: &Flags) -> Result<(), CliError> {
     let html = maras::report::html_report(&result, &dv, &av, &kb, &cfg);
     std::fs::write(&out, html).map_err(|e| CliError::io(format!("write {}", out.display()), e))?;
     println!("wrote {} ({} signals)", out.display(), result.ranked.len().min(top));
-    Ok(())
+    emit_obs(flags)
 }
 
 /// Runs the pipeline over one quarter and writes the indexed,
@@ -668,7 +710,7 @@ fn cmd_snapshot(flags: &Flags) -> Result<(), CliError> {
         write_json(json_path, snapshot_summary_json(&snap, &out))?;
         println!("wrote JSON to {json_path}");
     }
-    Ok(())
+    emit_obs(flags)
 }
 
 /// Serves a snapshot over HTTP; `--check` just validates it and exits.
@@ -711,7 +753,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
     let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:8645");
     let threads: usize = flag_num(flags, "threads", 4)?;
     let cache: usize = flag_num(flags, "cache", 1024)?;
+    let slow_ms: u64 = flag_num(flags, "slow-ms", maras::serve::DEFAULT_SLOW_THRESHOLD_US / 1_000)?;
     let state = std::sync::Arc::new(ServeState::new(snap, Some(path), cache));
+    state.set_slow_threshold_us(slow_ms.saturating_mul(1_000));
     let server = maras::serve::serve(state, addr, threads)
         .map_err(|e| CliError::io(format!("bind {addr}"), e))?;
     println!("serving on http://{} ({threads} threads; POST /reload to hot-swap)", server.addr());

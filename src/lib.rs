@@ -19,6 +19,7 @@
 //! | [`study`] | `maras-study` | simulated user-study harness |
 //! | [`core`] | `maras-core` | end-to-end pipeline, query API, knowledge base, drill-down |
 //! | [`serve`] | `maras-serve` | indexed snapshots, binary store, HTTP query server |
+//! | [`obs`] | `maras-obs` | span tracing, metrics registry, Prometheus + Chrome-trace export |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use maras_core as core;
 pub use maras_faers as faers;
 pub use maras_mcac as mcac;
 pub use maras_mining as mining;
+pub use maras_obs as obs;
 pub use maras_rules as rules;
 pub use maras_serve as serve;
 pub use maras_signals as signals;

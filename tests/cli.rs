@@ -265,6 +265,50 @@ fn serve_refuses_corrupt_snapshot_with_structured_error() {
 }
 
 #[test]
+fn year_trace_and_timings_emit_observability_artifacts() {
+    let dir = tmpdir("trace");
+    let dir_s = dir.to_str().unwrap();
+    let gen = maras(&["generate", "--out", dir_s, "--reports", "600", "--seed", "13"]);
+    assert!(gen.status.success(), "stderr: {}", String::from_utf8_lossy(&gen.stderr));
+
+    let trace = dir.join("trace.json");
+    let out = maras(&[
+        "year",
+        "--dir",
+        dir_s,
+        "--min-support",
+        "4",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--timings",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote Chrome trace"));
+
+    // The trace file is valid Chrome trace-event JSON covering every
+    // pipeline stage, with non-zero durations.
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    let events = parsed["traceEvents"].as_array().expect("traceEvents");
+    assert!(!events.is_empty());
+    for stage in ["ingest", "clean", "mine", "rules", "mcac"] {
+        let ev = events
+            .iter()
+            .find(|e| e["name"] == stage)
+            .unwrap_or_else(|| panic!("no {stage:?} event in trace"));
+        assert!(ev["dur"].as_f64().unwrap() > 0.0, "{stage} duration must be non-zero");
+    }
+
+    // --timings prints the indented span table on stderr.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("span"), "{stderr}");
+    assert!(stderr.contains("total ms"), "{stderr}");
+    assert!(stderr.contains("  clean"), "indented stage rows expected: {stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn study_reports_both_encodings() {
     let out = maras(&["study", "--participants", "20", "--seed", "3"]);
     assert!(out.status.success());
