@@ -10,10 +10,10 @@ FIRST_PARTY = -p maras -p maras-bench -p maras-core -p maras-faers \
               -p maras-mcac -p maras-mining -p maras-obs -p maras-rules \
               -p maras-serve -p maras-signals -p maras-study -p maras-viz
 
-.PHONY: verify fmt fmt-check clippy test obs-test serve-test snapshot trace \
-        bench-serve bench-mining bench-ingest
+.PHONY: verify fmt fmt-check clippy test obs-test serve-test chaos snapshot \
+        trace bench-serve bench-mining bench-ingest
 
-verify: fmt-check clippy test obs-test serve-test
+verify: fmt-check clippy test obs-test serve-test chaos
 
 fmt:
 	cargo fmt
@@ -40,6 +40,14 @@ obs-test:
 # exercises every endpoint, and hot-swaps the snapshot mid-test.
 serve-test:
 	cargo test -q -p maras-serve --test server_integration
+
+# The chaos suite: seeded misbehaving clients (slowloris, header floods,
+# aborts, connection floods, panic routes, drain races) against a live
+# server, with exact shed/timeout/panic ledgers. Single-threaded so the
+# engineered queue states stay deterministic; hard timeout so a hung
+# server fails the gate instead of wedging it.
+chaos:
+	timeout 300 cargo test -q -p maras-serve --test chaos -- --test-threads=1
 
 # Build a demo snapshot end-to-end: synthesize a corpus, mine it, and
 # write the indexed binary snapshot `maras serve` loads.

@@ -1,0 +1,298 @@
+//! Deterministic misbehaving-client injector for chaos-testing the
+//! server, in the spirit of the ingest layer's seeded fault harness
+//! (`faers::faults`): every scenario is driven by a seeded PRNG, so a
+//! failing run replays byte-for-byte and tests can assert an *exact*
+//! ledger of shed / timeout / panic counters rather than "something
+//! broke".
+//!
+//! Scenarios are plain blocking socket clients (the server under test
+//! owns all the threads): byte-at-a-time slowloris, newline-free header
+//! floods, abort-mid-body writes, stalled connections for queue
+//! engineering, and connection floods. [`probe_healthz`] is the
+//! recovery oracle: after every scenario the server must answer a
+//! health probe within a deadline with all workers alive.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// xorshift64* — a tiny deterministic PRNG so the injector needs no
+/// dependencies and every scenario replays exactly from its seed.
+#[derive(Debug, Clone)]
+pub struct SeededRng(u64);
+
+impl SeededRng {
+    /// A generator for the given seed (0 is remapped — xorshift fixpoint).
+    pub fn new(seed: u64) -> SeededRng {
+        SeededRng(seed.max(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish value in `[lo, hi)`; `lo` when the range is empty.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            lo
+        } else {
+            lo + self.next_u64() % (hi - lo)
+        }
+    }
+}
+
+/// What one injected scenario observed, for building expected ledgers.
+#[derive(Debug)]
+pub struct Outcome {
+    /// HTTP status parsed from a response, if the server sent one.
+    pub status: Option<u16>,
+    /// Bytes this client managed to write before stopping.
+    pub bytes_sent: usize,
+    /// Whether the server closed the connection on us.
+    pub server_closed: bool,
+}
+
+/// Seeded misbehaving-client scenarios against a live server address.
+#[derive(Debug)]
+pub struct Injector {
+    rng: SeededRng,
+}
+
+impl Injector {
+    /// An injector whose byte payloads and jitter derive from `seed`.
+    pub fn new(seed: u64) -> Injector {
+        Injector { rng: SeededRng::new(seed) }
+    }
+
+    /// Byte-at-a-time slowloris: drips one header byte (never a
+    /// newline) every `pace`, until the server closes the connection or
+    /// `give_up` elapses. A hardened server must cut this client off
+    /// once its I/O deadline expires, releasing the worker.
+    pub fn slowloris(&mut self, addr: SocketAddr, pace: Duration, give_up: Duration) -> Outcome {
+        let mut stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(_) => return Outcome { status: None, bytes_sent: 0, server_closed: true },
+        };
+        // Poll for a server response/close between drips without
+        // blocking the drip cadence.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
+        let deadline = Instant::now() + give_up;
+        let mut sent = 0usize;
+        let mut status = None;
+        let mut closed = false;
+        let mut response = Vec::new();
+        while Instant::now() < deadline {
+            // Lowercase header-ish noise; never '\n', so no line ever
+            // completes and a naive reader buffers forever.
+            let byte = b'a' + (self.rng.gen_range(0, 26) as u8);
+            match stream.write_all(&[byte]) {
+                Ok(()) => sent += 1,
+                Err(_) => {
+                    closed = true;
+                    break;
+                }
+            }
+            let mut buf = [0u8; 512];
+            match stream.read(&mut buf) {
+                Ok(0) => {
+                    closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    response.extend_from_slice(&buf[..n]);
+                    status = parse_status(&response);
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                Err(_) => {
+                    closed = true;
+                    break;
+                }
+            }
+            std::thread::sleep(pace);
+        }
+        Outcome { status, bytes_sent: sent, server_closed: closed }
+    }
+
+    /// Newline-free header flood: one request line of `total` bytes
+    /// with no `\n` anywhere, then a read for the verdict. A bounded
+    /// parser answers 413 without ever buffering the whole flood.
+    pub fn header_flood(&mut self, addr: SocketAddr, total: usize) -> Outcome {
+        let mut stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(_) => return Outcome { status: None, bytes_sent: 0, server_closed: true },
+        };
+        let mut payload = b"GET /".to_vec();
+        while payload.len() < total {
+            payload.push(b'A' + (self.rng.gen_range(0, 26) as u8));
+        }
+        let mut sent = 0usize;
+        let mut closed = false;
+        // Write until the server rejects us or the payload is gone; the
+        // server may close mid-flood, which is success for it.
+        for chunk in payload.chunks(4096) {
+            match stream.write_all(chunk) {
+                Ok(()) => sent += chunk.len(),
+                Err(_) => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
+        let status = read_response_status(&mut stream, Duration::from_millis(2_000));
+        Outcome { status, bytes_sent: sent, server_closed: closed || status.is_none() }
+    }
+
+    /// Abort-mid-body: declares a `Content-Length`, writes only part of
+    /// the body, then slams the connection shut. The worker must treat
+    /// the dangling read as a dead peer and move on.
+    pub fn abort_mid_body(&mut self, addr: SocketAddr) -> Outcome {
+        let mut stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(_) => return Outcome { status: None, bytes_sent: 0, server_closed: true },
+        };
+        let declared = self.rng.gen_range(64, 256);
+        let partial = (declared / 2) as usize;
+        let head = format!("POST /reload HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n");
+        let mut sent = 0usize;
+        if stream.write_all(head.as_bytes()).is_ok() {
+            sent += head.len();
+        }
+        let body: Vec<u8> = (0..partial).map(|_| b'x').collect();
+        if stream.write_all(&body).is_ok() {
+            sent += body.len();
+        }
+        // RST-ish abort: drop without reading or finishing the body.
+        drop(stream);
+        Outcome { status: None, bytes_sent: sent, server_closed: false }
+    }
+}
+
+/// Opens a connection that sends nothing at all — a stalled client that
+/// occupies whatever resource the server gives it until a deadline
+/// fires. Used to pin a worker while a test engineers queue pressure.
+pub fn open_stalled(addr: SocketAddr) -> std::io::Result<TcpStream> {
+    TcpStream::connect(addr)
+}
+
+/// Opens a connection and writes a complete GET request without reading
+/// the response yet — used to park well-formed work in the admission
+/// queue. Read the response later with [`read_response_status`].
+pub fn open_request(addr: SocketAddr, target: &str) -> std::io::Result<TcpStream> {
+    let mut stream = TcpStream::connect(addr)?;
+    let req = format!("GET {target} HTTP/1.1\r\nhost: chaos\r\nconnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    Ok(stream)
+}
+
+/// Sends one complete GET request and reads the response status.
+pub fn get_status(addr: SocketAddr, target: &str, within: Duration) -> Option<u16> {
+    let mut stream = open_request(addr, target).ok()?;
+    read_response_status(&mut stream, within)
+}
+
+/// Sends one well-formed request and returns `(status, body)` — the
+/// polite-client baseline the chaos scenarios are contrasted against.
+pub fn request_raw(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    within: Duration,
+) -> (Option<u16>, String) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return (None, String::new());
+    };
+    let req = format!("{method} {target} HTTP/1.1\r\nhost: chaos\r\nconnection: close\r\n\r\n");
+    if stream.write_all(req.as_bytes()).is_err() {
+        return (None, String::new());
+    }
+    let raw = read_raw(&mut stream, within);
+    let status = parse_status(&raw);
+    let text = String::from_utf8_lossy(&raw);
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+/// Reads until EOF (or `within` elapses) and parses the status line.
+pub fn read_response_status(stream: &mut TcpStream, within: Duration) -> Option<u16> {
+    let raw = read_raw(stream, within);
+    parse_status(&raw)
+}
+
+fn read_raw(stream: &mut TcpStream, within: Duration) -> Vec<u8> {
+    let _ = stream.set_read_timeout(Some(within));
+    let deadline = Instant::now() + within;
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    while Instant::now() < deadline {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    raw
+}
+
+/// The recovery oracle: retries `GET /healthz` until it answers 200 or
+/// the deadline passes. Returns the last status seen (if any).
+pub fn probe_healthz(addr: SocketAddr, within: Duration) -> Option<u16> {
+    let deadline = Instant::now() + within;
+    let mut last = None;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return last;
+        }
+        if let Some(status) = get_status(addr, "/healthz", remaining) {
+            last = Some(status);
+            if status == 200 {
+                return last;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn parse_status(raw: &[u8]) -> Option<u16> {
+    let text = std::str::from_utf8(raw).ok()?;
+    let line = text.lines().next()?;
+    line.strip_prefix("HTTP/1.1 ")?.split_whitespace().next()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = SeededRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SeededRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut r = SeededRng::new(43);
+        assert_ne!(a[0], r.next_u64());
+        for _ in 0..100 {
+            let v = r.gen_range(5, 10);
+            assert!((5..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn status_line_parsing() {
+        assert_eq!(parse_status(b"HTTP/1.1 503 Service Unavailable\r\n\r\n"), Some(503));
+        assert_eq!(parse_status(b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\n{}"), Some(200));
+        assert_eq!(parse_status(b"garbage"), None);
+        assert_eq!(parse_status(b""), None);
+    }
+}

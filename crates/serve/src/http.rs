@@ -5,9 +5,17 @@
 //! percent-decoded query strings, and `Connection: close` responses.
 //! Not supported (and rejected cleanly rather than mis-parsed): chunked
 //! transfer encoding, pipelining, keep-alive, upgrades.
+//!
+//! Hostile clients are bounded on two axes: every line read goes through
+//! a [`Read::take`]-capped reader so a newline-free flood fails with
+//! [`ParseError::TooLarge`] before buffering more than the header cap,
+//! and [`read_request`] enforces one absolute deadline over the whole
+//! request so a byte-at-a-time slowloris releases the worker after the
+//! configured I/O timeout ([`ParseError::Timeout`]).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Hard cap on header section + body size; a localhost API never needs
 /// more and the cap keeps a malformed client from ballooning memory.
@@ -61,22 +69,82 @@ pub enum ParseError {
     Malformed(&'static str),
     /// Request exceeded the header or body cap.
     TooLarge,
+    /// The client did not deliver a full request within the I/O deadline
+    /// (per-read socket timeout or the whole-request parse deadline).
+    Timeout,
 }
 
 impl From<std::io::Error> for ParseError {
     fn from(e: std::io::Error) -> Self {
-        ParseError::Io(e)
+        if matches!(e.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock) {
+            ParseError::Timeout
+        } else {
+            ParseError::Io(e)
+        }
     }
 }
 
-/// Reads and parses one request from the stream.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
-    let mut reader = BufReader::new(stream);
+/// A `TcpStream` reader that enforces one absolute deadline across the
+/// whole request: before every read the remaining budget becomes the
+/// socket read timeout, so a byte-at-a-time slowloris sender cannot
+/// stretch total parse time beyond the deadline — each individual read
+/// succeeds, but the budget keeps shrinking until it hits zero.
+struct DeadlineStream<'a> {
+    stream: &'a TcpStream,
+    deadline: Option<Instant>,
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if let Some(deadline) = self.deadline {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(std::io::ErrorKind::TimedOut.into());
+            }
+            let _ = self.stream.set_read_timeout(Some(deadline - now));
+        }
+        let mut stream = self.stream;
+        stream.read(buf)
+    }
+}
+
+/// Reads and parses one request from the stream. `io_timeout` bounds the
+/// *total* wall time spent reading the request, not just each read.
+pub fn read_request(
+    stream: &mut TcpStream,
+    io_timeout: Option<Duration>,
+) -> Result<Request, ParseError> {
+    let deadline = io_timeout.map(|t| Instant::now() + t);
+    let reader = BufReader::new(DeadlineStream { stream: &*stream, deadline });
+    parse_request(reader)
+}
+
+/// Reads one line, buffering at most `budget + 1` bytes: a newline-free
+/// flood fails with `TooLarge` instead of ballooning memory while
+/// waiting for a `\n` that never comes.
+fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    line: &mut String,
+    budget: usize,
+) -> Result<(), ParseError> {
+    let n = reader.by_ref().take(budget as u64 + 1).read_line(line)?;
+    if n > budget {
+        return Err(ParseError::TooLarge);
+    }
+    Ok(())
+}
+
+/// The transport-independent parse: request line, headers, body drain.
+/// Every read is bounded by the remaining header budget, so memory use
+/// is capped at `MAX_HEADER_BYTES` no matter what the peer streams.
+fn parse_request<R: BufRead>(mut reader: R) -> Result<Request, ParseError> {
     let mut line = String::new();
-    reader.read_line(&mut line)?;
+    let mut budget = MAX_HEADER_BYTES;
+    read_line_bounded(&mut reader, &mut line, budget)?;
     if line.is_empty() {
         return Err(ParseError::Malformed("empty request"));
     }
+    budget -= line.len();
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or(ParseError::Malformed("missing method"))?.to_uppercase();
     let target = parts.next().ok_or(ParseError::Malformed("missing target"))?;
@@ -91,14 +159,10 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     };
 
     let mut content_length = 0usize;
-    let mut header_bytes = line.len();
     loop {
         let mut header = String::new();
-        reader.read_line(&mut header)?;
-        header_bytes += header.len();
-        if header_bytes > MAX_HEADER_BYTES {
-            return Err(ParseError::TooLarge);
-        }
+        read_line_bounded(&mut reader, &mut header, budget)?;
+        budget -= header.len();
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -137,8 +201,10 @@ pub fn write_response(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
     let head = format!(
@@ -190,6 +256,60 @@ pub fn percent_decode(raw: &str) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, ParseError> {
+        parse_request(raw)
+    }
+
+    #[test]
+    fn parses_a_plain_request() {
+        let req = parse(b"GET /search?drug=WARFARIN HTTP/1.1\r\nhost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/search");
+        assert_eq!(req.query, vec![("drug".to_string(), "WARFARIN".to_string())]);
+    }
+
+    #[test]
+    fn newline_free_request_line_is_too_large_not_unbounded() {
+        // 1 MiB without a single '\n': the bounded reader must bail at
+        // the header cap instead of buffering the whole flood.
+        let flood = vec![b'A'; 1024 * 1024];
+        assert!(matches!(parse(&flood), Err(ParseError::TooLarge)));
+    }
+
+    #[test]
+    fn newline_free_header_line_is_too_large() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'h', 64 * 1024));
+        assert!(matches!(parse(&raw), Err(ParseError::TooLarge)));
+    }
+
+    #[test]
+    fn header_section_over_cap_is_too_large() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..2048 {
+            raw.extend(format!("x-filler-{i}: {}\r\n", "v".repeat(64)).into_bytes());
+        }
+        raw.extend(b"\r\n");
+        assert!(matches!(parse(&raw), Err(ParseError::TooLarge)));
+    }
+
+    #[test]
+    fn declared_body_over_cap_is_too_large() {
+        let raw = format!("POST /reload HTTP/1.1\r\ncontent-length: {}\r\n\r\n", 2 * 1024 * 1024);
+        assert!(matches!(parse(raw.as_bytes()), Err(ParseError::TooLarge)));
+    }
+
+    #[test]
+    fn timeout_kinds_map_to_parse_timeout() {
+        for kind in [std::io::ErrorKind::TimedOut, std::io::ErrorKind::WouldBlock] {
+            assert!(matches!(ParseError::from(std::io::Error::from(kind)), ParseError::Timeout));
+        }
+        assert!(matches!(
+            ParseError::from(std::io::Error::from(std::io::ErrorKind::UnexpectedEof)),
+            ParseError::Io(_)
+        ));
+    }
 
     #[test]
     fn percent_decoding() {

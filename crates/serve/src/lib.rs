@@ -16,7 +16,17 @@
 //! * [`server`] + [`router`] + [`http`] — an HTTP/1.1 JSON API on
 //!   `std::net` and a fixed thread pool: `/search`, `/autocomplete`,
 //!   `/cluster/<rank>`, `/healthz`, and `POST /reload` for atomic hot
-//!   snapshot swaps that never block readers.
+//!   snapshot swaps that never block readers. The runtime is hardened
+//!   for hostile traffic: a **bounded admission queue** sheds overload
+//!   with immediate 503s, per-socket **I/O deadlines** cut off
+//!   slowloris clients and dead peers, workers **self-heal** through
+//!   handler panics (`catch_unwind` + liveness gauge), reloads are
+//!   serialized (concurrent `POST /reload` → 409), and shutdown is a
+//!   **graceful drain** (`/healthz` flips to 503 `draining`, in-flight
+//!   and queued work finishes inside a bounded window).
+//! * [`chaos`] — a deterministic, seeded misbehaving-client injector
+//!   (slowloris, header floods, abort-mid-body, connection floods) that
+//!   the chaos suite replays with exact shed/timeout/panic ledgers.
 //! * [`cache`] + [`metrics`] — a sharded LRU over rendered responses
 //!   (invalidated on swap) and lock-free per-endpoint counters and
 //!   latency histograms, exposed as Prometheus text on `/metrics` and
@@ -30,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod http;
 pub mod metrics;
 pub mod router;
@@ -39,7 +50,7 @@ pub mod store;
 
 pub use cache::QueryCache;
 pub use metrics::{Endpoint, Metrics};
-pub use router::{respond, ServeState, DEFAULT_SLOW_THRESHOLD_US};
-pub use server::{serve, ServerHandle};
+pub use router::{respond, ReloadError, ServeState, DEFAULT_SLOW_THRESHOLD_US};
+pub use server::{serve, serve_with, ServeConfig, ServerHandle};
 pub use snapshot::{ClusterEntry, ContextEntry, Snapshot};
 pub use store::{load, save, StoreError, FORMAT_VERSION, MAGIC};

@@ -1,5 +1,7 @@
 //! Lock-free server metrics: per-endpoint request counters and latency
-//! histograms, cache hit/miss counts, and both exposition formats.
+//! histograms, cache hit/miss counts, robustness counters (shed /
+//! timeout / recovered-panic totals plus worker-liveness, queue-depth
+//! and in-flight gauges), and both exposition formats.
 //!
 //! Everything is `AtomicU64` with relaxed ordering — the numbers are
 //! monitoring data, not synchronization, so torn cross-counter reads
@@ -83,6 +85,12 @@ pub struct Metrics {
     cache_misses: AtomicU64,
     reloads: AtomicU64,
     slow_requests: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    worker_panics: AtomicU64,
+    workers_alive: AtomicU64,
+    queue_used: AtomicU64,
+    in_flight: AtomicU64,
 }
 
 impl Metrics {
@@ -109,6 +117,81 @@ impl Metrics {
     /// Records a request that exceeded the slow-request threshold.
     pub fn slow_request(&self) {
         self.slow_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection shed with 503 (full queue or draining).
+    pub fn shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections shed so far.
+    pub fn sheds(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Records a connection dropped after exceeding its I/O deadline.
+    pub fn timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connection timeouts so far.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Records a handler panic caught and recovered by a worker.
+    pub fn worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Handler panics recovered so far.
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// A worker thread entered its serve loop.
+    pub fn worker_started(&self) {
+        self.workers_alive.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker thread exited (clean shutdown or death).
+    pub fn worker_exited(&self) {
+        self.workers_alive.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Worker threads currently alive (the liveness gauge).
+    pub fn workers_alive(&self) -> u64 {
+        self.workers_alive.load(Ordering::Relaxed)
+    }
+
+    /// A connection was admitted into the bounded accept queue.
+    pub fn enqueued(&self) {
+        self.queue_used.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection left the accept queue (picked up or shed).
+    pub fn dequeued(&self) {
+        self.queue_used.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently waiting in the accept queue.
+    pub fn queue_used(&self) -> u64 {
+        self.queue_used.load(Ordering::Relaxed)
+    }
+
+    /// A worker began handling a connection.
+    pub fn request_started(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker finished handling a connection.
+    pub fn request_finished(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests currently being handled by workers.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
     }
 
     /// Records a response-cache hit.
@@ -268,6 +351,42 @@ impl Metrics {
             &[],
             self.slow_requests.load(Ordering::Relaxed),
         );
+        text.counter(
+            "maras_serve_shed_total",
+            "connections answered 503 by admission control (full queue or drain)",
+            &[],
+            self.shed.load(Ordering::Relaxed),
+        );
+        text.counter(
+            "maras_serve_timeouts_total",
+            "connections dropped after exceeding the socket I/O deadline",
+            &[],
+            self.timeouts.load(Ordering::Relaxed),
+        );
+        text.counter(
+            "maras_serve_worker_panics_total",
+            "handler panics caught and recovered by the worker pool",
+            &[],
+            self.worker_panics.load(Ordering::Relaxed),
+        );
+        text.gauge(
+            "maras_serve_workers_alive",
+            "worker threads currently alive",
+            &[],
+            self.workers_alive.load(Ordering::Relaxed) as f64,
+        );
+        text.gauge(
+            "maras_serve_queue_used",
+            "connections waiting in the bounded accept queue",
+            &[],
+            self.queue_used.load(Ordering::Relaxed) as f64,
+        );
+        text.gauge(
+            "maras_serve_inflight",
+            "requests currently being handled by workers",
+            &[],
+            self.in_flight.load(Ordering::Relaxed) as f64,
+        );
         text.finish()
     }
 }
@@ -343,6 +462,40 @@ mod tests {
         assert_eq!(after["cache"]["hits"], before["cache"]["hits"]);
         assert_eq!(after["reloads"], 2u64);
         assert!(m.to_prometheus(0).contains("maras_snapshot_reloads_total 2"));
+    }
+
+    #[test]
+    fn robustness_counters_render_as_serve_series() {
+        let m = Metrics::new();
+        m.shed();
+        m.shed();
+        m.timeout();
+        m.worker_panic();
+        m.worker_started();
+        m.worker_started();
+        m.worker_exited();
+        m.enqueued();
+        m.request_started();
+        assert_eq!(m.sheds(), 2);
+        assert_eq!(m.timeouts(), 1);
+        assert_eq!(m.worker_panics(), 1);
+        assert_eq!(m.workers_alive(), 1);
+        assert_eq!(m.queue_used(), 1);
+        assert_eq!(m.in_flight(), 1);
+        let text = m.to_prometheus(0);
+        assert!(text.contains("# TYPE maras_serve_shed_total counter"));
+        assert!(text.contains("maras_serve_shed_total 2"));
+        assert!(text.contains("maras_serve_timeouts_total 1"));
+        assert!(text.contains("maras_serve_worker_panics_total 1"));
+        assert!(text.contains("# TYPE maras_serve_workers_alive gauge"));
+        assert!(text.contains("maras_serve_workers_alive 1"));
+        assert!(text.contains("maras_serve_queue_used 1"));
+        assert!(text.contains("maras_serve_inflight 1"));
+        // The legacy JSON schema is frozen: robustness series are
+        // Prometheus-only and must not leak into `/metrics.json`.
+        let json = m.to_json();
+        assert!(json.get("shed").is_none());
+        assert!(json.get("timeouts").is_none());
     }
 
     #[test]

@@ -16,11 +16,22 @@ use crate::store::{self, StoreError};
 use maras_core::RuleQuery;
 use serde_json::Value;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, TryLockError};
 
 /// Default slow-request threshold: 1 second.
 pub const DEFAULT_SLOW_THRESHOLD_US: u64 = 1_000_000;
+
+/// Why a `POST /reload` did not swap in a new snapshot.
+#[derive(Debug)]
+pub enum ReloadError {
+    /// Another reload is already in flight; retry after it finishes.
+    InProgress,
+    /// The server was started without a snapshot file to re-read.
+    NoPath,
+    /// The file failed to load or verify; the old snapshot keeps serving.
+    Store(StoreError),
+}
 
 /// Everything the server shares across worker threads.
 pub struct ServeState {
@@ -35,6 +46,14 @@ pub struct ServeState {
     /// Requests slower than this (µs) are logged to stderr and counted in
     /// `maras_slow_requests_total`.
     slow_threshold_us: AtomicU64,
+    /// Flipped by [`ServeState::begin_drain`]: `/healthz` answers 503
+    /// `{"status":"draining"}` so load balancers deregister the instance.
+    draining: AtomicBool,
+    /// Serializes `POST /reload`: the second concurrent reload gets 409
+    /// instead of racing the snapshot swap.
+    reload_lock: Mutex<()>,
+    /// Enables the test-only `GET /__panic` route (chaos harness).
+    panic_route: AtomicBool,
 }
 
 impl ServeState {
@@ -50,7 +69,40 @@ impl ServeState {
             cache: QueryCache::new(cache_capacity),
             metrics: Metrics::new(),
             slow_threshold_us: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_US),
+            draining: AtomicBool::new(false),
+            reload_lock: Mutex::new(()),
+            panic_route: AtomicBool::new(false),
         }
+    }
+
+    /// Puts the state into drain mode: `/healthz` flips to 503
+    /// `{"status":"draining"}` so a load balancer stops routing here.
+    /// One-way — a draining server never goes back to accepting.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`ServeState::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Enables the `GET /__panic` route, which panics inside the handler.
+    /// Test-only: the chaos harness uses it to prove workers survive and
+    /// count handler panics. Never enabled by the CLI.
+    pub fn enable_panic_route(&self) {
+        self.panic_route.store(true, Ordering::SeqCst);
+    }
+
+    fn panic_route_enabled(&self) -> bool {
+        self.panic_route.load(Ordering::SeqCst)
+    }
+
+    /// Holds the reload serialization lock, making every concurrent
+    /// `POST /reload` answer 409 until the guard drops. Lets tests (and
+    /// operators embedding the server) simulate a long in-flight reload.
+    pub fn hold_reload_lock(&self) -> MutexGuard<'_, ()> {
+        self.reload_lock.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Sets the slow-request threshold in microseconds.
@@ -76,13 +128,19 @@ impl ServeState {
     }
 
     /// Re-reads the snapshot file and swaps it in. On any error the
-    /// current snapshot keeps serving untouched.
-    pub fn reload_from_disk(&self) -> Result<(), StoreError> {
-        let path = self
-            .snapshot_path
-            .as_ref()
-            .ok_or(StoreError::Corrupt("no snapshot path configured"))?;
-        let next = store::load(path)?;
+    /// current snapshot keeps serving untouched. Reloads are serialized
+    /// behind a try-lock: a second in-flight reload fails fast with
+    /// [`ReloadError::InProgress`] instead of racing the swap.
+    pub fn reload_from_disk(&self) -> Result<(), ReloadError> {
+        let _guard = match self.reload_lock.try_lock() {
+            Ok(g) => g,
+            // A worker that panicked mid-reload must not wedge reloads
+            // forever; the snapshot swap itself is atomic either way.
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => return Err(ReloadError::InProgress),
+        };
+        let path = self.snapshot_path.as_ref().ok_or(ReloadError::NoPath)?;
+        let next = store::load(path).map_err(ReloadError::Store)?;
         self.swap(next);
         Ok(())
     }
@@ -92,7 +150,15 @@ impl ServeState {
 /// HTTP status, and the JSON body.
 pub fn respond(state: &ServeState, req: &Request) -> (Endpoint, u16, String) {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (Endpoint::Healthz, 200, healthz(state)),
+        ("GET", "/healthz") => {
+            let (status, body) = healthz(state);
+            (Endpoint::Healthz, status, body)
+        }
+        // Chaos-harness route: only reachable after enable_panic_route().
+        // The worker pool must catch this unwind, stay alive, and count it.
+        ("GET", "/__panic") if state.panic_route_enabled() => {
+            panic!("injected panic: /__panic chaos route is enabled")
+        }
         ("GET", "/metrics") => (Endpoint::Metrics, 200, metrics_prometheus(state)),
         ("GET", "/metrics.json") => (Endpoint::Metrics, 200, metrics_json(state)),
         ("GET", "/search") => cached(state, Endpoint::Search, req, search),
@@ -141,15 +207,21 @@ fn cached(
     (endpoint, status, body)
 }
 
-fn healthz(state: &ServeState) -> String {
+/// Health probe. While draining it answers 503 with
+/// `{"status":"draining"}` — same shape, non-200 — which is what a load
+/// balancer's health check needs to deregister the instance while
+/// in-flight requests finish.
+fn healthz(state: &ServeState) -> (u16, String) {
     let snap = state.snapshot();
-    Value::obj([
-        ("status", Value::from("ok")),
+    let draining = state.is_draining();
+    let body = Value::obj([
+        ("status", Value::from(if draining { "draining" } else { "ok" })),
         ("quarter", Value::from(snap.quarter.clone())),
         ("clusters", Value::from(snap.len())),
         ("reports", Value::from(snap.n_reports)),
     ])
-    .to_string()
+    .to_string();
+    (if draining { 503 } else { 200 }, body)
 }
 
 /// The legacy JSON counter dump, preserved verbatim on `/metrics.json`.
@@ -268,12 +340,19 @@ fn reload(state: &ServeState) -> (Endpoint, u16, String) {
             ]);
             (Endpoint::Reload, 200, body.to_string())
         }
-        Err(StoreError::Corrupt("no snapshot path configured")) => (
+        Err(ReloadError::InProgress) => (
+            Endpoint::Reload,
+            409,
+            error_body("reload_in_progress", "another reload is in flight; retry shortly"),
+        ),
+        Err(ReloadError::NoPath) => (
             Endpoint::Reload,
             409,
             error_body("no_snapshot_path", "server was started without a snapshot file"),
         ),
-        Err(e) => (Endpoint::Reload, 500, error_body("reload_failed", &e.to_string())),
+        Err(ReloadError::Store(e)) => {
+            (Endpoint::Reload, 500, error_body("reload_failed", &e.to_string()))
+        }
     }
 }
 
@@ -409,6 +488,50 @@ mod tests {
         let req = Request { method: "POST".into(), path: "/metrics.json".into(), query: vec![] };
         let (_, status, _) = respond(&st, &req);
         assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn healthz_flips_to_draining_503() {
+        let st = state();
+        let (_, status, body) = respond(&st, &get("/healthz", &[]));
+        assert_eq!(status, 200);
+        assert_eq!(serde_json::from_str(&body).unwrap()["status"], "ok");
+        st.begin_drain();
+        let (ep, status, body) = respond(&st, &get("/healthz", &[]));
+        assert_eq!((ep, status), (Endpoint::Healthz, 503));
+        let json = serde_json::from_str(&body).unwrap();
+        assert_eq!(json["status"], "draining");
+        // Identity fields survive the flip: deregistration, not amnesia.
+        assert_eq!(json["quarter"], "2016 Q2");
+    }
+
+    #[test]
+    fn concurrent_reload_is_409_until_lock_released() {
+        let st = state();
+        let req = Request { method: "POST".into(), path: "/reload".into(), query: vec![] };
+        let guard = st.hold_reload_lock();
+        let (_, status, body) = respond(&st, &req);
+        assert_eq!(status, 409);
+        assert_eq!(serde_json::from_str(&body).unwrap()["error"]["code"], "reload_in_progress");
+        drop(guard);
+        // Lock free again: this state has no snapshot path, so the reload
+        // proceeds past serialization and fails on the *path* check.
+        let (_, status, body) = respond(&st, &req);
+        assert_eq!(status, 409);
+        assert_eq!(serde_json::from_str(&body).unwrap()["error"]["code"], "no_snapshot_path");
+    }
+
+    #[test]
+    fn panic_route_is_404_unless_enabled() {
+        let st = state();
+        let (_, status, _) = respond(&st, &get("/__panic", &[]));
+        assert_eq!(status, 404, "chaos route must not exist by default");
+        st.enable_panic_route();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            respond(&st, &get("/__panic", &[]))
+        }))
+        .is_err();
+        assert!(panicked, "enabled chaos route must panic inside the handler");
     }
 
     #[test]

@@ -1,28 +1,76 @@
-//! The std-only concurrent HTTP server.
+//! The std-only concurrent HTTP server, built for hostile conditions.
 //!
 //! A `TcpListener` accept loop feeds connections to a fixed pool of
-//! worker threads over an `mpsc` channel. Every response carries
-//! `Connection: close` — one request per connection keeps the protocol
-//! handling trivial and is fine for a localhost analytics API. Shutdown
-//! is cooperative: [`ServerHandle::shutdown`] flips an `AtomicBool`,
-//! pokes the listener with a loopback connect so `accept` returns, and
-//! joins every thread.
+//! worker threads over a **bounded** `sync_channel` — the admission
+//! queue. When the queue is full the accept side answers 503
+//! `{"error":{"code":"overloaded"}}` immediately instead of queueing
+//! forever (`maras_serve_shed_total`), so a flood degrades into fast
+//! rejections rather than unbounded memory and latency. Every accepted
+//! socket gets read/write deadlines ([`ServeConfig::io_timeout`]) so a
+//! slowloris client or dead peer releases its worker
+//! (`maras_serve_timeouts_total`), and every handler runs under
+//! `catch_unwind`: a panicking route costs one 500 response, not a
+//! worker (`maras_serve_worker_panics_total`, with
+//! `maras_serve_workers_alive` as the liveness gauge).
+//!
+//! Every response carries `Connection: close` — one request per
+//! connection keeps the protocol handling trivial and is fine for a
+//! localhost analytics API. Shutdown is a graceful drain:
+//! [`ServerHandle::shutdown`] flips `/healthz` to 503
+//! `{"status":"draining"}` (load-balancer deregistration), sheds new
+//! connections at the accept side, finishes in-flight and queued
+//! requests up to [`ServeConfig::drain`], then sheds whatever is left
+//! with 503 and joins every thread.
 
 use crate::http::{self, ParseError};
 use crate::metrics::Endpoint;
 use crate::router::{self, ServeState};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
+use std::sync::mpsc::{self, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Runtime knobs for [`serve_with`]. The defaults suit an interactive
+/// localhost deployment; tests tighten them to provoke failure paths.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling requests (min 1).
+    pub n_threads: usize,
+    /// Admission-queue capacity (min 1): connections waiting for a
+    /// worker beyond this are shed with 503 from the accept side.
+    pub queue_depth: usize,
+    /// Read/write deadline per connection; also bounds the *total* time
+    /// a worker spends parsing one request. `None` disables deadlines
+    /// (trusted peers only — a stalled client then holds its worker).
+    pub io_timeout: Option<Duration>,
+    /// How long [`ServerHandle::shutdown`] waits for in-flight and
+    /// queued requests before shedding the remainder.
+    pub drain: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            n_threads: 4,
+            queue_depth: 128,
+            io_timeout: Some(Duration::from_millis(5_000)),
+            drain: Duration::from_millis(5_000),
+        }
+    }
+}
 
 /// A running server: its bound address and the handles to stop it.
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServeState>,
     stop: Arc<AtomicBool>,
+    /// Once set, workers answer every still-queued connection with 503
+    /// instead of handling it — the post-drain-deadline shed.
+    shed_remaining: Arc<AtomicBool>,
+    drain_limit: Duration,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -38,8 +86,28 @@ impl ServerHandle {
         &self.state
     }
 
-    /// Stops accepting, drains the workers, and joins every thread.
-    pub fn shutdown(mut self) {
+    /// Gracefully drains and stops the server: flips `/healthz` to
+    /// draining, sheds new connections, waits up to the configured
+    /// drain window for in-flight + queued requests, sheds the rest
+    /// with 503, then joins every thread.
+    pub fn shutdown(self) {
+        let limit = self.drain_limit;
+        self.drain_for(limit);
+    }
+
+    /// [`ServerHandle::shutdown`] with an explicit drain window.
+    pub fn drain_for(mut self, limit: Duration) {
+        self.state.begin_drain();
+        let deadline = Instant::now() + limit;
+        while Instant::now() < deadline {
+            let m = &self.state.metrics;
+            if m.queue_used() == 0 && m.in_flight() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Past the window: whatever is still queued gets a fast 503.
+        self.shed_remaining.store(true, Ordering::SeqCst);
         self.stop.store(true, Ordering::SeqCst);
         // Unblock accept(); an error just means the listener already died.
         let _ = TcpStream::connect(self.addr);
@@ -62,42 +130,47 @@ impl Drop for ServerHandle {
 }
 
 /// Binds `addr` (use port 0 for an ephemeral port) and serves `state`
-/// on `n_threads` workers until [`ServerHandle::shutdown`].
+/// on `n_threads` workers with default robustness settings. See
+/// [`serve_with`] to tune queue depth, I/O deadlines, and drain window.
 pub fn serve(
     state: Arc<ServeState>,
     addr: &str,
     n_threads: usize,
 ) -> std::io::Result<ServerHandle> {
+    serve_with(state, addr, ServeConfig { n_threads, ..ServeConfig::default() })
+}
+
+/// Binds `addr` and serves `state` under the given [`ServeConfig`]
+/// until [`ServerHandle::shutdown`].
+pub fn serve_with(
+    state: Arc<ServeState>,
+    addr: &str,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let shed_remaining = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
     let rx = Arc::new(Mutex::new(rx));
 
-    let n_threads = n_threads.max(1);
+    let n_threads = config.n_threads.max(1);
+    let io_timeout = config.io_timeout;
     let mut workers = Vec::with_capacity(n_threads);
     for i in 0..n_threads {
         let rx = Arc::clone(&rx);
         let state = Arc::clone(&state);
+        let shed_remaining = Arc::clone(&shed_remaining);
         workers.push(
             std::thread::Builder::new()
                 .name(format!("maras-serve-{i}"))
-                .spawn(move || {
-                    loop {
-                        // Holding the receiver lock only for the recv keeps
-                        // the other workers free to pick up the next socket.
-                        let conn = rx.lock().unwrap().recv();
-                        match conn {
-                            Ok(mut stream) => handle_connection(&state, &mut stream),
-                            Err(_) => break, // channel closed: shutdown
-                        }
-                    }
-                })
+                .spawn(move || worker_loop(&state, &rx, &shed_remaining, io_timeout))
                 .expect("spawn worker thread"),
         );
     }
 
     let accept_stop = Arc::clone(&stop);
+    let accept_state = Arc::clone(&state);
     let accept_thread = std::thread::Builder::new()
         .name("maras-serve-accept".into())
         .spawn(move || {
@@ -105,18 +178,107 @@ pub fn serve(
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
                 }
-                if let Ok(stream) = conn {
-                    // A send error means every worker exited; stop accepting.
-                    if tx.send(stream).is_err() {
-                        break;
+                let Ok(mut stream) = conn else { continue };
+                // Socket deadlines before the connection touches any
+                // worker: a dead peer can stall neither side for long.
+                let _ = stream.set_read_timeout(io_timeout);
+                let _ = stream.set_write_timeout(io_timeout);
+                if accept_state.is_draining() {
+                    accept_state.metrics.shed();
+                    shed_503(&mut stream, "draining", "server is draining; not admitting work");
+                    continue;
+                }
+                accept_state.metrics.enqueued();
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    // Admission control: full queue means the reply is an
+                    // immediate 503 from here, not an unbounded wait.
+                    Err(TrySendError::Full(mut stream)) => {
+                        accept_state.metrics.dequeued();
+                        accept_state.metrics.shed();
+                        shed_503(&mut stream, "overloaded", "request queue is full; load shed");
                     }
+                    // Every worker exited; stop accepting.
+                    Err(TrySendError::Disconnected(_)) => break,
                 }
             }
             // tx drops here, which unblocks and terminates the workers.
         })
         .expect("spawn accept thread");
 
-    Ok(ServerHandle { addr, state, stop, accept_thread: Some(accept_thread), workers })
+    Ok(ServerHandle {
+        addr,
+        state,
+        stop,
+        shed_remaining,
+        drain_limit: config.drain,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+/// Decrements the worker-liveness gauge however the worker exits —
+/// clean channel close or a panic that escapes everything else.
+struct WorkerLiveness<'a>(&'a ServeState);
+
+impl Drop for WorkerLiveness<'_> {
+    fn drop(&mut self) {
+        self.0.metrics.worker_exited();
+    }
+}
+
+/// One worker: pull connections off the bounded queue until it closes,
+/// surviving handler panics and a poisoned receiver mutex.
+fn worker_loop(
+    state: &Arc<ServeState>,
+    rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    shed_remaining: &AtomicBool,
+    io_timeout: Option<Duration>,
+) {
+    state.metrics.worker_started();
+    let _liveness = WorkerLiveness(state);
+    loop {
+        // Holding the receiver lock only for the recv keeps the other
+        // workers free to pick up the next socket. A peer that panicked
+        // while holding the lock must not cascade into killing this
+        // worker too: recover the guard instead of unwrapping the poison.
+        let conn = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+        match conn {
+            Ok(mut stream) => {
+                state.metrics.dequeued();
+                if shed_remaining.load(Ordering::SeqCst) {
+                    // Drain deadline passed: flush the queue with 503s.
+                    state.metrics.shed();
+                    shed_503(&mut stream, "draining", "drain deadline exceeded; request shed");
+                    continue;
+                }
+                state.metrics.request_started();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    handle_connection(state, &mut stream, io_timeout)
+                }));
+                state.metrics.request_finished();
+                if outcome.is_err() {
+                    // Self-healing: count the panic, answer 500, keep
+                    // serving. The pool never silently shrinks.
+                    state.metrics.worker_panic();
+                    let _ = http::write_response(
+                        &mut stream,
+                        500,
+                        "application/json",
+                        &router::error_body("internal_error", "handler panicked; worker recovered"),
+                    );
+                }
+            }
+            Err(_) => break, // channel closed: shutdown
+        }
+    }
+}
+
+/// Best-effort 503 with the uniform error envelope; the socket already
+/// carries a write deadline, so a dead peer cannot stall the caller.
+fn shed_503(stream: &mut TcpStream, code: &str, message: &str) {
+    let _ =
+        http::write_response(stream, 503, "application/json", &router::error_body(code, message));
 }
 
 /// Phase wall times feed one labelled histogram per request phase, in µs.
@@ -140,11 +302,15 @@ fn timed<T>(phase: &'static str, f: impl FnOnce() -> T) -> T {
     out
 }
 
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock)
+}
+
 /// Parses, routes, responds, and records metrics for one connection.
-fn handle_connection(state: &ServeState, stream: &mut TcpStream) {
+fn handle_connection(state: &ServeState, stream: &mut TcpStream, io_timeout: Option<Duration>) {
     let started = Instant::now();
     let request_span = maras_obs::span("request");
-    let parsed = timed("parse", || http::read_request(stream));
+    let parsed = timed("parse", || http::read_request(stream, io_timeout));
     let (target, endpoint, status, body) = match parsed {
         Ok(req) => {
             let (endpoint, status, body) = timed("route", || router::respond(state, &req));
@@ -159,6 +325,17 @@ fn handle_connection(state: &ServeState, stream: &mut TcpStream) {
         Err(ParseError::Malformed(what)) => {
             (None, Endpoint::Other, 400, router::error_body("malformed_request", what))
         }
+        // The client blew its I/O deadline (slowloris or dead peer):
+        // count it, answer 408 best-effort, and release this worker.
+        Err(ParseError::Timeout) => {
+            state.metrics.timeout();
+            (
+                None,
+                Endpoint::Other,
+                408,
+                router::error_body("timeout", "request not received within the I/O deadline"),
+            )
+        }
         // Socket died mid-read; nothing to respond to.
         Err(ParseError::Io(_)) => return,
     };
@@ -169,9 +346,14 @@ fn handle_connection(state: &ServeState, stream: &mut TcpStream) {
         }
         _ => "application/json",
     };
-    timed("write", || {
-        let _ = http::write_response(stream, status, content_type, &body);
-    });
+    let write_result = timed("write", || http::write_response(stream, status, content_type, &body));
+    if let Err(e) = write_result {
+        if is_timeout(&e) {
+            // The peer stopped reading its own response: count the
+            // released worker the same way as a read-side stall.
+            state.metrics.timeout();
+        }
+    }
     let latency_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
     state.metrics.record(endpoint, latency_us, status >= 400);
     drop(request_span);

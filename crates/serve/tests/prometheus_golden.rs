@@ -28,6 +28,20 @@ fn fixed_metrics() -> Metrics {
     m.cache_miss();
     m.reload();
     m.slow_request();
+    // Robustness ledger: shed twice, one I/O timeout, one recovered
+    // panic, and a live pool of 3 workers with one queued + one
+    // in-flight request at scrape time.
+    m.shed();
+    m.shed();
+    m.timeout();
+    m.worker_panic();
+    for _ in 0..3 {
+        m.worker_started();
+    }
+    m.enqueued();
+    m.enqueued();
+    m.dequeued();
+    m.request_started();
     m
 }
 

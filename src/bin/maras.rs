@@ -144,6 +144,7 @@ USAGE:
                  [--trace FILE.json] [--timings]
   maras serve    --snapshot FILE.snap [--addr HOST:PORT] [--threads N]
                  [--cache N] [--check] [--json FILE] [--slow-ms MS]
+                 [--queue-depth N] [--io-timeout-ms MS] [--drain-ms MS]
 
 For analyze/year/report/snapshot, --threads N sets the mining AND ingest
 worker count (0 or omitted = all available cores); for serve it sets HTTP
@@ -156,7 +157,11 @@ snapshot; `serve` loads it and answers /search, /autocomplete,
 /cluster/<rank>, /healthz, /metrics (Prometheus text) and /metrics.json
 (legacy JSON) over HTTP (POST /reload hot-swaps the file atomically).
 `--check` validates the snapshot and exits. `--slow-ms` sets the
-slow-request log threshold (default 1000 ms).
+slow-request log threshold (default 1000 ms). `--queue-depth` bounds the
+admission queue (default 128; full queue answers 503 immediately),
+`--io-timeout-ms` is the per-request socket deadline (default 5000;
+0 disables), and `--drain-ms` bounds the graceful-drain window used by
+embedders that call `ServerHandle::shutdown` (default 5000).
 
 Observability: --trace FILE.json writes a Chrome trace-event file of the
 run (open in chrome://tracing or Perfetto); --timings prints the
@@ -754,11 +759,23 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
     let threads: usize = flag_num(flags, "threads", 4)?;
     let cache: usize = flag_num(flags, "cache", 1024)?;
     let slow_ms: u64 = flag_num(flags, "slow-ms", maras::serve::DEFAULT_SLOW_THRESHOLD_US / 1_000)?;
+    let queue_depth: usize = flag_num(flags, "queue-depth", 128)?;
+    let io_timeout_ms: u64 = flag_num(flags, "io-timeout-ms", 5_000)?;
+    let drain_ms: u64 = flag_num(flags, "drain-ms", 5_000)?;
     let state = std::sync::Arc::new(ServeState::new(snap, Some(path), cache));
     state.set_slow_threshold_us(slow_ms.saturating_mul(1_000));
-    let server = maras::serve::serve(state, addr, threads)
+    let config = maras::serve::ServeConfig {
+        n_threads: threads,
+        queue_depth,
+        io_timeout: (io_timeout_ms > 0).then(|| std::time::Duration::from_millis(io_timeout_ms)),
+        drain: std::time::Duration::from_millis(drain_ms),
+    };
+    let server = maras::serve::serve_with(state, addr, config)
         .map_err(|e| CliError::io(format!("bind {addr}"), e))?;
-    println!("serving on http://{} ({threads} threads; POST /reload to hot-swap)", server.addr());
+    println!(
+        "serving on http://{} ({threads} threads, queue {queue_depth}, io timeout {io_timeout_ms} ms; POST /reload to hot-swap)",
+        server.addr()
+    );
     // Serve until killed; workers run on their own threads.
     loop {
         std::thread::park();
