@@ -6,14 +6,16 @@
 # vendored dependency shims under vendor/ are formatted but not lint-clean
 # by contract.
 
-FIRST_PARTY = -p maras -p maras-bench -p maras-core -p maras-faers \
-              -p maras-mcac -p maras-mining -p maras-obs -p maras-rules \
-              -p maras-serve -p maras-signals -p maras-study -p maras-viz
+FIRST_PARTY = -p maras -p maras-bench -p maras-core -p maras-evidence \
+              -p maras-faers -p maras-mcac -p maras-mining -p maras-obs \
+              -p maras-rules -p maras-serve -p maras-signals -p maras-study \
+              -p maras-viz
 
-.PHONY: verify fmt fmt-check clippy test obs-test serve-test chaos snapshot \
-        trace bench-serve bench-mining bench-ingest
+.PHONY: verify fmt fmt-check clippy test obs-test serve-test evidence-test \
+        chaos snapshot trace bench-serve bench-mining bench-ingest \
+        bench-evidence
 
-verify: fmt-check clippy test obs-test serve-test chaos
+verify: fmt-check clippy test obs-test serve-test evidence-test chaos
 
 fmt:
 	cargo fmt
@@ -40,6 +42,20 @@ obs-test:
 # exercises every endpoint, and hot-swaps the snapshot mid-test.
 serve-test:
 	cargo test -q -p maras-serve --test server_integration
+
+# The evidence layer end to end: the archive's differential suite (disk
+# postings must reproduce the in-memory covers byte-for-byte), the
+# corrupt-archive suite (typed refusals, never panics), the HTTP
+# drill-down endpoints, and a real `evidence build` + `evidence check`
+# round trip through the CLI.
+evidence-test:
+	cargo test -q -p maras-evidence
+	cargo test -q -p maras-serve --test evidence_endpoints
+	cargo run -q --release --bin maras -- generate --out target/evidence-data --reports 2000
+	cargo run -q --release --bin maras -- evidence build --dir target/evidence-data \
+		--quarter 2014Q1 --out target/evidence-data/2014Q1.evid
+	cargo run -q --release --bin maras -- evidence check \
+		--archive target/evidence-data/2014Q1.evid
 
 # The chaos suite: seeded misbehaving clients (slowloris, header floods,
 # aborts, connection floods, panic routes, drain races) against a live
@@ -80,3 +96,8 @@ bench-mining:
 # uncached cleaning, recording results in BENCH_ingest.json.
 bench-ingest:
 	MARAS_SCALE=small cargo run -q --release -p maras-bench --bin bench_ingest
+
+# Archive build throughput, on-disk vs resident size, postings
+# intersections, and cold vs cached block fetches -> BENCH_evidence.json.
+bench-evidence:
+	MARAS_SCALE=small cargo run -q --release -p maras-bench --bin bench_evidence

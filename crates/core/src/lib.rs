@@ -33,7 +33,7 @@ pub use config::PipelineConfig;
 pub use encode::{encode_reports, Encoded};
 pub use ingest::{run_quarter_dir, run_quarters_dir, MultiQuarterRun, QuarterOutcome, QuarterRun};
 pub use knowledge::KnowledgeBase;
-pub use link::supporting_reports;
+pub use link::{supporting_reports, supporting_tids};
 pub use pipeline::{AnalysisResult, Pipeline, RuleView};
 pub use query::{canonical_query_term, RuleQuery};
 pub use rollup::{rollup_reports, RolledUp, Rollup};

@@ -11,16 +11,19 @@ use crate::pipeline::AnalysisResult;
 use maras_faers::model::{CaseReport, Outcome};
 use maras_rules::DrugAdrRule;
 
-/// The raw case reports supporting a rule (every report containing all of
-/// the rule's drugs and ADRs), in tid order.
+/// Transaction ids of a rule's cover (every transaction containing all of
+/// the rule's drugs and ADRs), ascending. This is the canonical ordering
+/// the evidence archive's postings intersection must reproduce exactly.
+pub fn supporting_tids(result: &AnalysisResult, rule: &DrugAdrRule) -> Vec<u32> {
+    result.encoded.db.cover_tids(&rule.complete_itemset())
+}
+
+/// The raw case reports supporting a rule, in tid order.
 pub fn supporting_reports<'a>(
     result: &'a AnalysisResult,
     rule: &DrugAdrRule,
 ) -> Vec<&'a CaseReport> {
-    result
-        .encoded
-        .db
-        .cover_tids(&rule.complete_itemset())
+    supporting_tids(result, rule)
         .into_iter()
         .map(|tid| &result.quarter.reports[result.encoded.source_indices[tid as usize]])
         .collect()
@@ -28,10 +31,7 @@ pub fn supporting_reports<'a>(
 
 /// FAERS case ids of the supporting reports.
 pub fn supporting_case_ids(result: &AnalysisResult, rule: &DrugAdrRule) -> Vec<u64> {
-    result
-        .encoded
-        .db
-        .cover_tids(&rule.complete_itemset())
+    supporting_tids(result, rule)
         .into_iter()
         .map(|tid| result.encoded.case_ids[tid as usize])
         .collect()

@@ -1,0 +1,64 @@
+//! `maras_evidence_*` instrumentation, registered in a `maras-obs`
+//! registry so the series ride the existing `/metrics` exposition.
+
+use maras_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Microsecond buckets for block read/decode — point lookups should sit in
+/// the low hundreds of microseconds cold and single digits cached.
+pub const EVIDENCE_LATENCY_BUCKETS_US: [f64; 10] =
+    [10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0];
+
+/// Handles to the evidence reader's metric series.
+#[derive(Clone)]
+pub struct EvidenceMetrics {
+    /// Block-cache hits.
+    pub cache_hits: Counter,
+    /// Block-cache misses (each miss costs one disk read + decode).
+    pub cache_misses: Counter,
+    /// Decoded blocks currently resident in the cache.
+    pub cache_entries: Gauge,
+    /// Wall time of the disk read for one block, µs.
+    pub block_read_us: Histogram,
+    /// Wall time of decoding one block, µs.
+    pub block_decode_us: Histogram,
+    /// Postings intersections performed (one per cover computation).
+    pub intersections: Counter,
+}
+
+impl EvidenceMetrics {
+    /// Registers (or re-acquires) the series in `reg`.
+    pub fn register(reg: &Registry) -> EvidenceMetrics {
+        EvidenceMetrics {
+            cache_hits: reg
+                .counter("maras_evidence_block_cache_hits_total", "evidence block-cache hits"),
+            cache_misses: reg.counter(
+                "maras_evidence_block_cache_misses_total",
+                "evidence block-cache misses (disk read + decode)",
+            ),
+            cache_entries: reg.gauge(
+                "maras_evidence_block_cache_entries",
+                "decoded evidence blocks resident in the cache",
+            ),
+            block_read_us: reg.histogram(
+                "maras_evidence_block_read_us",
+                "evidence block disk-read wall time in microseconds",
+                &EVIDENCE_LATENCY_BUCKETS_US,
+            ),
+            block_decode_us: reg.histogram(
+                "maras_evidence_block_decode_us",
+                "evidence block decode wall time in microseconds",
+                &EVIDENCE_LATENCY_BUCKETS_US,
+            ),
+            intersections: reg.counter(
+                "maras_evidence_intersections_total",
+                "postings intersections computed for rule covers",
+            ),
+        }
+    }
+
+    /// Registers the series in the process-global registry (what `/metrics`
+    /// exposes).
+    pub fn global() -> EvidenceMetrics {
+        EvidenceMetrics::register(maras_obs::registry())
+    }
+}

@@ -1,0 +1,167 @@
+//! Sorted-u32 postings lists: delta encoding and the k-way intersection
+//! kernel that computes a rule's cover without scanning the archive.
+//!
+//! Lists are stored delta-encoded (first value absolute, then gaps) as
+//! varints — tid lists for common drugs are dense, so most gaps fit one
+//! byte. Intersection starts from the shortest list and galloping-searches
+//! each candidate through the remaining lists, which keeps the cost near
+//! `|shortest| · k · log` instead of the sum of all list lengths.
+
+use crate::format::{put_varint, Cursor, EvidenceError};
+
+/// Appends a sorted tid list, delta-encoded.
+pub fn encode_postings(buf: &mut Vec<u8>, tids: &[u32]) {
+    put_varint(buf, tids.len() as u64);
+    let mut prev = 0u32;
+    for (i, &tid) in tids.iter().enumerate() {
+        let delta = if i == 0 { tid } else { tid - prev };
+        put_varint(buf, u64::from(delta));
+        prev = tid;
+    }
+}
+
+/// Decodes a delta-encoded tid list; enforces strictly ascending order.
+pub fn decode_postings(c: &mut Cursor<'_>) -> Result<Vec<u32>, EvidenceError> {
+    let n = c.varint()? as usize;
+    let mut tids = Vec::with_capacity(n.min(1 << 20));
+    let mut prev: u64 = 0;
+    for i in 0..n {
+        let delta = c.varint()?;
+        let tid = if i == 0 { delta } else { prev + delta };
+        if tid > u64::from(u32::MAX) || (i > 0 && delta == 0) {
+            return Err(EvidenceError::Corrupt("postings list not strictly ascending u32"));
+        }
+        tids.push(tid as u32);
+        prev = tid;
+    }
+    Ok(tids)
+}
+
+/// Galloping (exponential + binary) search: smallest index in `list` with
+/// `list[i] >= target`, starting the probe at `from`.
+fn gallop(list: &[u32], from: usize, target: u32) -> usize {
+    let mut step = 1;
+    let mut hi = from;
+    while hi < list.len() && list[hi] < target {
+        hi += step;
+        step <<= 1;
+    }
+    let lo = hi.saturating_sub(step >> 1).max(from);
+    let hi = hi.min(list.len());
+    lo + list[lo..hi].partition_point(|&v| v < target)
+}
+
+/// Intersects `k` sorted postings lists. With no lists the intersection is
+/// undefined here and returns empty — callers that need the "empty itemset
+/// covers everything" convention handle it before calling.
+pub fn intersect_k(lists: &[&[u32]]) -> Vec<u32> {
+    let Some(shortest_at) = (0..lists.len()).min_by_key(|&i| lists[i].len()) else {
+        return Vec::new();
+    };
+    let shortest = lists[shortest_at];
+    if shortest.is_empty() {
+        return Vec::new();
+    }
+    let others: Vec<&[u32]> =
+        lists.iter().enumerate().filter(|&(i, _)| i != shortest_at).map(|(_, l)| *l).collect();
+    let mut positions = vec![0usize; others.len()];
+    let mut out = Vec::with_capacity(shortest.len());
+    'candidates: for &tid in shortest.iter() {
+        for (list, pos) in others.iter().zip(positions.iter_mut()) {
+            let at = gallop(list, *pos, tid);
+            *pos = at;
+            if at == list.len() {
+                break 'candidates;
+            }
+            if list[at] != tid {
+                continue 'candidates;
+            }
+        }
+        out.push(tid);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(tids: &[u32]) -> Vec<u32> {
+        let mut buf = Vec::new();
+        encode_postings(&mut buf, tids);
+        let mut c = Cursor::new(&buf);
+        let out = decode_postings(&mut c).unwrap();
+        assert!(c.is_exhausted());
+        out
+    }
+
+    #[test]
+    fn postings_roundtrip() {
+        assert_eq!(roundtrip(&[]), Vec::<u32>::new());
+        assert_eq!(roundtrip(&[0]), vec![0]);
+        assert_eq!(
+            roundtrip(&[0, 1, 2, 500, 10_000, u32::MAX]),
+            vec![0, 1, 2, 500, 10_000, u32::MAX]
+        );
+    }
+
+    #[test]
+    fn decode_rejects_unsorted() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 3);
+        put_varint(&mut buf, 5);
+        put_varint(&mut buf, 0); // zero gap == duplicate tid
+        put_varint(&mut buf, 1);
+        assert!(matches!(decode_postings(&mut Cursor::new(&buf)), Err(EvidenceError::Corrupt(_))));
+    }
+
+    fn naive(lists: &[&[u32]]) -> Vec<u32> {
+        let Some((first, rest)) = lists.split_first() else {
+            return Vec::new();
+        };
+        first.iter().copied().filter(|t| rest.iter().all(|l| l.contains(t))).collect()
+    }
+
+    #[test]
+    fn intersect_matches_naive() {
+        let a: Vec<u32> = (0..200).step_by(2).collect();
+        let b: Vec<u32> = (0..200).step_by(3).collect();
+        let c: Vec<u32> = (0..200).step_by(5).collect();
+        for lists in [
+            vec![&a[..], &b[..]],
+            vec![&a[..], &b[..], &c[..]],
+            vec![&c[..], &b[..], &a[..]],
+            vec![&a[..]],
+            vec![&a[..], &[][..]],
+        ] {
+            assert_eq!(intersect_k(&lists), naive(&lists), "{lists:?}");
+        }
+        assert_eq!(intersect_k(&[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn intersect_seeded_fuzz_matches_naive() {
+        // Cheap xorshift so the test stays deterministic without rand.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move |m: u32| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % u64::from(m)) as u32
+        };
+        for _ in 0..50 {
+            let k = 2 + next(3) as usize;
+            let lists: Vec<Vec<u32>> = (0..k)
+                .map(|_| {
+                    let n = next(40) as usize;
+                    let mut v: Vec<u32> = (0..n).map(|_| next(60)).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            let refs: Vec<&[u32]> = lists.iter().map(Vec::as_slice).collect();
+            assert_eq!(intersect_k(&refs), naive(&refs));
+        }
+    }
+}

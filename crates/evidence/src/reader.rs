@@ -1,0 +1,424 @@
+//! Reading an archive at serve time.
+//!
+//! [`EvidenceReader::open`] parses and verifies the header + meta section
+//! and keeps only the *index* resident (symbol dictionary, case index,
+//! postings, block index) — record blocks stay on disk and are paged in
+//! through a sharded LRU cache on demand. A full quarter is never
+//! materialized in memory.
+
+use crate::format::{fnv1a, Cursor, EvidenceError, FORMAT_VERSION, HEADER_LEN, MAGIC};
+use crate::metrics::EvidenceMetrics;
+use crate::postings::{decode_postings, intersect_k};
+use crate::record::decode_block;
+use maras_faers::intern::{IStr, SymbolTable};
+use maras_faers::CaseReport;
+use rustc_hash::FxHashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default decoded-block cache capacity (blocks, not bytes).
+pub const DEFAULT_CACHE_BLOCKS: usize = 64;
+
+const N_SHARDS: usize = 8;
+
+/// One cached decoded block plus its last-touched LRU tick.
+type CacheEntry = (Arc<Vec<CaseReport>>, u64);
+
+#[derive(Debug, Clone, Copy)]
+struct BlockMeta {
+    offset: u64, // relative to the data section
+    len: u64,
+    checksum: u64,
+    n: u32,
+}
+
+/// Sharded LRU over decoded blocks — same shape as the serve-side response
+/// cache: per-shard mutex, monotone tick stamps, evict the stalest entry
+/// when a shard fills.
+struct BlockCache {
+    shards: Vec<Mutex<FxHashMap<usize, CacheEntry>>>,
+    per_shard: usize,
+    tick: AtomicU64,
+}
+
+impl BlockCache {
+    fn new(capacity: usize) -> BlockCache {
+        let per_shard = capacity.div_ceil(N_SHARDS).max(1);
+        BlockCache {
+            shards: (0..N_SHARDS).map(|_| Mutex::new(FxHashMap::default())).collect(),
+            per_shard,
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, block: usize) -> &Mutex<FxHashMap<usize, CacheEntry>> {
+        &self.shards[block % N_SHARDS]
+    }
+
+    fn get(&self, block: usize) -> Option<Arc<Vec<CaseReport>>> {
+        let mut shard = self.shard(block).lock().unwrap_or_else(|e| e.into_inner());
+        let entry = shard.get_mut(&block)?;
+        entry.1 = self.tick.fetch_add(1, Ordering::Relaxed);
+        Some(entry.0.clone())
+    }
+
+    fn put(&self, block: usize, reports: Arc<Vec<CaseReport>>) {
+        let mut shard = self.shard(block).lock().unwrap_or_else(|e| e.into_inner());
+        if shard.len() >= self.per_shard && !shard.contains_key(&block) {
+            if let Some((&stalest, _)) = shard.iter().min_by_key(|(_, (_, t))| *t) {
+                shard.remove(&stalest);
+            }
+        }
+        shard.insert(block, (reports, self.tick.fetch_add(1, Ordering::Relaxed)));
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len()).sum()
+    }
+}
+
+/// A verified, open archive: resident index + paged record blocks.
+pub struct EvidenceReader {
+    file: Mutex<File>,
+    data_start: u64,
+    quarter: String,
+    n_records: usize,
+    block_size: usize,
+    symbols: Vec<IStr>,
+    case_index: Vec<(u64, u32)>,
+    drug_postings: Vec<(String, Vec<u32>)>,
+    adr_postings: Vec<(String, Vec<u32>)>,
+    severity_postings: [Vec<u32>; 7],
+    blocks: Vec<BlockMeta>,
+    cache: BlockCache,
+    metrics: EvidenceMetrics,
+}
+
+fn read_exact_or_truncated(f: &mut File, buf: &mut [u8]) -> Result<(), EvidenceError> {
+    f.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            EvidenceError::Truncated
+        } else {
+            EvidenceError::Io(e)
+        }
+    })
+}
+
+impl EvidenceReader {
+    /// Opens and verifies an archive with the default block-cache size.
+    pub fn open(path: &Path) -> Result<EvidenceReader, EvidenceError> {
+        EvidenceReader::open_with_cache(path, DEFAULT_CACHE_BLOCKS)
+    }
+
+    /// Opens and verifies an archive, sizing the decoded-block cache.
+    pub fn open_with_cache(
+        path: &Path,
+        cache_blocks: usize,
+    ) -> Result<EvidenceReader, EvidenceError> {
+        let _span = maras_obs::span("evidence_open");
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+
+        let mut header = [0u8; HEADER_LEN];
+        read_exact_or_truncated(&mut file, &mut header)?;
+        if &header[..8] != MAGIC {
+            return Err(EvidenceError::BadMagic);
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(EvidenceError::BadVersion(version));
+        }
+        let meta_len = u64::from_le_bytes(header[12..20].try_into().unwrap());
+        let stored_checksum = u64::from_le_bytes(header[20..28].try_into().unwrap());
+        if meta_len > file_len.saturating_sub(HEADER_LEN as u64) {
+            return Err(EvidenceError::Truncated);
+        }
+        let mut meta = vec![0u8; meta_len as usize];
+        read_exact_or_truncated(&mut file, &mut meta)?;
+        let actual = fnv1a(&meta);
+        if actual != stored_checksum {
+            return Err(EvidenceError::ChecksumMismatch {
+                what: "meta".to_string(),
+                stored: stored_checksum,
+                actual,
+            });
+        }
+
+        let mut c = Cursor::new(&meta);
+        let quarter = c.str()?.to_string();
+        let n_records = c.u64()? as usize;
+        let block_size = c.u32()? as usize;
+        if block_size == 0 {
+            return Err(EvidenceError::Corrupt("zero block size"));
+        }
+        let n_blocks = c.u32()? as usize;
+        if n_blocks != n_records.div_ceil(block_size) {
+            return Err(EvidenceError::Corrupt("block count disagrees with record count"));
+        }
+        let n_symbols = c.u32()? as usize;
+        let mut table = SymbolTable::new();
+        let mut symbols = Vec::with_capacity(n_symbols);
+        for _ in 0..n_symbols {
+            symbols.push(table.intern(c.str()?));
+        }
+        let mut case_index = Vec::with_capacity(n_records);
+        for _ in 0..n_records {
+            let case_id = c.u64()?;
+            let tid = c.u32()?;
+            if tid as usize >= n_records {
+                return Err(EvidenceError::Corrupt("case-index tid out of range"));
+            }
+            case_index.push((case_id, tid));
+        }
+        if !case_index.windows(2).all(|w| w[0].0 <= w[1].0) {
+            return Err(EvidenceError::Corrupt("case index not sorted"));
+        }
+        let read_keyed_postings =
+            |c: &mut Cursor<'_>| -> Result<Vec<(String, Vec<u32>)>, EvidenceError> {
+                let n = c.u32()? as usize;
+                let mut out: Vec<(String, Vec<u32>)> = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let key = c.str()?.to_string();
+                    let tids = decode_postings(c)?;
+                    if tids.last().is_some_and(|&t| t as usize >= n_records) {
+                        return Err(EvidenceError::Corrupt("postings tid out of range"));
+                    }
+                    if out.last().is_some_and(|(k, _)| *k >= key) {
+                        return Err(EvidenceError::Corrupt("postings keys not sorted"));
+                    }
+                    out.push((key, tids));
+                }
+                Ok(out)
+            };
+        let drug_postings = read_keyed_postings(&mut c)?;
+        let adr_postings = read_keyed_postings(&mut c)?;
+        let mut severity_postings: [Vec<u32>; 7] = Default::default();
+        for list in severity_postings.iter_mut() {
+            *list = decode_postings(&mut c)?;
+            if list.last().is_some_and(|&t| t as usize >= n_records) {
+                return Err(EvidenceError::Corrupt("severity tid out of range"));
+            }
+        }
+        let data_start = HEADER_LEN as u64 + meta_len;
+        let data_len = file_len - data_start;
+        let mut blocks = Vec::with_capacity(n_blocks);
+        let mut expected_offset = 0u64;
+        for b in 0..n_blocks {
+            let offset = c.u64()?;
+            let len = c.u64()?;
+            let checksum = c.u64()?;
+            let first_tid = c.u32()?;
+            let n = c.u32()?;
+            if offset != expected_offset
+                || first_tid as usize != b * block_size
+                || n == 0
+                || n as usize > block_size
+            {
+                return Err(EvidenceError::Corrupt("invalid block index entry"));
+            }
+            if offset.checked_add(len).is_none_or(|end| end > data_len) {
+                return Err(EvidenceError::Truncated);
+            }
+            expected_offset = offset + len;
+            blocks.push(BlockMeta { offset, len, checksum, n });
+        }
+        if blocks.iter().map(|b| b.n as usize).sum::<usize>() != n_records {
+            return Err(EvidenceError::Corrupt("block record counts disagree with total"));
+        }
+        if !c.is_exhausted() {
+            return Err(EvidenceError::Corrupt("trailing bytes after meta section"));
+        }
+
+        Ok(EvidenceReader {
+            file: Mutex::new(file),
+            data_start,
+            quarter,
+            n_records,
+            block_size,
+            symbols,
+            case_index,
+            drug_postings,
+            adr_postings,
+            severity_postings,
+            blocks,
+            cache: BlockCache::new(cache_blocks),
+            metrics: EvidenceMetrics::global(),
+        })
+    }
+
+    /// Quarter label the archive was built from.
+    pub fn quarter(&self) -> &str {
+        &self.quarter
+    }
+
+    /// Records stored.
+    pub fn n_records(&self) -> usize {
+        self.n_records
+    }
+
+    /// Decoded blocks currently cached.
+    pub fn cached_blocks(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops every cached block (hot-reload hygiene; next reads go to disk).
+    pub fn clear_cache(&self) {
+        for shard in &self.cache.shards {
+            shard.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+        self.metrics.cache_entries.set(self.cache.len() as f64);
+    }
+
+    fn postings_for<'a>(sorted: &'a [(String, Vec<u32>)], key: &str) -> Option<&'a [u32]> {
+        sorted.binary_search_by(|(k, _)| k.as_str().cmp(key)).ok().map(|i| sorted[i].1.as_slice())
+    }
+
+    /// The rule cover: tids of every record containing all `drugs` and all
+    /// `adrs`, ascending — the postings-intersection equivalent of
+    /// `core::link::supporting_tids`. Drug keys are matched uppercased (the
+    /// snapshot's spelling); ADR terms verbatim. An unknown key yields an
+    /// empty cover; no keys at all covers every record, mirroring the
+    /// miner's empty-itemset convention.
+    pub fn cover(&self, drugs: &[String], adrs: &[String]) -> Vec<u32> {
+        self.metrics.intersections.inc();
+        let mut lists: Vec<&[u32]> = Vec::with_capacity(drugs.len() + adrs.len());
+        for d in drugs {
+            let key = d.to_ascii_uppercase();
+            match Self::postings_for(&self.drug_postings, &key) {
+                Some(l) => lists.push(l),
+                None => return Vec::new(),
+            }
+        }
+        for a in adrs {
+            match Self::postings_for(&self.adr_postings, a) {
+                Some(l) => lists.push(l),
+                None => return Vec::new(),
+            }
+        }
+        if lists.is_empty() {
+            return (0..self.n_records as u32).collect();
+        }
+        intersect_k(&lists)
+    }
+
+    /// Tids whose most severe outcome is at least `min` (severity scale
+    /// 0–6), ascending — the union of the matching severity postings.
+    pub fn severity_at_least(&self, min: u8) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .severity_postings
+            .iter()
+            .enumerate()
+            .filter(|&(sev, _)| sev as u8 >= min)
+            .flat_map(|(_, l)| l.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn fetch_block(&self, block: usize) -> Result<Arc<Vec<CaseReport>>, EvidenceError> {
+        if let Some(hit) = self.cache.get(block) {
+            self.metrics.cache_hits.inc();
+            return Ok(hit);
+        }
+        self.metrics.cache_misses.inc();
+        let meta = self.blocks.get(block).ok_or(EvidenceError::Corrupt("block out of range"))?;
+        let read_start = Instant::now();
+        let mut bytes = vec![0u8; meta.len as usize];
+        {
+            let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+            file.seek(SeekFrom::Start(self.data_start + meta.offset))?;
+            read_exact_or_truncated(&mut file, &mut bytes)?;
+        }
+        self.metrics.block_read_us.observe(read_start.elapsed().as_secs_f64() * 1e6);
+        let actual = fnv1a(&bytes);
+        if actual != meta.checksum {
+            return Err(EvidenceError::ChecksumMismatch {
+                what: format!("block {block}"),
+                stored: meta.checksum,
+                actual,
+            });
+        }
+        let decode_start = Instant::now();
+        let reports = Arc::new(decode_block(&bytes, meta.n as usize, &self.symbols)?);
+        self.metrics.block_decode_us.observe(decode_start.elapsed().as_secs_f64() * 1e6);
+        self.cache.put(block, reports.clone());
+        self.metrics.cache_entries.set(self.cache.len() as f64);
+        Ok(reports)
+    }
+
+    /// Fetches one record by tid.
+    pub fn report_by_tid(&self, tid: u32) -> Result<CaseReport, EvidenceError> {
+        if tid as usize >= self.n_records {
+            return Err(EvidenceError::Corrupt("tid out of range"));
+        }
+        let block = tid as usize / self.block_size;
+        let reports = self.fetch_block(block)?;
+        Ok(reports[tid as usize % self.block_size].clone())
+    }
+
+    /// Tid of a FAERS case id, if the case is in the archive.
+    pub fn tid_of_case(&self, case_id: u64) -> Option<u32> {
+        self.case_index
+            .binary_search_by_key(&case_id, |&(id, _)| id)
+            .ok()
+            .map(|i| self.case_index[i].1)
+    }
+
+    /// Fetches one record by FAERS case id.
+    pub fn report_by_case_id(&self, case_id: u64) -> Result<Option<CaseReport>, EvidenceError> {
+        match self.tid_of_case(case_id) {
+            None => Ok(None),
+            Some(tid) => Ok(Some(self.report_by_tid(tid)?)),
+        }
+    }
+
+    /// Fetches the records for a page of tids, in the given order.
+    pub fn reports_for(&self, tids: &[u32]) -> Result<Vec<CaseReport>, EvidenceError> {
+        tids.iter().map(|&t| self.report_by_tid(t)).collect()
+    }
+}
+
+/// What `evidence check` verified.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Quarter label.
+    pub quarter: String,
+    /// Records stored.
+    pub n_records: usize,
+    /// Blocks verified (checksum + full decode).
+    pub n_blocks: usize,
+    /// Dictionary size.
+    pub n_symbols: usize,
+    /// Drug postings keys.
+    pub n_drug_keys: usize,
+    /// ADR postings keys.
+    pub n_adr_keys: usize,
+}
+
+/// Verifies an entire archive: header, meta checksum, index invariants and
+/// every block's checksum + decode. Returns a typed error on the first
+/// problem found — never panics on corrupt input.
+pub fn check_archive(path: &Path) -> Result<CheckReport, EvidenceError> {
+    let _span = maras_obs::span("evidence_check");
+    let reader = EvidenceReader::open_with_cache(path, 1)?;
+    let mut seen = 0usize;
+    for block in 0..reader.blocks.len() {
+        let reports = reader.fetch_block(block)?;
+        seen += reports.len();
+    }
+    if seen != reader.n_records {
+        return Err(EvidenceError::Corrupt("decoded record count disagrees with meta"));
+    }
+    Ok(CheckReport {
+        quarter: reader.quarter.clone(),
+        n_records: reader.n_records,
+        n_blocks: reader.blocks.len(),
+        n_symbols: reader.symbols.len(),
+        n_drug_keys: reader.drug_postings.len(),
+        n_adr_keys: reader.adr_postings.len(),
+    })
+}

@@ -1,0 +1,125 @@
+//! Differential suite: the archive's postings-intersection cover must be
+//! byte-identical to the in-memory `core::link` cover — same tids, same
+//! ascending order — for **every** ranked rule, across three seeded
+//! corpora and both ingestion policies (strict over clean files, lenient
+//! over fault-injected files). The decoded records must equal the raw
+//! quarter's reports through the same provenance.
+
+use maras_core::config::PipelineConfig;
+use maras_core::link;
+use maras_core::pipeline::{AnalysisResult, Pipeline};
+use maras_evidence::{build_archive, check_archive, BuildConfig, EvidenceReader};
+use maras_faers::ascii::IngestOptions;
+use maras_faers::{
+    corrupt_quarter, FaultConfig, QuarterData, QuarterId, SynthConfig, Synthesizer, Vocabulary,
+};
+use std::path::PathBuf;
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("maras-evid-diff-{tag}-{}.evid", std::process::id()))
+}
+
+fn run(quarter: QuarterData, dv: &Vocabulary, av: &Vocabulary) -> AnalysisResult {
+    Pipeline::new(PipelineConfig::default()).run(quarter, dv, av)
+}
+
+/// Builds the archive for `result` and proves, rule by rule, that the
+/// postings path reproduces the in-memory path exactly.
+fn assert_archive_matches(
+    tag: &str,
+    result: &AnalysisResult,
+    dv: &Vocabulary,
+    av: &Vocabulary,
+    block_size: u32,
+) {
+    let path = tmp_path(tag);
+    let summary =
+        build_archive(result, dv, av, &path, BuildConfig { block_size }).expect("build archive");
+    assert_eq!(summary.n_records, result.cleaned.len());
+    let checked = check_archive(&path).expect("fresh archive verifies");
+    assert_eq!(checked.n_records, summary.n_records);
+    assert_eq!(checked.n_blocks, summary.n_blocks);
+
+    let reader = EvidenceReader::open(&path).expect("fresh archive opens");
+    assert_eq!(reader.n_records(), result.cleaned.len());
+    assert_eq!(reader.quarter(), result.quarter.id.to_string());
+    assert!(!result.ranked.is_empty(), "{tag}: expected mined clusters");
+
+    for (rank, r) in result.ranked.iter().enumerate() {
+        let rule = &r.cluster.target;
+        // The snapshot's spelling of the rule: uppercased canonical drug
+        // names, verbatim ADR terms.
+        let drugs: Vec<String> = result
+            .encoded
+            .names(&rule.drugs, dv, av)
+            .into_iter()
+            .map(|n| n.to_ascii_uppercase())
+            .collect();
+        let adrs = result.encoded.names(&rule.adrs, dv, av);
+
+        let expected = link::supporting_tids(result, rule);
+        let actual = reader.cover(&drugs, &adrs);
+        assert_eq!(actual, expected, "{tag}: cover mismatch for rule #{rank} {drugs:?}→{adrs:?}");
+
+        // Same records, same order, decoded from disk.
+        let in_memory = link::supporting_reports(result, rule);
+        let from_disk = reader.reports_for(&actual).expect("page decodes");
+        assert_eq!(from_disk.len(), in_memory.len());
+        for (disk, mem) in from_disk.iter().zip(&in_memory) {
+            assert_eq!(disk, *mem, "{tag}: decoded record drifted");
+        }
+
+        // Case-id lookups round-trip through the case index.
+        for (tid, report) in actual.iter().zip(&from_disk) {
+            assert_eq!(reader.tid_of_case(report.case_id), Some(*tid));
+        }
+    }
+
+    // An unknown key yields an empty cover rather than an error or a scan.
+    assert!(reader.cover(&["NO-SUCH-DRUG".to_string()], &[]).is_empty());
+
+    // Severity postings partition the records that have outcomes.
+    let all_severities = reader.severity_at_least(0);
+    let with_outcome = result.cleaned.iter().filter(|c| c.max_severity.is_some()).count();
+    assert_eq!(all_severities.len(), with_outcome, "{tag}: severity postings incomplete");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn postings_cover_matches_core_link_across_seeds_and_ingest_modes() {
+    for (i, seed) in [5u64, 11, 23].into_iter().enumerate() {
+        let mut synth = Synthesizer::new(SynthConfig::test_scale(seed));
+        let quarter = synth.generate_quarter(QuarterId::new(2014, 1 + i as u8));
+        let dv = synth.drug_vocab().clone();
+        let av = synth.adr_vocab().clone();
+
+        // Strict leg: the pristine quarter.
+        let strict = run(quarter.clone(), &dv, &av);
+        assert_archive_matches(&format!("strict-{seed}"), &strict, &dv, &av, 32);
+
+        // Lenient leg: the same quarter through fault injection and the
+        // dead-letter ingest path — the archive must stay faithful to
+        // whatever survived quarantine.
+        let corrupted = corrupt_quarter(&quarter, &FaultConfig::new(seed, 0.03));
+        let ingested = corrupted.read(&IngestOptions::lenient()).expect("lenient ingest");
+        let lenient = run(ingested.data, &dv, &av);
+        assert_archive_matches(&format!("lenient-{seed}"), &lenient, &dv, &av, 64);
+    }
+}
+
+#[test]
+fn empty_key_list_covers_every_record() {
+    let mut synth = Synthesizer::new(SynthConfig::test_scale(7));
+    let quarter = synth.generate_quarter(QuarterId::new(2014, 4));
+    let dv = synth.drug_vocab().clone();
+    let av = synth.adr_vocab().clone();
+    let result = run(quarter, &dv, &av);
+    let path = tmp_path("empty-cover");
+    build_archive(&result, &dv, &av, &path, BuildConfig::default()).unwrap();
+    let reader = EvidenceReader::open(&path).unwrap();
+    // Mirrors the miner's convention: an empty itemset covers all tids.
+    let all = reader.cover(&[], &[]);
+    assert_eq!(all, (0..result.cleaned.len() as u32).collect::<Vec<_>>());
+    std::fs::remove_file(&path).ok();
+}

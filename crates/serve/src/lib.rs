@@ -15,8 +15,11 @@
 //!   rename writes.
 //! * [`server`] + [`router`] + [`http`] — an HTTP/1.1 JSON API on
 //!   `std::net` and a fixed thread pool: `/search`, `/autocomplete`,
-//!   `/cluster/<rank>`, `/healthz`, and `POST /reload` for atomic hot
-//!   snapshot swaps that never block readers. The runtime is hardened
+//!   `/cluster/<rank>`, `/cluster/<rank>/reports` and
+//!   `/report/<case-id>` (raw case evidence paged from a
+//!   [`maras_evidence`] archive when the server is given one),
+//!   `/healthz`, and `POST /reload` for atomic hot snapshot(+archive)
+//!   swaps that never block readers. The runtime is hardened
 //!   for hostile traffic: a **bounded admission queue** sheds overload
 //!   with immediate 503s, per-socket **I/O deadlines** cut off
 //!   slowloris clients and dead peers, workers **self-heal** through

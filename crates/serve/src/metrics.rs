@@ -40,9 +40,13 @@ pub enum Endpoint {
     Reload,
     /// Anything else (404s, bad methods, parse failures).
     Other,
+    /// `GET /cluster/<rank>/reports` (paginated evidence drill-down).
+    Reports,
+    /// `GET /report/<case_id>` (single-record evidence lookup).
+    Report,
 }
 
-const N_ENDPOINTS: usize = 7;
+const N_ENDPOINTS: usize = 9;
 
 impl Endpoint {
     fn idx(self) -> usize {
@@ -54,11 +58,25 @@ impl Endpoint {
             Endpoint::Cluster => 4,
             Endpoint::Reload => 5,
             Endpoint::Other => 6,
+            // Appended after the original seven so every pre-existing
+            // series keeps its index (and its `/metrics.json` key order).
+            Endpoint::Reports => 7,
+            Endpoint::Report => 8,
         }
     }
 
     fn name(i: usize) -> &'static str {
-        ["healthz", "metrics", "search", "autocomplete", "cluster", "reload", "other"][i]
+        [
+            "healthz",
+            "metrics",
+            "search",
+            "autocomplete",
+            "cluster",
+            "reload",
+            "other",
+            "reports",
+            "report",
+        ][i]
     }
 }
 
@@ -496,6 +514,33 @@ mod tests {
         let json = m.to_json();
         assert!(json.get("shed").is_none());
         assert!(json.get("timeouts").is_none());
+    }
+
+    #[test]
+    fn metrics_json_schema_stays_frozen_for_existing_keys() {
+        // Adding the evidence endpoints must be purely additive: the
+        // legacy `/metrics.json` consumers keep every key they had, with
+        // the same shapes, and the new endpoint counters appear alongside
+        // the old ones instead of displacing them.
+        let m = Metrics::new();
+        m.record(Endpoint::Search, 100, false);
+        m.record(Endpoint::Reports, 200, false);
+        m.record(Endpoint::Report, 50, true);
+        let json = m.to_json();
+        let top: Vec<&str> = match &json {
+            Value::Object(o) => o.keys().map(String::as_str).collect(),
+            _ => panic!("metrics.json is an object"),
+        };
+        assert_eq!(top, ["cache", "errors", "latency_us", "reloads", "requests"]);
+        for legacy in ["healthz", "metrics", "search", "autocomplete", "cluster", "reload", "other"]
+        {
+            assert!(json["requests"].get(legacy).is_some(), "lost requests.{legacy}");
+        }
+        assert_eq!(json["requests"]["reports"], 1u64);
+        assert_eq!(json["requests"]["report"], 1u64);
+        assert_eq!(json["errors"], 1u64);
+        assert!(json["latency_us"]["buckets"].as_array().is_some());
+        assert!(json["cache"].get("hit_rate").is_some());
     }
 
     #[test]

@@ -14,6 +14,8 @@ use crate::metrics::{Endpoint, Metrics};
 use crate::snapshot::Snapshot;
 use crate::store::{self, StoreError};
 use maras_core::RuleQuery;
+use maras_evidence::{EvidenceError, EvidenceReader};
+use maras_faers::CaseReport;
 use serde_json::Value;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -31,6 +33,9 @@ pub enum ReloadError {
     NoPath,
     /// The file failed to load or verify; the old snapshot keeps serving.
     Store(StoreError),
+    /// The evidence archive failed to reopen or verify; the old snapshot
+    /// *and* the old archive keep serving.
+    Evidence(EvidenceError),
 }
 
 /// Everything the server shares across worker threads.
@@ -54,6 +59,13 @@ pub struct ServeState {
     reload_lock: Mutex<()>,
     /// Enables the test-only `GET /__panic` route (chaos harness).
     panic_route: AtomicBool,
+    /// The open evidence archive, if one was attached: raw case reports
+    /// paged from disk for `/cluster/N/reports` and `/report/CASEID`.
+    /// `None` keeps those routes on the 404 path.
+    evidence: RwLock<Option<Arc<EvidenceReader>>>,
+    /// Where `POST /reload` reopens the archive from, alongside the
+    /// snapshot.
+    evidence_path: Option<PathBuf>,
 }
 
 impl ServeState {
@@ -72,7 +84,28 @@ impl ServeState {
             draining: AtomicBool::new(false),
             reload_lock: Mutex::new(()),
             panic_route: AtomicBool::new(false),
+            evidence: RwLock::new(None),
+            evidence_path: None,
         }
+    }
+
+    /// Attaches an open evidence archive (builder-style, at startup);
+    /// `evidence_path` lets `POST /reload` reopen it together with the
+    /// snapshot.
+    pub fn with_evidence(
+        mut self,
+        reader: Arc<EvidenceReader>,
+        evidence_path: Option<PathBuf>,
+    ) -> ServeState {
+        self.evidence = RwLock::new(Some(reader));
+        self.evidence_path = evidence_path;
+        self
+    }
+
+    /// The current evidence reader, if one is attached; cheap (one `Arc`
+    /// clone under a read lock).
+    pub fn evidence(&self) -> Option<Arc<EvidenceReader>> {
+        self.evidence.read().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Puts the state into drain mode: `/healthz` flips to 503
@@ -141,6 +174,18 @@ impl ServeState {
         };
         let path = self.snapshot_path.as_ref().ok_or(ReloadError::NoPath)?;
         let next = store::load(path).map_err(ReloadError::Store)?;
+        // Reopen the evidence archive *before* swapping anything: if it
+        // fails to verify, the old snapshot/archive pair keeps serving
+        // untouched.
+        let next_evidence = match &self.evidence_path {
+            Some(evidence_path) => {
+                Some(Arc::new(EvidenceReader::open(evidence_path).map_err(ReloadError::Evidence)?))
+            }
+            None => None,
+        };
+        if let Some(reader) = next_evidence {
+            *self.evidence.write().unwrap_or_else(|e| e.into_inner()) = Some(reader);
+        }
         self.swap(next);
         Ok(())
     }
@@ -163,8 +208,14 @@ pub fn respond(state: &ServeState, req: &Request) -> (Endpoint, u16, String) {
         ("GET", "/metrics.json") => (Endpoint::Metrics, 200, metrics_json(state)),
         ("GET", "/search") => cached(state, Endpoint::Search, req, search),
         ("GET", "/autocomplete") => cached(state, Endpoint::Autocomplete, req, autocomplete),
+        ("GET", path) if path.starts_with("/cluster/") && path.ends_with("/reports") => {
+            cached(state, Endpoint::Reports, req, cluster_reports)
+        }
         ("GET", path) if path.starts_with("/cluster/") => {
             cached(state, Endpoint::Cluster, req, cluster)
+        }
+        ("GET", path) if path.starts_with("/report/") => {
+            cached(state, Endpoint::Report, req, report)
         }
         ("POST", "/reload") => reload(state),
         (_, path) if known_path(path) => {
@@ -179,6 +230,7 @@ fn known_path(path: &str) -> bool {
         path,
         "/healthz" | "/metrics" | "/metrics.json" | "/search" | "/autocomplete" | "/reload"
     ) || path.starts_with("/cluster/")
+        || path.starts_with("/report/")
 }
 
 /// Runs a GET handler through the response cache. Only 200 bodies are
@@ -329,6 +381,111 @@ fn cluster(state: &ServeState, req: &Request) -> (u16, String) {
     }
 }
 
+/// Renders one raw case report — the §4.1 evidence the reviewer drills
+/// into: demographics, co-medication with suspect roles, reactions,
+/// outcomes.
+fn report_json(r: &CaseReport) -> Value {
+    Value::obj([
+        ("case_id", Value::from(r.case_id)),
+        ("version", Value::from(u64::from(r.version))),
+        ("report_type", Value::from(r.report_type.code())),
+        ("age", r.age.map_or(Value::Null, |a| Value::from(f64::from(a)))),
+        ("sex", Value::from(r.sex.code())),
+        ("weight_kg", r.weight_kg.map_or(Value::Null, |w| Value::from(f64::from(w)))),
+        ("country", Value::from(r.country.as_str())),
+        ("event_date", r.event_date.map_or(Value::Null, |d| Value::from(u64::from(d)))),
+        (
+            "drugs",
+            Value::arr(r.drugs.iter().map(|d| {
+                Value::obj([
+                    ("name", Value::from(d.name.as_str())),
+                    ("role", Value::from(d.role.code())),
+                ])
+            })),
+        ),
+        ("reactions", Value::arr(r.reactions.iter().map(|t| Value::from(t.as_str())))),
+        ("outcomes", Value::arr(r.outcomes.iter().map(|o| Value::from(o.code())))),
+        ("max_severity", Value::from(r.max_severity().map_or(0, |o| o.severity()))),
+        ("serious", Value::from(r.is_serious())),
+    ])
+}
+
+/// Hard ceiling on one page of raw reports — keeps a single response (and
+/// the cache entry it becomes) bounded no matter what `limit` says.
+const MAX_REPORTS_PAGE: usize = 500;
+
+/// `GET /cluster/<rank>/reports?offset=&limit=` — pages through the raw
+/// case reports supporting a cluster, straight from the on-disk archive.
+/// The cover is a postings intersection (no block is touched until the
+/// requested page is materialized), so the server never holds the quarter
+/// in memory.
+fn cluster_reports(state: &ServeState, req: &Request) -> (u16, String) {
+    let snap = state.snapshot();
+    let inner = &req.path["/cluster/".len()..];
+    let rank_str = inner.strip_suffix("/reports").unwrap_or(inner);
+    let rank: usize = match rank_str.parse() {
+        Ok(r) => r,
+        Err(_) => return (400, error_body("bad_request", "cluster rank must be an integer")),
+    };
+    let offset = match parse_opt::<usize>(req, "offset") {
+        Ok(v) => v.unwrap_or(0),
+        Err(e) => return (400, e),
+    };
+    let limit = match parse_opt::<usize>(req, "limit") {
+        Ok(v) => v.unwrap_or(20).min(MAX_REPORTS_PAGE),
+        Err(e) => return (400, e),
+    };
+    let min_severity = match parse_opt::<u8>(req, "min_severity") {
+        Ok(v) => v,
+        Err(e) => return (400, e),
+    };
+    // 404 ordering matches `/cluster/<rank>`: an out-of-range rank is
+    // "no cluster" regardless of whether evidence is attached.
+    let Some(cluster) = rank.checked_sub(1).and_then(|r| snap.clusters.get(r)) else {
+        return (404, error_body("not_found", "no cluster at that rank"));
+    };
+    let Some(evidence) = state.evidence() else {
+        return (404, error_body("no_evidence", "server was started without an evidence archive"));
+    };
+    let mut cover = evidence.cover(&cluster.drugs, &cluster.adrs);
+    if let Some(min) = min_severity.filter(|&m| m > 0) {
+        let severe = evidence.severity_at_least(min);
+        cover.retain(|t| severe.binary_search(t).is_ok());
+    }
+    let total = cover.len();
+    let page: Vec<u32> = cover.into_iter().skip(offset).take(limit).collect();
+    match evidence.reports_for(&page) {
+        Ok(reports) => {
+            let body = Value::obj([
+                ("quarter", Value::from(evidence.quarter())),
+                ("rank", Value::from(rank)),
+                ("total", Value::from(total)),
+                ("offset", Value::from(offset)),
+                ("limit", Value::from(limit)),
+                ("reports", Value::arr(reports.iter().map(report_json))),
+            ]);
+            (200, body.to_string())
+        }
+        Err(e) => (500, error_body("evidence_read_failed", &e.to_string())),
+    }
+}
+
+/// `GET /report/<case_id>` — one raw case report by FAERS case id.
+fn report(state: &ServeState, req: &Request) -> (u16, String) {
+    let case_id: u64 = match req.path["/report/".len()..].parse() {
+        Ok(id) => id,
+        Err(_) => return (400, error_body("bad_request", "case id must be an integer")),
+    };
+    let Some(evidence) = state.evidence() else {
+        return (404, error_body("no_evidence", "server was started without an evidence archive"));
+    };
+    match evidence.report_by_case_id(case_id) {
+        Ok(Some(r)) => (200, report_json(&r).to_string()),
+        Ok(None) => (404, error_body("not_found", "no report with that case id")),
+        Err(e) => (500, error_body("evidence_read_failed", &e.to_string())),
+    }
+}
+
 fn reload(state: &ServeState) -> (Endpoint, u16, String) {
     match state.reload_from_disk() {
         Ok(()) => {
@@ -352,6 +509,9 @@ fn reload(state: &ServeState) -> (Endpoint, u16, String) {
         ),
         Err(ReloadError::Store(e)) => {
             (Endpoint::Reload, 500, error_body("reload_failed", &e.to_string()))
+        }
+        Err(ReloadError::Evidence(e)) => {
+            (Endpoint::Reload, 500, error_body("evidence_reload_failed", &e.to_string()))
         }
     }
 }

@@ -377,6 +377,10 @@ impl Snapshot {
             _ => unreachable!("hit_json returns an object"),
         };
         detail.insert("case_ids".into(), Value::arr(c.case_ids.iter().map(|&id| id.into())));
+        // Drill-down discovery: how many raw reports back this cluster and
+        // where to page through them (served from the evidence archive).
+        detail.insert("n_supporting_reports".into(), Value::from(c.case_ids.len()));
+        detail.insert("reports_url".into(), Value::from(format!("/cluster/{}/reports", rank + 1)));
         detail.insert(
             "context".into(),
             Value::arr(c.context.iter().map(|ctx| {
@@ -548,6 +552,13 @@ mod tests {
             detail["case_ids"].as_array().unwrap().len() as u64,
             detail["support"].as_u64().unwrap()
         );
+        // Drill-down discovery fields: count matches case_ids, and the
+        // link names the paginated reports route for this 1-based rank.
+        assert_eq!(
+            detail["n_supporting_reports"].as_u64().unwrap(),
+            detail["support"].as_u64().unwrap()
+        );
+        assert_eq!(detail["reports_url"], "/cluster/1/reports");
     }
 
     #[test]

@@ -23,6 +23,9 @@ fn fixed_metrics() -> Metrics {
     m.record(Endpoint::Search, 2_000_000, false);
     m.record(Endpoint::Cluster, 90, true);
     m.record(Endpoint::Other, 10, true);
+    // Evidence drill-down endpoints: one cold page fetch, one point lookup.
+    m.record(Endpoint::Reports, 350, false);
+    m.record(Endpoint::Report, 60, false);
     m.cache_hit();
     m.cache_miss();
     m.cache_miss();
@@ -79,7 +82,17 @@ fn exposition_is_structurally_valid() {
     }
     // Cumulative buckets never decrease within one series, and each
     // histogram's last bucket is le="+Inf" with count == _count.
-    for endpoint in ["healthz", "metrics", "search", "autocomplete", "cluster", "reload", "other"] {
+    for endpoint in [
+        "healthz",
+        "metrics",
+        "search",
+        "autocomplete",
+        "cluster",
+        "reload",
+        "other",
+        "reports",
+        "report",
+    ] {
         let prefix = format!("maras_request_latency_us_bucket{{endpoint=\"{endpoint}\",le=");
         let counts: Vec<u64> = text
             .lines()
@@ -98,6 +111,44 @@ fn exposition_is_structurally_valid() {
             .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
             .expect("histogram _count");
         assert_eq!(*counts.last().unwrap(), total, "{endpoint}: +Inf bucket != _count");
+    }
+}
+
+fn evidence_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/evidence_metrics.prom")
+}
+
+/// The fixed evidence-reader counter state the evidence golden renders:
+/// two cache hits, one miss (one disk read + decode), one resident block,
+/// and one cover intersection.
+fn fixed_evidence_registry() -> maras_obs::Registry {
+    let reg = maras_obs::Registry::new();
+    let m = maras_evidence::EvidenceMetrics::register(&reg);
+    m.cache_hits.add(2);
+    m.cache_misses.inc();
+    m.cache_entries.set(1.0);
+    m.block_read_us.observe(180.0);
+    m.block_decode_us.observe(45.0);
+    m.intersections.inc();
+    reg
+}
+
+#[test]
+fn evidence_series_match_golden_file() {
+    let rendered = fixed_evidence_registry().render_prometheus();
+    let path = evidence_golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(rendered, golden, "evidence exposition drifted from {path:?}");
+    // Every series carries the subsystem prefix; nothing anonymous leaks
+    // into the shared registry from the evidence layer.
+    for line in golden.lines().filter(|l| !l.starts_with('#')) {
+        assert!(line.starts_with("maras_evidence_"), "unprefixed series: {line}");
     }
 }
 

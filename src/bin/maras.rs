@@ -22,6 +22,7 @@
 
 use maras::core::ingest::{run_quarters_dir, QuarterOutcome};
 use maras::core::{supporting_reports, KnowledgeBase, Pipeline, PipelineConfig};
+use maras::evidence::{build_archive, check_archive, BuildConfig, EvidenceError, EvidenceReader};
 use maras::faers::ascii::{
     read_quarter_dir_with, write_quarter_dir, AsciiError, ErrorBudget, IngestMetrics, IngestMode,
     IngestOptions, IngestReport, Ingested,
@@ -51,6 +52,8 @@ enum CliError {
     /// A snapshot file was refused (bad magic/version/checksum, corrupt
     /// payload) when loading for `serve`.
     Snapshot(StoreError),
+    /// An evidence archive could not be built, validated, or opened.
+    Evidence(EvidenceError),
     /// Anything else (empty mining output, render failures, …).
     Other(String),
 }
@@ -79,6 +82,7 @@ impl fmt::Display for CliError {
             CliError::Ingest(e) => write!(f, "ingest: {e}"),
             CliError::Io { context, source } => write!(f, "{context}: {source}"),
             CliError::Snapshot(e) => write!(f, "snapshot: {e}"),
+            CliError::Evidence(e) => write!(f, "evidence: {e}"),
         }
     }
 }
@@ -86,6 +90,12 @@ impl fmt::Display for CliError {
 impl From<AsciiError> for CliError {
     fn from(e: AsciiError) -> CliError {
         CliError::Ingest(e)
+    }
+}
+
+impl From<EvidenceError> for CliError {
+    fn from(e: EvidenceError) -> CliError {
+        CliError::Evidence(e)
     }
 }
 
@@ -107,6 +117,8 @@ fn main() -> ExitCode {
         "report" => cmd_report(&flags),
         "snapshot" => cmd_snapshot(&flags),
         "serve" => cmd_serve(&flags),
+        "evidence build" => cmd_evidence_build(&flags),
+        "evidence check" => cmd_evidence_check(&flags),
         "study" => cmd_study(&flags),
         "demo" => cmd_demo(),
         "help" | "--help" | "-h" => {
@@ -141,10 +153,14 @@ USAGE:
   maras report   --dir DIR --quarter 2014Q1 [--out FILE.html] [--top K] [--threads N]
                  [--trace FILE.json] [--timings]
   maras snapshot --dir DIR --quarter 2014Q1 --out FILE.snap [--json FILE] [--threads N]
-                 [--trace FILE.json] [--timings]
-  maras serve    --snapshot FILE.snap [--addr HOST:PORT] [--threads N]
-                 [--cache N] [--check] [--json FILE] [--slow-ms MS]
+                 [--evidence FILE.evid] [--trace FILE.json] [--timings]
+  maras serve    --snapshot FILE.snap [--evidence FILE.evid] [--addr HOST:PORT]
+                 [--threads N] [--cache N] [--check] [--json FILE] [--slow-ms MS]
                  [--queue-depth N] [--io-timeout-ms MS] [--drain-ms MS]
+  maras evidence build --dir DIR --quarter 2014Q1 --out FILE.evid
+                 [--block-size N] [--json FILE] [--threads N]
+                 [--ingest-mode strict|lenient] [--max-bad-rows N] [--max-bad-frac F]
+  maras evidence check --archive FILE.evid [--json FILE]
 
 For analyze/year/report/snapshot, --threads N sets the mining AND ingest
 worker count (0 or omitted = all available cores); for serve it sets HTTP
@@ -156,7 +172,17 @@ worker threads. Ingest output is byte-identical at any thread count.
 snapshot; `serve` loads it and answers /search, /autocomplete,
 /cluster/<rank>, /healthz, /metrics (Prometheus text) and /metrics.json
 (legacy JSON) over HTTP (POST /reload hot-swaps the file atomically).
-`--check` validates the snapshot and exits. `--slow-ms` sets the
+`--check` validates the snapshot (and the evidence archive, if given)
+and exits.
+
+`evidence build` writes the checksummed on-disk case archive that backs
+the drill-down endpoints; passing `--evidence` to `snapshot` writes it
+from the same analysis run. `serve --evidence` opens the archive and
+additionally answers /cluster/<rank>/reports (paginated raw case
+reports, ?offset=&limit=&min_severity=) and /report/<case-id>; reload
+re-opens snapshot + archive together or not at all. `evidence check`
+re-reads every block against its checksum and exits non-zero on any
+corruption. `--slow-ms` sets the
 slow-request log threshold (default 1000 ms). `--queue-depth` bounds the
 admission queue (default 128; full queue answers 503 immediately),
 `--io-timeout-ms` is the per-request socket deadline (default 5000;
@@ -174,9 +200,19 @@ budget exits with code 2).";
 type Flags = HashMap<String, String>;
 
 fn parse(args: &[String]) -> Result<(String, Flags), String> {
-    let command = args.first().cloned().ok_or("missing command")?;
-    let mut flags = HashMap::new();
+    let mut command = args.first().cloned().ok_or("missing command")?;
     let mut i = 1;
+    // `evidence` takes a subcommand word (`evidence build`, `evidence
+    // check`) before its flags; fold it into the command key.
+    if command == "evidence" {
+        let sub = args
+            .get(1)
+            .filter(|a| !a.starts_with("--"))
+            .ok_or("evidence needs a subcommand: build or check")?;
+        command = format!("evidence {sub}");
+        i = 2;
+    }
+    let mut flags = HashMap::new();
     while i < args.len() {
         let flag = args[i]
             .strip_prefix("--")
@@ -711,11 +747,111 @@ fn cmd_snapshot(flags: &Flags) -> Result<(), CliError> {
         snap.len(),
         snap.n_reports
     );
+    // `--evidence` writes the drill-down archive from the same analysis
+    // run, so snapshot + archive always describe the same quarter.
+    let mut evidence_json = serde_json::Value::Null;
+    if let Some(evid_path) = flags.get("evidence") {
+        let summary =
+            build_archive(&result, &dv, &av, Path::new(evid_path), BuildConfig::default())?;
+        println!(
+            "wrote {evid_path} (evidence v{}, {} reports in {} blocks, {} bytes)",
+            maras::evidence::FORMAT_VERSION,
+            summary.n_records,
+            summary.n_blocks,
+            summary.file_bytes
+        );
+        evidence_json = archive_summary_json(&summary, Path::new(evid_path));
+    }
     if let Some(json_path) = flags.get("json") {
-        write_json(json_path, snapshot_summary_json(&snap, &out))?;
+        let mut json = snapshot_summary_json(&snap, &out);
+        if let serde_json::Value::Object(map) = &mut json {
+            map.insert("evidence".into(), evidence_json);
+        }
+        write_json(json_path, json)?;
         println!("wrote JSON to {json_path}");
     }
     emit_obs(flags)
+}
+
+/// JSON projection of an [`maras::evidence::ArchiveSummary`].
+fn archive_summary_json(
+    summary: &maras::evidence::ArchiveSummary,
+    path: &Path,
+) -> serde_json::Value {
+    serde_json::Value::obj([
+        ("path", serde_json::Value::from(path.display().to_string())),
+        ("format_version", serde_json::Value::from(maras::evidence::FORMAT_VERSION)),
+        ("records", serde_json::Value::from(summary.n_records)),
+        ("blocks", serde_json::Value::from(summary.n_blocks)),
+        ("symbols", serde_json::Value::from(summary.n_symbols)),
+        ("drug_keys", serde_json::Value::from(summary.n_drug_keys)),
+        ("adr_keys", serde_json::Value::from(summary.n_adr_keys)),
+        ("file_bytes", serde_json::Value::from(summary.file_bytes)),
+        ("data_bytes", serde_json::Value::from(summary.data_bytes)),
+    ])
+}
+
+/// `maras evidence build`: run the pipeline over one quarter and write
+/// the on-disk case archive the drill-down endpoints page out of.
+fn cmd_evidence_build(flags: &Flags) -> Result<(), CliError> {
+    let dir = PathBuf::from(flag(flags, "dir")?);
+    let id = parse_quarter(flag(flags, "quarter")?)?;
+    let out = PathBuf::from(flag(flags, "out")?);
+    let block_size: u32 = flag_num(flags, "block-size", BuildConfig::default().block_size)?;
+    if block_size == 0 {
+        return Err(CliError::usage("--block-size must be >= 1"));
+    }
+    let opts = ingest_options(flags)?;
+    let (ingested, dv, av) = load(&dir, id, &opts)?;
+    print_ingest(&ingested.report);
+    let result = Pipeline::new(pipeline_config(flags)?).run(ingested.data, &dv, &av);
+    let summary = build_archive(&result, &dv, &av, &out, BuildConfig { block_size })?;
+    println!(
+        "wrote {} (evidence v{}, {} reports in {} blocks of {block_size}, {} bytes; {} drug keys, {} adr keys)",
+        out.display(),
+        maras::evidence::FORMAT_VERSION,
+        summary.n_records,
+        summary.n_blocks,
+        summary.file_bytes,
+        summary.n_drug_keys,
+        summary.n_adr_keys,
+    );
+    if let Some(json_path) = flags.get("json") {
+        write_json(json_path, archive_summary_json(&summary, &out))?;
+        println!("wrote JSON to {json_path}");
+    }
+    emit_obs(flags)
+}
+
+/// `maras evidence check`: re-read every block against its checksum.
+fn cmd_evidence_check(flags: &Flags) -> Result<(), CliError> {
+    let path = PathBuf::from(flag(flags, "archive")?);
+    let report = check_archive(&path)?;
+    println!(
+        "{} ok: {} ({} reports in {} blocks, {} symbols, {} drug keys, {} adr keys)",
+        path.display(),
+        report.quarter,
+        report.n_records,
+        report.n_blocks,
+        report.n_symbols,
+        report.n_drug_keys,
+        report.n_adr_keys,
+    );
+    if let Some(json_path) = flags.get("json") {
+        let json = serde_json::Value::obj([
+            ("path", serde_json::Value::from(path.display().to_string())),
+            ("quarter", serde_json::Value::from(report.quarter.clone())),
+            ("records", serde_json::Value::from(report.n_records)),
+            ("blocks", serde_json::Value::from(report.n_blocks)),
+            ("symbols", serde_json::Value::from(report.n_symbols)),
+            ("drug_keys", serde_json::Value::from(report.n_drug_keys)),
+            ("adr_keys", serde_json::Value::from(report.n_adr_keys)),
+            ("ok", serde_json::Value::from(true)),
+        ]);
+        write_json(json_path, json)?;
+        println!("wrote JSON to {json_path}");
+    }
+    Ok(())
 }
 
 /// Serves a snapshot over HTTP; `--check` just validates it and exits.
@@ -748,6 +884,30 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
         snap.len(),
         snap.n_reports
     );
+    // `--evidence` opens the drill-down archive alongside the snapshot;
+    // a refused archive fails startup the same way a refused snapshot
+    // does, instead of silently serving without drill-down.
+    let evidence_path = flags.get("evidence").map(PathBuf::from);
+    let evidence = match &evidence_path {
+        None => None,
+        Some(p) => {
+            let reader = EvidenceReader::open(p)?;
+            if reader.quarter() != snap.quarter {
+                return Err(CliError::Other(format!(
+                    "evidence archive covers {} but snapshot covers {}",
+                    reader.quarter(),
+                    snap.quarter
+                )));
+            }
+            println!(
+                "loaded {}: evidence for {} ({} reports)",
+                p.display(),
+                reader.quarter(),
+                reader.n_records()
+            );
+            Some(std::sync::Arc::new(reader))
+        }
+    };
     if let Some(json_path) = flags.get("json") {
         write_json(json_path, snapshot_summary_json(&snap, &path))?;
         println!("wrote JSON to {json_path}");
@@ -762,7 +922,11 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
     let queue_depth: usize = flag_num(flags, "queue-depth", 128)?;
     let io_timeout_ms: u64 = flag_num(flags, "io-timeout-ms", 5_000)?;
     let drain_ms: u64 = flag_num(flags, "drain-ms", 5_000)?;
-    let state = std::sync::Arc::new(ServeState::new(snap, Some(path), cache));
+    let mut state = ServeState::new(snap, Some(path), cache);
+    if let Some(reader) = evidence {
+        state = state.with_evidence(reader, evidence_path);
+    }
+    let state = std::sync::Arc::new(state);
     state.set_slow_threshold_us(slow_ms.saturating_mul(1_000));
     let config = maras::serve::ServeConfig {
         n_threads: threads,

@@ -18,6 +18,7 @@
 //! | [`viz`] | `maras-viz` | contextual glyph, bar charts, panoramagram (SVG) |
 //! | [`study`] | `maras-study` | simulated user-study harness |
 //! | [`core`] | `maras-core` | end-to-end pipeline, query API, knowledge base, drill-down |
+//! | [`evidence`] | `maras-evidence` | on-disk case archive: columnar blocks, postings, block-cached reader |
 //! | [`serve`] | `maras-serve` | indexed snapshots, binary store, HTTP query server |
 //! | [`obs`] | `maras-obs` | span tracing, metrics registry, Prometheus + Chrome-trace export |
 //!
@@ -47,6 +48,7 @@
 pub mod report;
 
 pub use maras_core as core;
+pub use maras_evidence as evidence;
 pub use maras_faers as faers;
 pub use maras_mcac as mcac;
 pub use maras_mining as mining;

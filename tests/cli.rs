@@ -265,6 +265,107 @@ fn serve_refuses_corrupt_snapshot_with_structured_error() {
 }
 
 #[test]
+fn evidence_build_check_and_serve_roundtrip() {
+    let dir = tmpdir("evidence");
+    let dir_s = dir.to_str().unwrap();
+    let gen = maras(&["generate", "--out", dir_s, "--reports", "900", "--seed", "17"]);
+    assert!(gen.status.success(), "stderr: {}", String::from_utf8_lossy(&gen.stderr));
+
+    // Build the archive standalone, with a JSON summary.
+    let evid = dir.join("2014Q1.evid");
+    let evid_s = evid.to_str().unwrap();
+    let json = dir.join("evidence.json");
+    let built = maras(&[
+        "evidence",
+        "build",
+        "--dir",
+        dir_s,
+        "--quarter",
+        "2014Q1",
+        "--min-support",
+        "4",
+        "--block-size",
+        "64",
+        "--out",
+        evid_s,
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(built.status.success(), "stderr: {}", String::from_utf8_lossy(&built.stderr));
+    let stdout = String::from_utf8_lossy(&built.stdout);
+    assert!(stdout.contains("evidence v1"), "{stdout}");
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    assert!(parsed["records"].as_u64().unwrap() > 0);
+    assert!(parsed["blocks"].as_u64().unwrap() > 0);
+    assert!(parsed["file_bytes"].as_u64().unwrap() > 0);
+
+    // `evidence check` re-reads every block and exits 0.
+    let check = maras(&["evidence", "check", "--archive", evid_s]);
+    assert!(check.status.success(), "stderr: {}", String::from_utf8_lossy(&check.stderr));
+    assert!(String::from_utf8_lossy(&check.stdout).contains("ok:"));
+
+    // `snapshot --evidence` writes the pair from one analysis run, and
+    // `serve --check` validates snapshot + archive together.
+    let snap = dir.join("2014Q1.snap");
+    let snap_s = snap.to_str().unwrap();
+    let evid2 = dir.join("pair.evid");
+    let made = maras(&[
+        "snapshot",
+        "--dir",
+        dir_s,
+        "--quarter",
+        "2014Q1",
+        "--min-support",
+        "4",
+        "--out",
+        snap_s,
+        "--evidence",
+        evid2.to_str().unwrap(),
+    ]);
+    assert!(made.status.success(), "stderr: {}", String::from_utf8_lossy(&made.stderr));
+    assert!(evid2.exists());
+    let check =
+        maras(&["serve", "--snapshot", snap_s, "--evidence", evid2.to_str().unwrap(), "--check"]);
+    assert!(check.status.success(), "stderr: {}", String::from_utf8_lossy(&check.stderr));
+    assert!(String::from_utf8_lossy(&check.stdout).contains("evidence for 2014 Q1"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn evidence_error_paths_are_typed() {
+    let dir = tmpdir("evidence_err");
+
+    // Missing subcommand and unknown flags are usage errors.
+    let out = maras(&["evidence"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("subcommand"));
+
+    // A corrupt archive is refused by `evidence check` with exit 1.
+    let bogus = dir.join("bogus.evid");
+    std::fs::write(&bogus, b"not an evidence archive at all, but past header length").unwrap();
+    let out = maras(&["evidence", "check", "--archive", bogus.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("evidence:"), "{stderr}");
+    assert!(stderr.contains("magic"), "{stderr}");
+
+    // `serve --evidence` refuses the same file at startup.
+    let out = maras(&[
+        "serve",
+        "--snapshot",
+        "/nonexistent.snap",
+        "--evidence",
+        bogus.to_str().unwrap(),
+        "--check",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "snapshot load fails first");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn year_trace_and_timings_emit_observability_artifacts() {
     let dir = tmpdir("trace");
     let dir_s = dir.to_str().unwrap();
