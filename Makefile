@@ -12,10 +12,10 @@ FIRST_PARTY = -p maras -p maras-bench -p maras-core -p maras-evidence \
               -p maras-viz
 
 .PHONY: verify fmt fmt-check clippy test obs-test serve-test evidence-test \
-        chaos snapshot trace bench-serve bench-mining bench-ingest \
-        bench-evidence
+        signals-test chaos snapshot trace bench-serve bench-mining \
+        bench-ingest bench-evidence bench-signals
 
-verify: fmt-check clippy test obs-test serve-test evidence-test chaos
+verify: fmt-check clippy test obs-test serve-test evidence-test signals-test chaos
 
 fmt:
 	cargo fmt
@@ -56,6 +56,15 @@ evidence-test:
 		--quarter 2014Q1 --out target/evidence-data/2014Q1.evid
 	cargo run -q --release --bin maras -- evidence check \
 		--archive target/evidence-data/2014Q1.evid
+
+# The signal-scoring layer end to end: the signals crate's unit +
+# property suites (Haldane–Anscombe corrections, checked tables,
+# Mantel–Haenszel degenerate strata), and the engine differential suite
+# proving batch scores bit-identical to the legacy per-rule path across
+# quarters, ingest modes, and thread counts.
+signals-test:
+	cargo test -q -p maras-signals
+	cargo test -q --test signals_differential
 
 # The chaos suite: seeded misbehaving clients (slowloris, header floods,
 # aborts, connection floods, panic routes, drain races) against a live
@@ -101,3 +110,9 @@ bench-ingest:
 # intersections, and cold vs cached block fetches -> BENCH_evidence.json.
 bench-evidence:
 	MARAS_SCALE=small cargo run -q --release -p maras-bench --bin bench_evidence
+
+# Batch score engine vs the per-rule full-scan and from_db paths, with
+# the per-measure cost split -> BENCH_signals.json. Runs at the default
+# (paper) scale: the ≥5x acceptance floor is defined there.
+bench-signals:
+	cargo run -q --release -p maras-bench --bin bench_signals

@@ -1,9 +1,53 @@
 //! Pipeline configuration.
 
 use maras_faers::CleanConfig;
-use maras_mcac::{DecayFn, ExclusivenessConfig};
+use maras_mcac::{DecayFn, ExclusivenessConfig, RankingMethod};
 use maras_rules::Measure;
 use serde::{Deserialize, Serialize};
+
+/// Which score orders the ranked output — the CLI's `--rank-by` flag and
+/// the server's `?sort_by=` parameter map onto this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RankBy {
+    /// MARAS exclusiveness over MCACs (the paper's ranking; the default).
+    #[default]
+    Exclusiveness,
+    /// Proportional reporting ratio point estimate.
+    Prr,
+    /// Reporting odds ratio point estimate.
+    Ror,
+    /// MGPS shrunken geometric mean (EBGM).
+    Ebgm,
+    /// Geometric mean of PRR, ROR and EBGM.
+    Composite,
+}
+
+impl RankBy {
+    /// Parses the CLI/query-string spelling; `None` for anything unknown.
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        match s {
+            "exclusiveness" => Some(RankBy::Exclusiveness),
+            "prr" => Some(RankBy::Prr),
+            "ror" => Some(RankBy::Ror),
+            "ebgm" => Some(RankBy::Ebgm),
+            "composite" => Some(RankBy::Composite),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RankBy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RankBy::Exclusiveness => "exclusiveness",
+            RankBy::Prr => "prr",
+            RankBy::Ror => "ror",
+            RankBy::Ebgm => "ebgm",
+            RankBy::Composite => "composite",
+        };
+        f.write_str(s)
+    }
+}
 
 /// End-to-end configuration of one MARAS run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -17,6 +61,9 @@ pub struct PipelineConfig {
     pub min_support: u64,
     /// Exclusiveness scoring settings (measure, θ, decay).
     pub exclusiveness: ExclusivenessConfig,
+    /// Which score orders the ranked output. Every cluster carries the full
+    /// disproportionality block either way; this picks the sort key.
+    pub rank_by: RankBy,
     /// Mining worker threads; `0` means "use the machine's available
     /// parallelism". Safe at any value: the parallel miner's output is
     /// differential-tested byte-identical to the sequential miner's.
@@ -30,6 +77,7 @@ impl Default for PipelineConfig {
             clean: CleanConfig::default(),
             min_support: 4,
             exclusiveness: ExclusivenessConfig::default(),
+            rank_by: RankBy::default(),
             n_threads: 0,
         }
     }
@@ -68,6 +116,25 @@ impl PipelineConfig {
         self
     }
 
+    /// Convenience: set the ranking key.
+    pub fn with_rank_by(mut self, rank_by: RankBy) -> Self {
+        self.rank_by = rank_by;
+        self
+    }
+
+    /// The [`RankingMethod`] this configuration resolves to: exclusiveness
+    /// carries the exclusiveness settings along; the disproportionality
+    /// baselines map onto their dedicated variants.
+    pub fn ranking_method(&self) -> RankingMethod {
+        match self.rank_by {
+            RankBy::Exclusiveness => RankingMethod::Exclusiveness(self.exclusiveness),
+            RankBy::Prr => RankingMethod::Prr,
+            RankBy::Ror => RankingMethod::Ror,
+            RankBy::Ebgm => RankingMethod::Ebgm,
+            RankBy::Composite => RankingMethod::Composite,
+        }
+    }
+
     /// Resolves [`Self::n_threads`] to a concrete worker count: `0` maps to
     /// the machine's available parallelism (falling back to 1 when that is
     /// unknowable), anything else is taken literally.
@@ -104,6 +171,32 @@ mod tests {
     #[should_panic(expected = "theta must be in")]
     fn theta_out_of_range_panics() {
         PipelineConfig::default().with_theta(1.5);
+    }
+
+    #[test]
+    fn rank_by_round_trips_and_resolves() {
+        for (s, rank_by) in [
+            ("exclusiveness", RankBy::Exclusiveness),
+            ("prr", RankBy::Prr),
+            ("ror", RankBy::Ror),
+            ("ebgm", RankBy::Ebgm),
+            ("composite", RankBy::Composite),
+        ] {
+            assert_eq!(RankBy::from_str_opt(s), Some(rank_by));
+            assert_eq!(rank_by.to_string(), s);
+        }
+        assert_eq!(RankBy::from_str_opt("confidence"), None);
+        // The default resolves to the paper's exclusiveness ranking with the
+        // configured settings riding along.
+        let c = PipelineConfig::default().with_theta(0.7);
+        match c.ranking_method() {
+            RankingMethod::Exclusiveness(cfg) => assert_eq!(cfg.theta, 0.7),
+            other => panic!("default must rank by exclusiveness, got {other}"),
+        }
+        assert_eq!(
+            PipelineConfig::default().with_rank_by(RankBy::Prr).ranking_method(),
+            RankingMethod::Prr
+        );
     }
 
     #[test]

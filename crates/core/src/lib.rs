@@ -29,7 +29,7 @@ pub mod similar;
 pub mod stratify;
 pub mod trend;
 
-pub use config::PipelineConfig;
+pub use config::{PipelineConfig, RankBy};
 pub use encode::{encode_reports, Encoded};
 pub use ingest::{run_quarter_dir, run_quarters_dir, MultiQuarterRun, QuarterOutcome, QuarterRun};
 pub use knowledge::KnowledgeBase;

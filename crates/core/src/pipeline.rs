@@ -3,9 +3,10 @@
 use crate::config::PipelineConfig;
 use crate::encode::{encode_reports, Encoded};
 use maras_faers::{CleanedReport, Cleaner, CleaningStats, QuarterData, Vocabulary};
-use maras_mcac::{rank_clusters, RankedMcac, RankingMethod};
+use maras_mcac::{rank_clusters_with, RankedMcac};
 use maras_mining::PatternStore;
 use maras_rules::{rule_space, RuleSpaceCounts};
+use maras_signals::SignalScores;
 use serde::Serialize;
 
 /// Runs MARAS over quarters of FAERS data.
@@ -75,11 +76,14 @@ impl Pipeline {
             self.config.effective_threads(),
         );
 
-        // 5. §5.2 step 4: MCACs ranked by exclusiveness.
-        let ranked = rank_clusters(
+        // 5. §5.2 step 4: MCACs with their full signal-score blocks, ranked
+        //    under the configured key (exclusiveness by default). The score
+        //    engine shards the batch across the same worker count as mining.
+        let ranked = rank_clusters_with(
             space.multi_drug_rules,
             &encoded.db,
-            RankingMethod::Exclusiveness(self.config.exclusiveness),
+            self.config.ranking_method(),
+            self.config.effective_threads(),
         );
 
         AnalysisResult {
@@ -110,7 +114,8 @@ pub struct AnalysisResult {
     /// Closed frequent patterns in the arena store (support desc, items asc),
     /// the §5.2 step-2 artifact downstream consumers can borrow slices from.
     pub closed_patterns: PatternStore,
-    /// MCACs in descending exclusiveness order.
+    /// MCACs in descending order of the configured ranking key, each
+    /// carrying its full disproportionality score block.
     pub ranked: Vec<RankedMcac>,
 }
 
@@ -147,6 +152,7 @@ impl AnalysisResult {
             support: t.support(),
             confidence: t.confidence(),
             lift: t.lift(),
+            scores: r.scores,
         })
     }
 
@@ -194,7 +200,7 @@ pub struct RuleView {
     pub drugs: Vec<String>,
     /// Canonical ADR terms of the consequent.
     pub adrs: Vec<String>,
-    /// Exclusiveness score.
+    /// Score under the run's ranking key (exclusiveness by default).
     pub score: f64,
     /// Absolute support.
     pub support: u64,
@@ -202,6 +208,9 @@ pub struct RuleView {
     pub confidence: f64,
     /// Lift.
     pub lift: f64,
+    /// Full disproportionality block (RRR, PRR/ROR with CIs, χ², IC, EBGM,
+    /// interaction contrast, exclusiveness).
+    pub scores: SignalScores,
 }
 
 impl std::fmt::Display for RuleView {
@@ -342,6 +351,26 @@ mod tests {
         for (a, b) in seq.ranked.iter().zip(&par.ranked) {
             assert_eq!(a.cluster.target, b.cluster.target);
             assert_eq!(a.score, b.score);
+            // The whole score block must be bit-identical too.
+            assert_eq!(a.scores, b.scores);
         }
+    }
+
+    #[test]
+    fn rank_by_baseline_reorders_by_its_key() {
+        let mut synth = Synthesizer::new(SynthConfig::test_scale(5));
+        let quarter = synth.generate_quarter(maras_faers::QuarterId::new(2015, 2));
+        let dv = synth.drug_vocab().clone();
+        let av = synth.adr_vocab().clone();
+        let result = Pipeline::new(PipelineConfig::default().with_rank_by(crate::RankBy::Prr))
+            .run(quarter, &dv, &av);
+        assert!(!result.ranked.is_empty());
+        for r in &result.ranked {
+            assert_eq!(r.score, r.scores.prr.estimate);
+        }
+        assert!(result.ranked.windows(2).all(|w| w[0].score >= w[1].score));
+        // Views expose the block.
+        let v = result.view(0, &dv, &av);
+        assert_eq!(v.scores, result.ranked[0].scores);
     }
 }

@@ -54,6 +54,10 @@ pub struct RuleQuery {
     /// Keep only interactions carrying at least one ADR absent from every
     /// constituent drug's label — the "unknown ADR" preference (§1.3).
     pub novel_adr_only: bool,
+    /// Minimum PRR point estimate in the cluster's score block.
+    pub min_prr: Option<f64>,
+    /// Minimum ROR point estimate in the cluster's score block.
+    pub min_ror: Option<f64>,
 }
 
 impl RuleQuery {
@@ -104,6 +108,18 @@ impl RuleQuery {
         self
     }
 
+    /// Requires a minimum PRR point estimate.
+    pub fn with_min_prr(mut self, prr: f64) -> Self {
+        self.min_prr = Some(prr);
+        self
+    }
+
+    /// Requires a minimum ROR point estimate.
+    pub fn with_min_ror(mut self, ror: f64) -> Self {
+        self.min_ror = Some(ror);
+        self
+    }
+
     /// Returns a copy of the query with `require_drugs` and `any_adr`
     /// canonicalized through the vocabularies (BK-tree spelling
     /// correction), so near-miss spellings in queries resolve exactly like
@@ -141,6 +157,16 @@ impl RuleQuery {
             }
             if let Some(min) = self.min_score {
                 if r.score < min {
+                    continue;
+                }
+            }
+            if let Some(min) = self.min_prr {
+                if r.scores.prr.estimate < min {
+                    continue;
+                }
+            }
+            if let Some(min) = self.min_ror {
+                if r.scores.ror.estimate < min {
                     continue;
                 }
             }
@@ -236,6 +262,26 @@ mod tests {
         assert!(hits.iter().all(|&r| result.ranked[r].score >= median));
         let two = RuleQuery::new().with_n_drugs(2).apply(&result, &dv, &av, None);
         assert!(two.iter().all(|&r| result.ranked[r].cluster.n_drugs() == 2));
+    }
+
+    #[test]
+    fn disproportionality_filters_restrict_by_score_block() {
+        let (result, dv, av) = fixture();
+        let mut prrs: Vec<f64> = result.ranked.iter().map(|r| r.scores.prr.estimate).collect();
+        prrs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_prr = prrs[prrs.len() / 2];
+        let hits = RuleQuery::new().with_min_prr(median_prr).apply(&result, &dv, &av, None);
+        assert!(!hits.is_empty());
+        assert!(hits.len() < result.ranked.len());
+        assert!(hits.iter().all(|&r| result.ranked[r].scores.prr.estimate >= median_prr));
+        let ror_hits = RuleQuery::new().with_min_ror(1.0).apply(&result, &dv, &av, None);
+        assert!(ror_hits.iter().all(|&r| result.ranked[r].scores.ror.estimate >= 1.0));
+        // An impossible threshold matches nothing (post-correction all
+        // estimates are finite).
+        assert!(RuleQuery::new()
+            .with_min_prr(f64::INFINITY)
+            .apply(&result, &dv, &av, None)
+            .is_empty());
     }
 
     #[test]

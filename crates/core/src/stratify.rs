@@ -110,7 +110,10 @@ pub fn stratified_tables(
     }
 
     (0..stratifier.n_strata())
-        .map(|s| ContingencyTable::from_supports(jnt[s], exp[s], evt[s], totals[s]))
+        .map(|s| {
+            ContingencyTable::from_supports(jnt[s], exp[s], evt[s], totals[s])
+                .expect("per-stratum counts tallied from one partition are consistent")
+        })
         .collect()
 }
 

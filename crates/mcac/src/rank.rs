@@ -9,6 +9,7 @@ use crate::cluster::Mcac;
 use crate::exclusiveness::{improvement, ExclusivenessConfig};
 use maras_mining::TransactionDb;
 use maras_rules::{DrugAdrRule, Measure};
+use maras_signals::{score_rules, ContingencyTable, SignalScores};
 use serde::{Deserialize, Serialize};
 
 /// A scored cluster, the unit of MARAS's ranked output.
@@ -18,9 +19,14 @@ pub struct RankedMcac {
     pub cluster: Mcac,
     /// Interestingness under the ranking's score.
     pub score: f64,
+    /// The full disproportionality block for the target rule (every
+    /// baseline measure plus the cluster's exclusiveness), computed once by
+    /// the signal engine during ranking.
+    pub scores: SignalScores,
 }
 
-/// The ranking methods of Table 5.2, plus the improvement ablation.
+/// The ranking methods of Table 5.2, plus the improvement ablation and the
+/// disproportionality-baseline orderings served by `--rank-by` / `?sort_by=`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum RankingMethod {
     /// Order rules by raw confidence (no closedness filter, no context).
@@ -31,6 +37,15 @@ pub enum RankingMethod {
     Exclusiveness(ExclusivenessConfig),
     /// Bayardo's improvement (Formula 3.2) with the given inner measure.
     Improvement(Measure),
+    /// Proportional reporting ratio point estimate.
+    Prr,
+    /// Reporting odds ratio point estimate.
+    Ror,
+    /// MGPS shrunken geometric mean (EBGM).
+    Ebgm,
+    /// Geometric mean of PRR, ROR and EBGM — a composite that rewards
+    /// agreement across the frequentist and Bayesian baselines.
+    Composite,
 }
 
 impl RankingMethod {
@@ -57,25 +72,53 @@ impl std::fmt::Display for RankingMethod {
                 write!(f, "Exclusiveness with {}", cfg.measure)
             }
             RankingMethod::Improvement(m) => write!(f, "Improvement with {m}"),
+            RankingMethod::Prr => write!(f, "PRR"),
+            RankingMethod::Ror => write!(f, "ROR"),
+            RankingMethod::Ebgm => write!(f, "EBGM"),
+            RankingMethod::Composite => write!(f, "Composite"),
         }
     }
 }
 
 /// Builds and scores a cluster for every multi-drug rule, returning clusters
 /// in descending score order (deterministic tie-break on the target rule).
+///
+/// Single-threaded convenience wrapper over [`rank_clusters_with`].
 pub fn rank_clusters(
     rules: Vec<DrugAdrRule>,
     db: &TransactionDb,
     method: RankingMethod,
 ) -> Vec<RankedMcac> {
+    rank_clusters_with(rules, db, method, 1)
+}
+
+/// Builds and scores a cluster for every multi-drug rule, returning clusters
+/// in descending score order (deterministic tie-break on score, then target
+/// support, then antecedent, then consequent — so every ranking method is a
+/// total order regardless of thread count).
+///
+/// The full disproportionality block is computed for every rule in one
+/// signal-engine batch pass sharded across `n_threads` workers; the chosen
+/// `method` then just picks its key out of the block (or the context-aware
+/// legacy scores). Output is identical at every thread count.
+pub fn rank_clusters_with(
+    rules: Vec<DrugAdrRule>,
+    db: &TransactionDb,
+    method: RankingMethod,
+    n_threads: usize,
+) -> Vec<RankedMcac> {
     let _span = maras_obs::span("mcac");
+    let rules: Vec<DrugAdrRule> = rules.into_iter().filter(DrugAdrRule::is_multi_drug).collect();
+    let base = score_rules(db, &rules, n_threads);
+    let cfg = exclusiveness_config(method);
     let mut out: Vec<RankedMcac> = rules
         .into_iter()
-        .filter(DrugAdrRule::is_multi_drug)
-        .map(|rule| {
+        .zip(base)
+        .map(|(rule, base)| {
             let cluster = Mcac::build(rule, db);
-            let score = score_cluster(&cluster, method);
-            RankedMcac { cluster, score }
+            let scores = base.with_exclusiveness(cfg.score(&cluster));
+            let score = score_from(&cluster, &scores, method);
+            RankedMcac { cluster, score, scores }
         })
         .collect();
     sort_ranked(&mut out);
@@ -84,14 +127,40 @@ pub fn rank_clusters(
     out
 }
 
-/// Scores one cluster under a ranking method.
-pub fn score_cluster(cluster: &Mcac, method: RankingMethod) -> f64 {
+/// The exclusiveness configuration a ranking carries along in its score
+/// block: the method's own when ranking by exclusiveness, the default
+/// otherwise (the block still reports exclusiveness next to the baselines).
+fn exclusiveness_config(method: RankingMethod) -> ExclusivenessConfig {
+    match method {
+        RankingMethod::Exclusiveness(cfg) => cfg,
+        _ => ExclusivenessConfig::default(),
+    }
+}
+
+/// Picks the ranking key for `method` out of a computed score block.
+fn score_from(cluster: &Mcac, scores: &SignalScores, method: RankingMethod) -> f64 {
     match method {
         RankingMethod::Confidence => cluster.target.confidence(),
         RankingMethod::Lift => cluster.target.lift(),
-        RankingMethod::Exclusiveness(cfg) => cfg.score(cluster),
+        RankingMethod::Exclusiveness(_) => scores.exclusiveness,
         RankingMethod::Improvement(m) => improvement(cluster, m),
+        RankingMethod::Prr => scores.prr.estimate,
+        RankingMethod::Ror => scores.ror.estimate,
+        RankingMethod::Ebgm => scores.ebgm.ebgm,
+        RankingMethod::Composite => {
+            (scores.prr.estimate * scores.ror.estimate * scores.ebgm.ebgm).cbrt()
+        }
     }
+}
+
+/// Scores one cluster under a ranking method, deriving the score block from
+/// the target rule's stored marginals.
+pub fn score_cluster(cluster: &Mcac, method: RankingMethod) -> f64 {
+    let table = ContingencyTable::from_stats(&cluster.target.stats)
+        .expect("rule stats counted from one database are consistent");
+    let cfg = exclusiveness_config(method);
+    let scores = SignalScores::from_table(table).with_exclusiveness(cfg.score(cluster));
+    score_from(cluster, &scores, method)
 }
 
 /// Orders a plain rule pool by confidence or lift — the two context-free
@@ -231,5 +300,87 @@ mod tests {
             "Exclusiveness with confidence"
         );
         assert_eq!(RankingMethod::exclusiveness_lift().to_string(), "Exclusiveness with lift");
+        assert_eq!(RankingMethod::Prr.to_string(), "PRR");
+        assert_eq!(RankingMethod::Ror.to_string(), "ROR");
+        assert_eq!(RankingMethod::Ebgm.to_string(), "EBGM");
+        assert_eq!(RankingMethod::Composite.to_string(), "Composite");
+    }
+
+    #[test]
+    fn ranked_clusters_carry_full_score_block() {
+        let d = planted_db();
+        let rules = multi_drug_rules(&d, &P, 2);
+        let method = RankingMethod::exclusiveness_confidence();
+        let ranked = rank_clusters(rules, &d, method);
+        assert!(!ranked.is_empty());
+        for r in &ranked {
+            // The block's table is the target rule's own marginals.
+            let want =
+                maras_signals::ContingencyTable::from_stats(&r.cluster.target.stats).unwrap();
+            assert_eq!(r.scores.table, want);
+            // Exclusiveness in the block matches the ranking key under the
+            // exclusiveness method.
+            assert_eq!(r.score, r.scores.exclusiveness);
+            assert_eq!(r.scores.exclusiveness, ExclusivenessConfig::default().score(&r.cluster));
+            assert!(!r.scores.prr.estimate.is_nan());
+            assert!(!r.scores.ebgm.ebgm.is_nan());
+        }
+    }
+
+    #[test]
+    fn baseline_methods_rank_by_their_key() {
+        let d = planted_db();
+        for (method, key) in [
+            (
+                RankingMethod::Prr,
+                (|r: &RankedMcac| r.scores.prr.estimate) as fn(&RankedMcac) -> f64,
+            ),
+            (RankingMethod::Ror, |r| r.scores.ror.estimate),
+            (RankingMethod::Ebgm, |r| r.scores.ebgm.ebgm),
+            (RankingMethod::Composite, |r| {
+                (r.scores.prr.estimate * r.scores.ror.estimate * r.scores.ebgm.ebgm).cbrt()
+            }),
+        ] {
+            let rules = multi_drug_rules(&d, &P, 2);
+            let ranked = rank_clusters(rules, &d, method);
+            assert!(!ranked.is_empty(), "{method}");
+            for r in &ranked {
+                assert_eq!(r.score, key(r), "{method}");
+                assert!(r.score.is_finite(), "{method}: {}", r.score);
+            }
+            assert!(ranked.windows(2).all(|w| w[0].score >= w[1].score), "{method}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_ranking() {
+        let d = planted_db();
+        let method = RankingMethod::exclusiveness_confidence();
+        let baseline = rank_clusters_with(multi_drug_rules(&d, &P, 1), &d, method, 1);
+        for threads in [2, 4, 8] {
+            let par = rank_clusters_with(multi_drug_rules(&d, &P, 1), &d, method, threads);
+            assert_eq!(par.len(), baseline.len());
+            for (a, b) in par.iter().zip(&baseline) {
+                assert_eq!(a.cluster.target, b.cluster.target, "threads={threads}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "threads={threads}");
+                assert_eq!(a.scores, b.scores, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn score_cluster_matches_ranked_score() {
+        let d = planted_db();
+        let rules = multi_drug_rules(&d, &P, 2);
+        for method in [
+            RankingMethod::Confidence,
+            RankingMethod::exclusiveness_confidence(),
+            RankingMethod::Prr,
+            RankingMethod::Ebgm,
+        ] {
+            for r in rank_clusters(rules.clone(), &d, method) {
+                assert_eq!(r.score, score_cluster(&r.cluster, method), "{method}");
+            }
+        }
     }
 }

@@ -55,5 +55,5 @@ pub use cache::QueryCache;
 pub use metrics::{Endpoint, Metrics};
 pub use router::{respond, ReloadError, ServeState, DEFAULT_SLOW_THRESHOLD_US};
 pub use server::{serve, serve_with, ServeConfig, ServerHandle};
-pub use snapshot::{ClusterEntry, ContextEntry, Snapshot};
+pub use snapshot::{scores_json, ClusterEntry, ContextEntry, Snapshot, SortBy};
 pub use store::{load, save, StoreError, FORMAT_VERSION, MAGIC};

@@ -11,7 +11,7 @@
 use crate::cache::QueryCache;
 use crate::http::Request;
 use crate::metrics::{Endpoint, Metrics};
-use crate::snapshot::Snapshot;
+use crate::snapshot::{Snapshot, SortBy};
 use crate::store::{self, StoreError};
 use maras_core::RuleQuery;
 use maras_evidence::{EvidenceError, EvidenceReader};
@@ -319,6 +319,16 @@ fn search(state: &ServeState, req: &Request) -> (u16, String) {
         Ok(None) => {}
         Err(e) => return (400, e),
     }
+    match parse_opt::<f64>(req, "min_prr") {
+        Ok(Some(v)) => query = query.with_min_prr(v),
+        Ok(None) => {}
+        Err(e) => return (400, e),
+    }
+    match parse_opt::<f64>(req, "min_ror") {
+        Ok(Some(v)) => query = query.with_min_ror(v),
+        Ok(None) => {}
+        Err(e) => return (400, e),
+    }
     match parse_flag(req, "unknown_only") {
         Ok(true) => query = query.unknown_only(),
         Ok(false) => {}
@@ -333,7 +343,22 @@ fn search(state: &ServeState, req: &Request) -> (u16, String) {
         Ok(v) => v.unwrap_or(50),
         Err(e) => return (400, e),
     };
-    let ranks = snap.query(&query);
+    let sort_by = match req.param("sort_by") {
+        None => SortBy::Rank,
+        Some(s) => match SortBy::from_str_opt(s) {
+            Some(sb) => sb,
+            None => {
+                return (
+                    400,
+                    error_body(
+                        "bad_request",
+                        "'sort_by' must be one of rank, score, exclusiveness, prr, ror, ebgm",
+                    ),
+                )
+            }
+        },
+    };
+    let ranks = snap.sort_ranks(snap.query(&query), sort_by);
     let body = Value::obj([
         ("quarter", Value::from(snap.quarter.clone())),
         ("total", Value::from(ranks.len())),

@@ -14,6 +14,7 @@ use maras_core::link::{rule_max_severity, supporting_case_ids};
 use maras_core::pipeline::AnalysisResult;
 use maras_core::{KnowledgeBase, RuleQuery};
 use maras_faers::Vocabulary;
+use maras_signals::SignalScores;
 use rustc_hash::FxHashMap;
 use serde_json::Value;
 
@@ -63,6 +64,35 @@ pub struct ClusterEntry {
     pub case_ids: Vec<u64>,
     /// Contextual rules, levels flattened in the cluster's level order.
     pub context: Vec<ContextEntry>,
+    /// Full disproportionality score block from the signal engine.
+    pub scores: SignalScores,
+}
+
+/// Presentation orders the snapshot maintains sorted rank indexes for
+/// (the `?sort_by=` query parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortBy {
+    /// Native rank order (the pipeline's ranking method; default).
+    Rank,
+    /// Descending PRR point estimate.
+    Prr,
+    /// Descending ROR point estimate.
+    Ror,
+    /// Descending EBGM posterior geometric mean.
+    Ebgm,
+}
+
+impl SortBy {
+    /// Parses the wire spelling; `None` for anything unrecognized.
+    pub fn from_str_opt(s: &str) -> Option<SortBy> {
+        match s {
+            "rank" | "score" | "exclusiveness" => Some(SortBy::Rank),
+            "prr" => Some(SortBy::Prr),
+            "ror" => Some(SortBy::Ror),
+            "ebgm" => Some(SortBy::Ebgm),
+            _ => None,
+        }
+    }
 }
 
 /// An immutable, index-accelerated view of one quarter's ranked clusters.
@@ -84,6 +114,12 @@ pub struct Snapshot {
     severity_at_least: Vec<Vec<u32>>,
     /// Antecedent cardinality → sorted ranks.
     n_drugs_index: FxHashMap<usize, Vec<u32>>,
+    /// Ranks ordered by descending PRR estimate (ties: rank ascending).
+    by_prr: Vec<u32>,
+    /// Ranks ordered by descending ROR estimate (ties: rank ascending).
+    by_ror: Vec<u32>,
+    /// Ranks ordered by descending EBGM (ties: rank ascending).
+    by_ebgm: Vec<u32>,
 }
 
 impl Snapshot {
@@ -139,6 +175,7 @@ impl Snapshot {
                     has_novel_adr: kb.is_none_or(|kb| kb.has_novel_adr(&refs, &adr_refs)),
                     case_ids: supporting_case_ids(result, t),
                     context,
+                    scores: r.scores,
                     drugs,
                     adrs,
                 }
@@ -186,6 +223,9 @@ impl Snapshot {
         for postings in drug_index.values_mut().chain(adr_index.values_mut()) {
             postings.dedup();
         }
+        let by_prr = ranks_by_key_desc(&clusters, |c| c.scores.prr.estimate);
+        let by_ror = ranks_by_key_desc(&clusters, |c| c.scores.ror.estimate);
+        let by_ebgm = ranks_by_key_desc(&clusters, |c| c.scores.ebgm.ebgm);
         Snapshot {
             quarter,
             n_reports,
@@ -196,6 +236,9 @@ impl Snapshot {
             adr_index,
             severity_at_least,
             n_drugs_index,
+            by_prr,
+            by_ror,
+            by_ebgm,
         }
     }
 
@@ -261,6 +304,20 @@ impl Snapshot {
                 None => return Vec::new(),
             }
         }
+        // A NaN threshold rejects nothing in the scan predicate (`x < NaN`
+        // is always false), so it must not narrow here either.
+        if let Some(min) = q.min_prr.filter(|m| !m.is_nan()) {
+            narrow(
+                &mut candidates,
+                &self.ranks_at_least(&self.by_prr, min, |c| c.scores.prr.estimate),
+            );
+        }
+        if let Some(min) = q.min_ror.filter(|m| !m.is_nan()) {
+            narrow(
+                &mut candidates,
+                &self.ranks_at_least(&self.by_ror, min, |c| c.scores.ror.estimate),
+            );
+        }
         let survivors: Box<dyn Iterator<Item = u32>> = match candidates {
             Some(ranks) => Box::new(ranks.into_iter()),
             None => Box::new(0..self.clusters.len() as u32),
@@ -295,7 +352,45 @@ impl Snapshot {
         if q.novel_adr_only && !c.has_novel_adr {
             return false;
         }
+        if q.min_prr.is_some_and(|min| c.scores.prr.estimate < min) {
+            return false;
+        }
+        if q.min_ror.is_some_and(|min| c.scores.ror.estimate < min) {
+            return false;
+        }
         true
+    }
+
+    /// The (sorted, ascending) ranks whose `key` is at least `min`: a
+    /// prefix of the descending-sorted index, found by binary search.
+    fn ranks_at_least(
+        &self,
+        index: &[u32],
+        min: f64,
+        key: impl Fn(&ClusterEntry) -> f64,
+    ) -> Vec<u32> {
+        let end = index.partition_point(|&r| key(&self.clusters[r as usize]) >= min);
+        let mut prefix = index[..end].to_vec();
+        prefix.sort_unstable();
+        prefix
+    }
+
+    /// Reorders query-result ranks by a maintained sorted index. `Rank`
+    /// keeps the native order; the others walk the per-measure index and
+    /// keep only members of `hits`, so the relative order is descending
+    /// in that measure with rank-ascending ties.
+    pub fn sort_ranks(&self, hits: Vec<usize>, sort_by: SortBy) -> Vec<usize> {
+        let index = match sort_by {
+            SortBy::Rank => return hits,
+            SortBy::Prr => &self.by_prr,
+            SortBy::Ror => &self.by_ror,
+            SortBy::Ebgm => &self.by_ebgm,
+        };
+        let mut member = vec![false; self.clusters.len()];
+        for &h in &hits {
+            member[h] = true;
+        }
+        index.iter().map(|&r| r as usize).filter(|&r| member[r]).collect()
     }
 
     /// Autocompletes a drug-name prefix: `(canonical term, clusters
@@ -355,6 +450,7 @@ impl Snapshot {
             ("max_severity", Value::from(c.max_severity)),
             ("known", Value::from(c.known)),
             ("has_novel_adr", Value::from(c.has_novel_adr)),
+            ("scores", scores_json(&c.scores)),
         ]))
     }
 
@@ -395,6 +491,71 @@ impl Snapshot {
         );
         Some(Value::Object(detail))
     }
+}
+
+/// Ranks sorted by a score key, descending, ties broken by ascending
+/// rank. Estimates are always finite (the engine never emits NaN), but
+/// `total_cmp` keeps the build total regardless.
+fn ranks_by_key_desc(clusters: &[ClusterEntry], key: impl Fn(&ClusterEntry) -> f64) -> Vec<u32> {
+    let mut ranks: Vec<u32> = (0..clusters.len() as u32).collect();
+    ranks.sort_by(|&x, &y| {
+        key(&clusters[y as usize]).total_cmp(&key(&clusters[x as usize])).then_with(|| x.cmp(&y))
+    });
+    ranks
+}
+
+/// JSON view of a full score block — the same shape the CLI's `--json`
+/// emits, so downstream consumers parse one schema.
+pub fn scores_json(s: &SignalScores) -> Value {
+    Value::obj([
+        (
+            "table",
+            Value::obj([
+                ("a", Value::from(s.table.a)),
+                ("b", Value::from(s.table.b)),
+                ("c", Value::from(s.table.c)),
+                ("d", Value::from(s.table.d)),
+            ]),
+        ),
+        ("rrr", Value::from(s.rrr)),
+        (
+            "prr",
+            Value::obj([
+                ("estimate", Value::from(s.prr.estimate)),
+                ("lower", Value::from(s.prr.lower)),
+                ("upper", Value::from(s.prr.upper)),
+            ]),
+        ),
+        (
+            "ror",
+            Value::obj([
+                ("estimate", Value::from(s.ror.estimate)),
+                ("lower", Value::from(s.ror.lower)),
+                ("upper", Value::from(s.ror.upper)),
+            ]),
+        ),
+        ("chi2", Value::from(s.chi2)),
+        ("evans", Value::from(s.evans)),
+        (
+            "ic",
+            Value::obj([
+                ("ic", Value::from(s.ic.ic)),
+                ("ic025", Value::from(s.ic.ic025)),
+                ("ic975", Value::from(s.ic.ic975)),
+            ]),
+        ),
+        (
+            "ebgm",
+            Value::obj([
+                ("ebgm", Value::from(s.ebgm.ebgm)),
+                ("eb05", Value::from(s.ebgm.eb05)),
+                ("eb95", Value::from(s.ebgm.eb95)),
+                ("posterior_w1", Value::from(s.ebgm.posterior_w1)),
+            ]),
+        ),
+        ("interaction", Value::from(s.interaction)),
+        ("exclusiveness", Value::from(s.exclusiveness)),
+    ])
 }
 
 /// Intersects the accumulator with a sorted posting list (`None` = "all").
@@ -505,6 +666,10 @@ mod tests {
             RuleQuery::new().unknown_only(),
             RuleQuery::new().novel_adr_only(),
             RuleQuery::new().with_drug(&top.drugs[0]).with_min_severity(3).with_n_drugs(2),
+            RuleQuery::new().with_min_prr(snap.clusters[snap.len() / 2].scores.prr.estimate),
+            RuleQuery::new().with_min_ror(1.0),
+            RuleQuery::new().with_min_prr(2.0).with_min_ror(2.0).with_n_drugs(2),
+            RuleQuery::new().with_min_prr(f64::INFINITY),
         ];
         for q in queries {
             let scan = q.apply(&result, &dv, &av, Some(&kb));
@@ -559,6 +724,70 @@ mod tests {
             detail["support"].as_u64().unwrap()
         );
         assert_eq!(detail["reports_url"], "/cluster/1/reports");
+    }
+
+    #[test]
+    fn sorted_indexes_order_by_their_measure() {
+        let (result, dv, av) = fixture();
+        let snap = Snapshot::build("2014 Q1", &result, &dv, &av, None);
+        let all = snap.query(&RuleQuery::new());
+        for (sort_by, key) in [
+            (SortBy::Prr, (|c: &ClusterEntry| c.scores.prr.estimate) as fn(&ClusterEntry) -> f64),
+            (SortBy::Ror, |c: &ClusterEntry| c.scores.ror.estimate),
+            (SortBy::Ebgm, |c: &ClusterEntry| c.scores.ebgm.ebgm),
+        ] {
+            let sorted = snap.sort_ranks(all.clone(), sort_by);
+            // Same set of ranks, reordered.
+            let mut back = sorted.clone();
+            back.sort_unstable();
+            assert_eq!(back, all, "{sort_by:?}");
+            for w in sorted.windows(2) {
+                let (x, y) = (key(&snap.clusters[w[0]]), key(&snap.clusters[w[1]]));
+                assert!(
+                    x > y || (x == y && w[0] < w[1]),
+                    "{sort_by:?}: rank {} ({x}) before rank {} ({y})",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+        // Rank keeps native order, and sorting a filtered subset preserves
+        // membership.
+        assert_eq!(snap.sort_ranks(all.clone(), SortBy::Rank), all);
+        let subset = snap.query(&RuleQuery::new().with_min_ror(1.0));
+        let mut sorted_subset = snap.sort_ranks(subset.clone(), SortBy::Ror);
+        sorted_subset.sort_unstable();
+        assert_eq!(sorted_subset, subset);
+    }
+
+    #[test]
+    fn sort_by_parses_wire_spellings() {
+        assert_eq!(SortBy::from_str_opt("prr"), Some(SortBy::Prr));
+        assert_eq!(SortBy::from_str_opt("ror"), Some(SortBy::Ror));
+        assert_eq!(SortBy::from_str_opt("ebgm"), Some(SortBy::Ebgm));
+        assert_eq!(SortBy::from_str_opt("rank"), Some(SortBy::Rank));
+        assert_eq!(SortBy::from_str_opt("score"), Some(SortBy::Rank));
+        assert_eq!(SortBy::from_str_opt("exclusiveness"), Some(SortBy::Rank));
+        assert_eq!(SortBy::from_str_opt("PRR"), None);
+        assert_eq!(SortBy::from_str_opt("bogus"), None);
+    }
+
+    #[test]
+    fn hit_json_carries_score_block() {
+        let (result, dv, av) = fixture();
+        let snap = Snapshot::build("2014 Q1", &result, &dv, &av, None);
+        let hit = snap.hit_json(0);
+        let scores = &hit["scores"];
+        let c = &snap.clusters[0];
+        assert_eq!(scores["table"]["a"].as_u64().unwrap(), c.scores.table.a);
+        assert_eq!(scores["prr"]["estimate"].as_f64().unwrap(), c.scores.prr.estimate);
+        assert_eq!(scores["ror"]["upper"].as_f64().unwrap(), c.scores.ror.upper);
+        assert_eq!(scores["ic"]["ic025"].as_f64().unwrap(), c.scores.ic.ic025);
+        assert_eq!(scores["ebgm"]["eb05"].as_f64().unwrap(), c.scores.ebgm.eb05);
+        assert_eq!(scores["exclusiveness"].as_f64().unwrap(), c.score);
+        assert!(scores["interaction"].as_f64().is_some());
+        // The detail view inherits the block from the hit view.
+        assert_eq!(snap.detail_json(0)["scores"].to_string(), scores.to_string());
     }
 
     #[test]

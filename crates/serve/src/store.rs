@@ -19,6 +19,9 @@
 
 use crate::snapshot::{ClusterEntry, ContextEntry, Snapshot};
 use maras_faers::Vocabulary;
+use maras_signals::{
+    ConfidenceInterval, ContingencyTable, EbgmScores, InformationComponent, SignalScores,
+};
 use std::fmt;
 use std::fs;
 use std::io::Write as _;
@@ -26,8 +29,11 @@ use std::path::Path;
 
 /// File magic: identifies a MARAS snapshot regardless of extension.
 pub const MAGIC: &[u8; 8] = b"MARASNAP";
-/// Current on-disk format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current on-disk format version. Version 2 appended the per-cluster
+/// disproportionality score block; version-1 files are refused (the
+/// snapshot is cheap to rebuild from the quarter, and serving entries
+/// with zeroed scores would silently misrank every `?sort_by=`).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a snapshot file was refused.
 #[derive(Debug)]
@@ -161,8 +167,36 @@ fn encode_snapshot(s: &Snapshot) -> Vec<u8> {
             put_f64(&mut out, ctx.confidence);
             put_f64(&mut out, ctx.lift);
         }
+        put_scores(&mut out, &c.scores);
     }
     out
+}
+
+/// Score block, format v2: the 2×2 table, every disproportionality
+/// measure, and the cluster-level scores, in a fixed field order.
+fn put_scores(out: &mut Vec<u8>, s: &SignalScores) {
+    put_u64(out, s.table.a);
+    put_u64(out, s.table.b);
+    put_u64(out, s.table.c);
+    put_u64(out, s.table.d);
+    put_f64(out, s.rrr);
+    put_f64(out, s.prr.estimate);
+    put_f64(out, s.prr.lower);
+    put_f64(out, s.prr.upper);
+    put_f64(out, s.ror.estimate);
+    put_f64(out, s.ror.lower);
+    put_f64(out, s.ror.upper);
+    put_f64(out, s.chi2);
+    out.push(s.evans as u8);
+    put_f64(out, s.ic.ic);
+    put_f64(out, s.ic.ic025);
+    put_f64(out, s.ic.ic975);
+    put_f64(out, s.ebgm.ebgm);
+    put_f64(out, s.ebgm.eb05);
+    put_f64(out, s.ebgm.eb95);
+    put_f64(out, s.ebgm.posterior_w1);
+    put_f64(out, s.interaction);
+    put_f64(out, s.exclusiveness);
 }
 
 fn decode_snapshot(payload: &[u8]) -> Result<Snapshot, StoreError> {
@@ -199,6 +233,7 @@ fn decode_snapshot(payload: &[u8]) -> Result<Snapshot, StoreError> {
                 lift: r.f64()?,
             });
         }
+        let scores = r.scores()?;
         clusters.push(ClusterEntry {
             drugs,
             adrs,
@@ -211,6 +246,7 @@ fn decode_snapshot(payload: &[u8]) -> Result<Snapshot, StoreError> {
             has_novel_adr,
             case_ids,
             context,
+            scores,
         });
     }
     if r.pos != payload.len() {
@@ -289,6 +325,31 @@ impl Reader<'_> {
         Ok(out)
     }
 
+    /// Mirrors `put_scores` field for field.
+    fn scores(&mut self) -> Result<SignalScores, StoreError> {
+        let table =
+            ContingencyTable { a: self.u64()?, b: self.u64()?, c: self.u64()?, d: self.u64()? };
+        let rrr = self.f64()?;
+        let prr = self.ci()?;
+        let ror = self.ci()?;
+        let chi2 = self.f64()?;
+        let evans = self.u8()? != 0;
+        let ic = InformationComponent { ic: self.f64()?, ic025: self.f64()?, ic975: self.f64()? };
+        let ebgm = EbgmScores {
+            ebgm: self.f64()?,
+            eb05: self.f64()?,
+            eb95: self.f64()?,
+            posterior_w1: self.f64()?,
+        };
+        let interaction = self.f64()?;
+        let exclusiveness = self.f64()?;
+        Ok(SignalScores { table, rrr, prr, ror, chi2, evans, ic, ebgm, interaction, exclusiveness })
+    }
+
+    fn ci(&mut self) -> Result<ConfidenceInterval, StoreError> {
+        Ok(ConfidenceInterval { estimate: self.f64()?, lower: self.f64()?, upper: self.f64()? })
+    }
+
     fn vocab(&mut self) -> Result<Vocabulary, StoreError> {
         let n = self.u64()? as usize;
         let mut terms = Vec::with_capacity(n.min(1 << 20));
@@ -327,6 +388,36 @@ mod tests {
         assert_eq!(loaded.clusters, snap.clusters);
         let q = RuleQuery::new().with_min_severity(3);
         assert_eq!(loaded.query(&q), snap.query(&q));
+        // Score blocks survive bit-exactly, and the rebuilt per-measure
+        // indexes answer score filters and sorts identically.
+        for (a, b) in loaded.clusters.iter().zip(&snap.clusters) {
+            assert_eq!(a.scores, b.scores);
+        }
+        let q = RuleQuery::new().with_min_prr(2.0).with_min_ror(1.5);
+        assert_eq!(loaded.query(&q), snap.query(&q));
+        let all = snap.query(&RuleQuery::new());
+        for sort_by in [crate::snapshot::SortBy::Prr, crate::snapshot::SortBy::Ebgm] {
+            assert_eq!(
+                loaded.sort_ranks(all.clone(), sort_by),
+                snap.sort_ranks(all.clone(), sort_by)
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refuses_version_1_files() {
+        let snap = snapshot();
+        let dir = std::env::temp_dir().join("maras-store-v1");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("q.snap");
+        save(&snap, &path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // A genuine v1 file differs in payload too, but version alone must
+        // already refuse it — the payload is never parsed.
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&path), Err(StoreError::BadVersion(1))));
         let _ = fs::remove_dir_all(&dir);
     }
 

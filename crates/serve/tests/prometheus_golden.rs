@@ -152,6 +152,53 @@ fn evidence_series_match_golden_file() {
     }
 }
 
+fn signals_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/signals_metrics.prom")
+}
+
+/// The fixed score-engine counter state the signals golden renders: two
+/// batches (one 4-threaded, one single-threaded) totalling 150 rules.
+fn fixed_signals_registry() -> maras_obs::Registry {
+    let reg = maras_obs::Registry::new();
+    let m = maras_signals::SignalsMetrics::register(&reg);
+    m.rules_scored.add(120);
+    m.batches.inc();
+    m.batch_us.observe(1800.0);
+    m.threads.set(4.0);
+    m.rules_scored.add(30);
+    m.batches.inc();
+    m.batch_us.observe(700.0);
+    m.threads.set(1.0);
+    reg
+}
+
+#[test]
+fn signals_series_match_golden_file() {
+    let rendered = fixed_signals_registry().render_prometheus();
+    let path = signals_golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(rendered, golden, "signals exposition drifted from {path:?}");
+    // Every series carries the subsystem prefix; the score engine adds to
+    // the shared registry append-only.
+    for line in golden.lines().filter(|l| !l.starts_with('#')) {
+        assert!(line.starts_with("maras_signals_"), "unprefixed series: {line}");
+    }
+    for series in [
+        "maras_signals_rules_scored_total",
+        "maras_signals_batches_total",
+        "maras_signals_batch_us",
+        "maras_signals_threads",
+    ] {
+        assert!(golden.contains(series), "missing series {series}");
+    }
+}
+
 #[test]
 fn label_values_are_escaped_in_registry_series() {
     // The global registry flows into the same exposition on /metrics;

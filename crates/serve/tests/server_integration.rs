@@ -139,6 +139,49 @@ fn full_server_lifecycle() {
     let (status, _) = http(addr, "GET", &format!("/cluster/{}", n_clusters + 1));
     assert_eq!(status, 404);
 
+    // -- score block + disproportionality filters and sorts ---------------
+    let entry0 = &fx.snapshot.clusters[0];
+    let scores = &detail["scores"];
+    assert_eq!(scores["prr"]["estimate"].as_f64().unwrap(), entry0.scores.prr.estimate);
+    assert_eq!(scores["ror"]["lower"].as_f64().unwrap(), entry0.scores.ror.lower);
+    assert_eq!(scores["ebgm"]["ebgm"].as_f64().unwrap(), entry0.scores.ebgm.ebgm);
+    assert_eq!(scores["table"]["a"].as_u64().unwrap(), entry0.scores.table.a);
+    assert_eq!(scores["exclusiveness"].as_f64().unwrap(), entry0.score);
+
+    // min_prr / min_ror answer identically to the legacy scan.
+    let median_prr = fx.snapshot.clusters[n_clusters / 2].scores.prr.estimate;
+    let filter_query = RuleQuery::new().with_min_prr(median_prr).with_min_ror(1.0);
+    let scan_filtered = filter_query.apply(&fx.result, &fx.dv, &fx.av, Some(&fx.kb));
+    let (status, filtered) =
+        http(addr, "GET", &format!("/search?min_prr={median_prr}&min_ror=1&limit=1000"));
+    assert_eq!(status, 200);
+    let filtered_ranks: Vec<usize> = filtered["hits"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|h| h["rank"].as_u64().unwrap() as usize - 1)
+        .collect();
+    assert_eq!(filtered_ranks, scan_filtered, "min_prr/min_ror must equal the scan path");
+
+    // ?sort_by=prr reorders hits by descending PRR estimate; every hit
+    // carries the score block it was ordered by.
+    let (status, by_prr) = http(addr, "GET", "/search?sort_by=prr&limit=1000");
+    assert_eq!(status, 200);
+    assert_eq!(by_prr["total"], n_clusters);
+    let prrs: Vec<f64> = by_prr["hits"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|h| h["scores"]["prr"]["estimate"].as_f64().unwrap())
+        .collect();
+    assert_eq!(prrs.len(), n_clusters);
+    for w in prrs.windows(2) {
+        assert!(w[0] >= w[1], "sort_by=prr must be non-increasing: {} then {}", w[0], w[1]);
+    }
+    let (status, err) = http(addr, "GET", "/search?sort_by=alphabetical");
+    assert_eq!(status, 400);
+    assert_eq!(err["error"]["code"], "bad_request");
+
     // -- cache behaviour: repeat query hits the cache ---------------------
     let before = state.metrics.cache_hits();
     let (_, repeat) = http(addr, "GET", &target);
@@ -201,6 +244,12 @@ fn full_server_lifecycle() {
     assert!(prom.contains("maras_requests_total{endpoint=\"search\"}"));
     assert!(prom.contains("maras_request_latency_us_bucket{endpoint=\"search\",le=\"+Inf\"}"));
     assert!(prom.contains("maras_snapshot_reloads_total 1"));
+    // The fixtures ran the score engine in this process, so its series
+    // must reach the scrape via the shared registry — while /metrics.json
+    // above kept its frozen key set (no "signals" key).
+    assert!(prom.contains("# TYPE maras_signals_rules_scored_total counter"));
+    assert!(prom.contains("maras_signals_batches_total"));
+    assert!(metrics.get("signals").is_none(), "signals series must stay Prometheus-only");
     // The scrape reflects the same counters as the JSON dump.
     let search_line = prom
         .lines()

@@ -1,11 +1,15 @@
 //! Classical disproportionality measures: RRR, PRR, ROR, χ².
 //!
 //! Conventions follow the pharmacovigilance literature (Evans et al. for
-//! PRR; van Puijenbroek for ROR). Degenerate tables (zero denominators)
-//! yield `f64::INFINITY` or `0.0` as appropriate rather than NaN, so ranking
-//! stays total.
+//! PRR; van Puijenbroek for ROR). Degenerate tables with a zero cell take
+//! the Haldane–Anscombe continuity correction — 0.5 added to every cell —
+//! so both the point estimate and the 95% CI stay finite and usable instead
+//! of collapsing to `0.0`/`INFINITY`; a table with no reports at all scores
+//! zero. Ranking stays total either way.
 
 use crate::contingency::ContingencyTable;
+use crate::ebgm::{ebgm_from_table, EbgmScores, GammaMixturePrior};
+use crate::ic::{information_component, InformationComponent};
 use serde::{Deserialize, Serialize};
 
 /// A 95% confidence interval on the log scale, exponentiated.
@@ -21,6 +25,17 @@ pub struct ConfidenceInterval {
 
 const Z95: f64 = 1.959_963_984_540_054;
 
+/// The four cells as floats, Haldane–Anscombe corrected when any cell is
+/// zero: 0.5 is added to all four so ratio estimates and their log-scale
+/// standard errors are defined on degenerate tables.
+fn ha_cells(t: &ContingencyTable) -> (f64, f64, f64, f64) {
+    if t.a == 0 || t.b == 0 || t.c == 0 || t.d == 0 {
+        (t.a as f64 + 0.5, t.b as f64 + 0.5, t.c as f64 + 0.5, t.d as f64 + 0.5)
+    } else {
+        (t.a as f64, t.b as f64, t.c as f64, t.d as f64)
+    }
+}
+
 /// Relative reporting ratio: observed over expected count of the joint cell,
 /// `RR = a·N / ((a+b)(a+c))` — the measure Harpaz et al. \[17\] rank
 /// multi-item associations with.
@@ -33,7 +48,9 @@ pub fn rrr(t: &ContingencyTable) -> f64 {
 }
 
 /// Proportional reporting ratio `PRR = [a/(a+b)] / [c/(c+d)]` with a 95% CI
-/// via the standard log-normal approximation.
+/// via the standard log-normal approximation. Zero-cell tables are
+/// Haldane–Anscombe corrected (estimate and CI both computed from the
+/// corrected cells); an empty table scores zero.
 ///
 /// ```
 /// use maras_signals::{prr, ContingencyTable};
@@ -43,36 +60,23 @@ pub fn rrr(t: &ContingencyTable) -> f64 {
 /// assert!(ci.lower > 1.0); // the CI excludes the null
 /// ```
 pub fn prr(t: &ContingencyTable) -> ConfidenceInterval {
-    let (a, b, c, d) = (t.a as f64, t.b as f64, t.c as f64, t.d as f64);
-    if a == 0.0 || a + b == 0.0 {
+    if t.n() == 0 {
         return ConfidenceInterval { estimate: 0.0, lower: 0.0, upper: 0.0 };
     }
-    if c == 0.0 || c + d == 0.0 {
-        return ConfidenceInterval {
-            estimate: f64::INFINITY,
-            lower: f64::INFINITY,
-            upper: f64::INFINITY,
-        };
-    }
+    let (a, b, c, d) = ha_cells(t);
     let estimate = (a / (a + b)) / (c / (c + d));
     let se = (1.0 / a - 1.0 / (a + b) + 1.0 / c - 1.0 / (c + d)).max(0.0).sqrt();
     let ln = estimate.ln();
     ConfidenceInterval { estimate, lower: (ln - Z95 * se).exp(), upper: (ln + Z95 * se).exp() }
 }
 
-/// Reporting odds ratio `ROR = (a·d)/(b·c)` with a 95% CI.
+/// Reporting odds ratio `ROR = (a·d)/(b·c)` with a 95% CI. Zero-cell tables
+/// are Haldane–Anscombe corrected; an empty table scores zero.
 pub fn ror(t: &ContingencyTable) -> ConfidenceInterval {
-    let (a, b, c, d) = (t.a as f64, t.b as f64, t.c as f64, t.d as f64);
-    if a == 0.0 || d == 0.0 {
+    if t.n() == 0 {
         return ConfidenceInterval { estimate: 0.0, lower: 0.0, upper: 0.0 };
     }
-    if b == 0.0 || c == 0.0 {
-        return ConfidenceInterval {
-            estimate: f64::INFINITY,
-            lower: f64::INFINITY,
-            upper: f64::INFINITY,
-        };
-    }
+    let (a, b, c, d) = ha_cells(t);
     let estimate = (a * d) / (b * c);
     let se = (1.0 / a + 1.0 / b + 1.0 / c + 1.0 / d).sqrt();
     let ln = estimate.ln();
@@ -97,7 +101,10 @@ pub fn evans_signal(t: &ContingencyTable) -> bool {
     t.a >= 3 && prr(t).estimate >= 2.0 && chi_square_yates(t) >= 4.0
 }
 
-/// All scores for one (drug set, ADR set) pair, bundled for reporting.
+/// All scores for one (drug set, ADR set) pair, bundled for reporting: the
+/// classical frequentist measures, the Bayesian shrinkage baselines (BCPNN
+/// IC, MGPS EBGM), the multi-drug interaction contrast, and the MARAS
+/// exclusiveness score of the rule's cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SignalScores {
     /// The underlying table.
@@ -112,10 +119,22 @@ pub struct SignalScores {
     pub chi2: f64,
     /// Whether the Evans criterion fires.
     pub evans: bool,
+    /// BCPNN information component with 95% credibility bounds.
+    pub ic: InformationComponent,
+    /// MGPS empirical-Bayes scores under the default DuMouchel prior.
+    pub ebgm: EbgmScores,
+    /// Shrunken log₂ interaction contrast (0 for single-drug rules, set by
+    /// [`with_interaction`](Self::with_interaction)).
+    pub interaction: f64,
+    /// Exclusiveness of the rule's contextual cluster (0 until ranked, set
+    /// by [`with_exclusiveness`](Self::with_exclusiveness)).
+    pub exclusiveness: f64,
 }
 
 impl SignalScores {
-    /// Computes every measure from a table.
+    /// Computes every table-derived measure. The interaction contrast and
+    /// exclusiveness need context beyond the 2×2 table and default to 0;
+    /// use the `with_*` builders to attach them.
     pub fn from_table(table: ContingencyTable) -> Self {
         SignalScores {
             table,
@@ -124,7 +143,23 @@ impl SignalScores {
             ror: ror(&table),
             chi2: chi_square_yates(&table),
             evans: evans_signal(&table),
+            ic: information_component(&table),
+            ebgm: ebgm_from_table(&table, &GammaMixturePrior::default()),
+            interaction: 0.0,
+            exclusiveness: 0.0,
         }
+    }
+
+    /// Attaches the multi-drug interaction contrast.
+    pub fn with_interaction(mut self, interaction: f64) -> Self {
+        self.interaction = interaction;
+        self
+    }
+
+    /// Attaches the cluster exclusiveness score.
+    pub fn with_exclusiveness(mut self, exclusiveness: f64) -> Self {
+        self.exclusiveness = exclusiveness;
+        self
     }
 }
 
@@ -175,7 +210,7 @@ mod tests {
     #[test]
     fn independence_scores_near_one() {
         // Perfectly independent margins.
-        let t = ContingencyTable::from_supports(10, 100, 100, 1000);
+        let t = ContingencyTable::from_supports(10, 100, 100, 1000).unwrap();
         assert!((rrr(&t) - 1.0).abs() < 1e-12);
         assert!((prr(&t).estimate - 1.0).abs() < 0.12);
         assert!(chi_square_yates(&t) < 1.0);
@@ -191,19 +226,53 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_tables_are_total() {
+    fn zero_cells_get_haldane_anscombe_correction() {
+        // Any zero cell → 0.5 added to all four cells, so the estimate and
+        // CI come out finite and positive instead of 0 / INFINITY.
         let zero_a = ContingencyTable { a: 0, b: 10, c: 5, d: 985 };
-        assert_eq!(prr(&zero_a).estimate, 0.0);
-        assert_eq!(ror(&zero_a).estimate, 0.0);
-        assert_eq!(rrr(&zero_a), 0.0);
-        let zero_c = ContingencyTable { a: 5, b: 10, c: 0, d: 985 };
-        assert_eq!(prr(&zero_c).estimate, f64::INFINITY);
         let zero_b = ContingencyTable { a: 5, b: 0, c: 3, d: 992 };
-        assert_eq!(ror(&zero_b).estimate, f64::INFINITY);
-        for t in [zero_a, zero_c, zero_b] {
+        let zero_c = ContingencyTable { a: 5, b: 10, c: 0, d: 985 };
+        let zero_d = ContingencyTable { a: 5, b: 10, c: 20, d: 0 };
+        for t in [zero_a, zero_b, zero_c, zero_d] {
+            for ci in [prr(&t), ror(&t)] {
+                assert!(ci.estimate.is_finite() && ci.estimate > 0.0, "{t:?}: {ci:?}");
+                assert!(ci.lower.is_finite() && ci.upper.is_finite(), "{t:?}: {ci:?}");
+                assert!(ci.lower > 0.0, "{t:?}: {ci:?}");
+                assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper, "{t:?}: {ci:?}");
+            }
             assert!(!rrr(&t).is_nan());
             assert!(!chi_square_yates(&t).is_nan());
         }
+        // Hand-checked corrected estimates for the zero-a table
+        // (cells 0.5, 10.5, 5.5, 985.5):
+        let ci = prr(&zero_a);
+        assert!((ci.estimate - (0.5 / 11.0) / (5.5 / 991.0)).abs() < 1e-12);
+        let ci = ror(&zero_a);
+        assert!((ci.estimate - (0.5 * 985.5) / (10.5 * 5.5)).abs() < 1e-12);
+        // Direction is preserved: no unexposed events → large PRR/ROR.
+        assert!(prr(&zero_c).estimate > 10.0);
+        assert!(ror(&zero_c).estimate > 10.0);
+    }
+
+    #[test]
+    fn uncorrected_tables_keep_classic_estimates() {
+        // No zero cell → the correction must not perturb the textbook values
+        // (asserted exactly, not within a tolerance).
+        let t = textbook();
+        assert_eq!(prr(&t).estimate, (25.0 / 100.0) / (50.0 / 900.0));
+        assert_eq!(ror(&t).estimate, (25.0 * 850.0) / (75.0 * 50.0));
+    }
+
+    #[test]
+    fn empty_table_scores_zero() {
+        let empty = ContingencyTable { a: 0, b: 0, c: 0, d: 0 };
+        for ci in [prr(&empty), ror(&empty)] {
+            assert_eq!(ci.estimate, 0.0);
+            assert_eq!(ci.lower, 0.0);
+            assert_eq!(ci.upper, 0.0);
+        }
+        assert_eq!(rrr(&empty), 0.0);
+        assert_eq!(chi_square_yates(&empty), 0.0);
     }
 
     #[test]
@@ -211,7 +280,17 @@ mod tests {
         let s = SignalScores::from_table(textbook());
         assert_eq!(s.rrr, rrr(&textbook()));
         assert_eq!(s.prr, prr(&textbook()));
+        assert_eq!(s.ic, crate::ic::information_component(&textbook()));
+        assert_eq!(
+            s.ebgm,
+            crate::ebgm::ebgm_from_table(&textbook(), &GammaMixturePrior::default())
+        );
+        assert_eq!(s.interaction, 0.0);
+        assert_eq!(s.exclusiveness, 0.0);
         assert!(s.evans);
+        let s = s.with_interaction(1.25).with_exclusiveness(0.75);
+        assert_eq!(s.interaction, 1.25);
+        assert_eq!(s.exclusiveness, 0.75);
     }
 
     mod properties {
@@ -231,6 +310,17 @@ mod tests {
                 prop_assert!(!ror(&t).estimate.is_nan());
                 prop_assert!(!chi_square_yates(&t).is_nan());
                 prop_assert!(chi_square_yates(&t) >= 0.0);
+            }
+
+            #[test]
+            fn prr_ror_always_finite(t in arb_table()) {
+                // Post-correction totality: no table, however degenerate,
+                // yields an infinite estimate or bound.
+                for ci in [prr(&t), ror(&t)] {
+                    prop_assert!(ci.estimate.is_finite());
+                    prop_assert!(ci.lower.is_finite());
+                    prop_assert!(ci.upper.is_finite());
+                }
             }
 
             #[test]

@@ -63,7 +63,7 @@ mod tests {
 
     #[test]
     fn independence_ic_near_zero() {
-        let t = ContingencyTable::from_supports(10, 100, 100, 1000);
+        let t = ContingencyTable::from_supports(10, 100, 100, 1000).unwrap();
         let ic = information_component(&t);
         assert!(ic.ic.abs() < 0.1, "{}", ic.ic);
         assert!(!ic.is_signal());

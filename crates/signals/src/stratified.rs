@@ -131,6 +131,50 @@ mod tests {
         assert_eq!(mantel_haenszel_or(&[t]), f64::INFINITY);
     }
 
+    #[test]
+    fn all_zero_cell_strata_keep_ranking_keys_total() {
+        // Strata where both the MH numerator and denominator terms vanish
+        // (a·d = 0 and b·c = 0) must pool to 0, never NaN — these are
+        // ranking keys downstream.
+        let no_events = ContingencyTable { a: 0, b: 50, c: 0, d: 50 };
+        let all_events = ContingencyTable { a: 5, b: 0, c: 5, d: 0 };
+        let exposed_only = ContingencyTable { a: 3, b: 7, c: 0, d: 0 };
+        for strata in [
+            vec![no_events],
+            vec![all_events],
+            vec![exposed_only],
+            vec![no_events, all_events, exposed_only],
+        ] {
+            for est in [mantel_haenszel_or(&strata), mantel_haenszel_rr(&strata), crude_or(&strata)]
+            {
+                assert!(!est.is_nan(), "strata={strata:?} est={est}");
+            }
+        }
+        assert_eq!(mantel_haenszel_or(&[no_events]), 0.0);
+        assert_eq!(mantel_haenszel_rr(&[no_events]), 0.0);
+        // Mixing a degenerate stratum with a real one keeps the estimate
+        // finite and driven by the informative stratum.
+        let real = ContingencyTable { a: 40, b: 10, c: 50, d: 50 };
+        let mixed = mantel_haenszel_or(&[no_events, real, all_events]);
+        assert!(mixed.is_finite() && mixed > 0.0, "{mixed}");
+    }
+
+    #[test]
+    fn single_zero_cell_stratum_still_equals_crude() {
+        // The single-stratum ≡ crude identity must survive zero cells.
+        for t in [
+            ContingencyTable { a: 0, b: 10, c: 5, d: 85 },
+            ContingencyTable { a: 5, b: 0, c: 5, d: 90 },
+            ContingencyTable { a: 5, b: 10, c: 0, d: 85 },
+            ContingencyTable { a: 5, b: 10, c: 5, d: 0 },
+        ] {
+            let mh = mantel_haenszel_or(&[t]);
+            let crude = crude_or(&[t]);
+            assert!(!mh.is_nan() && !crude.is_nan(), "{t:?}");
+            assert_eq!(mh, crude, "{t:?}");
+        }
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -166,6 +210,27 @@ mod tests {
                 prop_assert!(!mantel_haenszel_or(&strata).is_nan());
                 prop_assert!(!mantel_haenszel_rr(&strata).is_nan());
                 prop_assert!(!crude_or(&strata).is_nan());
+            }
+
+            #[test]
+            fn estimators_total_with_zero_cells(
+                strata in proptest::collection::vec(
+                    (0u64..20, 0u64..20, 0u64..20, 0u64..20).prop_map(|(a, b, c, d)| {
+                        ContingencyTable { a, b, c, d }
+                    }),
+                    0..6,
+                )
+            ) {
+                // Zero cells everywhere — the estimators must stay total
+                // (0, finite, or +∞; never NaN, never negative).
+                for est in [
+                    mantel_haenszel_or(&strata),
+                    mantel_haenszel_rr(&strata),
+                    crude_or(&strata),
+                ] {
+                    prop_assert!(!est.is_nan());
+                    prop_assert!(est >= 0.0);
+                }
             }
         }
     }

@@ -66,7 +66,7 @@ pub fn panorama_svg(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use maras_mcac::Mcac;
+    use maras_mcac::{rank_clusters, RankingMethod};
     use maras_mining::{Item, ItemSet, TransactionDb};
 
     fn ranked_fixture(n: usize) -> Vec<RankedMcac> {
@@ -83,7 +83,11 @@ mod tests {
                     ItemSet::from_ids([10u32]),
                     &db,
                 );
-                RankedMcac { cluster: Mcac::build(t, &db), score: 1.0 - i as f64 * 0.1 }
+                let mut ranked = rank_clusters(vec![t], &db, RankingMethod::Confidence)
+                    .pop()
+                    .expect("fixture rule is multi-drug");
+                ranked.score = 1.0 - i as f64 * 0.1;
+                ranked
             })
             .collect()
     }

@@ -21,7 +21,7 @@
 //! a blown error budget exits with code 2.
 
 use maras::core::ingest::{run_quarters_dir, QuarterOutcome};
-use maras::core::{supporting_reports, KnowledgeBase, Pipeline, PipelineConfig};
+use maras::core::{supporting_reports, KnowledgeBase, Pipeline, PipelineConfig, RankBy};
 use maras::evidence::{build_archive, check_archive, BuildConfig, EvidenceError, EvidenceReader};
 use maras::faers::ascii::{
     read_quarter_dir_with, write_quarter_dir, AsciiError, ErrorBudget, IngestMetrics, IngestMode,
@@ -143,17 +143,18 @@ USAGE:
   maras generate --out DIR [--reports N] [--seed S]
   maras analyze  --dir DIR --quarter 2014Q1 [--min-support N] [--top K]
                  [--measure confidence|lift] [--theta T] [--threads N]
+                 [--rank-by exclusiveness|prr|ror|ebgm|composite]
                  [--drug NAME] [--unknown-only] [--novel-adr-only] [--json FILE]
                  [--ingest-mode strict|lenient] [--max-bad-rows N] [--max-bad-frac F]
                  [--trace FILE.json] [--timings]
   maras year     --dir DIR [--year 2014] [--min-support N] [--top K] [--threads N]
-                 [--json FILE] [--trace FILE.json] [--timings]
+                 [--rank-by METHOD] [--json FILE] [--trace FILE.json] [--timings]
                  [--ingest-mode strict|lenient] [--max-bad-rows N] [--max-bad-frac F]
   maras render   --dir DIR --quarter 2014Q1 [--out DIR] [--top K] [--dark]
   maras report   --dir DIR --quarter 2014Q1 [--out FILE.html] [--top K] [--threads N]
-                 [--trace FILE.json] [--timings]
+                 [--rank-by METHOD] [--trace FILE.json] [--timings]
   maras snapshot --dir DIR --quarter 2014Q1 --out FILE.snap [--json FILE] [--threads N]
-                 [--evidence FILE.evid] [--trace FILE.json] [--timings]
+                 [--rank-by METHOD] [--evidence FILE.evid] [--trace FILE.json] [--timings]
   maras serve    --snapshot FILE.snap [--evidence FILE.evid] [--addr HOST:PORT]
                  [--threads N] [--cache N] [--check] [--json FILE] [--slow-ms MS]
                  [--queue-depth N] [--io-timeout-ms MS] [--drain-ms MS]
@@ -165,6 +166,9 @@ USAGE:
 For analyze/year/report/snapshot, --threads N sets the mining AND ingest
 worker count (0 or omitted = all available cores); for serve it sets HTTP
 worker threads. Ingest output is byte-identical at any thread count.
+--rank-by METHOD orders the ranked clusters by exclusiveness (default)
+or a disproportionality baseline (prr, ror, ebgm, or their geometric
+mean, composite); every method serves the full score block either way.
   maras study    [--participants N] [--seed S]
   maras demo
 
@@ -380,6 +384,16 @@ fn pipeline_config(flags: &Flags) -> Result<PipelineConfig, CliError> {
             )))
         }
     }
+    if let Some(s) = flags.get("rank-by") {
+        match RankBy::from_str_opt(s) {
+            Some(rank_by) => config = config.with_rank_by(rank_by),
+            None => {
+                return Err(CliError::usage(format!(
+                    "--rank-by must be exclusiveness, prr, ror, ebgm, or composite, got {s:?}"
+                )))
+            }
+        }
+    }
     Ok(config)
 }
 
@@ -548,7 +562,8 @@ fn cmd_analyze(flags: &Flags) -> Result<(), CliError> {
     emit_obs(flags)
 }
 
-/// JSON projection of a ranked rule, mirroring `RuleView`'s fields.
+/// JSON projection of a ranked rule, mirroring `RuleView`'s fields. The
+/// nested `scores` object uses the same schema as the server's JSON API.
 fn rule_view_json(view: &maras::core::pipeline::RuleView) -> serde_json::Value {
     serde_json::Value::obj([
         ("rank", serde_json::Value::from(view.rank)),
@@ -558,6 +573,7 @@ fn rule_view_json(view: &maras::core::pipeline::RuleView) -> serde_json::Value {
         ("support", serde_json::Value::from(view.support)),
         ("confidence", serde_json::Value::from(view.confidence)),
         ("lift", serde_json::Value::from(view.lift)),
+        ("scores", maras::serve::scores_json(&view.scores)),
     ])
 }
 
