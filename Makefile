@@ -9,13 +9,14 @@
 FIRST_PARTY = -p maras -p maras-bench -p maras-core -p maras-evidence \
               -p maras-faers -p maras-mcac -p maras-mining -p maras-obs \
               -p maras-rules -p maras-serve -p maras-signals -p maras-study \
-              -p maras-viz
+              -p maras-tidset -p maras-viz
 
 .PHONY: verify fmt fmt-check clippy test obs-test serve-test evidence-test \
-        signals-test chaos snapshot trace bench-serve bench-mining \
-        bench-ingest bench-evidence bench-signals
+        signals-test tidset-test chaos snapshot trace bench-serve bench-mining \
+        bench-ingest bench-evidence bench-signals bench-tidset
 
-verify: fmt-check clippy test obs-test serve-test evidence-test signals-test chaos
+verify: fmt-check clippy test obs-test serve-test evidence-test signals-test \
+        tidset-test chaos
 
 fmt:
 	cargo fmt
@@ -65,6 +66,16 @@ evidence-test:
 signals-test:
 	cargo test -q -p maras-signals
 	cargo test -q --test signals_differential
+
+# The set-algebra substrate end to end: the tidset crate's unit +
+# property suites (every kernel vs a naive BTreeSet model across
+# array/bitmap/mixed boundaries) and the rewire differential suite
+# proving support counting, score marginals, /search narrowing, and
+# evidence covers byte-identical to the scalar baselines at 1/2/4
+# threads.
+tidset-test:
+	cargo test -q -p maras-tidset
+	cargo test -q --test tidset_differential
 
 # The chaos suite: seeded misbehaving clients (slowloris, header floods,
 # aborts, connection floods, panic routes, drain races) against a live
@@ -116,3 +127,10 @@ bench-evidence:
 # (paper) scale: the ≥5x acceptance floor is defined there.
 bench-signals:
 	cargo run -q --release -p maras-bench --bin bench_signals
+
+# Hybrid array/bitmap kernels vs the scalar galloping baseline across
+# dense and sparse regimes, with allocation-count assertions ->
+# BENCH_tidset.json. The ≥2x dense floor and ≤10% sparse ceiling are
+# asserted by the binary itself.
+bench-tidset:
+	cargo run -q --release -p maras-bench --bin bench_tidset

@@ -1,0 +1,254 @@
+//! Set-algebra kernel benchmark: times the hybrid array/bitmap
+//! [`TidSet`] kernels against the scalar sorted-`Vec<u32>` galloping
+//! baseline they replaced, across the two density regimes that matter:
+//!
+//! * **dense** — covers past the 4096-per-chunk threshold, where both
+//!   operands sit in bitmap containers and `intersect_count` is pure
+//!   64-bit AND + popcount. The PR's acceptance bar: ≥ 2× the scalar
+//!   baseline.
+//! * **sparse** — tiny covers spread over a wide tid universe, where the
+//!   hybrid set degenerates to the same galloping array walk and must
+//!   stay within 10% of the scalar kernel.
+//!
+//! The binary also proves the allocation discipline satellite: a counting
+//! global allocator asserts `intersect_count` allocates **nothing** and a
+//! single-chunk materializing `intersect` stays at a constant handful of
+//! allocations (the `reserve(min(|a|,|b|))` upfront sizing, not O(n)
+//! regrowth). Writes `BENCH_tidset.json`.
+
+use maras_bench::print_table;
+use maras_tidset::TidSet;
+use serde_json::Value;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator wrapped with an allocation counter, so kernel calls
+/// can be asserted allocation-free.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+/// Allocation count across `f`, with the result kept opaque.
+fn allocs_during<T>(f: impl FnOnce() -> T) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    std::hint::black_box(f());
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// Timed repetitions per kernel (plus one discarded warm-up).
+const REPS: usize = 9;
+
+/// Inner calls per timed rep, so sub-microsecond kernels get a stable p50.
+const INNER: usize = 50;
+
+fn time_p50(mut f: impl FnMut()) -> u64 {
+    let mut lat_us: Vec<u64> = Vec::with_capacity(REPS);
+    for rep in 0..=REPS {
+        let start = Instant::now();
+        for _ in 0..INNER {
+            f();
+        }
+        let us = start.elapsed().as_micros() as u64;
+        if rep > 0 {
+            lat_us.push(us);
+        }
+    }
+    lat_us.sort_unstable();
+    lat_us[(lat_us.len() - 1) / 2]
+}
+
+/// The scalar baseline the PR deleted: galloping sorted-slice
+/// intersection count (`mining::transactions::intersect_sorted`, counting
+/// variant).
+fn scalar_intersect_count(a: &[u32], b: &[u32]) -> u64 {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut n = 0u64;
+    let mut lo = 0usize;
+    for &x in short {
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < long.len() && long[hi] < x {
+            lo = hi + 1;
+            hi = lo.saturating_add(step).min(long.len());
+            step <<= 1;
+        }
+        let idx = lo + long[lo..hi.min(long.len())].partition_point(|&v| v < x);
+        if idx < long.len() && long[idx] == x {
+            n += 1;
+            lo = idx + 1;
+        } else {
+            lo = idx;
+        }
+        if lo >= long.len() {
+            break;
+        }
+    }
+    n
+}
+
+/// Deterministic xorshift so regimes are reproducible without seeding
+/// rand from the environment.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Sorted unique tids: `n` values drawn from `0..universe`.
+fn draw(seed: u64, n: usize, universe: u64) -> Vec<u32> {
+    let mut rng = XorShift(seed | 1);
+    let mut v: Vec<u32> = (0..n * 2).map(|_| (rng.next() % universe) as u32).collect();
+    v.sort_unstable();
+    v.dedup();
+    v.truncate(n);
+    v
+}
+
+struct Regime {
+    name: &'static str,
+    a: Vec<u32>,
+    b: Vec<u32>,
+}
+
+fn main() {
+    let regimes = [
+        // ~45k of 130k tids per side: every chunk holds >4096 values, so
+        // both operands are pure bitmap containers.
+        Regime { name: "dense", a: draw(11, 45_000, 131_072), b: draw(12, 45_000, 131_072) },
+        // ~3k tids spread over 10M: every chunk stays an array container.
+        Regime { name: "sparse", a: draw(21, 3_000, 10_000_000), b: draw(22, 3_000, 10_000_000) },
+    ];
+
+    let mut rows = Vec::new();
+    let mut regimes_json = Vec::new();
+    let mut speedups = std::collections::HashMap::new();
+    for r in &regimes {
+        let sa = TidSet::from_sorted(&r.a);
+        let sb = TidSet::from_sorted(&r.b);
+        let (arrays, bitmaps) = sa.container_mix();
+        match r.name {
+            "dense" => assert!(bitmaps > 0 && arrays == 0, "dense regime must be all bitmaps"),
+            _ => assert!(arrays > 0 && bitmaps == 0, "sparse regime must be all arrays"),
+        }
+        let want = scalar_intersect_count(&r.a, &r.b);
+        assert_eq!(sa.intersect_count(&sb), want, "{}: kernels disagree", r.name);
+
+        let scalar_p50 = time_p50(|| {
+            std::hint::black_box(scalar_intersect_count(&r.a, &r.b));
+        });
+        let hybrid_p50 = time_p50(|| {
+            std::hint::black_box(sa.intersect_count(&sb));
+        });
+        let speedup = scalar_p50 as f64 / hybrid_p50.max(1) as f64;
+        speedups.insert(r.name, speedup);
+
+        rows.push(vec![
+            r.name.to_string(),
+            format!("{}×{}", r.a.len(), r.b.len()),
+            format!("{bitmaps} bitmap / {arrays} array"),
+            format!("{:.1}", scalar_p50 as f64 / INNER as f64),
+            format!("{:.1}", hybrid_p50 as f64 / INNER as f64),
+            format!("{speedup:.2}×"),
+        ]);
+        regimes_json.push(Value::obj([
+            ("regime", Value::from(r.name)),
+            ("len_a", Value::from(r.a.len())),
+            ("len_b", Value::from(r.b.len())),
+            ("intersection", Value::from(want)),
+            ("scalar_p50_us", Value::from(scalar_p50 as f64 / INNER as f64)),
+            ("hybrid_p50_us", Value::from(hybrid_p50 as f64 / INNER as f64)),
+            ("speedup", Value::from(speedup)),
+        ]));
+    }
+    print_table(&["regime", "sizes", "containers", "scalar us", "hybrid us", "speedup"], &rows);
+
+    // Allocation discipline: popcount-only counting must not touch the
+    // allocator; a materializing intersect of two single-chunk arrays must
+    // stay at a constant handful of allocations (one reserved output vec +
+    // the chunk directory), proving the `reserve(min(|a|,|b|))` sizing.
+    let (sp_a, sp_b) = (&regimes[1].a, &regimes[1].b);
+    let chunk_a: Vec<u32> = {
+        let mut v: Vec<u32> = sp_a.iter().map(|t| t % 60_000).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let chunk_b: Vec<u32> = {
+        let mut v: Vec<u32> = sp_b.iter().map(|t| t % 60_000).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let (ca, cb) = (TidSet::from_sorted(&chunk_a), TidSet::from_sorted(&chunk_b));
+    let dense_a = TidSet::from_sorted(&regimes[0].a);
+    let dense_b = TidSet::from_sorted(&regimes[0].b);
+
+    let count_allocs = allocs_during(|| dense_a.intersect_count(&dense_b));
+    assert_eq!(count_allocs, 0, "intersect_count must be allocation-free");
+    let capped_allocs = allocs_during(|| ca.intersect_count_capped(&cb, 5));
+    assert_eq!(capped_allocs, 0, "intersect_count_capped must be allocation-free");
+    let single_chunk_allocs = allocs_during(|| ca.intersect(&cb));
+    assert!(
+        single_chunk_allocs <= 4,
+        "single-chunk array intersect must reserve upfront, not regrow \
+         (saw {single_chunk_allocs} allocations)"
+    );
+    println!(
+        "allocations: intersect_count={count_allocs} capped={capped_allocs} \
+         single_chunk_intersect={single_chunk_allocs}"
+    );
+
+    let dense_speedup = speedups["dense"];
+    let sparse_speedup = speedups["sparse"];
+    assert!(
+        dense_speedup >= 2.0,
+        "dense intersect_count must beat the scalar baseline ≥2× (got {dense_speedup:.2}×)"
+    );
+    assert!(
+        sparse_speedup >= 0.90,
+        "sparse intersect_count must stay within 10% of scalar (got {sparse_speedup:.2}×)"
+    );
+
+    let json = Value::obj([
+        ("reps", Value::from(REPS)),
+        ("inner_iterations", Value::from(INNER)),
+        ("regimes", Value::arr(regimes_json)),
+        (
+            "allocations",
+            Value::obj([
+                ("intersect_count", Value::from(count_allocs)),
+                ("intersect_count_capped", Value::from(capped_allocs)),
+                ("single_chunk_intersect", Value::from(single_chunk_allocs)),
+            ]),
+        ),
+    ]);
+    let out = "BENCH_tidset.json";
+    std::fs::write(out, serde_json::to_string_pretty(&json).expect("render json"))
+        .expect("write BENCH_tidset.json");
+    println!("wrote {out}");
+}

@@ -12,9 +12,10 @@
 //!   varint primitives, typed [`EvidenceError`].
 //! * [`record`] — the columnar block codec for `CaseReport`s (strings are
 //!   ids into a shared dictionary routed through `faers::intern`).
-//! * [`postings`] — delta-encoded sorted-u32 postings lists and the
-//!   galloping [`intersect_k`] kernel that computes a rule's cover without
-//!   touching record blocks.
+//! * [`postings`] — the delta-varint on-disk codec for sorted-u32
+//!   postings lists; in memory they decode into `maras-tidset` hybrid
+//!   sets, whose shared kernels compute a rule's cover without touching
+//!   record blocks.
 //! * [`build`] — [`build_archive`]: blocks + postings + case index,
 //!   written atomically (tmp + rename) like the snapshot store.
 //! * [`reader`] — [`EvidenceReader`]: verifies the file, keeps only the
@@ -39,5 +40,4 @@ pub mod record;
 pub use build::{build_archive, ArchiveSummary, BuildConfig};
 pub use format::{EvidenceError, FORMAT_VERSION, MAGIC};
 pub use metrics::EvidenceMetrics;
-pub use postings::intersect_k;
 pub use reader::{check_archive, CheckReport, EvidenceReader, DEFAULT_CACHE_BLOCKS};

@@ -1,13 +1,14 @@
-//! Sorted-u32 postings lists: delta encoding and the k-way intersection
-//! kernel that computes a rule's cover without scanning the archive.
+//! Sorted-u32 postings lists: the on-disk delta-varint codec.
 //!
-//! Lists are stored delta-encoded (first value absolute, then gaps) as
+//! Lists are *stored* delta-encoded (first value absolute, then gaps) as
 //! varints — tid lists for common drugs are dense, so most gaps fit one
-//! byte. Intersection starts from the shortest list and galloping-searches
-//! each candidate through the remaining lists, which keeps the cost near
-//! `|shortest| · k · log` instead of the sum of all list lengths.
+//! byte, and the archive's meta section stays small. In memory they
+//! decode straight into hybrid [`TidSet`]s, and all cover computation
+//! goes through the shared `maras-tidset` kernels (the crate-local
+//! galloping `intersect_k` this module used to carry is gone).
 
 use crate::format::{put_varint, Cursor, EvidenceError};
+use maras_tidset::TidSet;
 
 /// Appends a sorted tid list, delta-encoded.
 pub fn encode_postings(buf: &mut Vec<u8>, tids: &[u32]) {
@@ -20,10 +21,11 @@ pub fn encode_postings(buf: &mut Vec<u8>, tids: &[u32]) {
     }
 }
 
-/// Decodes a delta-encoded tid list; enforces strictly ascending order.
-pub fn decode_postings(c: &mut Cursor<'_>) -> Result<Vec<u32>, EvidenceError> {
+/// Decodes a delta-encoded tid list into a compressed set; enforces
+/// strictly ascending order.
+pub fn decode_postings(c: &mut Cursor<'_>) -> Result<TidSet, EvidenceError> {
     let n = c.varint()? as usize;
-    let mut tids = Vec::with_capacity(n.min(1 << 20));
+    let mut tids = TidSet::new();
     let mut prev: u64 = 0;
     for i in 0..n {
         let delta = c.varint()?;
@@ -31,55 +33,10 @@ pub fn decode_postings(c: &mut Cursor<'_>) -> Result<Vec<u32>, EvidenceError> {
         if tid > u64::from(u32::MAX) || (i > 0 && delta == 0) {
             return Err(EvidenceError::Corrupt("postings list not strictly ascending u32"));
         }
-        tids.push(tid as u32);
+        tids.push_ascending(tid as u32);
         prev = tid;
     }
     Ok(tids)
-}
-
-/// Galloping (exponential + binary) search: smallest index in `list` with
-/// `list[i] >= target`, starting the probe at `from`.
-fn gallop(list: &[u32], from: usize, target: u32) -> usize {
-    let mut step = 1;
-    let mut hi = from;
-    while hi < list.len() && list[hi] < target {
-        hi += step;
-        step <<= 1;
-    }
-    let lo = hi.saturating_sub(step >> 1).max(from);
-    let hi = hi.min(list.len());
-    lo + list[lo..hi].partition_point(|&v| v < target)
-}
-
-/// Intersects `k` sorted postings lists. With no lists the intersection is
-/// undefined here and returns empty — callers that need the "empty itemset
-/// covers everything" convention handle it before calling.
-pub fn intersect_k(lists: &[&[u32]]) -> Vec<u32> {
-    let Some(shortest_at) = (0..lists.len()).min_by_key(|&i| lists[i].len()) else {
-        return Vec::new();
-    };
-    let shortest = lists[shortest_at];
-    if shortest.is_empty() {
-        return Vec::new();
-    }
-    let others: Vec<&[u32]> =
-        lists.iter().enumerate().filter(|&(i, _)| i != shortest_at).map(|(_, l)| *l).collect();
-    let mut positions = vec![0usize; others.len()];
-    let mut out = Vec::with_capacity(shortest.len());
-    'candidates: for &tid in shortest.iter() {
-        for (list, pos) in others.iter().zip(positions.iter_mut()) {
-            let at = gallop(list, *pos, tid);
-            *pos = at;
-            if at == list.len() {
-                break 'candidates;
-            }
-            if list[at] != tid {
-                continue 'candidates;
-            }
-        }
-        out.push(tid);
-    }
-    out
 }
 
 #[cfg(test)]
@@ -92,7 +49,7 @@ mod tests {
         let mut c = Cursor::new(&buf);
         let out = decode_postings(&mut c).unwrap();
         assert!(c.is_exhausted());
-        out
+        out.to_vec()
     }
 
     #[test]
@@ -103,6 +60,9 @@ mod tests {
             roundtrip(&[0, 1, 2, 500, 10_000, u32::MAX]),
             vec![0, 1, 2, 500, 10_000, u32::MAX]
         );
+        // A dense run lands in a bitmap container and still round-trips.
+        let dense: Vec<u32> = (0..6000).collect();
+        assert_eq!(roundtrip(&dense), dense);
     }
 
     #[test]
@@ -113,55 +73,5 @@ mod tests {
         put_varint(&mut buf, 0); // zero gap == duplicate tid
         put_varint(&mut buf, 1);
         assert!(matches!(decode_postings(&mut Cursor::new(&buf)), Err(EvidenceError::Corrupt(_))));
-    }
-
-    fn naive(lists: &[&[u32]]) -> Vec<u32> {
-        let Some((first, rest)) = lists.split_first() else {
-            return Vec::new();
-        };
-        first.iter().copied().filter(|t| rest.iter().all(|l| l.contains(t))).collect()
-    }
-
-    #[test]
-    fn intersect_matches_naive() {
-        let a: Vec<u32> = (0..200).step_by(2).collect();
-        let b: Vec<u32> = (0..200).step_by(3).collect();
-        let c: Vec<u32> = (0..200).step_by(5).collect();
-        for lists in [
-            vec![&a[..], &b[..]],
-            vec![&a[..], &b[..], &c[..]],
-            vec![&c[..], &b[..], &a[..]],
-            vec![&a[..]],
-            vec![&a[..], &[][..]],
-        ] {
-            assert_eq!(intersect_k(&lists), naive(&lists), "{lists:?}");
-        }
-        assert_eq!(intersect_k(&[]), Vec::<u32>::new());
-    }
-
-    #[test]
-    fn intersect_seeded_fuzz_matches_naive() {
-        // Cheap xorshift so the test stays deterministic without rand.
-        let mut state = 0x2545_f491_4f6c_dd1du64;
-        let mut next = move |m: u32| {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            (state % u64::from(m)) as u32
-        };
-        for _ in 0..50 {
-            let k = 2 + next(3) as usize;
-            let lists: Vec<Vec<u32>> = (0..k)
-                .map(|_| {
-                    let n = next(40) as usize;
-                    let mut v: Vec<u32> = (0..n).map(|_| next(60)).collect();
-                    v.sort_unstable();
-                    v.dedup();
-                    v
-                })
-                .collect();
-            let refs: Vec<&[u32]> = lists.iter().map(Vec::as_slice).collect();
-            assert_eq!(intersect_k(&refs), naive(&refs));
-        }
     }
 }

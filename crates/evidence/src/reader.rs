@@ -8,10 +8,11 @@
 
 use crate::format::{fnv1a, Cursor, EvidenceError, FORMAT_VERSION, HEADER_LEN, MAGIC};
 use crate::metrics::EvidenceMetrics;
-use crate::postings::{decode_postings, intersect_k};
+use crate::postings::decode_postings;
 use crate::record::decode_block;
 use maras_faers::intern::{IStr, SymbolTable};
 use maras_faers::CaseReport;
+use maras_tidset::TidSet;
 use rustc_hash::FxHashMap;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
@@ -90,9 +91,9 @@ pub struct EvidenceReader {
     block_size: usize,
     symbols: Vec<IStr>,
     case_index: Vec<(u64, u32)>,
-    drug_postings: Vec<(String, Vec<u32>)>,
-    adr_postings: Vec<(String, Vec<u32>)>,
-    severity_postings: [Vec<u32>; 7],
+    drug_postings: Vec<(String, TidSet)>,
+    adr_postings: Vec<(String, TidSet)>,
+    severity_postings: [TidSet; 7],
     blocks: Vec<BlockMeta>,
     cache: BlockCache,
     metrics: EvidenceMetrics,
@@ -178,30 +179,32 @@ impl EvidenceReader {
             return Err(EvidenceError::Corrupt("case index not sorted"));
         }
         let read_keyed_postings =
-            |c: &mut Cursor<'_>| -> Result<Vec<(String, Vec<u32>)>, EvidenceError> {
+            |c: &mut Cursor<'_>| -> Result<Vec<(String, TidSet)>, EvidenceError> {
                 let n = c.u32()? as usize;
-                let mut out: Vec<(String, Vec<u32>)> = Vec::with_capacity(n);
+                let mut out: Vec<(String, TidSet)> = Vec::with_capacity(n);
                 for _ in 0..n {
                     let key = c.str()?.to_string();
                     let tids = decode_postings(c)?;
-                    if tids.last().is_some_and(|&t| t as usize >= n_records) {
+                    if tids.last().is_some_and(|t| t as usize >= n_records) {
                         return Err(EvidenceError::Corrupt("postings tid out of range"));
                     }
                     if out.last().is_some_and(|(k, _)| *k >= key) {
                         return Err(EvidenceError::Corrupt("postings keys not sorted"));
                     }
+                    tids.record_build();
                     out.push((key, tids));
                 }
                 Ok(out)
             };
         let drug_postings = read_keyed_postings(&mut c)?;
         let adr_postings = read_keyed_postings(&mut c)?;
-        let mut severity_postings: [Vec<u32>; 7] = Default::default();
+        let mut severity_postings: [TidSet; 7] = Default::default();
         for list in severity_postings.iter_mut() {
             *list = decode_postings(&mut c)?;
-            if list.last().is_some_and(|&t| t as usize >= n_records) {
+            if list.last().is_some_and(|t| t as usize >= n_records) {
                 return Err(EvidenceError::Corrupt("severity tid out of range"));
             }
+            list.record_build();
         }
         let data_start = HEADER_LEN as u64 + meta_len;
         let data_len = file_len - data_start;
@@ -273,19 +276,20 @@ impl EvidenceReader {
         self.metrics.cache_entries.set(self.cache.len() as f64);
     }
 
-    fn postings_for<'a>(sorted: &'a [(String, Vec<u32>)], key: &str) -> Option<&'a [u32]> {
-        sorted.binary_search_by(|(k, _)| k.as_str().cmp(key)).ok().map(|i| sorted[i].1.as_slice())
+    fn postings_for<'a>(sorted: &'a [(String, TidSet)], key: &str) -> Option<&'a TidSet> {
+        sorted.binary_search_by(|(k, _)| k.as_str().cmp(key)).ok().map(|i| &sorted[i].1)
     }
 
     /// The rule cover: tids of every record containing all `drugs` and all
     /// `adrs`, ascending — the postings-intersection equivalent of
-    /// `core::link::supporting_tids`. Drug keys are matched uppercased (the
+    /// `core::link::supporting_tids`, run through the shared k-way
+    /// smallest-first kernel. Drug keys are matched uppercased (the
     /// snapshot's spelling); ADR terms verbatim. An unknown key yields an
     /// empty cover; no keys at all covers every record, mirroring the
     /// miner's empty-itemset convention.
     pub fn cover(&self, drugs: &[String], adrs: &[String]) -> Vec<u32> {
         self.metrics.intersections.inc();
-        let mut lists: Vec<&[u32]> = Vec::with_capacity(drugs.len() + adrs.len());
+        let mut lists: Vec<&TidSet> = Vec::with_capacity(drugs.len() + adrs.len());
         for d in drugs {
             let key = d.to_ascii_uppercase();
             match Self::postings_for(&self.drug_postings, &key) {
@@ -302,21 +306,19 @@ impl EvidenceReader {
         if lists.is_empty() {
             return (0..self.n_records as u32).collect();
         }
-        intersect_k(&lists)
+        TidSet::intersect_k(&lists).to_vec()
     }
 
     /// Tids whose most severe outcome is at least `min` (severity scale
     /// 0–6), ascending — the union of the matching severity postings.
     pub fn severity_at_least(&self, min: u8) -> Vec<u32> {
-        let mut out: Vec<u32> = self
-            .severity_postings
-            .iter()
-            .enumerate()
-            .filter(|&(sev, _)| sev as u8 >= min)
-            .flat_map(|(_, l)| l.iter().copied())
-            .collect();
-        out.sort_unstable();
-        out
+        let mut acc = TidSet::new();
+        for (_, list) in
+            self.severity_postings.iter().enumerate().filter(|&(sev, _)| sev as u8 >= min)
+        {
+            acc = acc.union(list);
+        }
+        acc.to_vec()
     }
 
     fn fetch_block(&self, block: usize) -> Result<Arc<Vec<CaseReport>>, EvidenceError> {

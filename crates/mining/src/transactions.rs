@@ -6,13 +6,20 @@
 //! any itemset — including infrequent contextual sub-rules — can be counted
 //! (§3.5 needs `conf(X ⇒ B)` for every `X ⊂ A` even when `X ∪ B` never met
 //! the mining threshold).
+//!
+//! Tid-lists are hybrid compressed sets ([`maras_tidset::TidSet`]): common
+//! items in a dense quarter get bitmap containers whose intersections run
+//! word-AND + popcount, rare items stay sorted arrays with galloping
+//! merges. Support counting never materializes an intersection unless the
+//! caller asks for the cover itself.
 
 use crate::items::{Item, ItemSet};
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
-/// A sorted list of transaction ids (the *cover* of an itemset).
-pub type TidSet = Vec<u32>;
+/// A compressed set of transaction ids (the *cover* of an itemset) —
+/// re-exported from `maras-tidset`, the shared set-algebra layer.
+pub type TidSet = maras_tidset::TidSet;
 
 /// An immutable transaction database with vertical tid-list indexes.
 ///
@@ -32,7 +39,8 @@ pub type TidSet = Vec<u32>;
 pub struct TransactionDb {
     /// Horizontal form: each transaction is a strictly-ascending item list.
     transactions: Vec<ItemSet>,
-    /// Vertical form: item → ascending tids of transactions containing it.
+    /// Vertical form: item → compressed set of tids of transactions
+    /// containing it.
     tidlists: FxHashMap<Item, TidSet>,
     /// Largest item id present plus one (size hint for dense tables).
     item_bound: u32,
@@ -54,9 +62,12 @@ impl TransactionDb {
         let mut item_bound = 0u32;
         for (tid, t) in transactions.iter().enumerate() {
             for item in t.iter() {
-                tidlists.entry(item).or_default().push(tid as u32);
+                tidlists.entry(item).or_default().push_ascending(tid as u32);
                 item_bound = item_bound.max(item.0 + 1);
             }
+        }
+        for tids in tidlists.values() {
+            tids.record_build();
         }
         TransactionDb { transactions, tidlists, item_bound }
     }
@@ -105,16 +116,17 @@ impl TransactionDb {
         self.tidlists.get(&item).map_or(0, |t| t.len() as u32)
     }
 
-    /// The cover (ascending tid-list) of a single item.
+    /// The cover (compressed tid-set) of a single item.
     pub fn item_cover(&self, item: Item) -> Option<&TidSet> {
         self.tidlists.get(&item)
     }
 
     /// Exact absolute support of an arbitrary itemset (thesis Formula 2.1).
     ///
-    /// The empty itemset is contained in every transaction, so its support is
-    /// `N`. Computed by intersecting tid-lists smallest-first with galloping
-    /// search, so cost is near-linear in the smallest cover.
+    /// The empty itemset is contained in every transaction, so its support
+    /// is `N`. Computed by intersecting tid-sets smallest-first; the final
+    /// pair is counted popcount-only, so the largest cover never
+    /// materializes an output.
     pub fn support(&self, itemset: &ItemSet) -> u32 {
         self.support_of(itemset.items())
     }
@@ -122,53 +134,56 @@ impl TransactionDb {
     /// Exact absolute support of an item slice — the borrowed-view path the
     /// arena-backed pattern store hands out (no `ItemSet` required).
     pub fn support_of(&self, items: &[Item]) -> u32 {
-        match self.cover_of(items.iter().copied(), items.len()) {
-            CoverCount::All => self.len() as u32,
-            CoverCount::Tids(t) => t.len() as u32,
+        match self.lists_of(items.iter().copied(), items.len()) {
+            None => 0,
+            Some(lists) if lists.is_empty() => self.len() as u32,
+            Some(lists) => TidSet::intersect_count_k(&lists) as u32,
         }
     }
 
     /// Exact absolute support of the union of two item slices, without
     /// materializing the union. Duplicate items across the slices are
-    /// harmless (a tid-list intersected with itself is itself).
+    /// harmless (a tid-set intersected with itself is itself).
     pub fn support_of_union(&self, a: &[Item], b: &[Item]) -> u32 {
-        match self.cover_of(a.iter().chain(b).copied(), a.len() + b.len()) {
-            CoverCount::All => self.len() as u32,
-            CoverCount::Tids(t) => t.len() as u32,
+        match self.lists_of(a.iter().chain(b).copied(), a.len() + b.len()) {
+            None => 0,
+            Some(lists) if lists.is_empty() => self.len() as u32,
+            Some(lists) => TidSet::intersect_count_k(&lists) as u32,
         }
     }
 
-    /// The cover of an arbitrary itemset as an explicit tid-list.
+    /// The cover of an arbitrary itemset as an explicit ascending tid-list.
     ///
     /// For the empty itemset this materializes `0..N`.
-    pub fn cover_tids(&self, itemset: &ItemSet) -> TidSet {
-        match self.cover_of(itemset.iter(), itemset.len()) {
-            CoverCount::All => (0..self.len() as u32).collect(),
-            CoverCount::Tids(t) => t,
+    pub fn cover_tids(&self, itemset: &ItemSet) -> Vec<u32> {
+        match self.cover_set(itemset) {
+            Some(set) => set.to_vec(),
+            None => (0..self.len() as u32).collect(),
         }
     }
 
-    fn cover_of(&self, items: impl Iterator<Item = Item>, size_hint: usize) -> CoverCount {
-        // Gather tid-lists; a missing item means empty cover.
+    /// The cover of an arbitrary itemset as a compressed tid-set, or
+    /// `None` for the empty itemset (whose cover is all of `0..N`).
+    pub fn cover_set(&self, itemset: &ItemSet) -> Option<TidSet> {
+        match self.lists_of(itemset.iter(), itemset.len()) {
+            None => Some(TidSet::new()),
+            Some(lists) if lists.is_empty() => None,
+            Some(lists) => Some(TidSet::intersect_k(&lists)),
+        }
+    }
+
+    /// Gathers the per-item tid-sets: `None` if some item never occurs
+    /// (empty cover), `Some(vec![])` for the empty itemset.
+    fn lists_of(
+        &self,
+        items: impl Iterator<Item = Item>,
+        size_hint: usize,
+    ) -> Option<Vec<&TidSet>> {
         let mut lists: Vec<&TidSet> = Vec::with_capacity(size_hint);
         for item in items {
-            match self.tidlists.get(&item) {
-                Some(l) => lists.push(l),
-                None => return CoverCount::Tids(Vec::new()),
-            }
+            lists.push(self.tidlists.get(&item)?);
         }
-        if lists.is_empty() {
-            return CoverCount::All;
-        }
-        lists.sort_unstable_by_key(|l| l.len());
-        let mut acc: TidSet = lists[0].clone();
-        for l in &lists[1..] {
-            acc = intersect_sorted(&acc, l);
-            if acc.is_empty() {
-                break;
-            }
-        }
-        CoverCount::Tids(acc)
+        Some(lists)
     }
 
     /// The closure of an itemset: the intersection of all transactions that
@@ -216,40 +231,6 @@ impl TransactionDb {
     }
 }
 
-enum CoverCount {
-    All,
-    Tids(TidSet),
-}
-
-/// Intersects two ascending tid-lists. Galloping (exponential) search on the
-/// longer list keeps this near `O(min · log(max/min))`.
-pub fn intersect_sorted(a: &[u32], b: &[u32]) -> TidSet {
-    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let mut out = Vec::with_capacity(small.len());
-    let mut lo = 0usize;
-    for &x in small {
-        if lo >= large.len() {
-            break;
-        }
-        // Gallop from `lo` to find an exclusive upper bound for x.
-        let mut bound = 1usize;
-        while lo + bound < large.len() && large[lo + bound] < x {
-            bound <<= 1;
-        }
-        let end = (lo + bound + 1).min(large.len());
-        match large[lo..end].binary_search(&x) {
-            Ok(pos) => {
-                out.push(x);
-                lo += pos + 1;
-            }
-            Err(pos) => {
-                lo += pos;
-            }
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +275,18 @@ mod tests {
         assert_eq!(db.cover_tids(&set(&[0, 1])), vec![0, 3]);
         assert_eq!(db.cover_tids(&set(&[11])), vec![0, 2, 3]);
         assert_eq!(db.cover_tids(&ItemSet::empty()), vec![0, 1, 2, 3, 4]);
+        // The compressed view agrees and flags the empty-itemset case.
+        assert_eq!(db.cover_set(&set(&[0, 1])).unwrap().to_vec(), vec![0, 3]);
+        assert!(db.cover_set(&ItemSet::empty()).is_none());
+        assert!(db.cover_set(&set(&[99])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn item_cover_is_compressed() {
+        let db = sample_db();
+        let cover = db.item_cover(Item(0)).expect("item 0 occurs");
+        assert_eq!(cover.to_vec(), vec![0, 1, 3]);
+        assert!(db.item_cover(Item(99)).is_none());
     }
 
     #[test]
@@ -324,14 +317,6 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q.support(&set(&[0])), 2);
         assert_eq!(q.support(&set(&[1])), 1);
-    }
-
-    #[test]
-    fn intersect_sorted_basic() {
-        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[3, 4, 5, 9]), vec![3, 5]);
-        assert_eq!(intersect_sorted(&[], &[1, 2]), Vec::<u32>::new());
-        assert_eq!(intersect_sorted(&[2], &[2]), vec![2]);
-        assert_eq!(intersect_sorted(&[1, 2, 3], &[4, 5]), Vec::<u32>::new());
     }
 
     mod properties {
@@ -377,14 +362,15 @@ mod tests {
             }
 
             #[test]
-            fn intersect_sorted_matches_std(
-                a in proptest::collection::btree_set(0u32..64, 0..20),
-                b in proptest::collection::btree_set(0u32..64, 0..20),
-            ) {
-                let av: Vec<u32> = a.iter().copied().collect();
-                let bv: Vec<u32> = b.iter().copied().collect();
-                let expect: Vec<u32> = a.intersection(&b).copied().collect();
-                prop_assert_eq!(intersect_sorted(&av, &bv), expect);
+            fn cover_tids_match_naive_scan(db in arb_db(), s in arb_set()) {
+                let naive: Vec<u32> = db
+                    .transactions()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| s.is_subset_of(t))
+                    .map(|(tid, _)| tid as u32)
+                    .collect();
+                prop_assert_eq!(db.cover_tids(&s), naive);
             }
         }
     }

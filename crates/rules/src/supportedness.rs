@@ -24,6 +24,7 @@
 //! implements the literal one so the distinction stays testable.
 
 use maras_mining::{ItemSet, TransactionDb};
+use maras_tidset::TidSet;
 use serde::{Deserialize, Serialize};
 
 /// How (and whether) the report database supports an association.
@@ -54,12 +55,34 @@ pub fn classify(itemset: &ItemSet, db: &TransactionDb) -> Supportedness {
 }
 
 /// The literal (pairwise) Def. 3.3.2: some two distinct reports whose exact
-/// common content is this itemset. Quadratic in the cover size.
+/// common content is this itemset.
+///
+/// Every cover member contains the itemset, so for cover members `t1, t2`
+/// the pairwise condition collapses to a cardinality check:
+/// `content(t1) ∩ content(t2) == S  ⟺  |content(t1) ∩ content(t2)| == |S|`.
+/// Each pair is answered by the capped popcount kernel, which bails out of
+/// a pair the moment its running count exceeds `|S|` — no intersection is
+/// ever materialized, and dense covers (where most pairs share far more
+/// than `S`) exit after the first over-full word instead of finishing a
+/// full merge per pair.
 pub fn is_pairwise_implicit(itemset: &ItemSet, db: &TransactionDb) -> bool {
     let cover = db.cover_tids(itemset);
-    for (i, &t1) in cover.iter().enumerate() {
-        for &t2 in &cover[i + 1..] {
-            if db.transaction(t1).intersection(db.transaction(t2)) == *itemset {
+    let k = itemset.len() as u64;
+    // Item ids are strictly ascending within a transaction, so each
+    // report's content loads straight into a compressed set.
+    let contents: Vec<TidSet> = cover
+        .iter()
+        .map(|&tid| {
+            let mut s = TidSet::new();
+            for item in db.transaction(tid).iter() {
+                s.push_ascending(item.0);
+            }
+            s
+        })
+        .collect();
+    for (i, t1) in contents.iter().enumerate() {
+        for t2 in &contents[i + 1..] {
+            if t1.intersect_count_capped(t2, k) == k {
                 return true;
             }
         }
@@ -144,6 +167,52 @@ mod tests {
                 f.items
             );
         }
+    }
+
+    /// Regression for the old O(T²) full-merge pairwise scan: on a dense
+    /// seeded quarter (hundreds of reports all covering the itemset) the
+    /// capped-popcount rewrite must agree with the naive definition, in
+    /// both polarities.
+    #[test]
+    fn pairwise_scan_on_dense_seeded_quarter_matches_naive() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(2014);
+        // 400 reports, every one containing {0, 10} plus scattered noise:
+        // the cover of {0, 10} is all 400 reports, the regime where the
+        // quadratic scan used to do ~80k full merges.
+        let mut rows: Vec<Vec<u32>> = (0..400)
+            .map(|_| {
+                let mut t = vec![0u32, 10];
+                for _ in 0..6 {
+                    t.push(rng.gen_range(20..220));
+                }
+                t
+            })
+            .collect();
+        let naive = |s: &ItemSet, d: &TransactionDb| {
+            let cover = d.cover_tids(s);
+            cover.iter().enumerate().any(|(i, &t1)| {
+                cover[i + 1..]
+                    .iter()
+                    .any(|&t2| d.transaction(t1).intersection(d.transaction(t2)) == *s)
+            })
+        };
+        let s = set(&[0, 10]);
+
+        // With independent noise, some pair overlaps on exactly {0, 10}.
+        let d = db(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>());
+        assert_eq!(is_pairwise_implicit(&s, &d), naive(&s, &d));
+        assert!(is_pairwise_implicit(&s, &d));
+
+        // Force every pairwise overlap strictly larger than the itemset:
+        // a shared third item makes {0, 10} pairwise-unsupported.
+        for t in &mut rows {
+            t.push(15);
+        }
+        let d = db(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>());
+        assert_eq!(is_pairwise_implicit(&s, &d), naive(&s, &d));
+        assert!(!is_pairwise_implicit(&s, &d));
+        assert!(is_pairwise_implicit(&set(&[0, 10, 15]), &d));
     }
 
     mod properties {

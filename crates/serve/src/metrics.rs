@@ -541,10 +541,12 @@ mod tests {
         assert_eq!(json["errors"], 1u64);
         assert!(json["latency_us"]["buckets"].as_array().is_some());
         assert!(json["cache"].get("hit_rate").is_some());
-        // The score engine's `maras_signals_*` series live in the shared
-        // Prometheus registry only — like the robustness series, they are
+        // The score engine's `maras_signals_*` and the set-algebra
+        // kernels' `maras_tidset_*` series live in the shared Prometheus
+        // registry only — like the robustness series, they are
         // append-only on `/metrics` and never grow the frozen JSON schema.
         assert!(json.get("signals").is_none());
+        assert!(json.get("tidset").is_none());
         for (i, key) in ["cache", "errors", "latency_us", "reloads", "requests"].iter().enumerate()
         {
             assert_eq!(top[i], *key, "legacy key index {i} moved");

@@ -15,6 +15,7 @@ use maras_core::pipeline::AnalysisResult;
 use maras_core::{KnowledgeBase, RuleQuery};
 use maras_faers::Vocabulary;
 use maras_signals::SignalScores;
+use maras_tidset::TidSet;
 use rustc_hash::FxHashMap;
 use serde_json::Value;
 
@@ -106,14 +107,14 @@ pub struct Snapshot {
     pub clusters: Vec<ClusterEntry>,
     drug_vocab: Vocabulary,
     adr_vocab: Vocabulary,
-    /// Uppercased drug name → sorted ranks containing it.
-    drug_index: FxHashMap<String, Vec<u32>>,
-    /// Canonical ADR term → sorted ranks containing it.
-    adr_index: FxHashMap<String, Vec<u32>>,
-    /// `severity_at_least[s]` — sorted ranks with `max_severity >= s`.
-    severity_at_least: Vec<Vec<u32>>,
-    /// Antecedent cardinality → sorted ranks.
-    n_drugs_index: FxHashMap<usize, Vec<u32>>,
+    /// Uppercased drug name → compressed rank postings containing it.
+    pub(crate) drug_index: FxHashMap<String, TidSet>,
+    /// Canonical ADR term → compressed rank postings containing it.
+    pub(crate) adr_index: FxHashMap<String, TidSet>,
+    /// `severity_at_least[s]` — compressed ranks with `max_severity >= s`.
+    pub(crate) severity_at_least: Vec<TidSet>,
+    /// Antecedent cardinality → compressed rank postings.
+    pub(crate) n_drugs_index: FxHashMap<usize, TidSet>,
     /// Ranks ordered by descending PRR estimate (ties: rank ascending).
     by_prr: Vec<u32>,
     /// Ranks ordered by descending ROR estimate (ties: rank ascending).
@@ -200,28 +201,60 @@ impl Snapshot {
         adr_vocab: Vocabulary,
         clusters: Vec<ClusterEntry>,
     ) -> Snapshot {
-        let mut drug_index: FxHashMap<String, Vec<u32>> = FxHashMap::default();
-        let mut adr_index: FxHashMap<String, Vec<u32>> = FxHashMap::default();
-        let mut severity_at_least: Vec<Vec<u32>> = vec![Vec::new(); N_SEVERITIES];
-        let mut n_drugs_index: FxHashMap<usize, Vec<u32>> = FxHashMap::default();
+        let mut drug_index: FxHashMap<String, TidSet> = FxHashMap::default();
+        let mut adr_index: FxHashMap<String, TidSet> = FxHashMap::default();
+        let mut severity_at_least: Vec<TidSet> = vec![TidSet::new(); N_SEVERITIES];
+        let mut n_drugs_index: FxHashMap<usize, TidSet> = FxHashMap::default();
         for (rank, c) in clusters.iter().enumerate() {
             let rank = rank as u32;
             for d in &c.drugs {
-                drug_index.entry(d.clone()).or_default().push(rank);
+                push_dedup(drug_index.entry(d.clone()).or_default(), rank);
             }
             for a in &c.adrs {
-                adr_index.entry(a.clone()).or_default().push(rank);
+                push_dedup(adr_index.entry(a.clone()).or_default(), rank);
             }
             let top = (c.max_severity as usize).min(N_SEVERITIES - 1);
             for bucket in severity_at_least.iter_mut().take(top + 1) {
-                bucket.push(rank);
+                bucket.push_ascending(rank);
             }
-            n_drugs_index.entry(c.drugs.len()).or_default().push(rank);
+            n_drugs_index.entry(c.drugs.len()).or_default().push_ascending(rank);
         }
-        // Postings come out ascending already (rank-order insertion); the
-        // dedup guards against a drug/ADR repeating inside one cluster.
-        for postings in drug_index.values_mut().chain(adr_index.values_mut()) {
-            postings.dedup();
+        Snapshot::assemble(
+            quarter,
+            n_reports,
+            drug_vocab,
+            adr_vocab,
+            clusters,
+            drug_index,
+            adr_index,
+            severity_at_least,
+            n_drugs_index,
+        )
+    }
+
+    /// Final assembly shared by the build path and the store's v3 load
+    /// path (which decodes the posting indexes from disk instead of
+    /// rebuilding them): derives the per-measure permutation indexes and
+    /// records the container-mix metrics for the long-lived postings.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        quarter: String,
+        n_reports: u64,
+        drug_vocab: Vocabulary,
+        adr_vocab: Vocabulary,
+        clusters: Vec<ClusterEntry>,
+        drug_index: FxHashMap<String, TidSet>,
+        adr_index: FxHashMap<String, TidSet>,
+        severity_at_least: Vec<TidSet>,
+        n_drugs_index: FxHashMap<usize, TidSet>,
+    ) -> Snapshot {
+        for postings in drug_index
+            .values()
+            .chain(adr_index.values())
+            .chain(severity_at_least.iter())
+            .chain(n_drugs_index.values())
+        {
+            postings.record_build();
         }
         let by_prr = ranks_by_key_desc(&clusters, |c| c.scores.prr.estimate);
         let by_ror = ranks_by_key_desc(&clusters, |c| c.scores.ror.estimate);
@@ -273,7 +306,7 @@ impl Snapshot {
     /// with the answer instead of the corpus.
     pub fn query(&self, query: &RuleQuery) -> Vec<usize> {
         let q = query.resolved(&self.drug_vocab, &self.adr_vocab);
-        let mut candidates: Option<Vec<u32>> = None;
+        let mut candidates: Option<TidSet> = None;
         for drug in &q.require_drugs {
             match self.drug_index.get(drug) {
                 Some(postings) => narrow(&mut candidates, postings),
@@ -281,10 +314,10 @@ impl Snapshot {
             }
         }
         if !q.any_adr.is_empty() {
-            let mut union: Vec<u32> = Vec::new();
+            let mut union = TidSet::new();
             for adr in &q.any_adr {
                 if let Some(postings) = self.adr_index.get(adr) {
-                    union = sorted_union(&union, postings);
+                    union = union.union(postings);
                 }
             }
             if union.is_empty() {
@@ -318,8 +351,8 @@ impl Snapshot {
                 &self.ranks_at_least(&self.by_ror, min, |c| c.scores.ror.estimate),
             );
         }
-        let survivors: Box<dyn Iterator<Item = u32>> = match candidates {
-            Some(ranks) => Box::new(ranks.into_iter()),
+        let survivors: Box<dyn Iterator<Item = u32> + '_> = match &candidates {
+            Some(ranks) => Box::new(ranks.iter()),
             None => Box::new(0..self.clusters.len() as u32),
         };
         survivors
@@ -361,18 +394,18 @@ impl Snapshot {
         true
     }
 
-    /// The (sorted, ascending) ranks whose `key` is at least `min`: a
+    /// The compressed set of ranks whose `key` is at least `min`: a
     /// prefix of the descending-sorted index, found by binary search.
     fn ranks_at_least(
         &self,
         index: &[u32],
         min: f64,
         key: impl Fn(&ClusterEntry) -> f64,
-    ) -> Vec<u32> {
+    ) -> TidSet {
         let end = index.partition_point(|&r| key(&self.clusters[r as usize]) >= min);
         let mut prefix = index[..end].to_vec();
         prefix.sort_unstable();
-        prefix
+        TidSet::from_sorted(&prefix)
     }
 
     /// Reorders query-result ranks by a maintained sorted index. `Rank`
@@ -407,7 +440,7 @@ impl Snapshot {
     fn complete(
         &self,
         vocab: &Vocabulary,
-        index: &FxHashMap<String, Vec<u32>>,
+        index: &FxHashMap<String, TidSet>,
         prefix: &str,
         limit: usize,
     ) -> Vec<(String, usize)> {
@@ -419,7 +452,7 @@ impl Snapshot {
                 let n = index
                     .get(term)
                     .or_else(|| index.get(&uppercase))
-                    .map_or(0, |postings| postings.len());
+                    .map_or(0, |postings| postings.len() as usize);
                 (term.to_string(), n)
             })
             .collect()
@@ -558,61 +591,22 @@ pub fn scores_json(s: &SignalScores) -> Value {
     ])
 }
 
-/// Intersects the accumulator with a sorted posting list (`None` = "all").
-fn narrow(acc: &mut Option<Vec<u32>>, postings: &[u32]) {
+/// Intersects the accumulator with a compressed posting set
+/// (`None` = "all").
+fn narrow(acc: &mut Option<TidSet>, postings: &TidSet) {
     *acc = Some(match acc.take() {
-        None => postings.to_vec(),
-        Some(cur) => sorted_intersection(&cur, postings),
+        None => postings.clone(),
+        Some(cur) => cur.intersect(postings),
     });
 }
 
-fn sorted_intersection(a: &[u32], b: &[u32]) -> Vec<u32> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
+/// Appends `rank` unless it is already the set's maximum — postings are
+/// filled in ascending rank order, so a drug/ADR repeating inside one
+/// cluster shows up as an adjacent duplicate.
+fn push_dedup(postings: &mut TidSet, rank: u32) {
+    if postings.last() != Some(rank) {
+        postings.push_ascending(rank);
     }
-    out
-}
-
-fn sorted_union(a: &[u32], b: &[u32]) -> Vec<u32> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() || j < b.len() {
-        match (a.get(i), b.get(j)) {
-            (Some(&x), Some(&y)) if x == y => {
-                out.push(x);
-                i += 1;
-                j += 1;
-            }
-            (Some(&x), Some(&y)) if x < y => {
-                out.push(x);
-                i += 1;
-            }
-            (Some(_), Some(&y)) => {
-                out.push(y);
-                j += 1;
-            }
-            (Some(&x), None) => {
-                out.push(x);
-                i += 1;
-            }
-            (None, Some(&y)) => {
-                out.push(y);
-                j += 1;
-            }
-            (None, None) => unreachable!(),
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -630,16 +624,6 @@ mod tests {
         let av = synth.adr_vocab().clone();
         let result = Pipeline::new(PipelineConfig::default()).run(quarter, &dv, &av);
         (result, dv, av)
-    }
-
-    #[test]
-    fn merge_helpers_agree_with_sets() {
-        let a = [1u32, 3, 5, 9];
-        let b = [3u32, 4, 5, 10];
-        assert_eq!(sorted_intersection(&a, &b), vec![3, 5]);
-        assert_eq!(sorted_union(&a, &b), vec![1, 3, 4, 5, 9, 10]);
-        assert_eq!(sorted_intersection(&a, &[]), Vec::<u32>::new());
-        assert_eq!(sorted_union(&[], &b), b.to_vec());
     }
 
     #[test]

@@ -22,6 +22,8 @@ use maras_faers::Vocabulary;
 use maras_signals::{
     ConfidenceInterval, ContingencyTable, EbgmScores, InformationComponent, SignalScores,
 };
+use maras_tidset::TidSet;
+use rustc_hash::FxHashMap;
 use std::fmt;
 use std::fs;
 use std::io::Write as _;
@@ -29,11 +31,16 @@ use std::path::Path;
 
 /// File magic: identifies a MARAS snapshot regardless of extension.
 pub const MAGIC: &[u8; 8] = b"MARASNAP";
-/// Current on-disk format version. Version 2 appended the per-cluster
-/// disproportionality score block; version-1 files are refused (the
-/// snapshot is cheap to rebuild from the quarter, and serving entries
-/// with zeroed scores would silently misrank every `?sort_by=`).
-pub const FORMAT_VERSION: u32 = 2;
+/// Current on-disk format version. Version 3 serializes the filter-grid
+/// posting indexes (drug, ADR, severity, antecedent-cardinality) as
+/// hybrid array/bitmap containers, so loading maps postings straight into
+/// the compressed sets the query path intersects instead of rebuilding
+/// them from the clusters. Version 2 appended the per-cluster
+/// disproportionality score block. Older versions are refused with
+/// [`StoreError::BadVersion`] (the snapshot is cheap to rebuild from the
+/// quarter, and guessing at missing sections would corrupt query
+/// results silently).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Why a snapshot file was refused.
 #[derive(Debug)]
@@ -169,7 +176,34 @@ fn encode_snapshot(s: &Snapshot) -> Vec<u8> {
         }
         put_scores(&mut out, &c.scores);
     }
+    // Format v3: the filter-grid posting indexes as hybrid containers, so
+    // the load path deserializes exactly what the query path intersects.
+    put_str_sets(&mut out, &s.drug_index);
+    put_str_sets(&mut out, &s.adr_index);
+    put_u64(&mut out, s.severity_at_least.len() as u64);
+    for set in &s.severity_at_least {
+        maras_tidset::encode_set(&mut out, set);
+    }
+    let mut by_n: Vec<(&usize, &TidSet)> = s.n_drugs_index.iter().collect();
+    by_n.sort_unstable_by_key(|(n, _)| **n);
+    put_u64(&mut out, by_n.len() as u64);
+    for (n, set) in by_n {
+        put_u64(&mut out, *n as u64);
+        maras_tidset::encode_set(&mut out, set);
+    }
     out
+}
+
+/// A string-keyed posting index, keys sorted so encoding is
+/// deterministic for a given snapshot.
+fn put_str_sets(out: &mut Vec<u8>, index: &FxHashMap<String, TidSet>) {
+    let mut entries: Vec<(&String, &TidSet)> = index.iter().collect();
+    entries.sort_unstable_by_key(|(k, _)| *k);
+    put_u64(out, entries.len() as u64);
+    for (key, set) in entries {
+        put_str(out, key);
+        maras_tidset::encode_set(out, set);
+    }
 }
 
 /// Score block, format v2: the 2×2 table, every disproportionality
@@ -249,10 +283,35 @@ fn decode_snapshot(payload: &[u8]) -> Result<Snapshot, StoreError> {
             scores,
         });
     }
-    if r.pos != payload.len() {
-        return Err(StoreError::Corrupt("trailing bytes after last cluster"));
+    let drug_index = r.str_sets(n_clusters)?;
+    let adr_index = r.str_sets(n_clusters)?;
+    let n_sev = r.u64()? as usize;
+    let mut severity_at_least = Vec::with_capacity(n_sev.min(64));
+    for _ in 0..n_sev {
+        severity_at_least.push(r.set(n_clusters)?);
     }
-    Ok(Snapshot::from_parts(quarter, n_reports, drug_vocab, adr_vocab, clusters))
+    let n_card = r.u64()? as usize;
+    let mut n_drugs_index: FxHashMap<usize, TidSet> = FxHashMap::default();
+    for _ in 0..n_card {
+        let n = r.u64()? as usize;
+        if n_drugs_index.insert(n, r.set(n_clusters)?).is_some() {
+            return Err(StoreError::Corrupt("duplicate cardinality index key"));
+        }
+    }
+    if r.pos != payload.len() {
+        return Err(StoreError::Corrupt("trailing bytes after posting indexes"));
+    }
+    Ok(Snapshot::assemble(
+        quarter,
+        n_reports,
+        drug_vocab,
+        adr_vocab,
+        clusters,
+        drug_index,
+        adr_index,
+        severity_at_least,
+        n_drugs_index,
+    ))
 }
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
@@ -350,6 +409,33 @@ impl Reader<'_> {
         Ok(ConfidenceInterval { estimate: self.f64()?, lower: self.f64()?, upper: self.f64()? })
     }
 
+    /// One compressed posting set; container validation (canonical
+    /// density, sorted members, cardinality/popcount agreement) happens
+    /// in the tidset wire decoder, and the ranks must stay within the
+    /// cluster table the query path indexes into.
+    fn set(&mut self, n_clusters: usize) -> Result<TidSet, StoreError> {
+        let set = maras_tidset::decode_set(self.buf, &mut self.pos).map_err(StoreError::Corrupt)?;
+        if set.last().is_some_and(|max| max as usize >= n_clusters) {
+            return Err(StoreError::Corrupt("posting rank beyond cluster table"));
+        }
+        Ok(set)
+    }
+
+    /// A string-keyed posting index section.
+    fn str_sets(&mut self, n_clusters: usize) -> Result<FxHashMap<String, TidSet>, StoreError> {
+        let n = self.u64()? as usize;
+        let mut index = FxHashMap::default();
+        index.reserve(n.min(1 << 20));
+        for _ in 0..n {
+            let key = self.str()?;
+            let set = self.set(n_clusters)?;
+            if index.insert(key, set).is_some() {
+                return Err(StoreError::Corrupt("duplicate posting index key"));
+            }
+        }
+        Ok(index)
+    }
+
     fn vocab(&mut self) -> Result<Vocabulary, StoreError> {
         let n = self.u64()? as usize;
         let mut terms = Vec::with_capacity(n.min(1 << 20));
@@ -406,18 +492,24 @@ mod tests {
     }
 
     #[test]
-    fn refuses_version_1_files() {
+    fn refuses_pre_v3_files() {
         let snap = snapshot();
-        let dir = std::env::temp_dir().join("maras-store-v1");
+        let dir = std::env::temp_dir().join("maras-store-oldver");
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("q.snap");
-        save(&snap, &path).unwrap();
-        let mut bytes = fs::read(&path).unwrap();
-        // A genuine v1 file differs in payload too, but version alone must
-        // already refuse it — the payload is never parsed.
-        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
-        fs::write(&path, &bytes).unwrap();
-        assert!(matches!(load(&path), Err(StoreError::BadVersion(1))));
+        for old in [1u32, 2] {
+            save(&snap, &path).unwrap();
+            let mut bytes = fs::read(&path).unwrap();
+            // A genuine v1/v2 file differs in payload too (v2 has no
+            // posting-index sections), but version alone must already
+            // refuse it — the payload is never parsed.
+            bytes[8..12].copy_from_slice(&old.to_le_bytes());
+            fs::write(&path, &bytes).unwrap();
+            match load(&path) {
+                Err(StoreError::BadVersion(v)) => assert_eq!(v, old),
+                other => panic!("version {old} accepted: {other:?}"),
+            }
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 

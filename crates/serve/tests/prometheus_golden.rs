@@ -199,6 +199,56 @@ fn signals_series_match_golden_file() {
     }
 }
 
+fn tidset_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/tidset_metrics.prom")
+}
+
+/// The fixed set-algebra counter state the tidset golden renders: one
+/// index build (3 array + 1 bitmap container, 9 KiB resident) followed by
+/// a mixed kernel workload.
+fn fixed_tidset_registry() -> maras_obs::Registry {
+    let reg = maras_obs::Registry::new();
+    let m = maras_tidset::TidsetMetrics::register(&reg);
+    m.array_containers.add(3);
+    m.bitmap_containers.inc();
+    m.built_bytes.add(9216);
+    m.intersect_calls.add(4);
+    m.intersect_count_calls.add(12);
+    m.union_calls.add(2);
+    m.intersect_k_calls.add(5);
+    reg
+}
+
+#[test]
+fn tidset_series_match_golden_file() {
+    let rendered = fixed_tidset_registry().render_prometheus();
+    let path = tidset_golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(rendered, golden, "tidset exposition drifted from {path:?}");
+    // Every series carries the subsystem prefix; the kernels add to the
+    // shared registry append-only.
+    for line in golden.lines().filter(|l| !l.starts_with('#')) {
+        assert!(line.starts_with("maras_tidset_"), "unprefixed series: {line}");
+    }
+    for series in [
+        "maras_tidset_intersect_total",
+        "maras_tidset_intersect_count_total",
+        "maras_tidset_union_total",
+        "maras_tidset_intersect_k_total",
+        "maras_tidset_array_containers_total",
+        "maras_tidset_bitmap_containers_total",
+        "maras_tidset_built_bytes_total",
+    ] {
+        assert!(golden.contains(series), "missing series {series}");
+    }
+}
+
 #[test]
 fn label_values_are_escaped_in_registry_series() {
     // The global registry flows into the same exposition on /metrics;

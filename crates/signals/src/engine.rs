@@ -6,7 +6,8 @@
 //! ([`ContingencyTable::from_db`]), then called each measure separately —
 //! O(rules × |DB|) across a ranking pass. Every mined [`DrugAdrRule`]
 //! already carries its exact marginals in [`maras_rules::RuleStats`],
-//! established once by the miner's tid-list intersections, so the table is
+//! established once by the miner's compressed tid-set intersections
+//! (hybrid array/bitmap kernels from `maras-tidset`), so the table is
 //! an O(1) inclusion–exclusion rearrangement ([`ContingencyTable::from_stats`])
 //! and the only remaining database probes are the per-constituent-drug
 //! lookups the interaction contrast needs. The differential suite in

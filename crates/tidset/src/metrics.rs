@@ -1,0 +1,72 @@
+//! `maras_tidset_*` instrumentation, registered in a `maras-obs` registry
+//! so the series ride the existing `/metrics` exposition.
+//!
+//! Kernel counters are on the innermost loop of five crates, so the
+//! handles are acquired once into a process-wide `OnceLock` — the kernels
+//! never touch the registry mutex after the first call.
+
+use maras_obs::{Counter, Registry};
+use std::sync::OnceLock;
+
+/// Handles to the tid-set kernel and build metric series.
+#[derive(Clone)]
+pub struct TidsetMetrics {
+    /// Materializing `intersect` kernel invocations (pairwise).
+    pub intersect_calls: Counter,
+    /// Popcount-only `intersect_count` / capped-count invocations.
+    pub intersect_count_calls: Counter,
+    /// `union` kernel invocations.
+    pub union_calls: Counter,
+    /// k-way smallest-first intersections.
+    pub intersect_k_calls: Counter,
+    /// Sorted-array containers in long-lived sets at build time.
+    pub array_containers: Counter,
+    /// Bitmap containers in long-lived sets at build time.
+    pub bitmap_containers: Counter,
+    /// Heap bytes held by long-lived sets at build time.
+    pub built_bytes: Counter,
+}
+
+impl TidsetMetrics {
+    /// Registers (or re-acquires) the series in `reg`.
+    pub fn register(reg: &Registry) -> TidsetMetrics {
+        TidsetMetrics {
+            intersect_calls: reg
+                .counter("maras_tidset_intersect_total", "materializing tid-set intersections"),
+            intersect_count_calls: reg.counter(
+                "maras_tidset_intersect_count_total",
+                "popcount-only tid-set intersection counts (incl. capped)",
+            ),
+            union_calls: reg.counter("maras_tidset_union_total", "tid-set unions"),
+            intersect_k_calls: reg.counter(
+                "maras_tidset_intersect_k_total",
+                "k-way smallest-first tid-set intersections",
+            ),
+            array_containers: reg.counter(
+                "maras_tidset_array_containers_total",
+                "sorted-array containers in sets built for long-lived indexes",
+            ),
+            bitmap_containers: reg.counter(
+                "maras_tidset_bitmap_containers_total",
+                "bitmap containers in sets built for long-lived indexes",
+            ),
+            built_bytes: reg.counter(
+                "maras_tidset_built_bytes_total",
+                "heap bytes of sets built for long-lived indexes",
+            ),
+        }
+    }
+
+    /// Registers the series in the process-global registry (what `/metrics`
+    /// exposes).
+    pub fn global() -> TidsetMetrics {
+        TidsetMetrics::register(maras_obs::registry())
+    }
+}
+
+/// The process-wide handles the kernels bump; first use registers the
+/// series in the global registry, later uses are a single atomic load.
+pub(crate) fn metrics() -> &'static TidsetMetrics {
+    static METRICS: OnceLock<TidsetMetrics> = OnceLock::new();
+    METRICS.get_or_init(TidsetMetrics::global)
+}

@@ -21,6 +21,7 @@
 //! | [`evidence`] | `maras-evidence` | on-disk case archive: columnar blocks, postings, block-cached reader |
 //! | [`serve`] | `maras-serve` | indexed snapshots, binary store, HTTP query server |
 //! | [`obs`] | `maras-obs` | span tracing, metrics registry, Prometheus + Chrome-trace export |
+//! | [`tidset`] | `maras-tidset` | hybrid array/bitmap compressed tid-sets, shared set-algebra kernels |
 //!
 //! ## Quickstart
 //!
@@ -57,4 +58,5 @@ pub use maras_rules as rules;
 pub use maras_serve as serve;
 pub use maras_signals as signals;
 pub use maras_study as study;
+pub use maras_tidset as tidset;
 pub use maras_viz as viz;

@@ -214,7 +214,7 @@ fn snapshot_and_serve_check_roundtrip() {
     let parsed: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
     assert_eq!(parsed["quarter"], "2014 Q1");
-    assert_eq!(parsed["format_version"], 2u32);
+    assert_eq!(parsed["format_version"], maras::serve::FORMAT_VERSION);
     assert!(parsed["clusters"].as_u64().unwrap() > 0);
 
     // `serve --check` validates the file and exits 0 without binding.
