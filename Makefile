@@ -11,12 +11,12 @@ FIRST_PARTY = -p maras -p maras-bench -p maras-core -p maras-evidence \
               -p maras-rules -p maras-serve -p maras-signals -p maras-study \
               -p maras-tidset -p maras-viz
 
-.PHONY: verify fmt fmt-check clippy test obs-test serve-test evidence-test \
-        signals-test tidset-test chaos snapshot trace bench-serve bench-mining \
-        bench-ingest bench-evidence bench-signals bench-tidset
+.PHONY: verify fmt fmt-check clippy test obs-test logs-test serve-test \
+        evidence-test signals-test tidset-test chaos snapshot trace bench-serve \
+        bench-mining bench-ingest bench-evidence bench-signals bench-tidset
 
-verify: fmt-check clippy test obs-test serve-test evidence-test signals-test \
-        tidset-test chaos
+verify: fmt-check clippy test obs-test logs-test serve-test evidence-test \
+        signals-test tidset-test chaos
 
 fmt:
 	cargo fmt
@@ -38,6 +38,15 @@ obs-test:
 	cargo test -q -p maras-obs
 	cargo test -q -p maras-serve --test prometheus_golden
 	cargo test -q --test observability
+
+# The flight recorder on its own: the structured-log unit tests (ring,
+# levels, JSON lines, panic hook) and the end-to-end correlation suite —
+# a shed, a timeout, a panic, and a slow request must each surface in
+# /debug/logs and /debug/requests under the id the client saw in
+# x-maras-request-id.
+logs-test:
+	cargo test -q -p maras-obs log::
+	cargo test -q -p maras-serve --test debug_endpoints
 
 # The server lifecycle test on its own: boots on an ephemeral port,
 # exercises every endpoint, and hot-swaps the snapshot mid-test.

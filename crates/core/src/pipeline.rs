@@ -5,9 +5,21 @@ use crate::encode::{encode_reports, Encoded};
 use maras_faers::{CleanedReport, Cleaner, CleaningStats, QuarterData, Vocabulary};
 use maras_mcac::{rank_clusters_with, RankedMcac};
 use maras_mining::PatternStore;
+use maras_obs::{Event, Level};
 use maras_rules::{rule_space, RuleSpaceCounts};
 use maras_signals::SignalScores;
 use serde::Serialize;
+use std::time::Instant;
+
+/// Emits the per-phase flight-recorder event batch runs log at Info.
+fn phase_event(quarter: &str, phase: &str, out: usize, started: Instant) {
+    Event::new(Level::Info, "pipeline.phase")
+        .field("quarter", quarter)
+        .field("phase", phase)
+        .field("out", out)
+        .field("elapsed_us", started.elapsed().as_micros() as u64)
+        .emit();
+}
 
 /// Runs MARAS over quarters of FAERS data.
 #[derive(Debug, Clone, Default)]
@@ -56,35 +68,44 @@ impl Pipeline {
 
         // 1. §5.1 selection.
         let quarter = if self.config.expedited_only { quarter.expedited_only() } else { quarter };
+        let qid = quarter.id.to_string();
 
         // 2. §5.2 step 1: clean.
+        let t = Instant::now();
         let (cleaned, cleaning) = cleaner.clean_quarter(&quarter);
+        phase_event(&qid, "clean", cleaned.len(), t);
 
         // 3. Encode into the item space.
+        let t = Instant::now();
         let encode_span = maras_obs::span("encode");
         let encoded = encode_reports(&cleaned, drug_vocab, adr_vocab);
         drop(encode_span);
+        phase_event(&qid, "encode", encoded.db.len(), t);
 
         // 4. §5.2 steps 2–3: one shared mining pass produces the Fig. 5.1
         //    rule-space accounting, the closed-pattern store, and the
         //    multi-drug target rules (the legacy path re-mined the quarter
         //    once per artifact).
+        let t = Instant::now();
         let space = rule_space(
             &encoded.db,
             &encoded.partition,
             self.config.min_support,
             self.config.effective_threads(),
         );
+        phase_event(&qid, "mine", space.multi_drug_rules.len(), t);
 
         // 5. §5.2 step 4: MCACs with their full signal-score blocks, ranked
         //    under the configured key (exclusiveness by default). The score
         //    engine shards the batch across the same worker count as mining.
+        let t = Instant::now();
         let ranked = rank_clusters_with(
             space.multi_drug_rules,
             &encoded.db,
             self.config.ranking_method(),
             self.config.effective_threads(),
         );
+        phase_event(&qid, "score", ranked.len(), t);
 
         AnalysisResult {
             quarter,

@@ -181,6 +181,12 @@ pub fn build_archive(
     drop(f);
     fs::rename(&tmp, path)?;
 
+    maras_obs::Event::new(maras_obs::Level::Info, "evidence.build")
+        .field("quarter", result.quarter.id.to_string())
+        .field("records", n_records)
+        .field("blocks", blocks.len())
+        .field("file_bytes", file_buf.len())
+        .emit();
     Ok(ArchiveSummary {
         n_records,
         n_blocks: blocks.len(),

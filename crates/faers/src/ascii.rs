@@ -740,6 +740,13 @@ pub fn read_quarter_with<R1: Read, R2: Read, R3: Read, R4: Read>(
     metrics.total_us = t_total.elapsed().as_micros() as u64;
     let (data, report) = merged?;
     publish_ingest_metrics(&report, &metrics);
+    maras_obs::Event::new(maras_obs::Level::Info, "ingest.quarter")
+        .field("quarter", id.to_string())
+        .field("rows_ok", report.rows_ok())
+        .field("quarantined", report.quarantined())
+        .field("reports", data.reports.len())
+        .field("total_us", metrics.total_us)
+        .emit();
     Ok(Ingested { data, report, metrics })
 }
 

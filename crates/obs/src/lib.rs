@@ -12,6 +12,10 @@
 //!   a bounded global collector when a thread's stack empties, so the
 //!   tracer is cheap enough to stay on in production (see `bench_mining`'s
 //!   overhead guard).
+//! * [`log`] — the structured-log flight recorder: leveled key-value
+//!   events in a bounded in-memory ring (served by `GET /debug/logs` and
+//!   dumped by the panic hook) with optional JSON-lines emission to
+//!   stderr/file gated by `--log-level` / `MARAS_LOG`.
 //! * [`Registry`] — named counters, gauges, and fixed-bucket histograms
 //!   (with optional labels) that replace per-layer bespoke stat structs as
 //!   the scrapeable surface.
@@ -41,12 +45,18 @@
 
 #![warn(missing_docs)]
 
+pub mod log;
 pub mod metrics;
 pub mod prom;
 pub mod span;
 pub mod trace;
 pub mod tree;
 
+pub use log::{
+    clear_log_ring, dump_log_tail, init_logging, install_panic_hook, log_events_seen, log_tail,
+    logs_dropped, recording_enabled, set_emit_level, set_recording, Event, FieldValue, Level,
+    LogConfig, LogEvent, DROPPED_HELP, DROPPED_SERIES,
+};
 pub use metrics::{
     counter, counter_with, gauge, gauge_with, histogram, histogram_with, quantile_from_buckets,
     registry, Counter, Gauge, Histogram, Registry,

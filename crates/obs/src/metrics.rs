@@ -393,6 +393,30 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edge_cases_empty_all_inf_and_single_bucket() {
+        // A histogram with no finite bounds at all: only the +Inf bucket
+        // exists. Zero mass is still `None`; any mass clamps to 0.0
+        // because there is no finite bound to clamp to.
+        assert_eq!(quantile_from_buckets(&[], &[0], 0.5), None);
+        assert_eq!(quantile_from_buckets(&[], &[7], 0.5), Some(0.0));
+        // All mass in the +Inf bucket: every quantile, including the
+        // extremes, clamps to the last finite bound.
+        let bounds = [10.0, 20.0, 40.0];
+        let counts = [0, 0, 0, 9];
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(quantile_from_buckets(&bounds, &counts, q), Some(40.0), "q={q}");
+        }
+        // Single-bucket histogram: interpolation spans [0, bound].
+        assert_eq!(quantile_from_buckets(&[8.0], &[4, 0], 0.0), Some(0.0));
+        assert_eq!(quantile_from_buckets(&[8.0], &[4, 0], 0.25), Some(2.0));
+        assert_eq!(quantile_from_buckets(&[8.0], &[4, 0], 0.5), Some(4.0));
+        assert_eq!(quantile_from_buckets(&[8.0], &[4, 0], 1.0), Some(8.0));
+        // Out-of-range q is clamped, not an error.
+        assert_eq!(quantile_from_buckets(&[8.0], &[4, 0], -1.0), Some(0.0));
+        assert_eq!(quantile_from_buckets(&[8.0], &[4, 0], 2.0), Some(8.0));
+    }
+
+    #[test]
     fn render_includes_every_series_type() {
         let reg = Registry::new();
         reg.counter("c_total", "a counter").add(3);

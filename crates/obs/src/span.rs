@@ -12,6 +12,7 @@
 //! merged tree then has no orphans as long as every worker span is opened
 //! under a live parent span.
 
+use crate::metrics::{registry, Counter};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -28,7 +29,6 @@ const FLUSH_THRESHOLD: usize = 512;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 static MAX_SPANS: AtomicUsize = AtomicUsize::new(DEFAULT_MAX_SPANS);
-static DROPPED: AtomicU64 = AtomicU64::new(0);
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
 static COLLECTOR: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
 static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -77,10 +77,24 @@ pub fn tracing_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// The registry counter for spans discarded at collector capacity
+/// (`maras_obs_dropped_total{kind="spans"}`), so drops are visible to a
+/// Prometheus scrape and not only in-process.
+fn dropped_counter() -> &'static Counter {
+    static COUNTER: OnceLock<Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        registry().counter_with(
+            crate::log::DROPPED_SERIES,
+            crate::log::DROPPED_HELP,
+            &[("kind", "spans")],
+        )
+    })
+}
+
 /// Spans discarded because the collector was at capacity, since process
 /// start.
 pub fn spans_dropped() -> u64 {
-    DROPPED.load(Ordering::Relaxed)
+    dropped_counter().get()
 }
 
 /// Nanoseconds since the process-wide tracing epoch (first span ever).
@@ -159,7 +173,7 @@ fn flush_into_global(buf: &mut Vec<SpanRecord>) {
     let mut global = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
     let room = MAX_SPANS.load(Ordering::Relaxed).saturating_sub(global.len());
     if buf.len() > room {
-        DROPPED.fetch_add((buf.len() - room) as u64, Ordering::Relaxed);
+        dropped_counter().add((buf.len() - room) as u64);
         buf.truncate(room);
     }
     global.append(buf);

@@ -218,6 +218,44 @@ pub fn request_raw(
     (status, body)
 }
 
+/// [`request_raw`] that also extracts the `x-maras-request-id` response
+/// header, so correlation tests can match a response to the log event
+/// and flight-recorder entry it produced server-side.
+pub fn request_with_id(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    within: Duration,
+) -> (Option<u16>, Option<String>, String) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return (None, None, String::new());
+    };
+    let req = format!("{method} {target} HTTP/1.1\r\nhost: chaos\r\nconnection: close\r\n\r\n");
+    if stream.write_all(req.as_bytes()).is_err() {
+        return (None, None, String::new());
+    }
+    let raw = read_raw(&mut stream, within);
+    let status = parse_status(&raw);
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = match text.split_once("\r\n\r\n") {
+        Some((h, b)) => (h, b.to_string()),
+        None => (text.as_ref(), String::new()),
+    };
+    let id = parse_request_id(head);
+    (status, id, body)
+}
+
+/// Pulls the request id out of a raw response head, if the header is
+/// present.
+pub fn parse_request_id(head: &str) -> Option<String> {
+    head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.trim()
+            .eq_ignore_ascii_case(crate::debug::REQUEST_ID_HEADER)
+            .then(|| value.trim().to_string())
+    })
+}
+
 /// Reads until EOF (or `within` elapses) and parses the status line.
 pub fn read_response_status(stream: &mut TcpStream, within: Duration) -> Option<u16> {
     let raw = read_raw(stream, within);

@@ -1,0 +1,212 @@
+//! Request correlation and the per-request flight recorder.
+//!
+//! Every accepted connection gets a [`RequestId`] at the accept side —
+//! before it touches the admission queue — so even a connection that is
+//! shed, times out mid-headers, or panics its handler has an identity.
+//! The id is scrambled from a process seed plus an accept sequence
+//! number through an xorshift64* finisher (the same generator family as
+//! `serve::chaos::SeededRng` and the ingest fault harness), rendered as
+//! 16 hex characters, echoed to the client in the
+//! [`REQUEST_ID_HEADER`] response header, and attached to every log
+//! event the request produces.
+//!
+//! [`FlightRecorder`] keeps the last-N *notable* requests (slow, shed,
+//! timed out, errored, panicked) with their phase timings, served by
+//! `GET /debug/requests`. It is a bounded ring like the log buffer:
+//! newest entries win, memory stays fixed.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Response header echoing the request's [`RequestId`] on every path —
+/// normal responses, sheds, timeouts, and recovered panics alike.
+pub const REQUEST_ID_HEADER: &str = "x-maras-request-id";
+
+/// Default cap on retained notable-request records.
+pub const DEFAULT_RECENT_REQUESTS: usize = 128;
+
+/// A process-unique request identifier, rendered as 16 hex characters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// Issues the next id: a relaxed sequence counter scrambled with the
+    /// process seed through xorshift64*, so ids are unique within a
+    /// process (the counter) and unpredictable across restarts (the
+    /// seed) without any shared lock.
+    pub fn next() -> RequestId {
+        static SEED: OnceLock<u64> = OnceLock::new();
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seed = *SEED.get_or_init(|| {
+            SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x9E37_79B9)
+                .max(1)
+        });
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let mut x = seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        RequestId(x.wrapping_mul(0x2545_F491_4F6C_DD1D))
+    }
+
+    /// The raw 64-bit value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One notable request as the flight recorder remembers it.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// The request's correlation id.
+    pub id: RequestId,
+    /// Request line summary (`GET /search?...`), the partial request
+    /// line a cut-off client managed to send, or `<unparsed request>`.
+    pub what: String,
+    /// Response status written (or attempted).
+    pub status: u16,
+    /// Classified outcome: `slow`, `shed`, `timeout`, `too_large`,
+    /// `malformed`, `panic`, or `error`.
+    pub outcome: &'static str,
+    /// Total wall time handling the request, microseconds.
+    pub total_us: u64,
+    /// Parse-phase wall time, microseconds.
+    pub parse_us: u64,
+    /// Route-phase wall time, microseconds.
+    pub route_us: u64,
+    /// Write-phase wall time, microseconds.
+    pub write_us: u64,
+    /// Wall-clock completion time, milliseconds since the Unix epoch.
+    pub ts_ms: u64,
+}
+
+/// Bounded ring of the last-N notable requests, shared across workers.
+pub struct FlightRecorder {
+    cap: usize,
+    ring: Mutex<VecDeque<RequestRecord>>,
+    recorded: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `cap` records (min 1).
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            cap: cap.max(1),
+            ring: Mutex::new(VecDeque::new()),
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a record, evicting the oldest beyond capacity.
+    pub fn record(&self, record: RequestRecord) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        while ring.len() >= self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// The newest `limit` records, newest first.
+    pub fn tail(&self, limit: usize) -> Vec<RequestRecord> {
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.iter().rev().take(limit).cloned().collect()
+    }
+
+    /// Notable requests recorded since startup (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing notable has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+thread_local! {
+    /// The id of the request the current worker thread is handling, so
+    /// events emitted deep inside the router (reload, evidence reads)
+    /// carry the id without threading it through every signature.
+    static CURRENT: std::cell::Cell<Option<RequestId>> = const { std::cell::Cell::new(None) };
+}
+
+/// Sets (or clears) the calling thread's current request id.
+pub fn set_current_request(id: Option<RequestId>) {
+    CURRENT.with(|c| c.set(id));
+}
+
+/// The calling thread's current request id, if a request is in flight.
+pub fn current_request() -> Option<RequestId> {
+    CURRENT.with(std::cell::Cell::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ids_are_unique_and_hex_rendered() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = RequestId::next();
+            assert!(seen.insert(id.as_u64()), "duplicate id {id}");
+            let text = id.to_string();
+            assert_eq!(text.len(), 16);
+            assert!(text.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn flight_recorder_keeps_newest_and_counts_all() {
+        let rec = FlightRecorder::new(3);
+        assert!(rec.is_empty());
+        for i in 0..5_u64 {
+            rec.record(RequestRecord {
+                id: RequestId::next(),
+                what: format!("GET /{i}"),
+                status: 200,
+                outcome: "slow",
+                total_us: i,
+                parse_us: 0,
+                route_us: 0,
+                write_us: 0,
+                ts_ms: 0,
+            });
+        }
+        assert_eq!(rec.recorded(), 5);
+        assert_eq!(rec.len(), 3);
+        let tail = rec.tail(10);
+        let whats: Vec<&str> = tail.iter().map(|r| r.what.as_str()).collect();
+        assert_eq!(whats, vec!["GET /4", "GET /3", "GET /2"], "newest first");
+        assert_eq!(rec.tail(1).len(), 1);
+    }
+
+    #[test]
+    fn current_request_is_thread_local() {
+        let id = RequestId::next();
+        assert_eq!(current_request(), None);
+        set_current_request(Some(id));
+        assert_eq!(current_request(), Some(id));
+        std::thread::spawn(|| assert_eq!(current_request(), None)).join().unwrap();
+        set_current_request(None);
+        assert_eq!(current_request(), None);
+    }
+}

@@ -114,9 +114,23 @@ pub fn read_request(
     stream: &mut TcpStream,
     io_timeout: Option<Duration>,
 ) -> Result<Request, ParseError> {
+    let mut discard = None;
+    read_request_capturing(stream, io_timeout, &mut discard)
+}
+
+/// [`read_request`], additionally capturing whatever request line the
+/// peer managed to send into `line_out` — *before* any parse error
+/// propagates. A slowloris connection cut off by the deadline mid-header
+/// still yields its (possibly partial) request line, so the shed/timeout
+/// log event can name what the client was asking for.
+pub fn read_request_capturing(
+    stream: &mut TcpStream,
+    io_timeout: Option<Duration>,
+    line_out: &mut Option<String>,
+) -> Result<Request, ParseError> {
     let deadline = io_timeout.map(|t| Instant::now() + t);
     let reader = BufReader::new(DeadlineStream { stream: &*stream, deadline });
-    parse_request(reader)
+    parse_request_capturing(reader, line_out)
 }
 
 /// Reads one line, buffering at most `budget + 1` bytes: a newline-free
@@ -134,13 +148,33 @@ fn read_line_bounded<R: BufRead>(
     Ok(())
 }
 
+/// Longest request-line prefix worth keeping for attribution; log lines
+/// should not balloon just because a flood did.
+const CAPTURED_LINE_MAX: usize = 256;
+
 /// The transport-independent parse: request line, headers, body drain.
 /// Every read is bounded by the remaining header budget, so memory use
 /// is capped at `MAX_HEADER_BYTES` no matter what the peer streams.
-fn parse_request<R: BufRead>(mut reader: R) -> Result<Request, ParseError> {
+///
+/// Whatever (possibly partial) first line the peer delivered is recorded
+/// in `line_out` before any error propagates. `BufRead::read_line` keeps
+/// valid-UTF-8 bytes read before an I/O error, so a deadline-killed
+/// slowloris still leaves its half-sent request line here for the
+/// timeout log event.
+fn parse_request_capturing<R: BufRead>(
+    mut reader: R,
+    line_out: &mut Option<String>,
+) -> Result<Request, ParseError> {
     let mut line = String::new();
     let mut budget = MAX_HEADER_BYTES;
-    read_line_bounded(&mut reader, &mut line, budget)?;
+    let first = read_line_bounded(&mut reader, &mut line, budget);
+    let trimmed = line.trim_end();
+    if !trimmed.is_empty() {
+        let keep =
+            trimmed.char_indices().nth(CAPTURED_LINE_MAX).map_or(trimmed, |(i, _)| &trimmed[..i]);
+        *line_out = Some(keep.to_string());
+    }
+    first?;
     if line.is_empty() {
         return Err(ParseError::Malformed("empty request"));
     }
@@ -196,6 +230,18 @@ pub fn write_response(
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
+    write_response_with(stream, status, content_type, &[], body)
+}
+
+/// [`write_response`] plus caller-supplied extra headers (the server
+/// uses this to echo `x-maras-request-id` on every response path).
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -207,10 +253,17 @@ pub fn write_response(
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -258,7 +311,7 @@ mod tests {
     use super::*;
 
     fn parse(raw: &[u8]) -> Result<Request, ParseError> {
-        parse_request(raw)
+        parse_request_capturing(raw, &mut None)
     }
 
     #[test]
@@ -309,6 +362,62 @@ mod tests {
             ParseError::from(std::io::Error::from(std::io::ErrorKind::UnexpectedEof)),
             ParseError::Io(_)
         ));
+    }
+
+    /// Serves `data`, then fails every further read with `TimedOut` —
+    /// the shape of a slowloris peer hitting the request deadline.
+    struct TimesOutAfter<'a>(&'a [u8]);
+
+    impl Read for TimesOutAfter<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.0.is_empty() {
+                return Err(std::io::ErrorKind::TimedOut.into());
+            }
+            let n = self.0.len().min(buf.len());
+            buf[..n].copy_from_slice(&self.0[..n]);
+            self.0 = &self.0[n..];
+            Ok(n)
+        }
+    }
+
+    fn parse_timing_out(data: &[u8], cap: &mut Option<String>) -> Result<Request, ParseError> {
+        parse_request_capturing(BufReader::new(TimesOutAfter(data)), cap)
+    }
+
+    #[test]
+    fn request_line_is_captured_before_errors_propagate() {
+        // Complete request: captured line matches what was sent.
+        let mut cap = None;
+        let req =
+            parse_request_capturing(&b"GET /search?drug=X HTTP/1.1\r\n\r\n"[..], &mut cap).unwrap();
+        assert_eq!(req.path, "/search");
+        assert_eq!(cap.as_deref(), Some("GET /search?drug=X HTTP/1.1"));
+
+        // A peer timed out mid-headers still leaves an attributable
+        // request line even though parsing fails.
+        let mut cap = None;
+        let res = parse_timing_out(b"GET /cluster/3 HTTP/1.1\r\nhost", &mut cap);
+        assert!(matches!(res, Err(ParseError::Timeout)));
+        assert_eq!(cap.as_deref(), Some("GET /cluster/3 HTTP/1.1"));
+
+        // A peer timed out mid-request-line: the partial line is kept.
+        let mut cap = None;
+        let res = parse_timing_out(b"GET /slow-and-unfin", &mut cap);
+        assert!(matches!(res, Err(ParseError::Timeout)));
+        assert_eq!(cap.as_deref(), Some("GET /slow-and-unfin"));
+
+        // Nothing sent at all: no phantom capture.
+        let mut cap = None;
+        assert!(parse_timing_out(b"", &mut cap).is_err());
+        assert_eq!(cap, None);
+
+        // A newline-free flood is captured truncated, not wholesale.
+        let mut cap = None;
+        let flood = vec![b'A'; 64 * 1024];
+        assert!(matches!(parse_request_capturing(&flood[..], &mut cap), Err(ParseError::TooLarge)));
+        let kept = cap.expect("flood line captured");
+        assert_eq!(kept.len(), CAPTURED_LINE_MAX);
+        assert!(kept.bytes().all(|b| b == b'A'));
     }
 
     #[test]

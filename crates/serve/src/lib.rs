@@ -30,6 +30,14 @@
 //! * [`chaos`] — a deterministic, seeded misbehaving-client injector
 //!   (slowloris, header floods, abort-mid-body, connection floods) that
 //!   the chaos suite replays with exact shed/timeout/panic ledgers.
+//! * [`debug`] — request correlation and the flight recorder: every
+//!   connection gets a [`RequestId`](debug::RequestId) at accept time,
+//!   echoed as `x-maras-request-id` on *every* response path (including
+//!   sheds, timeouts, and recovered panics) and attached to every log
+//!   event the request produces; `GET /debug/logs`, `/debug/requests`,
+//!   and `/debug/runtime` serve the in-memory log ring, the last-N
+//!   notable requests with phase timings, and a runtime health dump
+//!   (all three gated by `ServeConfig::debug_endpoints`).
 //! * [`cache`] + [`metrics`] — a sharded LRU over rendered responses
 //!   (invalidated on swap) and lock-free per-endpoint counters and
 //!   latency histograms, exposed as Prometheus text on `/metrics` and
@@ -44,6 +52,7 @@
 
 pub mod cache;
 pub mod chaos;
+pub mod debug;
 pub mod http;
 pub mod metrics;
 pub mod router;
@@ -52,6 +61,7 @@ pub mod snapshot;
 pub mod store;
 
 pub use cache::QueryCache;
+pub use debug::{FlightRecorder, RequestId, RequestRecord, REQUEST_ID_HEADER};
 pub use metrics::{Endpoint, Metrics};
 pub use router::{respond, ReloadError, ServeState, DEFAULT_SLOW_THRESHOLD_US};
 pub use server::{serve, serve_with, ServeConfig, ServerHandle};

@@ -44,9 +44,11 @@ pub enum Endpoint {
     Reports,
     /// `GET /report/<case_id>` (single-record evidence lookup).
     Report,
+    /// `GET /debug/*` (flight-recorder introspection suite).
+    Debug,
 }
 
-const N_ENDPOINTS: usize = 9;
+const N_ENDPOINTS: usize = 10;
 
 impl Endpoint {
     fn idx(self) -> usize {
@@ -62,6 +64,7 @@ impl Endpoint {
             // series keeps its index (and its `/metrics.json` key order).
             Endpoint::Reports => 7,
             Endpoint::Report => 8,
+            Endpoint::Debug => 9,
         }
     }
 
@@ -76,6 +79,7 @@ impl Endpoint {
             "other",
             "reports",
             "report",
+            "debug",
         ][i]
     }
 }
@@ -135,6 +139,11 @@ impl Metrics {
     /// Records a request that exceeded the slow-request threshold.
     pub fn slow_request(&self) {
         self.slow_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Slow requests so far.
+    pub fn slow_requests(&self) -> u64 {
+        self.slow_requests.load(Ordering::Relaxed)
     }
 
     /// Records a connection shed with 503 (full queue or draining).
@@ -241,6 +250,11 @@ impl Metrics {
     /// Cache hits so far.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
     }
 
     /// Global per-bucket latency counts (all endpoints summed), including
@@ -526,6 +540,7 @@ mod tests {
         m.record(Endpoint::Search, 100, false);
         m.record(Endpoint::Reports, 200, false);
         m.record(Endpoint::Report, 50, true);
+        m.record(Endpoint::Debug, 25, false);
         let json = m.to_json();
         let top: Vec<&str> = match &json {
             Value::Object(o) => o.keys().map(String::as_str).collect(),
@@ -538,6 +553,7 @@ mod tests {
         }
         assert_eq!(json["requests"]["reports"], 1u64);
         assert_eq!(json["requests"]["report"], 1u64);
+        assert_eq!(json["requests"]["debug"], 1u64);
         assert_eq!(json["errors"], 1u64);
         assert!(json["latency_us"]["buckets"].as_array().is_some());
         assert!(json["cache"].get("hit_rate").is_some());

@@ -9,6 +9,7 @@
 //! production code path without a socket in the way.
 
 use crate::cache::QueryCache;
+use crate::debug::{self, FlightRecorder, DEFAULT_RECENT_REQUESTS};
 use crate::http::Request;
 use crate::metrics::{Endpoint, Metrics};
 use crate::snapshot::{Snapshot, SortBy};
@@ -16,10 +17,12 @@ use crate::store::{self, StoreError};
 use maras_core::RuleQuery;
 use maras_evidence::{EvidenceError, EvidenceReader};
 use maras_faers::CaseReport;
+use maras_obs::{Event, Level};
 use serde_json::Value;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, TryLockError};
+use std::time::Instant;
 
 /// Default slow-request threshold: 1 second.
 pub const DEFAULT_SLOW_THRESHOLD_US: u64 = 1_000_000;
@@ -66,6 +69,14 @@ pub struct ServeState {
     /// Where `POST /reload` reopens the archive from, alongside the
     /// snapshot.
     evidence_path: Option<PathBuf>,
+    /// The last-N notable requests (slow / shed / timed out / errored /
+    /// panicked), served by `GET /debug/requests`.
+    pub flight: FlightRecorder,
+    /// Gates the whole `GET /debug/*` suite; disabled routes fall through
+    /// to 404 as if they never existed.
+    debug_endpoints: AtomicBool,
+    /// When this state was built — `/debug/runtime`'s uptime origin.
+    started: Instant,
 }
 
 impl ServeState {
@@ -86,6 +97,9 @@ impl ServeState {
             panic_route: AtomicBool::new(false),
             evidence: RwLock::new(None),
             evidence_path: None,
+            flight: FlightRecorder::new(DEFAULT_RECENT_REQUESTS),
+            debug_endpoints: AtomicBool::new(true),
+            started: Instant::now(),
         }
     }
 
@@ -129,6 +143,18 @@ impl ServeState {
 
     fn panic_route_enabled(&self) -> bool {
         self.panic_route.load(Ordering::SeqCst)
+    }
+
+    /// Enables or disables the `GET /debug/*` introspection suite
+    /// (enabled by default; `--no-debug` turns it off for deployments
+    /// that must not expose internals on the serving port).
+    pub fn set_debug_endpoints(&self, on: bool) {
+        self.debug_endpoints.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether the `/debug/*` suite is currently routable.
+    pub fn debug_enabled(&self) -> bool {
+        self.debug_endpoints.load(Ordering::SeqCst)
     }
 
     /// Holds the reload serialization lock, making every concurrent
@@ -192,8 +218,23 @@ impl ServeState {
 }
 
 /// Routes one parsed request. Returns the endpoint (for metrics), the
-/// HTTP status, and the JSON body.
+/// HTTP status, and the JSON body. Every routed request also emits a
+/// `Debug`-level `serve.route` event into the flight recorder's log
+/// ring, carrying the correlation id when the server assigned one.
 pub fn respond(state: &ServeState, req: &Request) -> (Endpoint, u16, String) {
+    let (endpoint, status, body) = route(state, req);
+    let mut event = Event::new(Level::Debug, "serve.route")
+        .field("method", req.method.as_str())
+        .field("path", req.path.as_str())
+        .field("status", status);
+    if let Some(id) = debug::current_request() {
+        event = event.field("request_id", id.to_string());
+    }
+    event.emit();
+    (endpoint, status, body)
+}
+
+fn route(state: &ServeState, req: &Request) -> (Endpoint, u16, String) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let (status, body) = healthz(state);
@@ -206,6 +247,17 @@ pub fn respond(state: &ServeState, req: &Request) -> (Endpoint, u16, String) {
         }
         ("GET", "/metrics") => (Endpoint::Metrics, 200, metrics_prometheus(state)),
         ("GET", "/metrics.json") => (Endpoint::Metrics, 200, metrics_json(state)),
+        ("GET", "/debug/logs") if state.debug_enabled() => {
+            let (status, body) = debug_logs(req);
+            (Endpoint::Debug, status, body)
+        }
+        ("GET", "/debug/requests") if state.debug_enabled() => {
+            let (status, body) = debug_requests(state, req);
+            (Endpoint::Debug, status, body)
+        }
+        ("GET", "/debug/runtime") if state.debug_enabled() => {
+            (Endpoint::Debug, 200, debug_runtime(state))
+        }
         ("GET", "/search") => cached(state, Endpoint::Search, req, search),
         ("GET", "/autocomplete") => cached(state, Endpoint::Autocomplete, req, autocomplete),
         ("GET", path) if path.starts_with("/cluster/") && path.ends_with("/reports") => {
@@ -218,7 +270,7 @@ pub fn respond(state: &ServeState, req: &Request) -> (Endpoint, u16, String) {
             cached(state, Endpoint::Report, req, report)
         }
         ("POST", "/reload") => reload(state),
-        (_, path) if known_path(path) => {
+        (_, path) if known_path(path) || (state.debug_enabled() && known_debug_path(path)) => {
             (Endpoint::Other, 405, error_body("method_not_allowed", "wrong method for this path"))
         }
         _ => (Endpoint::Other, 404, error_body("not_found", "unknown path")),
@@ -231,6 +283,13 @@ fn known_path(path: &str) -> bool {
         "/healthz" | "/metrics" | "/metrics.json" | "/search" | "/autocomplete" | "/reload"
     ) || path.starts_with("/cluster/")
         || path.starts_with("/report/")
+}
+
+/// Debug paths exist only while the suite is enabled: disabled, they are
+/// 404s indistinguishable from never having shipped — not 405s that
+/// advertise a hidden surface.
+fn known_debug_path(path: &str) -> bool {
+    matches!(path, "/debug/logs" | "/debug/requests" | "/debug/runtime")
 }
 
 /// Runs a GET handler through the response cache. Only 200 bodies are
@@ -293,6 +352,122 @@ fn metrics_prometheus(state: &ServeState) -> String {
     let mut text = state.metrics.to_prometheus(state.cache.len());
     text.push_str(&maras_obs::registry().render_prometheus());
     text
+}
+
+/// Hard ceiling on one `/debug/logs` page; the ring itself is bounded,
+/// this just keeps a single response from serializing all of it.
+const MAX_LOG_PAGE: usize = 1000;
+
+/// `GET /debug/logs?level=&limit=` — the newest matching events from the
+/// in-memory log ring, oldest first, straight from the flight recorder.
+fn debug_logs(req: &Request) -> (u16, String) {
+    let min_level = match req.param("level") {
+        None => Level::Trace,
+        Some(raw) => match Level::parse(raw) {
+            Some(l) => l,
+            None => {
+                return (
+                    400,
+                    error_body(
+                        "bad_request",
+                        "'level' must be one of trace, debug, info, warn, error",
+                    ),
+                )
+            }
+        },
+    };
+    let limit = match parse_opt::<usize>(req, "limit") {
+        Ok(v) => v.unwrap_or(100).min(MAX_LOG_PAGE),
+        Err(e) => return (400, e),
+    };
+    let events = maras_obs::log_tail(limit, min_level);
+    // Events already know their JSON-lines form; splice those objects
+    // into the envelope instead of re-modeling every field type.
+    let mut body = String::with_capacity(64 + events.len() * 96);
+    body.push_str("{\"count\":");
+    body.push_str(&events.len().to_string());
+    body.push_str(",\"dropped\":");
+    body.push_str(&maras_obs::logs_dropped().to_string());
+    body.push_str(",\"events\":[");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&event.json_line());
+    }
+    body.push_str("]}");
+    (200, body)
+}
+
+/// `GET /debug/requests?limit=` — the flight recorder's notable requests
+/// (slow / shed / timed out / errored / panicked), newest first, with
+/// per-phase timings and the correlation id each response echoed.
+fn debug_requests(state: &ServeState, req: &Request) -> (u16, String) {
+    let limit = match parse_opt::<usize>(req, "limit") {
+        Ok(v) => v.unwrap_or(50),
+        Err(e) => return (400, e),
+    };
+    let records = state.flight.tail(limit);
+    let body = Value::obj([
+        ("count", Value::from(records.len())),
+        ("recorded", Value::from(state.flight.recorded())),
+        (
+            "requests",
+            Value::arr(records.iter().map(|r| {
+                Value::obj([
+                    ("id", Value::from(r.id.to_string())),
+                    ("what", Value::from(r.what.clone())),
+                    ("status", Value::from(u64::from(r.status))),
+                    ("outcome", Value::from(r.outcome)),
+                    ("ts_ms", Value::from(r.ts_ms)),
+                    ("total_us", Value::from(r.total_us)),
+                    ("parse_us", Value::from(r.parse_us)),
+                    ("route_us", Value::from(r.route_us)),
+                    ("write_us", Value::from(r.write_us)),
+                ])
+            })),
+        ),
+    ]);
+    (200, body.to_string())
+}
+
+/// `GET /debug/runtime` — one self-describing health dump: uptime,
+/// worker liveness, queue depth, robustness counters, cache stats, and
+/// the observability substrate's own drop accounting.
+fn debug_runtime(state: &ServeState) -> String {
+    let m = &state.metrics;
+    Value::obj([
+        ("uptime_ms", Value::from(state.started.elapsed().as_millis() as u64)),
+        ("draining", Value::from(state.is_draining())),
+        ("workers_alive", Value::from(m.workers_alive())),
+        ("queue_used", Value::from(m.queue_used())),
+        ("in_flight", Value::from(m.in_flight())),
+        ("requests", Value::from(m.total_requests())),
+        ("shed", Value::from(m.sheds())),
+        ("timeouts", Value::from(m.timeouts())),
+        ("worker_panics", Value::from(m.worker_panics())),
+        ("reloads", Value::from(m.reloads())),
+        ("slow_requests", Value::from(m.slow_requests())),
+        (
+            "cache",
+            Value::obj([
+                ("entries", Value::from(state.cache.len())),
+                ("hits", Value::from(m.cache_hits())),
+                ("misses", Value::from(m.cache_misses())),
+            ]),
+        ),
+        (
+            "observability",
+            Value::obj([
+                ("spans_dropped", Value::from(maras_obs::spans_dropped())),
+                ("logs_dropped", Value::from(maras_obs::logs_dropped())),
+                ("log_events_seen", Value::from(maras_obs::log_events_seen())),
+                ("log_recording", Value::from(maras_obs::recording_enabled())),
+                ("requests_recorded", Value::from(state.flight.recorded())),
+            ]),
+        ),
+    ])
+    .to_string()
 }
 
 fn search(state: &ServeState, req: &Request) -> (u16, String) {
@@ -515,6 +690,13 @@ fn reload(state: &ServeState) -> (Endpoint, u16, String) {
     match state.reload_from_disk() {
         Ok(()) => {
             let snap = state.snapshot();
+            let mut event = Event::new(Level::Info, "serve.reload")
+                .field("quarter", snap.quarter.as_str())
+                .field("clusters", snap.len());
+            if let Some(id) = debug::current_request() {
+                event = event.field("request_id", id.to_string());
+            }
+            event.emit();
             let body = Value::obj([
                 ("status", Value::from("reloaded")),
                 ("quarter", Value::from(snap.quarter.clone())),
@@ -717,6 +899,91 @@ mod tests {
         }))
         .is_err();
         assert!(panicked, "enabled chaos route must panic inside the handler");
+    }
+
+    #[test]
+    fn debug_endpoints_serve_logs_requests_and_runtime() {
+        let st = state();
+        // Runtime dump: self-describing JSON with the drop accounting.
+        let (ep, status, body) = respond(&st, &get("/debug/runtime", &[]));
+        assert_eq!((ep, status), (Endpoint::Debug, 200));
+        let json: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(json["draining"], false);
+        assert!(json["uptime_ms"].as_u64().is_some());
+        assert!(json["observability"]["logs_dropped"].as_u64().is_some());
+        assert!(json["observability"]["spans_dropped"].as_u64().is_some());
+        assert!(json["cache"]["entries"].as_u64().is_some());
+
+        // The flight recorder's records come back newest first.
+        st.flight.record(crate::debug::RequestRecord {
+            id: crate::debug::RequestId::next(),
+            what: "GET /unit-test-record".into(),
+            status: 200,
+            outcome: "slow",
+            total_us: 1_234,
+            parse_us: 1,
+            route_us: 2,
+            write_us: 3,
+            ts_ms: 0,
+        });
+        let (ep, status, body) = respond(&st, &get("/debug/requests", &[]));
+        assert_eq!((ep, status), (Endpoint::Debug, 200));
+        let json: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert!(json["recorded"].as_u64().unwrap() >= 1);
+        let reqs = json["requests"].as_array().unwrap();
+        let mine = reqs.iter().find(|r| r["what"] == "GET /unit-test-record").unwrap();
+        assert_eq!(mine["outcome"], "slow");
+        assert_eq!(mine["total_us"], 1_234u64);
+        assert_eq!(mine["id"].as_str().unwrap().len(), 16);
+
+        // Routing itself logged a Debug event that /debug/logs serves.
+        // (The ring is process-global, so pick our event out by path.)
+        respond(&st, &get("/search-debug-probe-path", &[]));
+        let (_, status, body) = respond(&st, &get("/debug/logs", &[("limit", "1000")]));
+        assert_eq!(status, 200);
+        let json: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let events = json["events"].as_array().unwrap();
+        let probe = events
+            .iter()
+            .find(|e| e["path"] == "/search-debug-probe-path")
+            .expect("serve.route event for the probe request");
+        assert_eq!(probe["event"], "serve.route");
+        assert_eq!(probe["level"], "debug");
+        assert_eq!(probe["status"], 404u64);
+
+        // Level filtering rejects junk, accepts real levels.
+        let (_, status, _) = respond(&st, &get("/debug/logs", &[("level", "loud")]));
+        assert_eq!(status, 400);
+        let (_, status, body) = respond(&st, &get("/debug/logs", &[("level", "error")]));
+        assert_eq!(status, 200);
+        let json: serde_json::Value = serde_json::from_str(&body).unwrap();
+        for e in json["events"].as_array().unwrap() {
+            assert_eq!(e["level"], "error");
+        }
+    }
+
+    #[test]
+    fn debug_suite_is_405_on_wrong_method_and_404_when_disabled() {
+        let st = state();
+        for path in ["/debug/logs", "/debug/requests", "/debug/runtime"] {
+            let req = Request { method: "POST".into(), path: path.into(), query: vec![] };
+            let (_, status, _) = respond(&st, &req);
+            assert_eq!(status, 405, "{path} enabled + wrong method");
+        }
+        st.set_debug_endpoints(false);
+        assert!(!st.debug_enabled());
+        for path in ["/debug/logs", "/debug/requests", "/debug/runtime"] {
+            let (_, status, body) = respond(&st, &get(path, &[]));
+            assert_eq!(status, 404, "{path} disabled must not exist");
+            assert_eq!(serde_json::from_str(&body).unwrap()["error"]["code"], "not_found");
+            // Disabled means *gone*, not method-gated: POST is 404 too.
+            let req = Request { method: "POST".into(), path: path.into(), query: vec![] };
+            let (_, status, _) = respond(&st, &req);
+            assert_eq!(status, 404, "{path} disabled + wrong method");
+        }
+        st.set_debug_endpoints(true);
+        let (_, status, _) = respond(&st, &get("/debug/runtime", &[]));
+        assert_eq!(status, 200, "re-enable works");
     }
 
     #[test]

@@ -22,9 +22,11 @@
 //! requests up to [`ServeConfig::drain`], then sheds whatever is left
 //! with 503 and joins every thread.
 
+use crate::debug::{self, RequestId, RequestRecord, REQUEST_ID_HEADER};
 use crate::http::{self, ParseError};
 use crate::metrics::Endpoint;
 use crate::router::{self, ServeState};
+use maras_obs::{Event, Level};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -49,6 +51,10 @@ pub struct ServeConfig {
     /// How long [`ServerHandle::shutdown`] waits for in-flight and
     /// queued requests before shedding the remainder.
     pub drain: Duration,
+    /// Whether `GET /debug/*` (logs, recent requests, runtime dump) is
+    /// routable. On by default; disabled, the paths 404 as if they
+    /// never existed.
+    pub debug_endpoints: bool,
 }
 
 impl Default for ServeConfig {
@@ -58,8 +64,16 @@ impl Default for ServeConfig {
             queue_depth: 128,
             io_timeout: Some(Duration::from_millis(5_000)),
             drain: Duration::from_millis(5_000),
+            debug_endpoints: true,
         }
     }
+}
+
+/// A connection that passed admission control, carrying the correlation
+/// id it was assigned at accept time — before it ever touched a worker.
+struct Admitted {
+    stream: TcpStream,
+    id: RequestId,
 }
 
 /// A running server: its bound address and the handles to stop it.
@@ -149,9 +163,10 @@ pub fn serve_with(
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    state.set_debug_endpoints(config.debug_endpoints);
     let stop = Arc::new(AtomicBool::new(false));
     let shed_remaining = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
+    let (tx, rx) = mpsc::sync_channel::<Admitted>(config.queue_depth.max(1));
     let rx = Arc::new(Mutex::new(rx));
 
     let n_threads = config.n_threads.max(1);
@@ -179,24 +194,40 @@ pub fn serve_with(
                     break;
                 }
                 let Ok(mut stream) = conn else { continue };
+                // Correlation starts here: the id exists before the
+                // connection touches the queue, so even a shed that
+                // never reaches a worker is attributable.
+                let id = RequestId::next();
                 // Socket deadlines before the connection touches any
                 // worker: a dead peer can stall neither side for long.
                 let _ = stream.set_read_timeout(io_timeout);
                 let _ = stream.set_write_timeout(io_timeout);
                 if accept_state.is_draining() {
                     accept_state.metrics.shed();
-                    shed_503(&mut stream, "draining", "server is draining; not admitting work");
+                    shed_503(
+                        &accept_state,
+                        &mut stream,
+                        id,
+                        "draining",
+                        "server is draining; not admitting work",
+                    );
                     continue;
                 }
                 accept_state.metrics.enqueued();
-                match tx.try_send(stream) {
+                match tx.try_send(Admitted { stream, id }) {
                     Ok(()) => {}
                     // Admission control: full queue means the reply is an
                     // immediate 503 from here, not an unbounded wait.
-                    Err(TrySendError::Full(mut stream)) => {
+                    Err(TrySendError::Full(Admitted { mut stream, id })) => {
                         accept_state.metrics.dequeued();
                         accept_state.metrics.shed();
-                        shed_503(&mut stream, "overloaded", "request queue is full; load shed");
+                        shed_503(
+                            &accept_state,
+                            &mut stream,
+                            id,
+                            "overloaded",
+                            "request queue is full; load shed",
+                        );
                     }
                     // Every worker exited; stop accepting.
                     Err(TrySendError::Disconnected(_)) => break,
@@ -227,11 +258,23 @@ impl Drop for WorkerLiveness<'_> {
     }
 }
 
+/// What a worker knows about the request it is handling, kept *outside*
+/// the `catch_unwind` boundary so the panic path can still attribute
+/// the failure: which request (id), what it asked for (line), and when
+/// handling started.
+struct RequestCtx {
+    id: RequestId,
+    started: Instant,
+    line: Option<String>,
+    parse_us: u64,
+    route_us: u64,
+}
+
 /// One worker: pull connections off the bounded queue until it closes,
 /// surviving handler panics and a poisoned receiver mutex.
 fn worker_loop(
     state: &Arc<ServeState>,
-    rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    rx: &Mutex<mpsc::Receiver<Admitted>>,
     shed_remaining: &AtomicBool,
     io_timeout: Option<Duration>,
 ) {
@@ -244,29 +287,67 @@ fn worker_loop(
         // worker too: recover the guard instead of unwrapping the poison.
         let conn = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
         match conn {
-            Ok(mut stream) => {
+            Ok(Admitted { mut stream, id }) => {
                 state.metrics.dequeued();
                 if shed_remaining.load(Ordering::SeqCst) {
                     // Drain deadline passed: flush the queue with 503s.
                     state.metrics.shed();
-                    shed_503(&mut stream, "draining", "drain deadline exceeded; request shed");
+                    shed_503(
+                        state,
+                        &mut stream,
+                        id,
+                        "draining",
+                        "drain deadline exceeded; request shed",
+                    );
                     continue;
                 }
                 state.metrics.request_started();
+                debug::set_current_request(Some(id));
+                let mut ctx = RequestCtx {
+                    id,
+                    started: Instant::now(),
+                    line: None,
+                    parse_us: 0,
+                    route_us: 0,
+                };
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    handle_connection(state, &mut stream, io_timeout)
+                    handle_connection(state, &mut stream, io_timeout, &mut ctx)
                 }));
+                debug::set_current_request(None);
                 state.metrics.request_finished();
                 if outcome.is_err() {
                     // Self-healing: count the panic, answer 500, keep
-                    // serving. The pool never silently shrinks.
+                    // serving. The pool never silently shrinks — and the
+                    // flight recorder knows exactly which request did it.
                     state.metrics.worker_panic();
-                    let _ = http::write_response(
+                    let id_text = id.to_string();
+                    let _ = http::write_response_with(
                         &mut stream,
                         500,
                         "application/json",
+                        &[(REQUEST_ID_HEADER, &id_text)],
                         &router::error_body("internal_error", "handler panicked; worker recovered"),
                     );
+                    let what = ctx.line.take().unwrap_or_else(|| "<unparsed request>".to_string());
+                    let total_us = elapsed_us(ctx.started);
+                    Event::new(Level::Error, "serve.request")
+                        .field("request_id", id_text)
+                        .field("what", what.as_str())
+                        .field("status", 500u64)
+                        .field("outcome", "panic")
+                        .field("total_us", total_us)
+                        .emit();
+                    state.flight.record(RequestRecord {
+                        id,
+                        what,
+                        status: 500,
+                        outcome: "panic",
+                        total_us,
+                        parse_us: ctx.parse_us,
+                        route_us: ctx.route_us,
+                        write_us: 0,
+                        ts_ms: now_ms(),
+                    });
                 }
             }
             Err(_) => break, // channel closed: shutdown
@@ -274,11 +355,55 @@ fn worker_loop(
     }
 }
 
-/// Best-effort 503 with the uniform error envelope; the socket already
-/// carries a write deadline, so a dead peer cannot stall the caller.
-fn shed_503(stream: &mut TcpStream, code: &str, message: &str) {
-    let _ =
-        http::write_response(stream, 503, "application/json", &router::error_body(code, message));
+/// Best-effort 503 with the uniform error envelope and the request id;
+/// the socket already carries a write deadline, so a dead peer cannot
+/// stall the caller. Every shed is logged and flight-recorded under its
+/// id — admission control is exactly the traffic worth explaining later.
+fn shed_503(
+    state: &ServeState,
+    stream: &mut TcpStream,
+    id: RequestId,
+    code: &'static str,
+    message: &str,
+) {
+    let id_text = id.to_string();
+    let _ = http::write_response_with(
+        stream,
+        503,
+        "application/json",
+        &[(REQUEST_ID_HEADER, &id_text)],
+        &router::error_body(code, message),
+    );
+    Event::new(Level::Warn, "serve.request")
+        .field("request_id", id_text)
+        .field("what", format!("<shed: {code}>"))
+        .field("status", 503u64)
+        .field("outcome", "shed")
+        .field("reason", code)
+        .emit();
+    state.flight.record(RequestRecord {
+        id,
+        what: format!("<shed: {code}>"),
+        status: 503,
+        outcome: "shed",
+        total_us: 0,
+        parse_us: 0,
+        route_us: 0,
+        write_us: 0,
+        ts_ms: now_ms(),
+    });
+}
+
+/// Milliseconds since the Unix epoch, for flight-recorder timestamps.
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    since.elapsed().as_micros().min(u64::MAX as u128) as u64
 }
 
 /// Phase wall times feed one labelled histogram per request phase, in µs.
@@ -293,13 +418,14 @@ fn phase_histogram(phase: &'static str) -> maras_obs::Histogram {
     )
 }
 
-fn timed<T>(phase: &'static str, f: impl FnOnce() -> T) -> T {
+fn timed<T>(phase: &'static str, f: impl FnOnce() -> T) -> (T, u64) {
     let t = Instant::now();
     let span = maras_obs::span(phase);
     let out = f();
     drop(span);
-    phase_histogram(phase).observe(t.elapsed().as_micros() as f64);
-    out
+    let us = t.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    phase_histogram(phase).observe(us as f64);
+    (out, us)
 }
 
 fn is_timeout(e: &std::io::Error) -> bool {
@@ -307,24 +433,49 @@ fn is_timeout(e: &std::io::Error) -> bool {
 }
 
 /// Parses, routes, responds, and records metrics for one connection.
-fn handle_connection(state: &ServeState, stream: &mut TcpStream, io_timeout: Option<Duration>) {
-    let started = Instant::now();
+///
+/// Every response echoes the request id in [`REQUEST_ID_HEADER`].
+/// Notable requests — slower than the threshold, or answered with any
+/// status ≥ 400 — become a structured `serve.request` event with the
+/// per-phase timing breakdown, plus a flight-recorder entry that
+/// `GET /debug/requests` serves; `ctx` carries what this function
+/// learned back to the worker in case the router panics mid-route.
+fn handle_connection(
+    state: &ServeState,
+    stream: &mut TcpStream,
+    io_timeout: Option<Duration>,
+    ctx: &mut RequestCtx,
+) {
+    let started = ctx.started;
     let request_span = maras_obs::span("request");
-    let parsed = timed("parse", || http::read_request(stream, io_timeout));
-    let (target, endpoint, status, body) = match parsed {
+    // Satellite of the flight recorder: the request line is captured
+    // into `ctx.line` *before* parse errors propagate, so a slowloris
+    // cut off by the deadline still yields an attributable event.
+    let (parsed, parse_us) =
+        timed("parse", || http::read_request_capturing(stream, io_timeout, &mut ctx.line));
+    ctx.parse_us = parse_us;
+    let (target, endpoint, status, body, failure) = match parsed {
         Ok(req) => {
-            let (endpoint, status, body) = timed("route", || router::respond(state, &req));
-            (Some(req), endpoint, status, body)
+            ctx.line = Some(format!("{} {}", req.method, req.path));
+            let ((endpoint, status, body), route_us) =
+                timed("route", || router::respond(state, &req));
+            ctx.route_us = route_us;
+            (Some(req), endpoint, status, body, None)
         }
         Err(ParseError::TooLarge) => (
             None,
             Endpoint::Other,
             413,
             router::error_body("too_large", "request exceeds size limits"),
+            Some("too_large"),
         ),
-        Err(ParseError::Malformed(what)) => {
-            (None, Endpoint::Other, 400, router::error_body("malformed_request", what))
-        }
+        Err(ParseError::Malformed(what)) => (
+            None,
+            Endpoint::Other,
+            400,
+            router::error_body("malformed_request", what),
+            Some("malformed"),
+        ),
         // The client blew its I/O deadline (slowloris or dead peer):
         // count it, answer 408 best-effort, and release this worker.
         Err(ParseError::Timeout) => {
@@ -334,6 +485,7 @@ fn handle_connection(state: &ServeState, stream: &mut TcpStream, io_timeout: Opt
                 Endpoint::Other,
                 408,
                 router::error_body("timeout", "request not received within the I/O deadline"),
+                Some("timeout"),
             )
         }
         // Socket died mid-read; nothing to respond to.
@@ -346,7 +498,16 @@ fn handle_connection(state: &ServeState, stream: &mut TcpStream, io_timeout: Opt
         }
         _ => "application/json",
     };
-    let write_result = timed("write", || http::write_response(stream, status, content_type, &body));
+    let id_text = ctx.id.to_string();
+    let (write_result, write_us) = timed("write", || {
+        http::write_response_with(
+            stream,
+            status,
+            content_type,
+            &[(REQUEST_ID_HEADER, &id_text)],
+            &body,
+        )
+    });
     if let Err(e) = write_result {
         if is_timeout(&e) {
             // The peer stopped reading its own response: count the
@@ -354,15 +515,49 @@ fn handle_connection(state: &ServeState, stream: &mut TcpStream, io_timeout: Opt
             state.metrics.timeout();
         }
     }
-    let latency_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    let latency_us = elapsed_us(started);
     state.metrics.record(endpoint, latency_us, status >= 400);
     drop(request_span);
-    if latency_us > state.slow_threshold_us() {
+    let slow = latency_us > state.slow_threshold_us();
+    if slow {
         state.metrics.slow_request();
-        let what = target.map_or_else(
-            || "<unparsed request>".to_string(),
-            |req| format!("{} {}", req.method, req.path),
-        );
-        eprintln!("slow request: {what} -> {status} took {:.1} ms", latency_us as f64 / 1_000.0);
     }
+    if !slow && status < 400 {
+        return; // healthy and fast: not flight-recorder material
+    }
+    let outcome = match failure {
+        Some(f) => f,
+        None if status >= 400 => "error",
+        None => "slow",
+    };
+    let what = ctx.line.clone().unwrap_or_else(|| "<unparsed request>".to_string());
+    let level = if status >= 500 {
+        Level::Error
+    } else if status >= 400 {
+        Level::Warn
+    } else {
+        Level::Info
+    };
+    Event::new(level, "serve.request")
+        .field("request_id", id_text)
+        .field("what", what.as_str())
+        .field("status", status)
+        .field("outcome", outcome)
+        .field("slow", slow)
+        .field("total_us", latency_us)
+        .field("parse_us", parse_us)
+        .field("route_us", ctx.route_us)
+        .field("write_us", write_us)
+        .emit();
+    state.flight.record(RequestRecord {
+        id: ctx.id,
+        what,
+        status,
+        outcome,
+        total_us: latency_us,
+        parse_us,
+        route_us: ctx.route_us,
+        write_us,
+        ts_ms: now_ms(),
+    });
 }

@@ -89,6 +89,7 @@ fn slowloris_is_cut_off_and_releases_the_worker() {
         queue_depth: 8,
         io_timeout: Some(io_timeout),
         drain: Duration::from_secs(2),
+        ..ServeConfig::default()
     });
 
     let started = Instant::now();
@@ -119,6 +120,7 @@ fn newline_free_header_flood_is_rejected_bounded() {
         queue_depth: 8,
         io_timeout: Some(Duration::from_secs(2)),
         drain: Duration::from_secs(2),
+        ..ServeConfig::default()
     });
 
     // 64 KiB without a single newline: 4x the header cap. The bounded
@@ -142,6 +144,7 @@ fn abort_mid_body_is_a_silent_dead_peer() {
         queue_depth: 8,
         io_timeout: Some(Duration::from_secs(2)),
         drain: Duration::from_secs(2),
+        ..ServeConfig::default()
     });
 
     let outcome = Injector::new(13).abort_mid_body(addr);
@@ -163,6 +166,7 @@ fn connection_flood_beyond_queue_depth_sheds_exactly() {
         queue_depth: 4,
         io_timeout: Some(Duration::from_secs(2)),
         drain: Duration::from_secs(2),
+        ..ServeConfig::default()
     });
 
     // Pin the single worker on a stalled connection...
@@ -211,6 +215,7 @@ fn panicking_route_never_kills_a_worker() {
         queue_depth: 8,
         io_timeout: Some(Duration::from_secs(2)),
         drain: Duration::from_secs(2),
+        ..ServeConfig::default()
     });
     state.enable_panic_route();
 
@@ -247,6 +252,7 @@ fn graceful_drain_finishes_in_flight_and_queued_work() {
         queue_depth: 4,
         io_timeout: Some(Duration::from_secs(2)),
         drain: Duration::from_secs(2),
+        ..ServeConfig::default()
     });
 
     // c1: a request the worker is mid-read on when the drain starts.
@@ -298,6 +304,7 @@ fn drain_deadline_sheds_stragglers_with_503() {
         queue_depth: 4,
         io_timeout: Some(Duration::from_millis(800)),
         drain: Duration::from_millis(250),
+        ..ServeConfig::default()
     });
 
     // A stalled in-flight connection that will never complete, and a

@@ -26,6 +26,8 @@ fn fixed_metrics() -> Metrics {
     // Evidence drill-down endpoints: one cold page fetch, one point lookup.
     m.record(Endpoint::Reports, 350, false);
     m.record(Endpoint::Report, 60, false);
+    // One flight-recorder introspection hit.
+    m.record(Endpoint::Debug, 75, false);
     m.cache_hit();
     m.cache_miss();
     m.cache_miss();
@@ -92,6 +94,7 @@ fn exposition_is_structurally_valid() {
         "other",
         "reports",
         "report",
+        "debug",
     ] {
         let prefix = format!("maras_request_latency_us_bucket{{endpoint=\"{endpoint}\",le=");
         let counts: Vec<u64> = text
@@ -246,6 +249,48 @@ fn tidset_series_match_golden_file() {
         "maras_tidset_built_bytes_total",
     ] {
         assert!(golden.contains(series), "missing series {series}");
+    }
+}
+
+fn obs_dropped_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/obs_dropped_metrics.prom")
+}
+
+/// The fixed flight-recorder drop ledger the obs golden renders: seven
+/// log events evicted from the ring, two spans discarded at capacity.
+/// Production increments the same series through the global registry;
+/// a fresh one keeps the golden deterministic.
+fn fixed_obs_dropped_registry() -> maras_obs::Registry {
+    let reg = maras_obs::Registry::new();
+    reg.counter_with(maras_obs::DROPPED_SERIES, maras_obs::DROPPED_HELP, &[("kind", "logs")])
+        .add(7);
+    reg.counter_with(maras_obs::DROPPED_SERIES, maras_obs::DROPPED_HELP, &[("kind", "spans")])
+        .add(2);
+    reg
+}
+
+#[test]
+fn obs_dropped_series_match_golden_file() {
+    let rendered = fixed_obs_dropped_registry().render_prometheus();
+    let path = obs_dropped_golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(rendered, golden, "obs-dropped exposition drifted from {path:?}");
+    // One # TYPE/# HELP block, both kinds present, subsystem prefix on
+    // every sample: the drop ledger is append-only in the shared registry.
+    for line in golden.lines().filter(|l| !l.starts_with('#')) {
+        assert!(line.starts_with("maras_obs_dropped_total{"), "unprefixed series: {line}");
+    }
+    for kind in ["logs", "spans"] {
+        assert!(
+            golden.contains(&format!("maras_obs_dropped_total{{kind=\"{kind}\"}}")),
+            "missing kind={kind}"
+        );
     }
 }
 

@@ -109,6 +109,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = init_logging_from_flags(&flags) {
+        eprintln!("error: {e}");
+        return e.exit_code();
+    }
     let result = match command.as_str() {
         "generate" => cmd_generate(&flags),
         "analyze" => cmd_analyze(&flags),
@@ -157,7 +161,7 @@ USAGE:
                  [--rank-by METHOD] [--evidence FILE.evid] [--trace FILE.json] [--timings]
   maras serve    --snapshot FILE.snap [--evidence FILE.evid] [--addr HOST:PORT]
                  [--threads N] [--cache N] [--check] [--json FILE] [--slow-ms MS]
-                 [--queue-depth N] [--io-timeout-ms MS] [--drain-ms MS]
+                 [--queue-depth N] [--io-timeout-ms MS] [--drain-ms MS] [--no-debug]
   maras evidence build --dir DIR --quarter 2014Q1 --out FILE.evid
                  [--block-size N] [--json FILE] [--threads N]
                  [--ingest-mode strict|lenient] [--max-bad-rows N] [--max-bad-frac F]
@@ -195,7 +199,14 @@ embedders that call `ServerHandle::shutdown` (default 5000).
 
 Observability: --trace FILE.json writes a Chrome trace-event file of the
 run (open in chrome://tracing or Perfetto); --timings prints the
-aggregated span tree to stderr.
+aggregated span tree to stderr. Every command accepts --log-level
+trace|debug|info|warn|error|off (or the MARAS_LOG env var) to emit
+structured JSON-lines log events to stderr, and --log-file FILE to tee
+them to a file; the in-memory log ring records regardless and a panic
+dumps its tail. `serve` assigns every connection a request id (echoed
+as x-maras-request-id), keeps a flight recorder of notable requests,
+and answers GET /debug/logs, /debug/requests, and /debug/runtime
+(disable the suite with --no-debug).
 
 Dirty data: --ingest-mode lenient quarantines malformed rows instead of
 failing; --max-bad-rows / --max-bad-frac cap the quarantine (exceeding the
@@ -227,6 +238,7 @@ fn parse(args: &[String]) -> Result<(String, Flags), String> {
             || flag == "novel-adr-only"
             || flag == "check"
             || flag == "timings"
+            || flag == "no-debug"
         {
             flags.insert(flag.to_string(), "true".to_string());
             i += 1;
@@ -293,6 +305,29 @@ fn emit_obs(flags: &Flags) -> Result<(), CliError> {
         eprintln!("warning: {dropped} spans dropped (collector cap reached)");
     }
     Ok(())
+}
+
+/// Configures the structured-log flight recorder for every command:
+/// `MARAS_LOG` / `--log-level` gate JSON-lines emission to stderr (the
+/// in-memory ring records regardless), `--log-file` tees emitted lines
+/// to a file, and a panic hook dumps the ring tail before aborting so a
+/// crash always leaves its last moments behind.
+fn init_logging_from_flags(flags: &Flags) -> Result<(), CliError> {
+    let mut config = maras::obs::LogConfig::from_env();
+    if let Some(raw) = flags.get("log-level") {
+        config.emit_level = match maras::obs::Level::parse(raw) {
+            Some(level) => Some(level),
+            None if raw.eq_ignore_ascii_case("off") => None,
+            None => {
+                return Err(CliError::usage(format!(
+                    "--log-level must be trace, debug, info, warn, error, or off, got {raw:?}"
+                )))
+            }
+        };
+    }
+    config.file = flags.get("log-file").map(PathBuf::from);
+    config.panic_hook = true;
+    maras::obs::init_logging(&config).map_err(|e| CliError::io("initialize logging".to_string(), e))
 }
 
 /// `--ingest-mode` / `--max-bad-rows` / `--max-bad-frac` → [`IngestOptions`].
@@ -949,6 +984,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
         queue_depth,
         io_timeout: (io_timeout_ms > 0).then(|| std::time::Duration::from_millis(io_timeout_ms)),
         drain: std::time::Duration::from_millis(drain_ms),
+        debug_endpoints: !flags.contains_key("no-debug"),
     };
     let server = maras::serve::serve_with(state, addr, config)
         .map_err(|e| CliError::io(format!("bind {addr}"), e))?;
